@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Shared helpers for the paper-reproduction benchmark binaries.
+ *
+ * Every binary prints the rows/series of one table or figure from the
+ * paper's evaluation (§5). Conventions:
+ *  - `--scale=F` scales workload sizes (and, where noted, machine
+ *    capacities) by F; `--full` is shorthand for --scale=1 (paper
+ *    sizes). Defaults are chosen so each binary finishes in tens of
+ *    seconds on a laptop.
+ *  - Reported times/bandwidths are *virtual* (cost-model) unless the
+ *    binary states it measures wall-clock (Figure 7).
+ */
+
+#ifndef GPUFS_BENCH_BENCHUTIL_HH
+#define GPUFS_BENCH_BENCHUTIL_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "gpufs/system.hh"
+
+namespace gpufs {
+namespace bench {
+
+struct Options {
+    double scale;
+    unsigned repeats = 1;
+};
+
+/** Parse --scale=F / --full / --help. */
+inline Options
+parseOptions(int argc, char **argv, double default_scale,
+             const char *description)
+{
+    Options opt;
+    opt.scale = default_scale;
+    for (int i = 1; i < argc; ++i) {
+        const char *a = argv[i];
+        if (std::strncmp(a, "--scale=", 8) == 0) {
+            opt.scale = std::atof(a + 8);
+            if (opt.scale <= 0) {
+                std::fprintf(stderr, "bad --scale\n");
+                std::exit(2);
+            }
+        } else if (std::strcmp(a, "--full") == 0) {
+            opt.scale = 1.0;
+        } else if (std::strcmp(a, "--help") == 0) {
+            std::printf("%s\n\nOptions:\n"
+                        "  --scale=F   scale workload sizes by F "
+                        "(default %.3g)\n"
+                        "  --full      paper-scale run (--scale=1)\n",
+                        description, default_scale);
+            std::exit(0);
+        } else {
+            std::fprintf(stderr, "unknown option '%s' (try --help)\n", a);
+            std::exit(2);
+        }
+    }
+    return opt;
+}
+
+/** Install a cheap file whose content is all zeros (timing-only data:
+ *  never verified, so generation costs nothing measurable). Pass
+ *  writable=true when the benchmark overwrites parts of it. */
+inline void
+addZerosFile(hostfs::HostFs &fs, const std::string &path, uint64_t bytes,
+             bool writable = false)
+{
+    auto gen = [](uint64_t, uint64_t len, uint8_t *dst) {
+        std::memset(dst, 0, len);
+    };
+    Status st = fs.addFile(path,
+                           std::make_unique<hostfs::SyntheticContent>(
+                               gen, writable),
+                           bytes);
+    if (!ok(st)) {
+        std::fprintf(stderr, "addZerosFile(%s): %s\n", path.c_str(),
+                     statusName(st));
+        std::exit(1);
+    }
+}
+
+/** Mark a whole file warm in the simulated CPU page cache. */
+inline void
+warmHostCache(hostfs::HostFs &fs, const std::string &path)
+{
+    hostfs::FileInfo info;
+    if (ok(fs.stat(path, &info)))
+        fs.cache().prefault(info.ino, 0, info.size);
+}
+
+inline void
+printTitle(const std::string &title, const std::string &note)
+{
+    std::printf("## %s\n", title.c_str());
+    if (!note.empty())
+        std::printf("#  %s\n", note.c_str());
+}
+
+/** Page-size label like the paper's axis (16K .. 16M). */
+inline std::string
+sizeLabel(uint64_t bytes)
+{
+    char buf[32];
+    if (bytes >= MiB && bytes % MiB == 0)
+        std::snprintf(buf, sizeof(buf), "%lluM",
+                      static_cast<unsigned long long>(bytes / MiB));
+    else
+        std::snprintf(buf, sizeof(buf), "%lluK",
+                      static_cast<unsigned long long>(bytes / KiB));
+    return buf;
+}
+
+/** The paper's page-size sweep: 16 KB .. 16 MB, powers of two. */
+inline std::vector<uint64_t>
+pageSweep()
+{
+    std::vector<uint64_t> sizes;
+    for (uint64_t s = 16 * KiB; s <= 16 * MiB; s *= 2)
+        sizes.push_back(s);
+    return sizes;
+}
+
+} // namespace bench
+} // namespace gpufs
+
+#endif // GPUFS_BENCH_BENCHUTIL_HH

@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Table 4: GPU exact string match ("grep -w") — 58,000 dictionary
+ * words counted across (a) a Linux-source-like tree of ~33,000 files
+ * totaling 524 MB and (b) a single 6 MB file (the Shakespeare
+ * stand-in). Three implementations: 8-core CPU, GPU through GPUfs,
+ * and a "vanilla" GPU version that prefetches everything into GPU
+ * memory first and post-processes output on the CPU.
+ *
+ * Paper: Linux source 6.07h CPU / 53m GPUfs (6.8x) / 50m vanilla
+ * (GPUfs only 9% slower despite ~33,000 gopen/gclose pairs);
+ * Shakespeare 292s / 40s / 40s. The LOC row of the paper's table is
+ * reproduced by counting semicolons in this repo's corresponding
+ * sources.
+ */
+
+#include <fstream>
+
+#include "bench/benchutil.hh"
+#include "cuda/cudasim.hh"
+#include "workloads/kernels.hh"
+#include "workloads/rates.hh"
+
+using namespace gpufs;
+using namespace gpufs::workloads;
+
+namespace {
+
+/** Vanilla GPU version: prefetch all input into GPU memory, scan,
+ *  post-process on the CPU. Conservatively assumes everything fits
+ *  (paper: crashes if the 5 GB output buffer overflows). */
+Time
+runVanilla(core::GpufsSystem &sys, const Dictionary &dict,
+           const Corpus &corpus, std::vector<uint64_t> *totals)
+{
+    cudasim::CudaApp app(sys.device(0), sys.hostFs());
+    sys.device(0).allocDeviceMem(5 * GiB);    // the paper's output buffer
+    totals->assign(dict.size(), 0);
+    std::vector<uint64_t> counts;
+    std::vector<uint8_t> buf;
+    cudasim::Stream stream;
+    int pin = app.hostAllocPinned(64 * MiB);
+
+    // Dictionary first.
+    int dfd = app.open("/dict.bin", hostfs::O_RDONLY_F);
+    app.pread(dfd, nullptr, uint64_t(dict.size()) * kDictRecord, 0);
+    app.memcpyH2DAsync(stream, uint64_t(dict.size()) * kDictRecord);
+    app.close(dfd);
+
+    for (const auto &path : corpus.paths) {
+        hostfs::FileInfo info;
+        sys.hostFs().stat(path, &info);
+        buf.resize(info.size);
+        int fd = app.open(path, hostfs::O_RDONLY_F);
+        app.pread(fd, buf.data(), info.size, 0);
+        app.close(fd);
+        app.memcpyH2DAsync(stream, info.size);
+        app.kernelAsync(stream,
+                        Time(double(info.size) * double(dict.size()) *
+                             kGrepByteWordCostGpuThreadNs /
+                             double(sys.sim().params.waveSlots() * 512)));
+        countWords(dict, reinterpret_cast<char *>(buf.data()), info.size,
+                   counts);
+        for (size_t w = 0; w < totals->size(); ++w)
+            (*totals)[w] += counts[w];
+    }
+    app.streamSync(stream);
+    app.hostFreePinned(pin);
+    sys.device(0).freeDeviceMem(5 * GiB);
+    return app.now();
+}
+
+uint64_t
+countSemicolons(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return 0;
+    uint64_t n = 0;
+    char c;
+    while (in.get(c))
+        n += c == ';' ? 1 : 0;
+    return n;
+}
+
+void
+runCorpus(const char *label, const Dictionary &dict, unsigned num_files,
+          uint64_t total_bytes, const char *paper_note)
+{
+    core::GpuFsParams p;
+    p.pageSize = 64 * KiB;      // many small files: small pages
+    p.cacheBytes = 1 * GiB;
+    core::GpufsSystem sys(1, p);
+    dict.install(sys.hostFs(), "/dict.bin");
+    Corpus corpus = num_files == 1
+        ? makeSingleFile(sys.hostFs(), dict, 3, "/data/one.txt",
+                         total_bytes)
+        : makeTree(sys.hostFs(), dict, 3, "/src", num_files, total_bytes);
+
+    // CPU baseline (cold cache like the paper's no-warmup runs).
+    consistency::WrapFs &wrap = sys.wrapFs();
+    sys.hostFs().dropCaches();
+    Time cpu_time = 0;
+    auto cpu_counts = cpuGrep(wrap, dict, corpus, &cpu_time);
+
+    // GPUfs version. The scan segment scales with the dictionary so
+    // per-segment work (bytes x words) is scale-invariant.
+    sys.hostFs().dropCaches();
+    uint64_t segment = std::max<uint64_t>(
+        16 * KiB, uint64_t(256.0 * KiB * dict.size() / 58000.0));
+    GrepGpuResult g = gpuGrep(sys.fs(), sys.device(0), dict, "/dict.bin",
+                              corpus.listPath, "/out/grep.txt", 28, 512,
+                              segment);
+
+    // Vanilla GPU version.
+    sys.hostFs().dropCaches();
+    std::vector<uint64_t> vanilla_counts;
+    Time vanilla_time = runVanilla(sys, dict, corpus, &vanilla_counts);
+
+    // Functional cross-check: all three implementations must agree.
+    uint64_t total_matches = 0;
+    bool agree = g.counts == cpu_counts && g.counts == vanilla_counts;
+    for (uint64_t c : g.counts)
+        total_matches += c;
+
+    std::printf("%-14s CPUx8 %9.1fs | GPU-GPUfs %9.1fs (%.1fx) | "
+                "GPU-vanilla %9.1fs (%.1fx)%s\n",
+                label, toSeconds(cpu_time), toSeconds(g.elapsed),
+                double(cpu_time) / double(g.elapsed),
+                toSeconds(vanilla_time),
+                double(cpu_time) / double(vanilla_time),
+                agree ? "" : "  [!COUNTS DISAGREE]");
+    std::printf("#   %s\n", paper_note);
+    std::printf("#   %llu total matches, %llu bytes of formatted GPU "
+                "output\n",
+                static_cast<unsigned long long>(total_matches),
+                static_cast<unsigned long long>(g.outputBytes));
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bench::Options opt = bench::parseOptions(
+        argc, argv, 0.25,
+        "Table 4: grep -w over a source tree and a single large file");
+
+    const uint32_t dict_words = uint32_t(58000 * opt.scale);
+    Dictionary dict(/*seed=*/17, dict_words);
+
+    bench::printTitle(
+        "Table 4: exact string match, " + std::to_string(dict_words) +
+            "-word dictionary",
+        "paper: Linux source 6.07h/53m/50m; Shakespeare 292s/40s/40s");
+
+    runCorpus("linux_source", dict, unsigned(33000 * opt.scale),
+              uint64_t(524e6 * opt.scale),
+              "paper: 6.07h CPU, 53m GPUfs (6.8x), 50m vanilla — GPUfs "
+              "within ~9% of vanilla despite per-file gopen/gclose");
+    runCorpus("shakespeare", dict, 1, uint64_t(6e6 * opt.scale),
+              "paper: 292s CPU, 40s GPUfs (7.3x), 40s vanilla — one "
+              "large file: GPUfs matches vanilla");
+
+    // The LOC row: semicolon counts of this repo's implementations,
+    // like the paper's Table 4 ("LOC (semicolon)" row).
+    std::string here = __FILE__;
+    std::string root = here.substr(0, here.rfind("/bench/"));
+    uint64_t gpufs_loc =
+        countSemicolons(root + "/src/workloads/kernels.cc");
+    uint64_t cpu_loc =
+        countSemicolons(root + "/src/workloads/textcorpus.cc");
+    uint64_t vanilla_loc = countSemicolons(here);
+    if (gpufs_loc && cpu_loc) {
+        std::printf("# LOC(semicolons): cpu-baselines+generators %llu, "
+                    "gpu kernels (all three §5 apps) %llu, vanilla "
+                    "driver %llu — paper: 80 CPU, 140 GPUfs, 178 "
+                    "vanilla\n",
+                    static_cast<unsigned long long>(cpu_loc),
+                    static_cast<unsigned long long>(gpufs_loc),
+                    static_cast<unsigned long long>(vanilla_loc));
+    }
+    return 0;
+}

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Status-message and error-exit helpers in the spirit of gem5's
+ * base/logging.hh.
+ *
+ * panic()  — an internal invariant of the library was violated (a bug in
+ *            GPUfs itself); aborts so a core dump / debugger can be used.
+ * fatal()  — the caller asked for something impossible (bad configuration,
+ *            invalid arguments); exits with status 1.
+ * warn()/inform() — status messages that never stop execution.
+ */
+
+#ifndef GPUFS_BASE_LOGGING_HH
+#define GPUFS_BASE_LOGGING_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace gpufs {
+
+namespace detail {
+
+[[noreturn]] void panicImpl(const char *file, int line, const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line, const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+/** Minimal printf-style formatter returning a std::string. */
+std::string vformat(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+} // namespace detail
+
+#define gpufs_panic(...) \
+    ::gpufs::detail::panicImpl(__FILE__, __LINE__, \
+                               ::gpufs::detail::vformat(__VA_ARGS__))
+
+#define gpufs_fatal(...) \
+    ::gpufs::detail::fatalImpl(__FILE__, __LINE__, \
+                               ::gpufs::detail::vformat(__VA_ARGS__))
+
+#define gpufs_warn(...) \
+    ::gpufs::detail::warnImpl(::gpufs::detail::vformat(__VA_ARGS__))
+
+#define gpufs_inform(...) \
+    ::gpufs::detail::informImpl(::gpufs::detail::vformat(__VA_ARGS__))
+
+/**
+ * Check an invariant that must hold regardless of user input.
+ * Unlike assert(), stays active in release builds: GPUfs's lock-free
+ * structures are exactly the kind of code whose invariant violations
+ * must never be silently ignored.
+ */
+#define gpufs_assert(cond, ...) \
+    do { \
+        if (!(cond)) { \
+            ::gpufs::detail::panicImpl(__FILE__, __LINE__, \
+                std::string("assertion failed: " #cond " ") + \
+                ::gpufs::detail::vformat("" __VA_ARGS__)); \
+        } \
+    } while (0)
+
+} // namespace gpufs
+
+#endif // GPUFS_BASE_LOGGING_HH

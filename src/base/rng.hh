@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Deterministic random number generation. Every workload generator in
+ * this repository derives all content from explicit seeds so experiments
+ * are reproducible run to run; nothing uses std::random_device.
+ */
+
+#ifndef GPUFS_BASE_RNG_HH
+#define GPUFS_BASE_RNG_HH
+
+#include <cstdint>
+
+namespace gpufs {
+
+/**
+ * SplitMix64: tiny, fast, high-quality 64-bit mixer. Used both as a
+ * sequential generator and, via hash64(), as a stateless hash so that
+ * synthetic file content can be computed at any offset without
+ * generating everything before it.
+ */
+class SplitMix64
+{
+  public:
+    explicit SplitMix64(uint64_t seed) : state(seed) {}
+
+    uint64_t
+    next()
+    {
+        uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        return z ^ (z >> 31);
+    }
+
+    /** Uniform value in [0, bound). @pre bound > 0. */
+    uint64_t nextBelow(uint64_t bound) { return next() % bound; }
+
+    /** Uniform double in [0, 1). */
+    double
+    nextDouble()
+    {
+        return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+    }
+
+  private:
+    uint64_t state;
+};
+
+/** Stateless mix of a single 64-bit value (one SplitMix64 step). */
+inline uint64_t
+hash64(uint64_t x)
+{
+    uint64_t z = x + 0x9e3779b97f4a7c15ull;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+/** Combine two 64-bit values into one hash (order sensitive). */
+inline uint64_t
+hashCombine(uint64_t a, uint64_t b)
+{
+    return hash64(a ^ (hash64(b) + 0x9e3779b97f4a7c15ull + (a << 6)));
+}
+
+} // namespace gpufs
+
+#endif // GPUFS_BASE_RNG_HH

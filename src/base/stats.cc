@@ -1,0 +1,27 @@
+#include "base/stats.hh"
+
+namespace gpufs {
+
+Counter &
+StatSet::counter(const std::string &counter_name)
+{
+    return counters[counter_name];
+}
+
+std::map<std::string, uint64_t>
+StatSet::snapshot() const
+{
+    std::map<std::string, uint64_t> out;
+    for (const auto &kv : counters)
+        out[kv.first] = kv.second.get();
+    return out;
+}
+
+void
+StatSet::resetAll()
+{
+    for (auto &kv : counters)
+        kv.second.reset();
+}
+
+} // namespace gpufs

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Lightweight statistics counters.
+ *
+ * The paper's evaluation reports internal counters (lock-free vs locked
+ * buffer-cache accesses, pages reclaimed — Table 2; unique pages
+ * accessed — Figure 6). StatSet gives each subsystem a named bundle of
+ * relaxed atomic counters that benchmarks snapshot and print.
+ */
+
+#ifndef GPUFS_BASE_STATS_HH
+#define GPUFS_BASE_STATS_HH
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace gpufs {
+
+/** One relaxed atomic counter. Cheap enough for fast paths. */
+class Counter
+{
+  public:
+    Counter() : value(0) {}
+
+    void inc(uint64_t n = 1) { value.fetch_add(n, std::memory_order_relaxed); }
+    void set(uint64_t n) { value.store(n, std::memory_order_relaxed); }
+    uint64_t get() const { return value.load(std::memory_order_relaxed); }
+    void reset() { value.store(0, std::memory_order_relaxed); }
+
+    /** Monotonically raise the counter to at least @p n. */
+    void
+    maxWith(uint64_t n)
+    {
+        uint64_t cur = value.load(std::memory_order_relaxed);
+        while (cur < n &&
+               !value.compare_exchange_weak(cur, n,
+                                            std::memory_order_relaxed)) {
+        }
+    }
+
+  private:
+    std::atomic<uint64_t> value;
+};
+
+/**
+ * A named bundle of counters. Counters are registered once at
+ * construction of the owning subsystem; lookup on the fast path is by
+ * pointer, not by name.
+ */
+class StatSet
+{
+  public:
+    explicit StatSet(std::string set_name) : name_(std::move(set_name)) {}
+
+    StatSet(const StatSet &) = delete;
+    StatSet &operator=(const StatSet &) = delete;
+
+    /** Register (or fetch) a counter by name. Not for fast paths. */
+    Counter &counter(const std::string &counter_name);
+
+    /** Snapshot all counters as name → value. */
+    std::map<std::string, uint64_t> snapshot() const;
+
+    /** Reset every counter to zero. */
+    void resetAll();
+
+    const std::string &name() const { return name_; }
+
+  private:
+    std::string name_;
+    // std::map keeps counter addresses stable across inserts, which the
+    // fast paths rely on after registration.
+    std::map<std::string, Counter> counters;
+};
+
+} // namespace gpufs
+
+#endif // GPUFS_BASE_STATS_HH

@@ -1,0 +1,24 @@
+#include "base/status.hh"
+
+namespace gpufs {
+
+const char *
+statusName(Status s)
+{
+    switch (s) {
+      case Status::Ok: return "Ok";
+      case Status::NoEnt: return "NoEnt";
+      case Status::Exists: return "Exists";
+      case Status::Busy: return "Busy";
+      case Status::Inval: return "Inval";
+      case Status::BadFd: return "BadFd";
+      case Status::ReadOnlyFile: return "ReadOnlyFile";
+      case Status::NoSpace: return "NoSpace";
+      case Status::IoError: return "IoError";
+      case Status::NotSupported: return "NotSupported";
+      case Status::TooManyFiles: return "TooManyFiles";
+    }
+    return "Unknown";
+}
+
+} // namespace gpufs

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Error codes shared by the host file system, the RPC layer and the
+ * GPU-side GPUfs API. Mirrors the POSIX errno values the paper's
+ * prototype would surface through its host daemon.
+ */
+
+#ifndef GPUFS_BASE_STATUS_HH
+#define GPUFS_BASE_STATUS_HH
+
+#include <cstdint>
+
+namespace gpufs {
+
+enum class Status : int32_t {
+    Ok = 0,
+    NoEnt,          ///< file does not exist (ENOENT)
+    Exists,         ///< O_EXCL create of an existing file (EEXIST)
+    Busy,           ///< another device holds the file for writing (EBUSY)
+    Inval,          ///< invalid argument (EINVAL)
+    BadFd,          ///< unknown / closed file descriptor (EBADF)
+    ReadOnlyFile,   ///< write attempted on an O_RDONLY open (EACCES)
+    NoSpace,        ///< buffer cache exhausted and nothing reclaimable
+    IoError,        ///< simulated device error (fault injection)
+    NotSupported,   ///< operation outside the prototype's supported set
+    TooManyFiles,   ///< open file table exhausted (ENFILE)
+};
+
+/** Human-readable name for a status code. */
+const char *statusName(Status s);
+
+/** True iff the status signals success. */
+inline bool ok(Status s) { return s == Status::Ok; }
+
+} // namespace gpufs
+
+#endif // GPUFS_BASE_STATUS_HH

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Size and virtual-time units used throughout the simulator.
+ */
+
+#ifndef GPUFS_BASE_UNITS_HH
+#define GPUFS_BASE_UNITS_HH
+
+#include <cstdint>
+
+namespace gpufs {
+
+/** Virtual time, in nanoseconds. */
+using Time = uint64_t;
+
+constexpr Time kNanosecond = 1;
+constexpr Time kMicrosecond = 1000 * kNanosecond;
+constexpr Time kMillisecond = 1000 * kMicrosecond;
+constexpr Time kSecond = 1000 * kMillisecond;
+
+constexpr uint64_t KiB = 1024ull;
+constexpr uint64_t MiB = 1024ull * KiB;
+constexpr uint64_t GiB = 1024ull * MiB;
+
+/** Convert a virtual time to (double) seconds, for reporting. */
+inline double toSeconds(Time t) { return static_cast<double>(t) / 1e9; }
+
+/** Convert a virtual time to milliseconds, for reporting. */
+inline double toMillis(Time t) { return static_cast<double>(t) / 1e6; }
+
+/**
+ * Duration of moving @p bytes at @p mb_per_s megabytes per second
+ * (decimal MB, matching how the paper quotes device bandwidths).
+ */
+inline Time
+transferTime(uint64_t bytes, double mb_per_s)
+{
+    if (mb_per_s <= 0.0)
+        return 0;
+    double seconds = static_cast<double>(bytes) / (mb_per_s * 1e6);
+    return static_cast<Time>(seconds * 1e9);
+}
+
+/** Throughput in MB/s given bytes moved and elapsed virtual time. */
+inline double
+throughputMBps(uint64_t bytes, Time elapsed)
+{
+    if (elapsed == 0)
+        return 0.0;
+    return static_cast<double>(bytes) / 1e6 / toSeconds(elapsed);
+}
+
+} // namespace gpufs
+
+#endif // GPUFS_BASE_UNITS_HH

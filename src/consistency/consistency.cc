@@ -1,0 +1,74 @@
+#include "consistency/consistency.hh"
+
+#include "base/logging.hh"
+
+namespace gpufs {
+namespace consistency {
+
+Status
+ConsistencyMgr::acquireOpen(unsigned device, uint64_t ino, bool write,
+                            bool mergeable)
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    FileState &fs = files[ino];
+    if (write) {
+        bool other_writer = false;
+        for (const auto &kv : fs.writers) {
+            if (kv.first != device && kv.second > 0)
+                other_writer = true;
+        }
+        if (other_writer && !(mergeable && fs.writersMergeable)) {
+            writeConflicts.inc();
+            return Status::Busy;
+        }
+        fs.writers[device]++;
+        fs.writersMergeable = fs.writersMergeable && mergeable;
+    } else {
+        fs.readers[device]++;
+    }
+    return Status::Ok;
+}
+
+void
+ConsistencyMgr::releaseOpen(unsigned device, uint64_t ino, bool write)
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    auto it = files.find(ino);
+    if (it == files.end())
+        return;
+    FileState &fs = it->second;
+    auto &map = write ? fs.writers : fs.readers;
+    auto dit = map.find(device);
+    gpufs_assert(dit != map.end() && dit->second > 0,
+                 "unbalanced consistency release");
+    if (--dit->second == 0)
+        map.erase(dit);
+    if (fs.writers.empty()) {
+        fs.writersMergeable = true;   // reset merge class for next writers
+        if (fs.readers.empty())
+            files.erase(it);
+    }
+}
+
+void
+ConsistencyMgr::dropFile(uint64_t ino)
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    files.erase(ino);
+}
+
+unsigned
+ConsistencyMgr::writerCount(uint64_t ino) const
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    auto it = files.find(ino);
+    if (it == files.end())
+        return 0;
+    unsigned n = 0;
+    for (const auto &kv : it->second.writers)
+        n += kv.second > 0 ? 1 : 0;
+    return n;
+}
+
+} // namespace consistency
+} // namespace gpufs

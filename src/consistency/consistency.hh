@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Host-side file consistency layer (the paper's modified-WRAPFS kernel
+ * module, §4.4).
+ *
+ * Implements the locality-optimized weak consistency model of §3.1:
+ *  - any number of concurrent readers, each working on its own locally
+ *    cached copy;
+ *  - at most one writer at a time (the prototype "does not yet implement
+ *    the diff-and-merge protocol ... and thus currently supports only
+ *    one writer at a time") — except O_GWRONCE writers, whose disjoint
+ *    write-once updates merge by diff-against-zeros and may coexist;
+ *  - invalidation is lazy: nothing is pushed to a GPU holding a stale
+ *    cached copy; the staleness is detected when that GPU reopens the
+ *    file and compares version numbers.
+ */
+
+#ifndef GPUFS_CONSISTENCY_CONSISTENCY_HH
+#define GPUFS_CONSISTENCY_CONSISTENCY_HH
+
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "base/stats.hh"
+#include "base/status.hh"
+
+namespace gpufs {
+namespace consistency {
+
+/** Device id used for host (CPU) processes interposed via WrapFs. */
+constexpr unsigned kCpuDevice = 0xFFFFFFFFu;
+
+class ConsistencyMgr
+{
+  public:
+    ConsistencyMgr() : stats_("consistency"),
+                       staleInvalidations(stats_.counter("stale_invalidations")),
+                       writeConflicts(stats_.counter("write_conflicts")) {}
+
+    /**
+     * Admission check when device @p device opens inode @p ino.
+     * @param write    true for any write-capable open
+     * @param mergeable true when this writer merges (O_GWRONCE diff-against-zeros, or the diff-and-merge protocol)
+     * @return Busy on a write-sharing conflict the prototype cannot
+     *         merge; Ok otherwise.
+     */
+    Status acquireOpen(unsigned device, uint64_t ino, bool write,
+                       bool mergeable);
+
+    /** Balance a successful acquireOpen. */
+    void releaseOpen(unsigned device, uint64_t ino, bool write);
+
+    /**
+     * Lazy invalidation check: should a device that cached @p ino at
+     * @p cached_version drop that cache, given the current @p version?
+     */
+    bool
+    mustInvalidate(uint64_t cached_version, uint64_t version)
+    {
+        if (cached_version == version)
+            return false;
+        staleInvalidations.inc();
+        return true;
+    }
+
+    /** Forget all state for @p ino (unlink). */
+    void dropFile(uint64_t ino);
+
+    /** Number of devices currently holding @p ino open for write. */
+    unsigned writerCount(uint64_t ino) const;
+
+    StatSet &stats() { return stats_; }
+
+  private:
+    struct FileState {
+        // Writers currently admitted, and whether they are all GWRONCE
+        // (only mergeable writers may coexist).
+        std::unordered_map<unsigned, unsigned> writers;  // device -> count
+        bool writersMergeable = true;
+        std::unordered_map<unsigned, unsigned> readers;
+    };
+
+    mutable std::mutex mtx;
+    std::unordered_map<uint64_t, FileState> files;
+    StatSet stats_;
+    Counter &staleInvalidations;
+    Counter &writeConflicts;
+};
+
+} // namespace consistency
+} // namespace gpufs
+
+#endif // GPUFS_CONSISTENCY_CONSISTENCY_HH

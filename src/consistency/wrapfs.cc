@@ -1,0 +1,52 @@
+#include "consistency/wrapfs.hh"
+
+namespace gpufs {
+namespace consistency {
+
+int
+WrapFs::open(const std::string &path, uint32_t flags, Status *st)
+{
+    Status local;
+    int fd = fs.open(path, flags, &local);
+    if (fd < 0) {
+        if (st)
+            *st = local;
+        return fd;
+    }
+    hostfs::FileInfo info;
+    fs.fstat(fd, &info);
+    bool write = (flags & hostfs::O_ACCMODE_F) != hostfs::O_RDONLY_F;
+    Status adm = consistency.acquireOpen(kCpuDevice, info.ino, write, false);
+    if (!ok(adm)) {
+        fs.close(fd);
+        if (st)
+            *st = adm;
+        return -1;
+    }
+    {
+        std::lock_guard<std::mutex> lock(mtx);
+        claims[fd] = {info.ino, write};
+    }
+    if (st)
+        *st = Status::Ok;
+    return fd;
+}
+
+Status
+WrapFs::close(int fd)
+{
+    Claim claim;
+    {
+        std::lock_guard<std::mutex> lock(mtx);
+        auto it = claims.find(fd);
+        if (it == claims.end())
+            return Status::BadFd;
+        claim = it->second;
+        claims.erase(it);
+    }
+    consistency.releaseOpen(kCpuDevice, claim.ino, claim.write);
+    return fs.close(fd);
+}
+
+} // namespace consistency
+} // namespace gpufs

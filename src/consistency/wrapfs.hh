@@ -1,0 +1,67 @@
+/**
+ * @file
+ * WrapFs: the stackable pass-through layer CPU programs go through.
+ *
+ * The paper runs unmodified CPU programs over a WRAPFS mount that
+ * interposes on open/close/write to keep the GPUfs consistency protocol
+ * informed (§4.4). Here the interposition is a thin wrapper class:
+ * CPU-side workload code opens files through WrapFs, which forwards to
+ * HostFs and notifies ConsistencyMgr, exactly as the kernel module
+ * would. (The daemon performs the same notifications for GPU opens.)
+ */
+
+#ifndef GPUFS_CONSISTENCY_WRAPFS_HH
+#define GPUFS_CONSISTENCY_WRAPFS_HH
+
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "consistency/consistency.hh"
+#include "hostfs/hostfs.hh"
+
+namespace gpufs {
+namespace consistency {
+
+class WrapFs
+{
+  public:
+    WrapFs(hostfs::HostFs &host_fs, ConsistencyMgr &mgr)
+        : fs(host_fs), consistency(mgr) {}
+
+    /** Interposed open: admission-checked against GPU writers. */
+    int open(const std::string &path, uint32_t flags,
+             Status *st = nullptr);
+
+    /** Interposed close: releases the consistency claim. */
+    Status close(int fd);
+
+    /** Pass-throughs (no interposition needed for data plane). */
+    hostfs::IoResult
+    pread(int fd, uint8_t *dst, uint64_t len, uint64_t offset,
+          Time ready = 0)
+    {
+        return fs.pread(fd, dst, len, offset, ready, nullptr);
+    }
+
+    hostfs::IoResult
+    pwrite(int fd, const uint8_t *src, uint64_t len, uint64_t offset,
+           Time ready = 0)
+    {
+        return fs.pwrite(fd, src, len, offset, ready, nullptr);
+    }
+
+    hostfs::HostFs &hostFs() { return fs; }
+
+  private:
+    hostfs::HostFs &fs;
+    ConsistencyMgr &consistency;
+    std::mutex mtx;
+    struct Claim { uint64_t ino; bool write; };
+    std::unordered_map<int, Claim> claims;
+};
+
+} // namespace consistency
+} // namespace gpufs
+
+#endif // GPUFS_CONSISTENCY_WRAPFS_HH

@@ -1,0 +1,128 @@
+#include "cuda/cudasim.hh"
+
+#include "base/logging.hh"
+
+namespace gpufs {
+namespace cudasim {
+
+CudaApp::~CudaApp()
+{
+    for (auto &kv : pinned)
+        fs.cache().releasePinned(kv.second);
+}
+
+int
+CudaApp::hostAllocPinned(uint64_t bytes)
+{
+    if (!fs.cache().reservePinned(bytes))
+        gpufs_fatal("pinned allocation of %llu bytes exceeds host memory",
+                    static_cast<unsigned long long>(bytes));
+    int id = nextPinnedId++;
+    pinned.emplace_back(id, bytes);
+    // cudaHostAlloc of large buffers is expensive (page pinning).
+    clock += transferTime(bytes, 20000.0);   // ~20 GB/s fault-in rate
+    return id;
+}
+
+void
+CudaApp::hostFreePinned(int id)
+{
+    for (auto it = pinned.begin(); it != pinned.end(); ++it) {
+        if (it->first == id) {
+            fs.cache().releasePinned(it->second);
+            pinned.erase(it);
+            return;
+        }
+    }
+    gpufs_panic("hostFreePinned of unknown id %d", id);
+}
+
+int
+CudaApp::open(const std::string &path, uint32_t flags)
+{
+    Status st;
+    int fd = fs.open(path, flags, &st);
+    if (fd < 0)
+        gpufs_fatal("CudaApp::open(%s) failed: %s", path.c_str(),
+                    statusName(st));
+    return fd;
+}
+
+void
+CudaApp::close(int fd)
+{
+    fs.close(fd);
+}
+
+uint64_t
+CudaApp::pread(int fd, uint8_t *dst, uint64_t len, uint64_t offset)
+{
+    static thread_local std::vector<uint8_t> scratch;
+    uint8_t *buf = dst;
+    if (!buf) {
+        // Timing-only read: stage into scratch so content generation
+        // costs stay off the books but cache/disk charges apply.
+        if (scratch.size() < len)
+            scratch.resize(len);
+        buf = scratch.data();
+    }
+    hostfs::IoResult r = fs.pread(fd, buf, len, offset, clock, nullptr);
+    if (!ok(r.status))
+        gpufs_fatal("CudaApp::pread failed: %s", statusName(r.status));
+    clock = r.done;
+    return r.bytes;
+}
+
+uint64_t
+CudaApp::pwrite(int fd, const uint8_t *src, uint64_t len, uint64_t offset)
+{
+    hostfs::IoResult r = fs.pwrite(fd, src, len, offset, clock, nullptr);
+    if (!ok(r.status))
+        gpufs_fatal("CudaApp::pwrite failed: %s", statusName(r.status));
+    clock = r.done;
+    return r.bytes;
+}
+
+void
+CudaApp::memcpyH2D(uint64_t bytes)
+{
+    const auto &p = dev.simContext().params;
+    sim::Grant g = dev.pcieH2D().reserve(
+        clock, p.dmaSetup + transferTime(bytes, p.pcieBwH2DMBps));
+    clock = g.end;
+}
+
+void
+CudaApp::memcpyH2DAsync(Stream &stream, uint64_t bytes)
+{
+    const auto &p = dev.simContext().params;
+    Time ready = std::max(clock, stream.readyAt);
+    sim::Grant g = dev.pcieH2D().reserve(
+        ready, p.dmaSetup + transferTime(bytes, p.pcieBwH2DMBps));
+    stream.readyAt = g.end;
+    clock += 2 * kMicrosecond;     // submission cost on the host
+}
+
+void
+CudaApp::memcpyD2HAsync(Stream &stream, uint64_t bytes)
+{
+    const auto &p = dev.simContext().params;
+    Time ready = std::max(clock, stream.readyAt);
+    sim::Grant g = dev.pcieD2H().reserve(
+        ready, p.dmaSetup + transferTime(bytes, p.pcieBwD2HMBps));
+    stream.readyAt = g.end;
+    clock += 2 * kMicrosecond;
+}
+
+void
+CudaApp::kernelAsync(Stream &stream, Time dur)
+{
+    const auto &p = dev.simContext().params;
+    Time ready = std::max(clock, stream.readyAt) + p.kernelLaunchLat;
+    sim::Grant g = gpuCompute.reserve(ready, dur);
+    stream.readyAt = g.end;
+    clock += 2 * kMicrosecond;
+}
+
+} // namespace cudasim
+} // namespace gpufs

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * A minimal CUDA-like host transfer API over the same cost model.
+ *
+ * The paper's baselines are classic GPU-as-coprocessor programs: the
+ * CPU preads file chunks into pinned staging buffers and enqueues
+ * (a)synchronous DMA; kernels run between transfers. CudaApp models one
+ * such host program: a single host-thread virtual clock, streams with
+ * in-order completion, pinned-memory accounting that squeezes the host
+ * page cache (the Figure 8 effect), and DMA on the same per-GPU PCIe
+ * timelines GPUfs uses — so GPUfs-vs-CUDA comparisons share one clock
+ * and one set of device speeds.
+ */
+
+#ifndef GPUFS_CUDA_CUDASIM_HH
+#define GPUFS_CUDA_CUDASIM_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "base/units.hh"
+#include "gpu/device.hh"
+#include "hostfs/hostfs.hh"
+
+namespace gpufs {
+namespace cudasim {
+
+/** An in-order CUDA stream: operations complete at readyAt. */
+struct Stream {
+    Time readyAt = 0;
+};
+
+class CudaApp
+{
+  public:
+    CudaApp(gpu::GpuDevice &device, hostfs::HostFs &host_fs)
+        : dev(device), fs(host_fs) {}
+
+    ~CudaApp();
+
+    CudaApp(const CudaApp &) = delete;
+    CudaApp &operator=(const CudaApp &) = delete;
+
+    /** The host program's virtual clock. */
+    Time now() const { return clock; }
+    void advance(Time dur) { clock += dur; }
+    void waitUntil(Time t) { clock = std::max(clock, t); }
+
+    // ---- pinned host memory (cudaHostAlloc) ----
+    /**
+     * Account @p bytes of pinned staging memory. Pinned pages are
+     * unevictable and shrink the effective host page cache — §5.1.4:
+     * "pinned memory allocated for large transfer buffers ... competes
+     * with the CPU buffer cache, slowing it down significantly".
+     * @return an id for hostFreePinned.
+     */
+    int hostAllocPinned(uint64_t bytes);
+    void hostFreePinned(int id);
+
+    // ---- host file I/O (the CPU side of the pipeline) ----
+    int open(const std::string &path, uint32_t flags);
+    void close(int fd);
+    /** pread into a staging buffer; advances the host clock. Pass
+     *  dst = nullptr to model the I/O without materializing bytes. */
+    uint64_t pread(int fd, uint8_t *dst, uint64_t len, uint64_t offset);
+    /** pwrite from a staging buffer; advances the host clock. */
+    uint64_t pwrite(int fd, const uint8_t *src, uint64_t len,
+                    uint64_t offset);
+
+    // ---- DMA ----
+    /** Synchronous cudaMemcpy H2D: blocks the host clock. */
+    void memcpyH2D(uint64_t bytes);
+    /** Asynchronous cudaMemcpyAsync H2D on @p stream. */
+    void memcpyH2DAsync(Stream &stream, uint64_t bytes);
+    /** Asynchronous D2H on @p stream. */
+    void memcpyD2HAsync(Stream &stream, uint64_t bytes);
+
+    // ---- kernels (baseline kernels bypass GPUfs) ----
+    /**
+     * Enqueue a kernel of modelled duration @p dur on @p stream. The
+     * baseline kernels of §5 are bandwidth-bound loops; callers model
+     * their duration from the calibrated rates in the bench configs.
+     */
+    void kernelAsync(Stream &stream, Time dur);
+
+    /** cudaStreamSynchronize. */
+    void streamSync(const Stream &stream) { waitUntil(stream.readyAt); }
+
+    gpu::GpuDevice &device() { return dev; }
+    hostfs::HostFs &hostFs() { return fs; }
+
+  private:
+    gpu::GpuDevice &dev;
+    hostfs::HostFs &fs;
+    Time clock = 0;
+    /** Whole-device compute timeline: one baseline kernel at a time
+     *  (grids large enough to fill the GPU, as in the paper). */
+    sim::Resource gpuCompute{"cuda.compute"};
+    std::vector<std::pair<int, uint64_t>> pinned;
+    int nextPinnedId = 1;
+};
+
+} // namespace cudasim
+} // namespace gpufs
+
+#endif // GPUFS_CUDA_CUDASIM_HH

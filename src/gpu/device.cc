@@ -1,0 +1,53 @@
+#include "gpu/device.hh"
+
+namespace gpufs {
+namespace gpu {
+
+GpuDevice::GpuDevice(sim::SimContext &sim_ctx, unsigned device_id,
+                     uint64_t mem_bytes)
+    : sim(sim_ctx), id_(device_id), memCapacity(mem_bytes), memUsed(0),
+      pcieH2D_("gpu" + std::to_string(device_id) + ".pcie_h2d"),
+      pcieD2H_("gpu" + std::to_string(device_id) + ".pcie_d2h"),
+      mpSlots_("gpu" + std::to_string(device_id) + ".mp_slots",
+               sim_ctx.params.waveSlots()),
+      lastIdle_(0)
+{
+}
+
+void
+GpuDevice::allocDeviceMem(uint64_t bytes)
+{
+    uint64_t used = memUsed.fetch_add(bytes) + bytes;
+    if (used > memCapacity) {
+        gpufs_fatal("GPU %u out of device memory: %llu of %llu bytes", id_,
+                    static_cast<unsigned long long>(used),
+                    static_cast<unsigned long long>(memCapacity));
+    }
+}
+
+void
+GpuDevice::freeDeviceMem(uint64_t bytes)
+{
+    uint64_t prev = memUsed.fetch_sub(bytes);
+    gpufs_assert(prev >= bytes, "device memory free underflow");
+}
+
+void
+GpuDevice::lastIdleMax(Time t)
+{
+    Time cur = lastIdle_.load();
+    while (cur < t && !lastIdle_.compare_exchange_weak(cur, t)) {
+    }
+}
+
+void
+GpuDevice::resetTime()
+{
+    pcieH2D_.reset();
+    pcieD2H_.reset();
+    mpSlots_.reset();
+    lastIdle_.store(0);
+}
+
+} // namespace gpu
+} // namespace gpufs

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * The simulated discrete GPU.
+ *
+ * A GpuDevice models one PCIe-attached TESLA C2075: its multiprocessor
+ * ("MP") slots, its full-duplex PCIe link, and a device-memory budget.
+ * Functional GPU memory is plain host heap (the simulator runs on the
+ * CPU); the budget accounting preserves the paper's "6 GB of GDDR5"
+ * constraint so experiments that size the buffer cache against device
+ * memory behave faithfully.
+ */
+
+#ifndef GPUFS_GPU_DEVICE_HH
+#define GPUFS_GPU_DEVICE_HH
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "base/logging.hh"
+#include "base/units.hh"
+#include "sim/context.hh"
+#include "sim/resource.hh"
+
+namespace gpufs {
+namespace gpu {
+
+class GpuDevice
+{
+  public:
+    /**
+     * @param sim_ctx shared machine context (host resources, params)
+     * @param device_id index of this GPU in the system
+     * @param mem_bytes device memory capacity (C2075: 6 GB)
+     */
+    GpuDevice(sim::SimContext &sim_ctx, unsigned device_id,
+              uint64_t mem_bytes = 6 * GiB);
+
+    GpuDevice(const GpuDevice &) = delete;
+    GpuDevice &operator=(const GpuDevice &) = delete;
+
+    unsigned id() const { return id_; }
+    sim::SimContext &simContext() { return sim; }
+
+    /** Host-to-device PCIe direction (DMA timeline). */
+    sim::Resource &pcieH2D() { return pcieH2D_; }
+    /** Device-to-host PCIe direction. */
+    sim::Resource &pcieD2H() { return pcieD2H_; }
+    /** Multiprocessor residency slots (mpCount * blocksPerMp servers). */
+    sim::MultiResource &mpSlots() { return mpSlots_; }
+
+    /** Account a device-memory allocation. Fatal if over capacity:
+     *  a real cudaMalloc beyond GDDR5 capacity fails at once. */
+    void allocDeviceMem(uint64_t bytes);
+    void freeDeviceMem(uint64_t bytes);
+    uint64_t deviceMemUsed() const { return memUsed.load(); }
+    uint64_t deviceMemCapacity() const { return memCapacity; }
+
+    /** Virtual time at which the device last became idle. */
+    Time lastIdle() const { return lastIdle_.load(); }
+    void advanceIdle(Time t) { lastIdleMax(t); }
+
+    /** Reset virtual-time state between benchmark phases. */
+    void resetTime();
+
+  private:
+    sim::SimContext &sim;
+    unsigned id_;
+    uint64_t memCapacity;
+    std::atomic<uint64_t> memUsed;
+    sim::Resource pcieH2D_;
+    sim::Resource pcieD2H_;
+    sim::MultiResource mpSlots_;
+    std::atomic<Time> lastIdle_;
+
+    void lastIdleMax(Time t);
+};
+
+} // namespace gpu
+} // namespace gpufs
+
+#endif // GPUFS_GPU_DEVICE_HH

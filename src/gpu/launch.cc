@@ -1,0 +1,83 @@
+#include "gpu/launch.hh"
+
+#include <atomic>
+#include <thread>
+
+#include "base/logging.hh"
+
+namespace gpufs {
+namespace gpu {
+
+BlockCtx::BlockCtx(GpuDevice &device, unsigned block_id, unsigned num_blocks,
+                   unsigned threads, Time start_time, uint64_t shared_bytes)
+    : dev(device), blockId_(block_id), numBlocks_(num_blocks),
+      threads_(threads), clock(start_time), shared(shared_bytes),
+      rng_(hashCombine(device.id(), block_id))
+{
+}
+
+void
+BlockCtx::chargeGpuMem(uint64_t bytes)
+{
+    clock += transferTime(bytes, dev.simContext().params.gpuMemBwMBps);
+}
+
+void
+BlockCtx::threadFence()
+{
+    // Functional: make this block's stores visible to DMA (the host
+    // daemon thread). Timing: a __threadfence is tens of cycles; charge
+    // a token amount so fences are visible in fine-grained traces.
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    clock += 100;   // 100 ns
+}
+
+KernelStats
+launch(GpuDevice &dev, unsigned num_blocks, unsigned threads_per_block,
+       const KernelFn &body, Time ready, uint64_t shared_bytes)
+{
+    gpufs_assert(num_blocks > 0, "empty grid");
+    auto &params = dev.simContext().params;
+    const Time launch_time =
+        std::max(ready, dev.lastIdle()) + params.kernelLaunchLat;
+
+    // One worker per MP slot: the real concurrency seen by GPUfs's data
+    // structures equals the modelled block residency.
+    unsigned workers = std::min(num_blocks, params.waveSlots());
+
+    std::atomic<unsigned> next_block{0};
+    std::atomic<Time> kernel_end{launch_time};
+    std::atomic<unsigned> blocks_run{0};
+
+    auto worker = [&]() {
+        for (;;) {
+            unsigned b = next_block.fetch_add(1, std::memory_order_relaxed);
+            if (b >= num_blocks)
+                break;
+            sim::Grant slot = dev.mpSlots().acquire(launch_time);
+            BlockCtx ctx(dev, b, num_blocks, threads_per_block, slot.start,
+                         shared_bytes);
+            body(ctx);
+            dev.mpSlots().release(slot, ctx.now());
+            Time cur = kernel_end.load();
+            while (cur < ctx.now() &&
+                   !kernel_end.compare_exchange_weak(cur, ctx.now())) {
+            }
+            blocks_run.fetch_add(1, std::memory_order_relaxed);
+        }
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (unsigned i = 1; i < workers; ++i)
+        pool.emplace_back(worker);
+    worker();
+    for (auto &t : pool)
+        t.join();
+
+    dev.advanceIdle(kernel_end.load());
+    return {launch_time, kernel_end.load(), blocks_run.load()};
+}
+
+} // namespace gpu
+} // namespace gpufs

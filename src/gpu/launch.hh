@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Kernel launch: the threadblock execution model.
+ *
+ * A "kernel" is a grid of threadblocks pulled from a single hardware
+ * queue by the multiprocessors (§2). Two properties of that model shape
+ * GPUfs and are reproduced exactly:
+ *
+ *  - blocks are dispatched in nondeterministic order, driven only by
+ *    utilization (here: OS worker threads race on an atomic ticket);
+ *  - blocks run to completion without preemption (a worker never
+ *    switches blocks mid-body).
+ *
+ * Each block carries a *virtual clock*: it starts when an MP slot frees
+ * (wave scheduling via MultiResource::acquire) and advances as the body
+ * charges compute and waits on RPC completions. The kernel's virtual
+ * span is [launch, max over blocks of block end].
+ */
+
+#ifndef GPUFS_GPU_LAUNCH_HH
+#define GPUFS_GPU_LAUNCH_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "base/rng.hh"
+#include "base/units.hh"
+#include "gpu/device.hh"
+
+namespace gpufs {
+namespace gpu {
+
+/**
+ * Per-threadblock execution context handed to the kernel body.
+ * GPUfs API calls take a BlockCtx because the prototype invokes the
+ * API at threadblock granularity (§4): one logical call per block.
+ */
+class BlockCtx
+{
+  public:
+    BlockCtx(GpuDevice &device, unsigned block_id, unsigned num_blocks,
+             unsigned threads, Time start_time, uint64_t shared_bytes);
+
+    GpuDevice &device() { return dev; }
+    unsigned blockId() const { return blockId_; }
+    unsigned numBlocks() const { return numBlocks_; }
+    unsigned threadsPerBlock() const { return threads_; }
+
+    /** The block's virtual clock. */
+    Time now() const { return clock; }
+    /** Advance the clock by a compute/overhead charge. */
+    void charge(Time dur) { clock += dur; }
+    /** Jump the clock forward to an external completion time. */
+    void waitUntil(Time t) { clock = std::max(clock, t); }
+
+    /** Charge moving @p bytes through GPU local memory (GDDR5 rate). */
+    void chargeGpuMem(uint64_t bytes);
+
+    /**
+     * Per-block scratchpad ("shared memory" in CUDA terms), sized at
+     * launch. The paper's greads land in this on-die buffer.
+     */
+    uint8_t *sharedMem() { return shared.data(); }
+    uint64_t sharedMemBytes() const { return shared.size(); }
+
+    /** Threadblock-wide memory fence (gwrite issues one, §4.1). */
+    void threadFence();
+
+    /** Deterministic per-block RNG for workload kernels. */
+    SplitMix64 &rng() { return rng_; }
+
+  private:
+    GpuDevice &dev;
+    unsigned blockId_;
+    unsigned numBlocks_;
+    unsigned threads_;
+    Time clock;
+    std::vector<uint8_t> shared;
+    SplitMix64 rng_;
+};
+
+/** Virtual-time result of one kernel launch. */
+struct KernelStats {
+    Time start;           ///< launch time (after launch latency)
+    Time end;             ///< max block completion
+    Time elapsed() const { return end - start; }
+    unsigned blocksRun;
+};
+
+/** Kernel body: runs once per threadblock. */
+using KernelFn = std::function<void(BlockCtx &)>;
+
+/**
+ * Launch a kernel of @p num_blocks threadblocks of @p threads_per_block
+ * threads on @p dev, starting no earlier than @p ready (virtual time).
+ * Blocks execute on real worker threads (at most one per MP slot, so
+ * functional concurrency matches modelled residency). Blocking call.
+ */
+KernelStats launch(GpuDevice &dev, unsigned num_blocks,
+                   unsigned threads_per_block, const KernelFn &body,
+                   Time ready = 0, uint64_t shared_bytes = 48 * KiB);
+
+} // namespace gpu
+} // namespace gpufs
+
+#endif // GPUFS_GPU_LAUNCH_HH

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * GPUfs open and closed file tables (§4.1).
+ *
+ * "File descriptors" do not represent individual opens — they
+ * correspond directly to files, so all GPU threadblocks opening the
+ * same file share one reference-counted entry; a gopen of an
+ * already-open file just bumps the count without CPU communication.
+ *
+ * When the count drops to zero the entry moves to the Closed state but
+ * its page cache is *retained* until reclaimed: the nondeterministic
+ * block scheduler routinely drives a file's count to zero between
+ * block waves, and gopen checks closed entries first to recover the
+ * cache (validated against the host's version number — the lazy
+ * invalidation of §4.4).
+ *
+ * Footnote 2 of the paper omits "technical details on handling dirty
+ * files on close"; this implementation resolves them as follows: a
+ * file closed with dirty pages keeps its host fd (and consistency
+ * write claim) alive so that later eviction can still write the pages
+ * back; the fd is released when the pages are synced, invalidated, or
+ * the entry is recycled.
+ */
+
+#ifndef GPUFS_GPUFS_FILE_TABLE_HH
+#define GPUFS_GPUFS_FILE_TABLE_HH
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "gpufs/radix.hh"
+
+namespace gpufs {
+namespace core {
+
+/** GPUfs open flags. G_GWRONCE / G_NOSYNC are the new modes of §3.2. */
+enum GOpenFlags : uint32_t {
+    G_RDONLY = 0x0,
+    G_WRONLY = 0x1,
+    G_RDWR = 0x2,
+    G_ACCMODE = 0x3,
+    G_CREAT = 0x40,
+    G_TRUNC = 0x200,
+    /** Write-once file: no fetch-before-write, diff-against-zeros
+     *  write-back; partial updates possible if bytes are overwritten. */
+    G_GWRONCE = 0x10000,
+    /** GPU-local temporary: never synchronized to the host. */
+    G_NOSYNC = 0x20000,
+};
+
+/** Result of gfstat. */
+struct GStat {
+    uint64_t ino;
+    /** File size as of the first gopen on the host, extended by local
+     *  writes (§3.2: "file size reflects size at the time of the first
+     *  gopen"). */
+    uint64_t size;
+};
+
+/** One file-table entry. State transitions happen under the GpuFs
+ *  table lock; data-plane fields are read lock-free. */
+struct OpenFile {
+    enum class EState { Free, Open, Closed };
+
+    EState state = EState::Free;
+    std::string path;
+    int hostFd = -1;
+    uint64_t ino = 0;
+    /** Host version this GPU's cache reflects. Atomic because the
+     *  GPU's own write-backs advance it from data-plane paths: a GPU
+     *  must not treat its own writes as a remote modification. */
+    std::atomic<uint64_t> version{0};
+    std::atomic<uint64_t> size{0};
+    uint32_t flags = 0;
+    std::atomic<int> refs{0};
+    std::unique_ptr<FileCache> cache;
+    /** Monotonic stamp of the close that parked this entry (the closed
+     *  table is recycled oldest-first). */
+    uint64_t closeSeq = 0;
+
+    bool
+    wantsWrite() const
+    {
+        // O_GWRONCE "creates a new write-only file" (§3.2): it implies
+        // write access even without an explicit access-mode bit.
+        return (flags & G_ACCMODE) != G_RDONLY || (flags & G_GWRONCE);
+    }
+    bool gwronce() const { return flags & G_GWRONCE; }
+    bool nosync() const { return flags & G_NOSYNC; }
+};
+
+} // namespace core
+} // namespace gpufs
+
+#endif // GPUFS_GPUFS_FILE_TABLE_HH

@@ -1,0 +1,71 @@
+#include "gpufs/frame.hh"
+
+#include "base/logging.hh"
+
+namespace gpufs {
+namespace core {
+
+FrameArena::FrameArena(uint64_t cache_bytes, uint64_t page_size)
+    : pageSize_(page_size)
+{
+    gpufs_assert(page_size > 0 && (page_size & (page_size - 1)) == 0,
+                 "page size must be a power of two");
+    uint64_t n = cache_bytes / page_size;
+    if (n == 0)
+        gpufs_fatal("buffer cache smaller than one page");
+    if (n > kNoFrame)
+        gpufs_fatal("too many frames for 32-bit frame indices");
+    raw.resize(n * page_size);
+    frames = std::vector<PFrame>(n);
+    freeList.reserve(n);
+    // LIFO free list: push in reverse so frame 0 is handed out first,
+    // which keeps early allocations contiguous (nicer for debugging).
+    for (uint64_t i = n; i-- > 0;)
+        freeList.push_back(static_cast<uint32_t>(i));
+}
+
+uint32_t
+FrameArena::alloc()
+{
+    std::lock_guard<std::mutex> lock(freeMtx);
+    if (freeList.empty())
+        return kNoFrame;
+    uint32_t f = freeList.back();
+    freeList.pop_back();
+    return f;
+}
+
+void
+FrameArena::free(uint32_t f)
+{
+    gpufs_assert(f < frames.size(), "free of bad frame %u", f);
+    PFrame &pf = frames[f];
+    gpufs_assert(pf.pristineFrame.load(std::memory_order_relaxed)
+                     == kNoFrame,
+                 "frame freed while still holding a pristine copy");
+    pf.fileUid.store(0, std::memory_order_release);
+    pf.validBytes.store(0, std::memory_order_relaxed);
+    pf.clearDirty();
+    pf.owner.store(nullptr, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(freeMtx);
+    freeList.push_back(f);
+}
+
+uint32_t
+FrameArena::frameOf(const void *ptr) const
+{
+    auto *p = static_cast<const uint8_t *>(ptr);
+    if (p < raw.data() || p >= raw.data() + raw.size())
+        return kNoFrame;
+    return static_cast<uint32_t>((p - raw.data()) / pageSize_);
+}
+
+uint32_t
+FrameArena::freeCount() const
+{
+    std::lock_guard<std::mutex> lock(freeMtx);
+    return static_cast<uint32_t>(freeList.size());
+}
+
+} // namespace core
+} // namespace gpufs

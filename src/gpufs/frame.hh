@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Page frames and the raw data array (§4.2).
+ *
+ * GPUfs pre-allocates all buffer-cache pages in one large contiguous
+ * array in GPU memory (the "raw data array"). A pframe holds the
+ * metadata of the i-th page: the i-th pframe describes the i-th page,
+ * so frame index <-> data pointer translation is trivial in both
+ * directions — which gmunmap/gmsync rely on to map a user pointer back
+ * to its page. Unlike Linux pframes, these carry file identity (the
+ * owning radix tree's unique id and the page's file offset) because
+ * every GPUfs page is file-backed and the lock-free traversal verifies
+ * identity after pinning.
+ */
+
+#ifndef GPUFS_GPUFS_FRAME_HH
+#define GPUFS_GPUFS_FRAME_HH
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "base/stats.hh"
+#include "base/units.hh"
+
+namespace gpufs {
+namespace core {
+
+constexpr uint32_t kNoFrame = 0xFFFFFFFFu;
+
+/** Metadata for one buffer-cache page. */
+struct PFrame {
+    /** Unique id of the radix tree (file cache) owning this frame;
+     *  0 while free. Part of the post-pin identity check. */
+    std::atomic<uint64_t> fileUid{0};
+    /** Page index within the file (offset / pageSize). */
+    std::atomic<uint64_t> pageIdx{0};
+    /** Bytes of real file content in the page (may be < pageSize at EOF). */
+    std::atomic<uint32_t> validBytes{0};
+
+    /**
+     * Dirty byte extent within the page, packed (hi << 32 | lo) into
+     * ONE atomic word. Packing matters for correctness: a syncing
+     * thread must atomically *take* the extent (exchange to clean)
+     * while concurrent writers merge their ranges in — with two
+     * separate atomics, a merge landing between the sync's read and
+     * its clear would be lost, and those bytes would never reach the
+     * host. Empty when lo >= hi.
+     */
+    static constexpr uint64_t kCleanExtent = 0x00000000FFFFFFFFull;
+    std::atomic<uint64_t> dirtyExtent{kCleanExtent};
+
+    static uint32_t extentLo(uint64_t e) { return uint32_t(e); }
+    static uint32_t extentHi(uint64_t e) { return uint32_t(e >> 32); }
+    static uint64_t
+    packExtent(uint32_t lo, uint32_t hi)
+    {
+        return (uint64_t(hi) << 32) | lo;
+    }
+    /** Virtual timestamp of the last pin (LRU-ablation policy input). */
+    std::atomic<uint64_t> lastAccess{0};
+    /** Virtual time at which the page content became available (DMA
+     *  completion). Pinners of a page fetched asynchronously (read-
+     *  ahead) wait until this time before using the data. */
+    std::atomic<uint64_t> readyTime{0};
+    /** Back pointer to the fpage currently referencing this frame
+     *  (set under the fpage lock during init; used by gmunmap). */
+    std::atomic<void *> owner{nullptr};
+    /** Diff-and-merge (§3.1): frame holding this page's pristine copy,
+     *  or kNoFrame. Pristine frames have no fpage owner of their own
+     *  and are freed together with the working frame. */
+    std::atomic<uint32_t> pristineFrame{kNoFrame};
+
+    bool
+    isDirty() const
+    {
+        uint64_t e = dirtyExtent.load(std::memory_order_acquire);
+        return extentLo(e) < extentHi(e);
+    }
+
+    /**
+     * Grow the dirty extent to cover [lo, hi).
+     * @return true iff this merge transitioned the page clean->dirty
+     *         (exactly one concurrent merger observes it).
+     */
+    bool
+    mergeDirty(uint32_t lo, uint32_t hi)
+    {
+        uint64_t cur = dirtyExtent.load(std::memory_order_relaxed);
+        for (;;) {
+            uint32_t nlo = std::min(lo, extentLo(cur));
+            uint32_t nhi = std::max(hi, extentHi(cur));
+            uint64_t next = packExtent(nlo, nhi);
+            if (next == cur)
+                return false;   // already covered
+            if (dirtyExtent.compare_exchange_weak(
+                    cur, next, std::memory_order_acq_rel)) {
+                return extentLo(cur) >= extentHi(cur);
+            }
+        }
+    }
+
+    /** Atomically take the dirty extent, leaving the page clean. */
+    uint64_t
+    takeDirtyExtent()
+    {
+        return dirtyExtent.exchange(kCleanExtent,
+                                    std::memory_order_acq_rel);
+    }
+
+    void
+    clearDirty()
+    {
+        dirtyExtent.store(kCleanExtent, std::memory_order_release);
+    }
+};
+
+/**
+ * The raw data array plus its frame metadata and free list.
+ * alloc() does NOT page out on exhaustion — paging is policy and lives
+ * in GpuFs (it must pick a victim *file*); the arena only hands out and
+ * takes back frames.
+ */
+class FrameArena
+{
+  public:
+    FrameArena(uint64_t cache_bytes, uint64_t page_size);
+
+    FrameArena(const FrameArena &) = delete;
+    FrameArena &operator=(const FrameArena &) = delete;
+
+    /** @return a free frame index, or kNoFrame if exhausted. */
+    uint32_t alloc();
+
+    /** Return a frame to the free list, clearing its identity. */
+    void free(uint32_t frame);
+
+    uint8_t *data(uint32_t frame)
+    {
+        return raw.data() + static_cast<uint64_t>(frame) * pageSize_;
+    }
+
+    PFrame &frame(uint32_t idx) { return frames[idx]; }
+
+    /** Map a pointer into the raw array back to its frame index, or
+     *  kNoFrame if the pointer is outside the array. */
+    uint32_t frameOf(const void *ptr) const;
+
+    uint64_t pageSize() const { return pageSize_; }
+    uint32_t numFrames() const { return static_cast<uint32_t>(frames.size()); }
+    uint32_t freeCount() const;
+
+    /** Global access tick: stamps pframe recency for the LRU ablation. */
+    uint64_t nextTick() { return tick.fetch_add(1, std::memory_order_relaxed); }
+
+  private:
+    uint64_t pageSize_;
+    std::vector<uint8_t> raw;
+    std::vector<PFrame> frames;
+    mutable std::mutex freeMtx;
+    std::vector<uint32_t> freeList;
+    std::atomic<uint64_t> tick{0};
+};
+
+} // namespace core
+} // namespace gpufs
+
+#endif // GPUFS_GPUFS_FRAME_HH

@@ -1,0 +1,195 @@
+/**
+ * @file
+ * GpuFs: the GPU-side file system library (§3, §4).
+ *
+ * One instance per GPU device, linked into the "kernel" the way the
+ * paper's library is linked into application GPU code. All API calls
+ * are invoked at threadblock granularity: every thread of a block
+ * calls with the same arguments at the same point, which the block-
+ * level BlockCtx makes structural.
+ *
+ * Deviations from POSIX follow the paper exactly (Table 1):
+ *  - gread/gwrite take explicit offsets (pread/pwrite semantics; file
+ *    descriptors have no seek pointer);
+ *  - gclose does not synchronize: dirty data reaches the host only via
+ *    gfsync/gmsync, or when the buffer cache evicts dirty pages;
+ *  - gmmap may map only a prefix of the request, never guarantees a
+ *    fixed address, and may return writable memory for a read-only
+ *    mapping (improper updates are never propagated back);
+ *  - O_GWRONCE write-once semantics: pages are implicitly
+ *    zero-pristine, write-back diffs against zeros;
+ *  - O_NOSYNC temp files are never written back to the host.
+ */
+
+#ifndef GPUFS_GPUFS_GPUFS_HH
+#define GPUFS_GPUFS_GPUFS_HH
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "base/stats.hh"
+#include "base/status.hh"
+#include "gpu/launch.hh"
+#include "gpufs/file_table.hh"
+#include "gpufs/params.hh"
+#include "rpc/queue.hh"
+
+namespace gpufs {
+namespace core {
+
+class GpuFs
+{
+  public:
+    /**
+     * @param device  the GPU this library instance runs on
+     * @param rpc_queue this GPU's request queue to the host daemon
+     * @param fs_params cache geometry and policy switches
+     */
+    GpuFs(gpu::GpuDevice &device, rpc::RpcQueue &rpc_queue,
+          const GpuFsParams &fs_params = GpuFsParams{});
+    ~GpuFs();
+
+    GpuFs(const GpuFs &) = delete;
+    GpuFs &operator=(const GpuFs &) = delete;
+
+    // ---- API (Table 1) ----
+
+    /** Open @p path. @return fd >= 0, or -(int)Status on error. */
+    int gopen(gpu::BlockCtx &ctx, const std::string &path, uint32_t flags);
+
+    /** Close. Does NOT synchronize dirty data (decoupled, §3.2). */
+    Status gclose(gpu::BlockCtx &ctx, int fd);
+
+    /** pread-style read. @return bytes read, or -(int)Status. */
+    int64_t gread(gpu::BlockCtx &ctx, int fd, uint64_t offset, uint64_t len,
+                  void *dst);
+
+    /** pwrite-style write. @return bytes written, or -(int)Status. */
+    int64_t gwrite(gpu::BlockCtx &ctx, int fd, uint64_t offset, uint64_t len,
+                   const void *src);
+
+    /** Synchronously write back all dirty pages of @p fd that are not
+     *  mapped or concurrently accessed. */
+    Status gfsync(gpu::BlockCtx &ctx, int fd);
+
+    /** Range variant (§3.2: applications may "synchronize either an
+     *  entire file or a specific offset range"). Pages intersecting
+     *  [offset, offset+len) are written back. */
+    Status gfsyncRange(gpu::BlockCtx &ctx, int fd, uint64_t offset,
+                       uint64_t len);
+
+    /**
+     * Map a file region into GPU memory. May map only a prefix: the
+     * returned pointer covers *mapped_len <= len bytes, never crossing
+     * a buffer-cache page. @return pointer or nullptr on error.
+     */
+    void *gmmap(gpu::BlockCtx &ctx, int fd, uint64_t offset, uint64_t len,
+                uint64_t *mapped_len, Status *st = nullptr);
+
+    /** Unmap a pointer obtained from gmmap. */
+    Status gmunmap(gpu::BlockCtx &ctx, void *ptr);
+
+    /** Write back the (dirty part of the) page backing @p ptr. The
+     *  application must coordinate with updates by other blocks. */
+    Status gmsync(gpu::BlockCtx &ctx, void *ptr);
+
+    /** Remove a file; local buffer space is reclaimed immediately. */
+    Status gunlink(gpu::BlockCtx &ctx, const std::string &path);
+
+    /** File metadata; size is the first-gopen size (+local writes). */
+    Status gfstat(gpu::BlockCtx &ctx, int fd, GStat *out);
+
+    /** Truncate and reclaim affected cached pages. */
+    Status gftruncate(gpu::BlockCtx &ctx, int fd, uint64_t new_size);
+
+    // ---- introspection ----
+    const GpuFsParams &params() const { return params_; }
+    StatSet &stats() { return stats_; }
+    gpu::GpuDevice &device() { return dev; }
+    FrameArena &arena() { return arena_; }
+
+    /** Open + closed entries currently holding a host fd (tests). */
+    unsigned hostFdsHeld() const;
+
+  private:
+    gpu::GpuDevice &dev;
+    rpc::RpcQueue &queue;
+    GpuFsParams params_;
+    StatSet stats_;
+    FrameArena arena_;
+
+    mutable std::mutex tableMtx;
+    std::vector<std::unique_ptr<OpenFile>> files;
+    uint64_t closeCounter = 0;
+
+    // Counters (registered once; fast paths use references).
+    Counter &cntOpens;
+    Counter &cntOpenRpcs;
+    Counter &cntCloses;
+    Counter &cntCacheHits;
+    Counter &cntCacheMisses;
+    Counter &cntLockfree;
+    Counter &cntLocked;
+    Counter &cntReclaimed;
+    Counter &cntInvalidations;
+    Counter &cntBytesRead;
+    Counter &cntBytesWritten;
+
+    CacheCounters cacheCounters();
+
+    /** Validate fd and return its entry (nullptr + status otherwise). */
+    OpenFile *entryOf(int fd, Status *st);
+
+    /** RPC helpers. */
+    rpc::RpcResponse rpcCall(gpu::BlockCtx &ctx, rpc::RpcRequest &req);
+
+    /**
+     * Pin the page of (entry, page_idx), fetching it on a miss.
+     * On success *frame_out is pinned. Runs the paging policy when the
+     * arena is exhausted. @p skip_fetch suppresses the host read for
+     * pages about to be fully overwritten.
+     */
+    Status pinPage(gpu::BlockCtx &ctx, OpenFile &entry, uint64_t page_idx,
+                   uint32_t *frame_out, FPage **fpage_out, bool skip_fetch);
+
+    /** Sequential read-ahead (extension; params_.readAheadPages). */
+    void readAheadFrom(gpu::BlockCtx &ctx, OpenFile &entry,
+                       uint64_t page_idx);
+
+    /** Fetch one page's content from the host (or zero-fill). */
+    Status fetchPage(gpu::BlockCtx &ctx, OpenFile &entry, uint64_t page_idx,
+                     uint8_t *data, uint32_t *valid, Time *done);
+
+    /** Write one page extent back to the host. @return completion. */
+    Time writebackExtent(OpenFile &entry, uint64_t page_idx,
+                         const uint8_t *data, uint32_t lo, uint32_t hi,
+                         Time issue, Status *st);
+
+    /**
+     * Paging: free at least @p want frames, preferring closed clean
+     * files, then open read-only files, then writable files (§4.2).
+     * Runs on the calling block's thread ("pay-as-you-go").
+     * @return frames freed.
+     */
+    unsigned reclaimFrames(gpu::BlockCtx &ctx, unsigned want);
+
+    /** Release a closed entry's host fd / claim if it is now clean. */
+    void maybeReleaseClosedFd(gpu::BlockCtx &ctx, OpenFile &entry);
+
+    /** Destroy an entry's cache and release its fd (table lock held). */
+    void destroyEntryLocked(gpu::BlockCtx &ctx, OpenFile &entry);
+
+    /** Find the entry whose cache uid is @p uid (gmsync path). */
+    OpenFile *entryByCacheUid(uint64_t uid);
+
+    int findOpenByPathLocked(const std::string &path);
+    int findClosedByInoLocked(uint64_t ino);
+    int allocEntryLocked(gpu::BlockCtx &ctx);
+};
+
+} // namespace core
+} // namespace gpufs
+
+#endif // GPUFS_GPUFS_GPUFS_HH

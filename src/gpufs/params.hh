@@ -1,0 +1,70 @@
+/**
+ * @file
+ * GPUfs instance configuration.
+ */
+
+#ifndef GPUFS_GPUFS_PARAMS_HH
+#define GPUFS_GPUFS_PARAMS_HH
+
+#include <cstdint>
+
+#include "base/units.hh"
+
+namespace gpufs {
+namespace core {
+
+struct GpuFsParams {
+    /**
+     * Buffer-cache page size. "Performance considerations typically
+     * dictate page sizes larger than OS-managed pages — e.g. 256 KB"
+     * (§4.2); Figures 4-6 sweep 16 KB .. 16 MB. Must be a power of two.
+     */
+    uint64_t pageSize = 256 * KiB;
+
+    /** Total buffer-cache capacity (the raw data array size, §4.2). */
+    uint64_t cacheBytes = 1 * GiB;
+
+    /** Open + closed file table capacity. */
+    unsigned maxOpenFiles = 128;
+
+    /**
+     * Ablation (Figure 7): when true, every radix-tree traversal takes
+     * node locks instead of the lock-free seqlock-validated path.
+     */
+    bool forceLockedTraversal = false;
+
+    /**
+     * Ablation: replace the paper's FIFO-like reclamation (§4.2) with
+     * an LRU scan over frames. The paper rejects variable-work policies
+     * because paging hijacks application threads.
+     */
+    bool evictLru = false;
+
+    /**
+     * Extension (off by default, matching the prototype): number of
+     * pages of sequential read-ahead issued on a buffer-cache miss.
+     */
+    unsigned readAheadPages = 0;
+
+    /**
+     * Extension (off by default): the diff-and-merge protocol of §3.1
+     * that the paper's prototype left unimplemented ("does not yet
+     * implement the diff-and-merge protocol required to support
+     * general write-sharing, and thus currently supports only one
+     * writer at a time"). When enabled, write-opened pages keep a
+     * pristine copy (a second frame); synchronization diffs working
+     * vs pristine and propagates only locally-modified bytes, so
+     * multiple writers to disjoint regions — even of the same page
+     * (false sharing) — merge correctly, and the consistency layer
+     * admits concurrent diff-merge writers.
+     */
+    bool enableDiffMerge = false;
+
+    /** Frames reclaimed per paging pass (batching amortizes policy work). */
+    unsigned reclaimBatch = 16;
+};
+
+} // namespace core
+} // namespace gpufs
+
+#endif // GPUFS_GPUFS_PARAMS_HH

@@ -1,0 +1,217 @@
+#include "gpufs/radix.hh"
+
+#include "base/logging.hh"
+
+namespace gpufs {
+namespace core {
+
+std::atomic<uint64_t> FileCache::nextUid{1};
+
+RadixNode::RadixNode(uint32_t lvl, uint64_t base)
+    : level(lvl), baseIdx(base)
+{
+    for (auto &c : children)
+        c.store(nullptr, std::memory_order_relaxed);
+    if (level == 0)
+        pages = std::make_unique<FPage[]>(kRadixFanout);
+}
+
+FileCache::FileCache(FrameArena &frame_arena, const CacheCounters &cnt,
+                     bool force_locked)
+    : arena(frame_arena), counters(cnt), forceLocked(force_locked),
+      uid_(nextUid.fetch_add(1)), root(kRadixLevels - 1, 0)
+{
+}
+
+FileCache::~FileCache()
+{
+    bool clean = dropAll();
+    gpufs_assert(clean, "FileCache destroyed with pinned pages");
+}
+
+RadixNode *
+FileCache::newNode(uint32_t level, uint64_t base)
+{
+    std::lock_guard<std::mutex> lock(allocMtx);
+    nodePool.emplace_back(level, base);
+    return &nodePool.back();
+}
+
+void
+FileCache::pushFifo(RadixNode *leaf)
+{
+    std::lock_guard<std::mutex> lock(listMtx);
+    RadixNode *old_head = fifoHead.load(std::memory_order_relaxed);
+    leaf->fifoNext.store(old_head, std::memory_order_relaxed);
+    if (old_head)
+        old_head->fifoPrev.store(leaf, std::memory_order_release);
+    else
+        fifoTail.store(leaf, std::memory_order_release);
+    fifoHead.store(leaf, std::memory_order_release);
+}
+
+RadixNode *
+FileCache::insertChild(RadixNode &node, unsigned slot, uint64_t idx)
+{
+    SpinGuard guard(node.lock);
+    RadixNode *child = node.children[slot].load(std::memory_order_acquire);
+    if (child)
+        return child;   // lost the race; fine
+    uint32_t child_level = node.level - 1;
+    uint64_t span = 1ull << (kRadixBits * node.level);
+    uint64_t base = (idx / span) * span
+        + static_cast<uint64_t>(slot) * (span / kRadixFanout);
+    child = newNode(child_level, base);
+    // Seqlock write protocol: readers snapshotting around the child
+    // load observe either the old null or the fully constructed node.
+    node.seq.fetch_add(1, std::memory_order_release);      // odd
+    node.children[slot].store(child, std::memory_order_release);
+    node.seq.fetch_add(1, std::memory_order_release);      // even
+    if (child_level == 0)
+        pushFifo(child);
+    return child;
+}
+
+FPage *
+FileCache::walk(uint64_t idx, bool locked)
+{
+    RadixNode *node = &root;
+    while (node->level > 0) {
+        unsigned slot = slotOf(idx, node->level);
+        RadixNode *child;
+        if (locked) {
+            node->lock.lock();
+            child = node->children[slot].load(std::memory_order_acquire);
+            node->lock.unlock();
+        } else {
+            uint32_t s1 = node->seq.load(std::memory_order_acquire);
+            if (s1 & 1)
+                return nullptr;     // writer active: retry
+            child = node->children[slot].load(std::memory_order_acquire);
+            if (node->seq.load(std::memory_order_acquire) != s1)
+                return nullptr;     // raced a writer: retry
+        }
+        if (!child)
+            child = insertChild(*node, slot, idx);
+        node = child;
+    }
+    return &node->pages[slotOf(idx, 0)];
+}
+
+FPage *
+FileCache::getPage(uint64_t page_idx)
+{
+    gpufs_assert(page_idx <= maxPageIndex(),
+                 "page index %llu beyond radix capacity",
+                 static_cast<unsigned long long>(page_idx));
+    if (forceLocked) {
+        counters.lockedAccesses.inc();
+        FPage *p = walk(page_idx, true);
+        gpufs_assert(p, "locked walk cannot fail");
+        return p;
+    }
+    // "GPUfs retries once without locking, then locks on its third
+    // attempt" (§4.2).
+    for (int attempt = 0; attempt < 2; ++attempt) {
+        FPage *p = walk(page_idx, false);
+        if (p) {
+            counters.lockfreeAccesses.inc();
+            return p;
+        }
+    }
+    counters.lockedAccesses.inc();
+    FPage *p = walk(page_idx, true);
+    gpufs_assert(p, "locked walk cannot fail");
+    return p;
+}
+
+bool
+FileCache::tryPinReady(FPage &p, uint64_t page_idx, uint32_t *frame_out)
+{
+    p.refs.fetch_add(1, std::memory_order_seq_cst);
+    if (p.state.load(std::memory_order_seq_cst) == kPageReady) {
+        uint32_t f = p.frame.load(std::memory_order_acquire);
+        if (f != kNoFrame) {
+            PFrame &pf = arena.frame(f);
+            // Identity check: frames recycle, so verify this frame
+            // still belongs to (this tree, this page index).
+            if (pf.fileUid.load(std::memory_order_acquire) == uid_ &&
+                pf.pageIdx.load(std::memory_order_relaxed) == page_idx) {
+                pf.lastAccess.store(arena.nextTick(),
+                                    std::memory_order_relaxed);
+                *frame_out = f;
+                return true;
+            }
+        }
+    }
+    p.refs.fetch_sub(1, std::memory_order_seq_cst);
+    return false;
+}
+
+bool
+FileCache::dropAll()
+{
+    bool all_clean = true;
+    for (RadixNode *n = fifoTail.load(std::memory_order_acquire);
+         n != nullptr; n = n->fifoPrev.load(std::memory_order_acquire)) {
+        for (unsigned i = 0; i < kRadixFanout; ++i) {
+            FPage &p = n->pages[i];
+            if (p.state.load(std::memory_order_acquire) == kPageEmpty)
+                continue;
+            if (p.refs.load(std::memory_order_relaxed) != 0) {
+                all_clean = false;
+                continue;
+            }
+            SpinGuard guard(p.lock);
+            if (p.state.load(std::memory_order_acquire) != kPageReady)
+                continue;
+            if (p.refs.load(std::memory_order_seq_cst) != 0) {
+                all_clean = false;
+                continue;
+            }
+            uint32_t f = p.frame.load(std::memory_order_acquire);
+            PFrame &pf = arena.frame(f);
+            if (pf.isDirty())
+                dirtyPages_.fetch_sub(1, std::memory_order_relaxed);
+            uint32_t pristine = pf.pristineFrame.exchange(
+                kNoFrame, std::memory_order_acq_rel);
+            if (pristine != kNoFrame)
+                arena.free(pristine);
+            p.frame.store(kNoFrame, std::memory_order_relaxed);
+            arena.free(f);
+            p.state.store(kPageEmpty, std::memory_order_release);
+        }
+    }
+    return all_clean;
+}
+
+void
+FileCache::noteDirty(PFrame &pf, uint32_t lo, uint32_t hi)
+{
+    if (lo >= hi)
+        return;
+    // mergeDirty reports the clean->dirty transition exactly once
+    // (the CAS winner), which owns the dirty-count increment.
+    if (pf.mergeDirty(lo, hi))
+        dirtyPages_.fetch_add(1, std::memory_order_relaxed);
+}
+
+uint64_t
+FileCache::residentPages() const
+{
+    uint64_t n = 0;
+    for (const RadixNode *node = fifoTail.load(std::memory_order_acquire);
+         node != nullptr;
+         node = node->fifoPrev.load(std::memory_order_acquire)) {
+        for (unsigned i = 0; i < kRadixFanout; ++i) {
+            if (node->pages[i].state.load(std::memory_order_acquire)
+                == kPageReady) {
+                ++n;
+            }
+        }
+    }
+    return n;
+}
+
+} // namespace core
+} // namespace gpufs

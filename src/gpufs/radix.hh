@@ -1,0 +1,447 @@
+/**
+ * @file
+ * Per-file buffer cache: a radix tree with lock-free traversal (§4.2).
+ *
+ * Each open file owns a radix tree indexed by page number. Last-level
+ * (leaf) nodes hold an array of fpage structures *by value* — in-place
+ * to avoid pointer chasing and dynamic allocation on the lookup path —
+ * each managing one cached page: a read/write reference count and a
+ * spinlock together exclude mutually incompatible operations
+ * (initialization, read/write access, page-out).
+ *
+ * Traversal is lock-free in the style of Linux seqlocks: writers bump a
+ * per-node sequence counter to odd, mutate, bump back to even; readers
+ * snapshot the counter around the child load and retry on a mismatch.
+ * GPUfs "retries once without locking, then locks on its third
+ * attempt". Because a page frame may be reclaimed and recycled between
+ * lookup and use, every tree carries a unique id that is stamped into
+ * the pframe of every page it owns; after pinning, the reader verifies
+ * (tree uid, page index) against the pframe and backs off on mismatch.
+ *
+ * Leaf nodes are threaded onto a doubly linked FIFO list at allocation
+ * time; paging walks it lock-free from the tail (oldest) — the paper's
+ * constant-work alternative to clock/LRU, since paging hijacks an
+ * application thread (§4.2). Nodes are never freed while the tree is
+ * alive, so list and tree traversals need no hazard tracking.
+ */
+
+#ifndef GPUFS_GPUFS_RADIX_HH
+#define GPUFS_GPUFS_RADIX_HH
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <type_traits>
+
+#include "base/logging.hh"
+#include "base/stats.hh"
+#include "base/status.hh"
+#include "gpufs/frame.hh"
+#include "gpufs/spinlock.hh"
+
+namespace gpufs {
+namespace core {
+
+constexpr unsigned kRadixBits = 6;
+constexpr unsigned kRadixFanout = 1u << kRadixBits;      // 64
+constexpr unsigned kRadixLevels = 4;                     // 16M pages/file
+
+/** fpage lifecycle. Transitions under the fpage spinlock. */
+enum PageState : uint32_t {
+    kPageEmpty = 0,      ///< no frame attached
+    kPageInit = 1,       ///< frame being filled (RPC in flight)
+    kPageReady = 2,      ///< frame valid; pinnable
+    kPageEvicting = 3,   ///< paging out; pinners must back off
+};
+
+/** Per-page bookkeeping, stored by value inside leaf nodes. */
+struct FPage {
+    std::atomic<uint32_t> state{kPageEmpty};
+    /** Read/write pin count; >0 blocks eviction. */
+    std::atomic<int32_t> refs{0};
+    std::atomic<uint32_t> frame{kNoFrame};
+    SpinLock lock;
+};
+
+struct RadixNode {
+    RadixNode(uint32_t lvl, uint64_t base);
+
+    /** Seqlock counter: odd while a writer mutates children. */
+    std::atomic<uint32_t> seq{0};
+    SpinLock lock;
+    const uint32_t level;        ///< 0 = leaf
+    const uint64_t baseIdx;      ///< first page index this node covers
+
+    /** Inner nodes: child pointers, set once (null -> node). */
+    std::atomic<RadixNode *> children[kRadixFanout];
+    /** Leaf nodes only. */
+    std::unique_ptr<FPage[]> pages;
+
+    /** FIFO list threading (leaf nodes): next = older, prev = newer. */
+    std::atomic<RadixNode *> fifoNext{nullptr};
+    std::atomic<RadixNode *> fifoPrev{nullptr};
+
+    uint64_t pageIndexOf(const FPage *p) const
+    {
+        return baseIdx + static_cast<uint64_t>(p - pages.get());
+    }
+};
+
+/** Counters shared with the owning GpuFs instance's StatSet. */
+struct CacheCounters {
+    Counter &lockfreeAccesses;
+    Counter &lockedAccesses;
+    Counter &pagesReclaimed;
+};
+
+/**
+ * One file's page cache. Thread safe; all synchronization is internal
+ * and follows the protocols described above.
+ */
+class FileCache
+{
+  public:
+    /**
+     * @param frame_arena  the device-wide raw data array
+     * @param counters     GpuFs-level stat counters
+     * @param force_locked take node locks on every traversal (Fig. 7)
+     */
+    FileCache(FrameArena &frame_arena, const CacheCounters &counters,
+              bool force_locked);
+    ~FileCache();
+
+    FileCache(const FileCache &) = delete;
+    FileCache &operator=(const FileCache &) = delete;
+
+    /** Unique tree id stamped into owned pframes. Never reused. */
+    uint64_t uid() const { return uid_; }
+
+    /** Largest page index addressable by the fixed-height tree. */
+    static constexpr uint64_t
+    maxPageIndex()
+    {
+        return (1ull << (kRadixBits * kRadixLevels)) - 1;
+    }
+
+    /**
+     * Find (creating the path if needed) the fpage for @p page_idx.
+     * Lock-free with two retries, then locked — or always locked in
+     * force_locked mode. Never fails for idx <= maxPageIndex().
+     */
+    FPage *getPage(uint64_t page_idx);
+
+    /**
+     * Fast-path pin: succeeds iff the page is Ready and identity-
+     * verified. On success the page is pinned and *frame_out is valid.
+     */
+    bool tryPinReady(FPage &p, uint64_t page_idx, uint32_t *frame_out);
+
+    /**
+     * Slow path: lock the fpage; if someone initialized it meanwhile,
+     * pin it; otherwise allocate a frame and run @p fetch to fill it.
+     * @param fetch  Status(uint8_t *data, uint32_t *valid_bytes); runs
+     *               with the fpage lock held (concurrent openers of the
+     *               same page serialize here, as in the paper).
+     * @return Ok and pin (*frame_out, *was_init=true if this call did
+     *         the fill), NoSpace if the arena is exhausted (caller
+     *         pages out and retries), or the fetch's error.
+     */
+    template <typename FetchFn>
+    Status
+    initAndPin(FPage &p, uint64_t page_idx, uint32_t *frame_out,
+               bool *did_init, FetchFn &&fetch)
+    {
+        p.lock.lock();
+        uint32_t s = p.state.load(std::memory_order_acquire);
+        if (s == kPageReady) {
+            p.refs.fetch_add(1, std::memory_order_seq_cst);
+            *frame_out = p.frame.load(std::memory_order_acquire);
+            *did_init = false;
+            p.lock.unlock();
+            return Status::Ok;
+        }
+        // Holding the lock, state can only be Empty here: Init/Evicting
+        // are only set by the lock holder.
+        uint32_t f = arena.alloc();
+        if (f == kNoFrame) {
+            p.lock.unlock();
+            return Status::NoSpace;
+        }
+        PFrame &pf = arena.frame(f);
+        pf.fileUid.store(uid_, std::memory_order_relaxed);
+        pf.pageIdx.store(page_idx, std::memory_order_relaxed);
+        pf.owner.store(&p, std::memory_order_relaxed);
+        pf.lastAccess.store(arena.nextTick(), std::memory_order_relaxed);
+        p.frame.store(f, std::memory_order_release);
+        p.state.store(kPageInit, std::memory_order_release);
+
+        uint32_t valid = 0;
+        Status st = fetch(arena.data(f), &valid);
+        if (!ok(st)) {
+            p.frame.store(kNoFrame, std::memory_order_relaxed);
+            p.state.store(kPageEmpty, std::memory_order_release);
+            arena.free(f);
+            p.lock.unlock();
+            return st;
+        }
+        pf.validBytes.store(valid, std::memory_order_relaxed);
+        p.refs.fetch_add(1, std::memory_order_seq_cst);
+        p.state.store(kPageReady, std::memory_order_release);
+        p.lock.unlock();
+        *frame_out = f;
+        *did_init = true;
+        return Status::Ok;
+    }
+
+    /** Drop a pin taken by tryPinReady/initAndPin. */
+    void
+    unpin(FPage &p)
+    {
+        int32_t prev = p.refs.fetch_sub(1, std::memory_order_seq_cst);
+        gpufs_assert(prev > 0, "unpin underflow");
+    }
+
+    /**
+     * Reclaim up to @p want unpinned Ready pages, FIFO order (oldest
+     * leaf nodes first). Dirty pages are skipped unless @p allow_dirty,
+     * in which case @p writeback is invoked (under the fpage lock) with
+     * (page_idx, data, dirty_lo, dirty_hi) before the frame is freed.
+     * @return pages actually freed.
+     */
+    template <typename WbFn>
+    unsigned
+    reclaim(unsigned want, bool allow_dirty, WbFn &&writeback)
+    {
+        unsigned freed = 0;
+        for (RadixNode *n = fifoTail.load(std::memory_order_acquire);
+             n != nullptr && freed < want;
+             n = n->fifoPrev.load(std::memory_order_acquire)) {
+            for (unsigned i = 0; i < kRadixFanout && freed < want; ++i) {
+                freed += tryEvictPage(n->pages[i], n->baseIdx + i,
+                                      allow_dirty, writeback);
+            }
+        }
+        return freed;
+    }
+
+    /**
+     * LRU-ablation reclaim: repeatedly evict the unpinned Ready page
+     * of this file with the oldest lastAccess stamp. Variable work —
+     * exactly what the paper avoids; measured by bench/ablate_eviction.
+     */
+    template <typename WbFn>
+    unsigned
+    reclaimLru(unsigned want, bool allow_dirty, WbFn &&writeback)
+    {
+        unsigned freed = 0;
+        while (freed < want) {
+            FPage *best = nullptr;
+            uint64_t best_idx = 0;
+            uint64_t best_stamp = UINT64_MAX;
+            for (uint32_t f = 0; f < arena.numFrames(); ++f) {
+                PFrame &pf = arena.frame(f);
+                if (pf.fileUid.load(std::memory_order_acquire) != uid_)
+                    continue;
+                auto *p = static_cast<FPage *>(
+                    pf.owner.load(std::memory_order_acquire));
+                if (!p || p->refs.load(std::memory_order_relaxed) != 0)
+                    continue;
+                uint64_t stamp = pf.lastAccess.load(std::memory_order_relaxed);
+                if (stamp < best_stamp) {
+                    best_stamp = stamp;
+                    best = p;
+                    best_idx = pf.pageIdx.load(std::memory_order_relaxed);
+                }
+            }
+            if (!best)
+                break;
+            unsigned got = tryEvictPage(*best, best_idx, allow_dirty,
+                                        writeback);
+            if (got == 0)
+                break;      // best candidate raced away; give up this pass
+            freed += got;
+        }
+        return freed;
+    }
+
+    /**
+     * Visit every dirty, unpinned page: lock it, call @p visit with
+     * (page_idx, data, dirty_lo, dirty_hi); if visit returns true the
+     * page was written back and its dirty extent is cleared, false
+     * leaves it dirty (range-filtered gfsync). Visitors returning
+     * void are treated as always-true. @return pages cleaned.
+     */
+    template <typename VisitFn>
+    unsigned
+    forEachDirty(VisitFn &&visit)
+    {
+        unsigned visited = 0;
+        for (RadixNode *n = fifoTail.load(std::memory_order_acquire);
+             n != nullptr;
+             n = n->fifoPrev.load(std::memory_order_acquire)) {
+            for (unsigned i = 0; i < kRadixFanout; ++i) {
+                FPage &p = n->pages[i];
+                if (p.state.load(std::memory_order_acquire) != kPageReady)
+                    continue;
+                uint32_t f = p.frame.load(std::memory_order_acquire);
+                if (f == kNoFrame || !arena.frame(f).isDirty())
+                    continue;
+                if (p.refs.load(std::memory_order_relaxed) != 0)
+                    continue;   // concurrently accessed: skip (API: gfsync)
+                SpinGuard guard(p.lock);
+                if (p.state.load(std::memory_order_acquire) != kPageReady)
+                    continue;
+                f = p.frame.load(std::memory_order_acquire);
+                PFrame &pf = arena.frame(f);
+                // Atomically TAKE the extent before writing back:
+                // ranges merged by concurrent writers after this point
+                // form a fresh extent synced by a later pass, so no
+                // dirty byte is ever lost.
+                uint64_t e = pf.takeDirtyExtent();
+                uint32_t lo = PFrame::extentLo(e);
+                uint32_t hi = PFrame::extentHi(e);
+                if (lo >= hi)
+                    continue;
+                bool wrote;
+                if constexpr (std::is_void_v<decltype(visit(
+                                  n->baseIdx + i, arena.data(f), lo,
+                                  hi))>) {
+                    visit(n->baseIdx + i, arena.data(f), lo, hi);
+                    wrote = true;
+                } else {
+                    wrote = visit(n->baseIdx + i, arena.data(f), lo, hi);
+                }
+                dirtyPages_.fetch_sub(1, std::memory_order_relaxed);
+                if (!wrote) {
+                    // Declined (range filter): put the extent back.
+                    if (pf.mergeDirty(lo, hi))
+                        dirtyPages_.fetch_add(1, std::memory_order_relaxed);
+                    continue;
+                }
+                ++visited;
+            }
+        }
+        return visited;
+    }
+
+    /**
+     * Drop every cached page without write-back (stale-cache
+     * invalidation, truncate, unlink). @return false if any page was
+     * pinned (caller decides how to surface the conflict).
+     */
+    bool dropAll();
+
+    /** Mark a page's dirty-extent growth; maintains the dirty count. */
+    void noteDirty(PFrame &pf, uint32_t lo, uint32_t hi);
+
+    /** Atomically take a page's dirty extent, maintaining the dirty
+     *  count (gmsync path). @return the packed extent taken. */
+    uint64_t
+    takeDirtyCounted(PFrame &pf)
+    {
+        uint64_t e = pf.takeDirtyExtent();
+        if (PFrame::extentLo(e) < PFrame::extentHi(e))
+            dirtyPages_.fetch_sub(1, std::memory_order_relaxed);
+        return e;
+    }
+
+    uint64_t dirtyCount() const
+    {
+        return dirtyPages_.load(std::memory_order_relaxed);
+    }
+
+    /** Number of Ready pages (tests/benchmarks). */
+    uint64_t residentPages() const;
+
+    FrameArena &frameArena() { return arena; }
+
+  private:
+    static std::atomic<uint64_t> nextUid;
+
+    FrameArena &arena;
+    CacheCounters counters;
+    const bool forceLocked;
+    const uint64_t uid_;
+
+    RadixNode root;
+    std::mutex allocMtx;
+    std::deque<RadixNode> nodePool;   // deque: stable addresses
+
+    std::mutex listMtx;
+    std::atomic<RadixNode *> fifoHead{nullptr};   // newest
+    std::atomic<RadixNode *> fifoTail{nullptr};   // oldest
+
+    std::atomic<uint64_t> dirtyPages_{0};
+
+    static unsigned
+    slotOf(uint64_t idx, unsigned level)
+    {
+        return (idx >> (kRadixBits * level)) & (kRadixFanout - 1);
+    }
+
+    /** One traversal attempt. @return the fpage, or nullptr if a
+     *  seqlock validation failed (lock-free mode only). */
+    FPage *walk(uint64_t idx, bool locked);
+
+    /** Insert a child at @p node / @p slot (idempotent under races). */
+    RadixNode *insertChild(RadixNode &node, unsigned slot, uint64_t idx);
+
+    RadixNode *newNode(uint32_t level, uint64_t base);
+    void pushFifo(RadixNode *leaf);
+
+    template <typename WbFn>
+    unsigned
+    tryEvictPage(FPage &p, uint64_t page_idx, bool allow_dirty,
+                 WbFn &&writeback)
+    {
+        if (p.state.load(std::memory_order_acquire) != kPageReady ||
+            p.refs.load(std::memory_order_relaxed) != 0) {
+            return 0;
+        }
+        if (!p.lock.tryLock())
+            return 0;
+        if (p.state.load(std::memory_order_acquire) != kPageReady) {
+            p.lock.unlock();
+            return 0;
+        }
+        p.state.store(kPageEvicting, std::memory_order_seq_cst);
+        if (p.refs.load(std::memory_order_seq_cst) != 0) {
+            // A pinner raced past the state check; page is in use.
+            p.state.store(kPageReady, std::memory_order_release);
+            p.lock.unlock();
+            return 0;
+        }
+        uint32_t f = p.frame.load(std::memory_order_acquire);
+        PFrame &pf = arena.frame(f);
+        if (pf.isDirty()) {
+            if (!allow_dirty) {
+                p.state.store(kPageReady, std::memory_order_release);
+                p.lock.unlock();
+                return 0;
+            }
+            uint64_t e = pf.takeDirtyExtent();
+            if (PFrame::extentLo(e) < PFrame::extentHi(e)) {
+                writeback(page_idx, arena.data(f), PFrame::extentLo(e),
+                          PFrame::extentHi(e));
+                dirtyPages_.fetch_sub(1, std::memory_order_relaxed);
+            }
+        }
+        uint32_t pristine = pf.pristineFrame.exchange(
+            kNoFrame, std::memory_order_acq_rel);
+        if (pristine != kNoFrame)
+            arena.free(pristine);
+        p.frame.store(kNoFrame, std::memory_order_relaxed);
+        arena.free(f);
+        p.state.store(kPageEmpty, std::memory_order_release);
+        p.lock.unlock();
+        counters.pagesReclaimed.inc();
+        return 1;
+    }
+};
+
+} // namespace core
+} // namespace gpufs
+
+#endif // GPUFS_GPUFS_RADIX_HH

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * The spinlock used inside buffer-cache data structures.
+ *
+ * On a real GPU, spinning between threadblocks is safe only because
+ * every lock holder runs to completion (no preemption, §2); the same
+ * argument holds here because lock holders never block on anything but
+ * bounded work or RPC completion. Note the GPU caveat the paper raises
+ * — spinlocks between threads of the *same* warp deadlock — does not
+ * arise at block-granular invocation.
+ */
+
+#ifndef GPUFS_GPUFS_SPINLOCK_HH
+#define GPUFS_GPUFS_SPINLOCK_HH
+
+#include <atomic>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#endif
+
+namespace gpufs {
+namespace core {
+
+inline void
+cpuRelax()
+{
+#if defined(__x86_64__) || defined(__i386__)
+    _mm_pause();
+#endif
+}
+
+class SpinLock
+{
+  public:
+    SpinLock() = default;
+    SpinLock(const SpinLock &) = delete;
+    SpinLock &operator=(const SpinLock &) = delete;
+
+    void
+    lock()
+    {
+        while (flag.test_and_set(std::memory_order_acquire))
+            cpuRelax();
+    }
+
+    bool
+    tryLock()
+    {
+        return !flag.test_and_set(std::memory_order_acquire);
+    }
+
+    void
+    unlock()
+    {
+        flag.clear(std::memory_order_release);
+    }
+
+  private:
+    std::atomic_flag flag = ATOMIC_FLAG_INIT;
+};
+
+/** RAII guard. */
+class SpinGuard
+{
+  public:
+    explicit SpinGuard(SpinLock &l) : lock(l) { lock.lock(); }
+    ~SpinGuard() { lock.unlock(); }
+    SpinGuard(const SpinGuard &) = delete;
+    SpinGuard &operator=(const SpinGuard &) = delete;
+
+  private:
+    SpinLock &lock;
+};
+
+} // namespace core
+} // namespace gpufs
+
+#endif // GPUFS_GPUFS_SPINLOCK_HH

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * GpufsSystem: one-call wiring of a whole simulated machine.
+ *
+ * Owns the pieces in dependency order — cost model, host FS,
+ * consistency layer, CPU daemon, N GPU devices with their RPC queues
+ * and GpuFs library instances — and manages daemon lifetime. This is
+ * the entry point examples and benchmarks use; tests that need odd
+ * topologies wire components manually.
+ */
+
+#ifndef GPUFS_GPUFS_SYSTEM_HH
+#define GPUFS_GPUFS_SYSTEM_HH
+
+#include <memory>
+#include <vector>
+
+#include "consistency/consistency.hh"
+#include "consistency/wrapfs.hh"
+#include "gpu/device.hh"
+#include "gpufs/gpufs.hh"
+#include "hostfs/hostfs.hh"
+#include "rpc/daemon.hh"
+
+namespace gpufs {
+namespace core {
+
+class GpufsSystem
+{
+  public:
+    /**
+     * @param num_gpus  number of GPU devices (the paper's box has 4)
+     * @param fs_params GpuFs configuration applied to every GPU
+     * @param hw        cost-model parameters
+     */
+    explicit GpufsSystem(unsigned num_gpus = 1,
+                         const GpuFsParams &fs_params = GpuFsParams{},
+                         const sim::HwParams &hw = sim::HwParams{})
+        : sim_(hw), hostFs_(sim_), wrapFs_(hostFs_, consistency_),
+          daemon_(hostFs_, consistency_)
+    {
+        for (unsigned i = 0; i < num_gpus; ++i)
+            devices_.push_back(std::make_unique<gpu::GpuDevice>(sim_, i));
+        for (auto &dev : devices_)
+            queues_.push_back(&daemon_.attachGpu(*dev));
+        daemon_.start();
+        for (unsigned i = 0; i < num_gpus; ++i) {
+            gpufs_.push_back(std::make_unique<GpuFs>(*devices_[i],
+                                                     *queues_[i],
+                                                     fs_params));
+        }
+    }
+
+    ~GpufsSystem()
+    {
+        gpufs_.clear();     // GpuFs teardown precedes daemon shutdown
+        daemon_.stop();
+    }
+
+    GpufsSystem(const GpufsSystem &) = delete;
+    GpufsSystem &operator=(const GpufsSystem &) = delete;
+
+    sim::SimContext &sim() { return sim_; }
+    hostfs::HostFs &hostFs() { return hostFs_; }
+    consistency::WrapFs &wrapFs() { return wrapFs_; }
+    consistency::ConsistencyMgr &consistencyMgr() { return consistency_; }
+    rpc::CpuDaemon &daemon() { return daemon_; }
+
+    unsigned numGpus() const { return static_cast<unsigned>(devices_.size()); }
+    gpu::GpuDevice &device(unsigned i) { return *devices_.at(i); }
+    GpuFs &fs(unsigned i = 0) { return *gpufs_.at(i); }
+
+    /** Reset all virtual-time state (between benchmark phases). */
+    void
+    resetTime()
+    {
+        sim_.reset();
+        for (auto &dev : devices_)
+            dev->resetTime();
+    }
+
+  private:
+    sim::SimContext sim_;
+    hostfs::HostFs hostFs_;
+    consistency::ConsistencyMgr consistency_;
+    consistency::WrapFs wrapFs_;
+    rpc::CpuDaemon daemon_;
+    std::vector<std::unique_ptr<gpu::GpuDevice>> devices_;
+    std::vector<rpc::RpcQueue *> queues_;
+    std::vector<std::unique_ptr<GpuFs>> gpufs_;
+};
+
+} // namespace core
+} // namespace gpufs
+
+#endif // GPUFS_GPUFS_SYSTEM_HH

@@ -1,0 +1,259 @@
+#include "gpuutil/gstring.hh"
+
+namespace gpufs {
+namespace gpuutil {
+
+size_t
+gstrlen(const char *s, size_t max)
+{
+    size_t n = 0;
+    while (n < max && s[n] != '\0')
+        ++n;
+    return n;
+}
+
+int
+gstrcmp(const char *a, const char *b)
+{
+    while (*a && *a == *b) {
+        ++a;
+        ++b;
+    }
+    return static_cast<unsigned char>(*a) - static_cast<unsigned char>(*b);
+}
+
+int
+gstrncmp(const char *a, const char *b, size_t n)
+{
+    for (size_t i = 0; i < n; ++i) {
+        unsigned char ca = a[i];
+        unsigned char cb = b[i];
+        if (ca != cb)
+            return ca - cb;
+        if (ca == '\0')
+            return 0;
+    }
+    return 0;
+}
+
+size_t
+gstrlcpy(char *dst, const char *src, size_t n)
+{
+    size_t src_len = gstrlen(src);
+    if (n > 0) {
+        size_t copy = src_len < n - 1 ? src_len : n - 1;
+        for (size_t i = 0; i < copy; ++i)
+            dst[i] = src[i];
+        dst[copy] = '\0';
+    }
+    return src_len;
+}
+
+size_t
+gstrlcat(char *dst, const char *src, size_t n)
+{
+    size_t dst_len = gstrlen(dst, n);
+    if (dst_len == n)
+        return n + gstrlen(src);
+    return dst_len + gstrlcpy(dst + dst_len, src, n - dst_len);
+}
+
+const char *
+gmemchr(const char *s, char c, size_t n)
+{
+    for (size_t i = 0; i < n; ++i) {
+        if (s[i] == c)
+            return s + i;
+    }
+    return nullptr;
+}
+
+static bool
+isDelim(char c, const char *delims)
+{
+    for (const char *d = delims; *d; ++d) {
+        if (*d == c)
+            return true;
+    }
+    return false;
+}
+
+char *
+gstrtok_r(char *s, const char *delims, char **save)
+{
+    if (!s)
+        s = *save;
+    if (!s)
+        return nullptr;
+    while (*s && isDelim(*s, delims))
+        ++s;
+    if (*s == '\0') {
+        *save = nullptr;
+        return nullptr;
+    }
+    char *tok = s;
+    while (*s && !isDelim(*s, delims))
+        ++s;
+    if (*s) {
+        *s = '\0';
+        *save = s + 1;
+    } else {
+        *save = nullptr;
+    }
+    return tok;
+}
+
+bool
+gisWordDelim(char c)
+{
+    bool alnum = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+        (c >= '0' && c <= '9') || c == '_';
+    return !alnum;
+}
+
+uint64_t
+gwordCount(const char *text, size_t len, const char *word, size_t word_len)
+{
+    if (word_len == 0 || word_len > len)
+        return 0;
+    uint64_t count = 0;
+    for (size_t i = 0; i + word_len <= len; ++i) {
+        if (text[i] != word[0])
+            continue;
+        bool left_ok = (i == 0) || gisWordDelim(text[i - 1]);
+        if (!left_ok)
+            continue;
+        size_t j = 1;
+        while (j < word_len && text[i + j] == word[j])
+            ++j;
+        if (j != word_len)
+            continue;
+        bool right_ok =
+            (i + word_len == len) || gisWordDelim(text[i + word_len]);
+        if (right_ok)
+            ++count;
+    }
+    return count;
+}
+
+namespace {
+
+/** Emit one char into a bounded buffer, tracking virtual length. */
+struct Emitter {
+    char *dst;
+    size_t cap;
+    size_t len = 0;
+
+    void
+    put(char c)
+    {
+        if (len + 1 < cap)
+            dst[len] = c;
+        ++len;
+    }
+
+    void
+    finish()
+    {
+        if (cap > 0)
+            dst[len < cap ? len : cap - 1] = '\0';
+    }
+};
+
+void
+emitUnsigned(Emitter &out, unsigned long long v, unsigned base, bool upper)
+{
+    char tmp[32];
+    unsigned n = 0;
+    do {
+        unsigned d = static_cast<unsigned>(v % base);
+        tmp[n++] = d < 10 ? static_cast<char>('0' + d)
+                          : static_cast<char>((upper ? 'A' : 'a') + d - 10);
+        v /= base;
+    } while (v != 0);
+    while (n > 0)
+        out.put(tmp[--n]);
+}
+
+} // namespace
+
+size_t
+gvsnprintf(char *dst, size_t n, const char *fmt, va_list ap)
+{
+    Emitter out{dst, n};
+    for (const char *p = fmt; *p; ++p) {
+        if (*p != '%') {
+            out.put(*p);
+            continue;
+        }
+        ++p;
+        bool ll = false;
+        while (*p == 'l') {     // accept %ld / %lld / %llu etc.
+            ll = true;
+            ++p;
+        }
+        switch (*p) {
+          case '%':
+            out.put('%');
+            break;
+          case 'c':
+            out.put(static_cast<char>(va_arg(ap, int)));
+            break;
+          case 's': {
+            const char *s = va_arg(ap, const char *);
+            if (!s)
+                s = "(null)";
+            while (*s)
+                out.put(*s++);
+            break;
+          }
+          case 'd': {
+            long long v = ll ? va_arg(ap, long long) : va_arg(ap, int);
+            if (v < 0) {
+                out.put('-');
+                emitUnsigned(out, static_cast<unsigned long long>(-v), 10,
+                             false);
+            } else {
+                emitUnsigned(out, static_cast<unsigned long long>(v), 10,
+                             false);
+            }
+            break;
+          }
+          case 'u': {
+            unsigned long long v = ll ? va_arg(ap, unsigned long long)
+                                      : va_arg(ap, unsigned);
+            emitUnsigned(out, v, 10, false);
+            break;
+          }
+          case 'x': {
+            unsigned long long v = ll ? va_arg(ap, unsigned long long)
+                                      : va_arg(ap, unsigned);
+            emitUnsigned(out, v, 16, false);
+            break;
+          }
+          case '\0':
+            out.finish();
+            return out.len;
+          default:
+            // Unknown verb: emit literally so bugs are visible.
+            out.put('%');
+            out.put(*p);
+            break;
+        }
+    }
+    out.finish();
+    return out.len;
+}
+
+size_t
+gsnprintf(char *dst, size_t n, const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    size_t len = gvsnprintf(dst, n, fmt, ap);
+    va_end(ap);
+    return len;
+}
+
+} // namespace gpuutil
+} // namespace gpufs

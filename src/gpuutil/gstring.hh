@@ -1,0 +1,72 @@
+/**
+ * @file
+ * GPU-side string functions (§5.2.2).
+ *
+ * "Various text parsing and formatted output tasks required us to
+ * implement limited GPU versions of the sprintf, strtok, strlen,
+ * strcat functions not normally available to GPU code." These are the
+ * device functions the grep workload links against. They are
+ * deliberately libc-free and allocation-free, as GPU device code must
+ * be, and operate only on caller-provided buffers.
+ */
+
+#ifndef GPUFS_GPUUTIL_GSTRING_HH
+#define GPUFS_GPUUTIL_GSTRING_HH
+
+#include <cstdarg>
+#include <cstddef>
+#include <cstdint>
+
+namespace gpufs {
+namespace gpuutil {
+
+/** Length of a NUL-terminated string, at most @p max. */
+size_t gstrlen(const char *s, size_t max = SIZE_MAX);
+
+/** Three-way comparison, strcmp semantics. */
+int gstrcmp(const char *a, const char *b);
+
+/** Three-way comparison of at most @p n characters. */
+int gstrncmp(const char *a, const char *b, size_t n);
+
+/** Copy at most @p n - 1 chars and always NUL-terminate (n > 0).
+ *  @return the source length (strlcpy semantics). */
+size_t gstrlcpy(char *dst, const char *src, size_t n);
+
+/** Append @p src to @p dst within a buffer of @p n total bytes
+ *  (strlcat semantics). @return the length it tried to create. */
+size_t gstrlcat(char *dst, const char *src, size_t n);
+
+/** Find the first occurrence of @p c in the first @p n bytes. */
+const char *gmemchr(const char *s, char c, size_t n);
+
+/**
+ * Re-entrant tokenizer, strtok_r semantics: destructive, NUL-writes
+ * over delimiters, per-caller state in @p save.
+ */
+char *gstrtok_r(char *s, const char *delims, char **save);
+
+/** True if @p c separates words in the grep -w sense. */
+bool gisWordDelim(char c);
+
+/**
+ * Count occurrences of @p word as a whole word ("grep -w") in
+ * text[0..len). @p word_len must be gstrlen(word).
+ */
+uint64_t gwordCount(const char *text, size_t len, const char *word,
+                    size_t word_len);
+
+/**
+ * Limited vsnprintf: supports %s %d %u %llu %x %c %%. Always
+ * NUL-terminates (n > 0). @return chars that would have been written
+ * (snprintf semantics).
+ */
+size_t gvsnprintf(char *dst, size_t n, const char *fmt, va_list ap);
+
+/** printf-style wrapper over gvsnprintf. */
+size_t gsnprintf(char *dst, size_t n, const char *fmt, ...);
+
+} // namespace gpuutil
+} // namespace gpufs
+
+#endif // GPUFS_GPUUTIL_GSTRING_HH

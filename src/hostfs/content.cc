@@ -1,0 +1,133 @@
+#include "hostfs/content.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+
+namespace gpufs {
+namespace hostfs {
+
+void
+InMemoryContent::readAt(uint64_t offset, uint64_t len, uint8_t *dst)
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    uint64_t have = bytes.size() > offset ? bytes.size() - offset : 0;
+    uint64_t n = std::min(len, have);
+    if (n > 0)
+        std::memcpy(dst, bytes.data() + offset, n);
+    if (n < len)
+        std::memset(dst + n, 0, len - n);
+}
+
+bool
+InMemoryContent::writeAt(uint64_t offset, uint64_t len, const uint8_t *src)
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    if (offset + len > bytes.size())
+        bytes.resize(offset + len, 0);
+    std::memcpy(bytes.data() + offset, src, len);
+    return true;
+}
+
+void
+InMemoryContent::truncate(uint64_t new_size)
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    if (new_size < bytes.size())
+        bytes.resize(new_size);
+}
+
+void
+SyntheticContent::readAt(uint64_t offset, uint64_t len, uint8_t *dst)
+{
+    generate(offset, len, dst);
+    if (!allowOverlay)
+        return;
+    // Patch in any overlay chunks intersecting [offset, offset+len).
+    std::lock_guard<std::mutex> lock(mtx);
+    if (overlay.empty())
+        return;
+    uint64_t first = offset / kOverlayChunk * kOverlayChunk;
+    for (uint64_t base = first; base < offset + len; base += kOverlayChunk) {
+        std::vector<uint8_t> *chunk = findChunkLocked(base);
+        if (!chunk)
+            continue;
+        uint64_t lo = std::max(base, offset);
+        uint64_t hi = std::min(base + kOverlayChunk, offset + len);
+        std::memcpy(dst + (lo - offset), chunk->data() + (lo - base),
+                    hi - lo);
+    }
+}
+
+std::vector<uint8_t> *
+SyntheticContent::findChunkLocked(uint64_t chunk_base)
+{
+    for (auto &kv : overlay) {
+        if (kv.first == chunk_base)
+            return &kv.second;
+    }
+    return nullptr;
+}
+
+bool
+SyntheticContent::writeAt(uint64_t offset, uint64_t len, const uint8_t *src)
+{
+    if (!allowOverlay)
+        return false;
+    std::lock_guard<std::mutex> lock(mtx);
+    uint64_t pos = offset;
+    while (pos < offset + len) {
+        uint64_t base = pos / kOverlayChunk * kOverlayChunk;
+        std::vector<uint8_t> *chunk = findChunkLocked(base);
+        if (!chunk) {
+            // New overlay chunk starts as the synthetic content so that
+            // partial writes keep surrounding bytes intact.
+            overlay.emplace_back(base, std::vector<uint8_t>(kOverlayChunk));
+            chunk = &overlay.back().second;
+            generate(base, kOverlayChunk, chunk->data());
+        }
+        uint64_t hi = std::min(base + kOverlayChunk, offset + len);
+        std::memcpy(chunk->data() + (pos - base), src + (pos - offset),
+                    hi - pos);
+        pos = hi;
+    }
+    return true;
+}
+
+uint8_t
+SyntheticContent::patternByte(uint64_t seed, uint64_t offset)
+{
+    // One hash per 8-byte lane; byte extracted by position.
+    uint64_t lane = offset / 8;
+    uint64_t word = hashCombine(seed, lane);
+    return static_cast<uint8_t>(word >> ((offset % 8) * 8));
+}
+
+std::unique_ptr<SyntheticContent>
+SyntheticContent::pattern(uint64_t seed)
+{
+    auto gen = [seed](uint64_t offset, uint64_t len, uint8_t *dst) {
+        uint64_t pos = offset;
+        uint64_t end = offset + len;
+        // Head: unaligned bytes.
+        while (pos < end && pos % 8 != 0) {
+            dst[pos - offset] = patternByte(seed, pos);
+            ++pos;
+        }
+        // Body: whole 8-byte lanes.
+        while (pos + 8 <= end) {
+            uint64_t word = hashCombine(seed, pos / 8);
+            std::memcpy(dst + (pos - offset), &word, 8);
+            pos += 8;
+        }
+        // Tail.
+        while (pos < end) {
+            dst[pos - offset] = patternByte(seed, pos);
+            ++pos;
+        }
+    };
+    return std::make_unique<SyntheticContent>(std::move(gen), true);
+}
+
+} // namespace hostfs
+} // namespace gpufs

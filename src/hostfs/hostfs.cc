@@ -1,0 +1,225 @@
+#include "hostfs/hostfs.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+
+namespace gpufs {
+namespace hostfs {
+
+HostFs::HostFs(sim::SimContext &sim_ctx)
+    : sim(sim_ctx), pageCache(sim_ctx), nextIno(1), nextFd(3)
+{
+}
+
+HostFs::~HostFs() = default;
+
+Status
+HostFs::addFile(const std::string &path,
+                std::unique_ptr<ContentProvider> content, uint64_t size)
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    if (names.count(path))
+        return Status::Exists;
+    auto node = std::make_shared<Inode>();
+    node->ino = nextIno++;
+    node->size = size;
+    node->version = 1;
+    node->content = std::move(content);
+    node->nlink = 1;
+    node->openRefs = 0;
+    names.emplace(path, std::move(node));
+    return Status::Ok;
+}
+
+int
+HostFs::open(const std::string &path, uint32_t flags, Status *st)
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    auto it = names.find(path);
+    std::shared_ptr<Inode> node;
+    if (it == names.end()) {
+        if (!(flags & O_CREAT_F)) {
+            if (st)
+                *st = Status::NoEnt;
+            return -1;
+        }
+        node = std::make_shared<Inode>();
+        node->ino = nextIno++;
+        node->size = 0;
+        node->version = 1;
+        node->content = std::make_unique<InMemoryContent>();
+        node->nlink = 1;
+        node->openRefs = 0;
+        names.emplace(path, node);
+    } else {
+        node = it->second;
+    }
+    if ((flags & O_ACCMODE_F) != O_RDONLY_F && !node->content->writable()) {
+        if (st)
+            *st = Status::ReadOnlyFile;
+        return -1;
+    }
+    if (flags & O_TRUNC_F) {
+        node->size = 0;
+        node->version++;
+        pageCache.dropFile(node->ino);
+    }
+    node->openRefs++;
+    int fd = nextFd++;
+    fds.emplace(fd, OpenFile{node, flags});
+    if (st)
+        *st = Status::Ok;
+    return fd;
+}
+
+std::shared_ptr<HostFs::Inode>
+HostFs::lookupFd(int fd, uint32_t *flags_out)
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    auto it = fds.find(fd);
+    if (it == fds.end())
+        return nullptr;
+    if (flags_out)
+        *flags_out = it->second.flags;
+    return it->second.inode;
+}
+
+Status
+HostFs::close(int fd)
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    auto it = fds.find(fd);
+    if (it == fds.end())
+        return Status::BadFd;
+    it->second.inode->openRefs--;
+    fds.erase(it);
+    return Status::Ok;
+}
+
+IoResult
+HostFs::pread(int fd, uint8_t *dst, uint64_t len, uint64_t offset,
+              Time ready, sim::Resource *io_path)
+{
+    uint32_t flags;
+    auto node = lookupFd(fd, &flags);
+    if (!node)
+        return {Status::BadFd, 0, ready};
+    uint64_t size;
+    uint64_t ino;
+    {
+        std::lock_guard<std::mutex> lock(mtx);
+        size = node->size;
+        ino = node->ino;
+    }
+    if (offset >= size)
+        return {Status::Ok, 0, ready};
+    uint64_t n = std::min(len, size - offset);
+    node->content->readAt(offset, n, dst);
+    Time done = pageCache.chargeRead(ino, offset, n, ready, io_path);
+    return {Status::Ok, n, done};
+}
+
+IoResult
+HostFs::pwrite(int fd, const uint8_t *src, uint64_t len, uint64_t offset,
+               Time ready, sim::Resource *io_path)
+{
+    uint32_t flags;
+    auto node = lookupFd(fd, &flags);
+    if (!node)
+        return {Status::BadFd, 0, ready};
+    if ((flags & O_ACCMODE_F) == O_RDONLY_F)
+        return {Status::ReadOnlyFile, 0, ready};
+    if (!node->content->writeAt(offset, len, src))
+        return {Status::ReadOnlyFile, 0, ready};
+    uint64_t ino;
+    {
+        std::lock_guard<std::mutex> lock(mtx);
+        node->size = std::max(node->size, offset + len);
+        node->version++;
+        ino = node->ino;
+    }
+    Time done = pageCache.chargeWrite(ino, offset, len, ready, io_path);
+    return {Status::Ok, len, done};
+}
+
+IoResult
+HostFs::fsync(int fd, Time ready)
+{
+    auto node = lookupFd(fd, nullptr);
+    if (!node)
+        return {Status::BadFd, 0, ready};
+    uint64_t ino;
+    {
+        std::lock_guard<std::mutex> lock(mtx);
+        ino = node->ino;
+    }
+    return {Status::Ok, 0, pageCache.chargeSync(ino, ready)};
+}
+
+Status
+HostFs::ftruncate(int fd, uint64_t new_size)
+{
+    uint32_t flags;
+    auto node = lookupFd(fd, &flags);
+    if (!node)
+        return Status::BadFd;
+    if ((flags & O_ACCMODE_F) == O_RDONLY_F)
+        return Status::ReadOnlyFile;
+    std::lock_guard<std::mutex> lock(mtx);
+    if (auto *mem = dynamic_cast<InMemoryContent *>(node->content.get()))
+        mem->truncate(new_size);
+    node->size = new_size;
+    node->version++;
+    pageCache.dropFile(node->ino);
+    return Status::Ok;
+}
+
+Status
+HostFs::unlink(const std::string &path)
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    auto it = names.find(path);
+    if (it == names.end())
+        return Status::NoEnt;
+    it->second->nlink = 0;
+    it->second->version++;
+    pageCache.dropFile(it->second->ino);
+    names.erase(it);
+    return Status::Ok;
+}
+
+Status
+HostFs::stat(const std::string &path, FileInfo *out)
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    auto it = names.find(path);
+    if (it == names.end())
+        return Status::NoEnt;
+    if (out)
+        *out = {it->second->ino, it->second->size, it->second->version};
+    return Status::Ok;
+}
+
+Status
+HostFs::fstat(int fd, FileInfo *out)
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    auto it = fds.find(fd);
+    if (it == fds.end())
+        return Status::BadFd;
+    const auto &node = it->second.inode;
+    if (out)
+        *out = {node->ino, node->size, node->version};
+    return Status::Ok;
+}
+
+size_t
+HostFs::openCount() const
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    return fds.size();
+}
+
+} // namespace hostfs
+} // namespace gpufs

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * The simulated host file system.
+ *
+ * Provides the POSIX-shaped surface the GPUfs host daemon and the CPU
+ * baseline workloads call: open/pread/pwrite/fsync/ftruncate/unlink/
+ * stat. The namespace maps paths to inodes; each inode owns a
+ * ContentProvider (the "disk image") and a version number used by the
+ * consistency layer (§4.4) to detect stale GPU caches. Timing flows
+ * through HostPageCache.
+ */
+
+#ifndef GPUFS_HOSTFS_HOSTFS_HH
+#define GPUFS_HOSTFS_HOSTFS_HH
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "base/status.hh"
+#include "base/units.hh"
+#include "hostfs/content.hh"
+#include "hostfs/page_cache.hh"
+#include "sim/context.hh"
+
+namespace gpufs {
+namespace hostfs {
+
+/** Open flags (subset of POSIX plus the host-visible view of GPUfs). */
+enum OpenFlags : uint32_t {
+    O_RDONLY_F = 0x0,
+    O_WRONLY_F = 0x1,
+    O_RDWR_F   = 0x2,
+    O_CREAT_F  = 0x40,
+    O_TRUNC_F  = 0x200,
+    O_ACCMODE_F = 0x3,
+};
+
+/** Result of stat(). */
+struct FileInfo {
+    uint64_t ino;
+    uint64_t size;
+    uint64_t version;   ///< bumped on every mutation; consistency token
+};
+
+/** Result of a timed I/O call. */
+struct IoResult {
+    Status status;
+    uint64_t bytes;
+    Time done;          ///< virtual completion time
+};
+
+/**
+ * The host file system. All methods are thread safe. Methods that move
+ * data take the caller's virtual ready time and return a completion
+ * time; @p io_path, when non-null, is the serialized CPU resource the
+ * copy runs on (the GPUfs daemon passes SimContext::cpuIo; CPU baseline
+ * threads pass nullptr and pay the cost inline).
+ */
+class HostFs
+{
+  public:
+    explicit HostFs(sim::SimContext &sim_ctx);
+    ~HostFs();
+
+    HostFs(const HostFs &) = delete;
+    HostFs &operator=(const HostFs &) = delete;
+
+    /** Create a file backed by an explicit provider (workload setup). */
+    Status addFile(const std::string &path,
+                   std::unique_ptr<ContentProvider> content, uint64_t size);
+
+    /** Open; returns fd >= 0 or negative on error (status out-param). */
+    int open(const std::string &path, uint32_t flags, Status *st = nullptr);
+    Status close(int fd);
+
+    IoResult pread(int fd, uint8_t *dst, uint64_t len, uint64_t offset,
+                   Time ready = 0, sim::Resource *io_path = nullptr);
+    IoResult pwrite(int fd, const uint8_t *src, uint64_t len, uint64_t offset,
+                    Time ready = 0, sim::Resource *io_path = nullptr);
+
+    /** fsync: flush dirty page-cache granules to disk. */
+    IoResult fsync(int fd, Time ready = 0);
+
+    Status ftruncate(int fd, uint64_t new_size);
+    Status unlink(const std::string &path);
+    Status stat(const std::string &path, FileInfo *out);
+    Status fstat(int fd, FileInfo *out);
+
+    /** Flush the simulated OS page cache (cold-run experiments). */
+    void dropCaches() { pageCache.dropAll(); }
+
+    HostPageCache &cache() { return pageCache; }
+    sim::SimContext &simContext() { return sim; }
+
+    /** Number of currently open descriptors (leak checks in tests). */
+    size_t openCount() const;
+
+  private:
+    struct Inode {
+        uint64_t ino;
+        uint64_t size;
+        uint64_t version;
+        std::unique_ptr<ContentProvider> content;
+        uint32_t nlink;     ///< 0 after unlink; freed when opens drain
+        uint32_t openRefs;
+    };
+    struct OpenFile {
+        std::shared_ptr<Inode> inode;
+        uint32_t flags;
+    };
+
+    sim::SimContext &sim;
+    HostPageCache pageCache;
+    mutable std::mutex mtx;
+    std::unordered_map<std::string, std::shared_ptr<Inode>> names;
+    std::unordered_map<int, OpenFile> fds;
+    uint64_t nextIno;
+    int nextFd;
+
+    std::shared_ptr<Inode> lookupFd(int fd, uint32_t *flags_out);
+};
+
+} // namespace hostfs
+} // namespace gpufs
+
+#endif // GPUFS_HOSTFS_HOSTFS_HH

@@ -1,0 +1,319 @@
+#include "rpc/daemon.hh"
+
+#include <cstring>
+
+#include "base/logging.hh"
+
+namespace gpufs {
+namespace rpc {
+
+CpuDaemon::CpuDaemon(hostfs::HostFs &host_fs,
+                     consistency::ConsistencyMgr &mgr)
+    : fs(host_fs), consistency(mgr), stats_("cpu_daemon"),
+      requestsServed(stats_.counter("requests_served")),
+      bytesToGpu(stats_.counter("bytes_to_gpu")),
+      bytesFromGpu(stats_.counter("bytes_from_gpu"))
+{
+}
+
+CpuDaemon::~CpuDaemon()
+{
+    stop();
+}
+
+RpcQueue &
+CpuDaemon::attachGpu(gpu::GpuDevice &dev)
+{
+    gpufs_assert(!running.load(), "attachGpu after start");
+    ports.push_back(GpuPort{&dev, std::make_unique<RpcQueue>(doorbell)});
+    return *ports.back().queue;
+}
+
+void
+CpuDaemon::start()
+{
+    gpufs_assert(!running.load(), "daemon already running");
+    running.store(true);
+    worker = std::thread([this] { loop(); });
+}
+
+void
+CpuDaemon::stop()
+{
+    if (!running.exchange(false))
+        return;
+    doorbell.fetch_add(1);
+    doorbell.notify_one();
+    if (worker.joinable())
+        worker.join();
+}
+
+void
+CpuDaemon::loop()
+{
+    uint64_t seen = doorbell.load(std::memory_order_acquire);
+    while (running.load(std::memory_order_acquire)) {
+        bool any = false;
+        // Event loop: sweep every GPU's queue, service what's ready.
+        for (unsigned i = 0; i < ports.size(); ++i) {
+            RpcSlot *slot;
+            while ((slot = ports[i].queue->poll()) != nullptr) {
+                RpcResponse resp = handle(i, slot->req);
+                RpcQueue::complete(*slot, resp);
+                requestsServed.inc();
+                any = true;
+            }
+        }
+        if (!any) {
+            // Nothing ready: park on the doorbell (simulated poll).
+            uint64_t cur = doorbell.load(std::memory_order_acquire);
+            if (cur == seen)
+                doorbell.wait(cur, std::memory_order_acquire);
+            seen = doorbell.load(std::memory_order_acquire);
+        }
+    }
+    // Drain: fail any requests that raced with shutdown so no GPU
+    // block is left waiting forever.
+    for (auto &port : ports) {
+        RpcSlot *slot;
+        while ((slot = port.queue->poll()) != nullptr) {
+            RpcResponse resp;
+            resp.status = Status::IoError;
+            resp.done = slot->req.issueTime;
+            RpcQueue::complete(*slot, resp);
+        }
+    }
+}
+
+RpcResponse
+CpuDaemon::handle(unsigned port_idx, const RpcRequest &req)
+{
+    gpu::GpuDevice &dev = *ports[port_idx].dev;
+    auto &sim = dev.simContext();
+    const auto &p = sim.params;
+
+    // Every request pays queue-submit latency plus the daemon's
+    // per-request handling on the (single) host CPU it is pinned to.
+    Time ready = req.issueTime + p.rpcSubmitLat;
+    Time t0 = sim.cpuIo.reserve(ready, p.rpcCpuOverhead).end;
+
+    RpcResponse resp;
+    switch (req.op) {
+      case RpcOp::Open:
+        resp = handleOpen(dev, req);
+        resp.done = t0;
+        break;
+      case RpcOp::Close:
+        resp = handleClose(dev, req);
+        resp.done = t0;
+        break;
+      case RpcOp::ReadPage: {
+        RpcRequest timed = req;
+        timed.issueTime = t0;
+        resp = handleReadPage(dev, timed);
+        break;
+      }
+      case RpcOp::WriteBack: {
+        RpcRequest timed = req;
+        timed.issueTime = t0;
+        resp = handleWriteBack(dev, timed);
+        break;
+      }
+      case RpcOp::Fsync: {
+        hostfs::IoResult r = fs.fsync(req.hostFd, t0);
+        resp.status = r.status;
+        resp.done = r.done;
+        break;
+      }
+      case RpcOp::Truncate: {
+        resp.status = fs.ftruncate(req.hostFd, req.offset);
+        if (ok(resp.status)) {
+            hostfs::FileInfo info;
+            if (ok(fs.fstat(req.hostFd, &info))) {
+                resp.size = info.size;
+                resp.version = info.version;
+            }
+        }
+        resp.done = t0;
+        break;
+      }
+      case RpcOp::Unlink: {
+        hostfs::FileInfo info;
+        if (ok(fs.stat(req.path, &info)))
+            consistency.dropFile(info.ino);
+        resp.status = fs.unlink(req.path);
+        resp.done = t0;
+        break;
+      }
+      case RpcOp::Stat: {
+        hostfs::FileInfo info;
+        resp.status = fs.stat(req.path, &info);
+        if (ok(resp.status)) {
+            resp.ino = info.ino;
+            resp.size = info.size;
+            resp.version = info.version;
+        }
+        resp.done = t0;
+        break;
+      }
+      case RpcOp::Nop:
+        resp.done = t0;
+        break;
+    }
+    return resp;
+}
+
+RpcResponse
+CpuDaemon::handleOpen(gpu::GpuDevice &dev, const RpcRequest &req)
+{
+    RpcResponse resp;
+    Status st;
+    int fd = fs.open(req.path, req.flags, &st);
+    if (fd < 0) {
+        resp.status = st;
+        return resp;
+    }
+    hostfs::FileInfo info;
+    fs.fstat(fd, &info);
+
+    Status adm = consistency.acquireOpen(dev.id(), info.ino, req.wantsWrite,
+                                         req.mergeableWriter);
+    if (!ok(adm)) {
+        fs.close(fd);
+        resp.status = adm;
+        return resp;
+    }
+    {
+        std::lock_guard<std::mutex> lock(claimMtx);
+        fdClaims[fd] = {info.ino, req.wantsWrite};
+    }
+    resp.status = Status::Ok;
+    resp.hostFd = fd;
+    resp.ino = info.ino;
+    resp.size = info.size;
+    resp.version = info.version;
+    return resp;
+}
+
+RpcResponse
+CpuDaemon::handleClose(gpu::GpuDevice &dev, const RpcRequest &req)
+{
+    RpcResponse resp;
+    FdClaim claim{0, false};
+    bool have_claim = false;
+    {
+        std::lock_guard<std::mutex> lock(claimMtx);
+        auto it = fdClaims.find(req.hostFd);
+        if (it != fdClaims.end()) {
+            claim = it->second;
+            have_claim = true;
+            fdClaims.erase(it);
+        }
+    }
+    if (have_claim)
+        consistency.releaseOpen(dev.id(), claim.ino, claim.write);
+    resp.status = fs.close(req.hostFd);
+    return resp;
+}
+
+RpcResponse
+CpuDaemon::handleReadPage(gpu::GpuDevice &dev, const RpcRequest &req)
+{
+    auto &sim = dev.simContext();
+    const auto &p = sim.params;
+    RpcResponse resp;
+
+    // Host file -> staging: the daemon's pread, serialized on cpuIo.
+    hostfs::IoResult r = fs.pread(req.hostFd, req.data, req.len, req.offset,
+                                  req.issueTime, &sim.cpuIo);
+    resp.status = r.status;
+    resp.bytes = r.bytes;
+    Time t = r.done;
+
+    // Staging -> GPU page: DMA on this GPU's H2D channel. Functionally
+    // the pread above already placed the bytes (one copy in simulation).
+    if (r.bytes > 0 && p.chargeDma) {
+        Time dur = p.dmaSetup + transferTime(r.bytes, p.pcieBwH2DMBps);
+        sim::Resource &channel =
+            p.serializeDmaWithIo ? sim.cpuIo : dev.pcieH2D();
+        t = channel.reserve(t, dur).end;
+    }
+    bytesToGpu.inc(r.bytes);
+    resp.done = t;
+    return resp;
+}
+
+RpcResponse
+CpuDaemon::handleWriteBack(gpu::GpuDevice &dev, const RpcRequest &req)
+{
+    auto &sim = dev.simContext();
+    const auto &p = sim.params;
+    RpcResponse resp;
+
+    // GPU page -> staging: DMA on the D2H channel.
+    Time t = req.issueTime;
+    if (p.chargeDma) {
+        Time dur = p.dmaSetup + transferTime(req.len, p.pcieBwD2HMBps);
+        sim::Resource &channel =
+            p.serializeDmaWithIo ? sim.cpuIo : dev.pcieD2H();
+        t = channel.reserve(t, dur).end;
+    }
+
+    uint64_t written = 0;
+    if (req.diffAgainstZeros) {
+        // O_GWRONCE: the pristine copy is implicitly all zeros, so the
+        // locally-modified bytes are exactly the non-zero ones. Write
+        // back maximal non-zero runs so concurrent writers to other
+        // regions of the same page are not reverted (§3.1). The runs
+        // land as one gathered write: charge a single pwrite for the
+        // total, not per-run syscall overhead.
+        Time charge_ready = t;
+        uint64_t i = 0;
+        while (i < req.len) {
+            while (i < req.len && req.data[i] == 0)
+                ++i;
+            uint64_t run = i;
+            while (run < req.len && req.data[run] != 0)
+                ++run;
+            if (run > i) {
+                hostfs::IoResult w = fs.pwrite(
+                    req.hostFd, req.data + i, run - i, req.offset + i,
+                    /*ready=*/0, /*io_path=*/nullptr);
+                if (!ok(w.status)) {
+                    resp.status = w.status;
+                    resp.done = t;
+                    return resp;
+                }
+                written += w.bytes;
+            }
+            i = run;
+        }
+        Time copy_dur = p.preadOverhead
+            + transferTime(written, p.hostCacheWriteMBps);
+        t = p.chargeHostIo ? sim.cpuIo.reserve(charge_ready, copy_dur).end
+                           : charge_ready;
+    } else {
+        hostfs::IoResult w = fs.pwrite(req.hostFd, req.data, req.len,
+                                       req.offset, t, &sim.cpuIo);
+        if (!ok(w.status)) {
+            resp.status = w.status;
+            resp.done = w.done;
+            return resp;
+        }
+        written = w.bytes;
+        t = w.done;
+    }
+    bytesFromGpu.inc(req.len);
+    resp.status = Status::Ok;
+    resp.bytes = written;
+    resp.done = t;
+    // Report the post-write version so the writing GPU can keep its
+    // cached version current (its own writes are not "remote" changes).
+    hostfs::FileInfo info;
+    if (ok(fs.fstat(req.hostFd, &info)))
+        resp.version = info.version;
+    return resp;
+}
+
+} // namespace rpc
+} // namespace gpufs

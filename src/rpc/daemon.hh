@@ -1,0 +1,95 @@
+/**
+ * @file
+ * The CPU-side GPUfs daemon (§4.3).
+ *
+ * A single user-level thread in the host application services every
+ * GPU's request queue: "a single-threaded, event-based design on the
+ * host to restrict the GPU-related CPU load to one CPU, simplify
+ * synchronization, and to avoid overwhelming the disk subsystem".
+ * File accesses are therefore ordered (the cpuIo resource serializes
+ * them in virtual time), while DMA runs on the per-GPU PCIe timelines
+ * so disk reads of one request overlap the DMA of another — the
+ * "multiple asynchronous CPU-GPU channels" of the paper.
+ */
+
+#ifndef GPUFS_RPC_DAEMON_HH
+#define GPUFS_RPC_DAEMON_HH
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "base/stats.hh"
+#include "consistency/consistency.hh"
+#include "gpu/device.hh"
+#include "hostfs/hostfs.hh"
+#include "rpc/queue.hh"
+
+namespace gpufs {
+namespace rpc {
+
+class CpuDaemon
+{
+  public:
+    /**
+     * @param host_fs  the host file system requests operate on
+     * @param mgr      consistency layer notified on GPU opens/closes
+     */
+    CpuDaemon(hostfs::HostFs &host_fs, consistency::ConsistencyMgr &mgr);
+    ~CpuDaemon();
+
+    CpuDaemon(const CpuDaemon &) = delete;
+    CpuDaemon &operator=(const CpuDaemon &) = delete;
+
+    /**
+     * Register a GPU and create its request queue. Must be called
+     * before start(). @return the queue the GPU submits to.
+     */
+    RpcQueue &attachGpu(gpu::GpuDevice &dev);
+
+    /** Start the daemon thread. */
+    void start();
+    /** Stop and join the daemon thread. Idempotent. */
+    void stop();
+
+    StatSet &stats() { return stats_; }
+    hostfs::HostFs &hostFs() { return fs; }
+    consistency::ConsistencyMgr &consistencyMgr() { return consistency; }
+
+  private:
+    struct GpuPort {
+        gpu::GpuDevice *dev;
+        std::unique_ptr<RpcQueue> queue;
+    };
+
+    hostfs::HostFs &fs;
+    consistency::ConsistencyMgr &consistency;
+    std::vector<GpuPort> ports;
+    std::atomic<uint64_t> doorbell{0};
+    std::atomic<bool> running{false};
+    std::thread worker;
+
+    StatSet stats_;
+    Counter &requestsServed;
+    Counter &bytesToGpu;
+    Counter &bytesFromGpu;
+
+    void loop();
+    RpcResponse handle(unsigned port_idx, const RpcRequest &req);
+
+    RpcResponse handleOpen(gpu::GpuDevice &dev, const RpcRequest &req);
+    RpcResponse handleClose(gpu::GpuDevice &dev, const RpcRequest &req);
+    RpcResponse handleReadPage(gpu::GpuDevice &dev, const RpcRequest &req);
+    RpcResponse handleWriteBack(gpu::GpuDevice &dev, const RpcRequest &req);
+
+    /** Track (fd -> ino, write, gwronce) for consistency release. */
+    struct FdClaim { uint64_t ino; bool write; };
+    std::mutex claimMtx;
+    std::unordered_map<int, FdClaim> fdClaims;
+};
+
+} // namespace rpc
+} // namespace gpufs
+
+#endif // GPUFS_RPC_DAEMON_HH

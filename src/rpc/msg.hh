@@ -1,0 +1,71 @@
+/**
+ * @file
+ * RPC message set for the GPU-as-client protocol (§4.3).
+ *
+ * The GPU sends commands; bulk data never travels through the queue —
+ * for reads and write-backs the request carries a raw pointer into the
+ * GPU buffer cache and the "DMA engine" (the daemon) copies directly
+ * to/from that page, exactly as the paper's CPU-initiated DMA does with
+ * GPU-supplied source/destination pointers.
+ */
+
+#ifndef GPUFS_RPC_MSG_HH
+#define GPUFS_RPC_MSG_HH
+
+#include <cstdint>
+
+#include "base/status.hh"
+#include "base/units.hh"
+
+namespace gpufs {
+namespace rpc {
+
+enum class RpcOp : uint32_t {
+    Nop = 0,
+    Open,        ///< open host file; returns fd, ino, size, version
+    Close,       ///< close host fd
+    ReadPage,    ///< host file -> GPU buffer-cache page (H2D DMA)
+    WriteBack,   ///< GPU page -> host file (D2H DMA), optional zero-diff
+    Fsync,       ///< flush host dirty pages of fd to disk
+    Truncate,
+    Unlink,
+    Stat,
+};
+
+/** Maximum path length carried in a fixed-size request slot. */
+constexpr size_t kMaxPath = 240;
+
+struct RpcRequest {
+    RpcOp op = RpcOp::Nop;
+    unsigned gpuId = 0;
+    Time issueTime = 0;         ///< requester's virtual clock at submit
+
+    char path[kMaxPath] = {};   ///< Open/Unlink/Stat
+    uint32_t flags = 0;         ///< Open: host-visible open flags
+    bool wantsWrite = false;    ///< Open: GPU intends to write
+    /** Open: this writer's updates merge (O_GWRONCE or diff-and-merge),
+     *  so it may coexist with other mergeable writers. */
+    bool mergeableWriter = false;
+    bool nosync = false;        ///< Open: O_NOSYNC temp file
+
+    int hostFd = -1;            ///< Close/ReadPage/WriteBack/Fsync/Truncate
+    uint64_t offset = 0;        ///< ReadPage/WriteBack/Truncate(new size)
+    uint64_t len = 0;           ///< ReadPage/WriteBack
+    uint8_t *data = nullptr;    ///< GPU page pointer for bulk ops
+    bool diffAgainstZeros = false;  ///< WriteBack: O_GWRONCE semantics
+};
+
+struct RpcResponse {
+    Status status = Status::Ok;
+    int hostFd = -1;
+    uint64_t ino = 0;
+    uint64_t size = 0;
+    uint64_t version = 0;
+    uint64_t bytes = 0;         ///< bytes actually moved
+    Time done = 0;              ///< virtual completion time
+};
+
+} // namespace rpc
+} // namespace gpufs
+
+#endif // GPUFS_RPC_MSG_HH

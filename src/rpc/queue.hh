@@ -1,0 +1,145 @@
+/**
+ * @file
+ * The per-GPU RPC request queue.
+ *
+ * In the paper this is a FIFO of slots in write-shared (zero-copy
+ * mapped) CPU memory: GPU threadblocks fill slots and set a ready flag
+ * with a memory fence; the CPU daemon polls for ready slots, services
+ * them, and flips the flag back (no PCIe atomics exist, so the protocol
+ * is pure message passing with one-directional flag handoff — each
+ * field has exactly one writer at a time).
+ *
+ * The simulation keeps that slot protocol bit-for-bit, replacing the
+ * busy-poll with C++20 atomic wait/notify so host CPUs aren't burned
+ * spinning; semantically the daemon still "polls" — nothing blocks the
+ * GPU side except its own slot's completion flag.
+ */
+
+#ifndef GPUFS_RPC_QUEUE_HH
+#define GPUFS_RPC_QUEUE_HH
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+
+#include "base/logging.hh"
+#include "rpc/msg.hh"
+
+namespace gpufs {
+namespace rpc {
+
+/** Slot handshake states. Written by one side at a time. */
+enum SlotState : uint32_t {
+    kSlotFree = 0,       ///< owned by GPU allocators
+    kSlotFilling = 1,    ///< a GPU block is writing the request
+    kSlotReady = 2,      ///< request visible to the CPU daemon
+    kSlotBusy = 3,       ///< daemon is servicing it
+    kSlotDone = 4,       ///< response visible to the GPU block
+};
+
+/** Number of request slots per GPU queue. */
+constexpr unsigned kQueueSlots = 64;
+
+struct alignas(64) RpcSlot {
+    std::atomic<uint32_t> state{kSlotFree};
+    RpcRequest req;
+    RpcResponse resp;
+};
+
+/**
+ * One GPU's request queue plus the doorbell the daemon sleeps on.
+ * The doorbell is shared across queues (owned by the daemon) so a
+ * single thread can watch every GPU, like the paper's one-CPU design.
+ */
+class RpcQueue
+{
+  public:
+    explicit RpcQueue(std::atomic<uint64_t> &doorbell_counter)
+        : doorbell(doorbell_counter) {}
+
+    RpcQueue(const RpcQueue &) = delete;
+    RpcQueue &operator=(const RpcQueue &) = delete;
+
+    /**
+     * Synchronous call from a GPU block: allocate a slot, publish the
+     * request, wait for completion. Returns the response by value.
+     */
+    RpcResponse
+    call(const RpcRequest &req)
+    {
+        RpcSlot &slot = allocate();
+        slot.req = req;
+        // Publish: the state store is the fence making req visible.
+        slot.state.store(kSlotReady, std::memory_order_release);
+        doorbell.fetch_add(1, std::memory_order_release);
+        doorbell.notify_one();
+
+        // GPU side spins on its own slot (bounded spin, then park).
+        uint32_t s;
+        int spins = 0;
+        while ((s = slot.state.load(std::memory_order_acquire))
+               != kSlotDone) {
+            if (++spins > 1024)
+                slot.state.wait(s, std::memory_order_acquire);
+        }
+        RpcResponse resp = slot.resp;
+        slot.state.store(kSlotFree, std::memory_order_release);
+        slot.state.notify_all();
+        return resp;
+    }
+
+    /**
+     * Daemon side: scan for a ready slot and claim it.
+     * @return the claimed slot, or nullptr if none ready.
+     */
+    RpcSlot *
+    poll()
+    {
+        for (unsigned i = 0; i < kQueueSlots; ++i) {
+            uint32_t expect = kSlotReady;
+            if (slots[i].state.compare_exchange_strong(
+                    expect, kSlotBusy, std::memory_order_acq_rel)) {
+                return &slots[i];
+            }
+        }
+        return nullptr;
+    }
+
+    /** Daemon side: publish the response and release the slot. */
+    static void
+    complete(RpcSlot &slot, const RpcResponse &resp)
+    {
+        slot.resp = resp;
+        slot.state.store(kSlotDone, std::memory_order_release);
+        slot.state.notify_all();
+    }
+
+  private:
+    RpcSlot &
+    allocate()
+    {
+        // Ticket-spread probing keeps concurrent blocks off each
+        // other's cache lines; waits when all slots are in flight.
+        unsigned start = ticket.fetch_add(1, std::memory_order_relaxed);
+        for (;;) {
+            for (unsigned i = 0; i < kQueueSlots; ++i) {
+                RpcSlot &slot = slots[(start + i) % kQueueSlots];
+                uint32_t expect = kSlotFree;
+                if (slot.state.compare_exchange_strong(
+                        expect, kSlotFilling, std::memory_order_acq_rel)) {
+                    return slot;
+                }
+            }
+            std::this_thread::yield();
+        }
+    }
+
+    RpcSlot slots[kQueueSlots];
+    std::atomic<unsigned> ticket{0};
+    std::atomic<uint64_t> &doorbell;
+};
+
+} // namespace rpc
+} // namespace gpufs
+
+#endif // GPUFS_RPC_QUEUE_HH

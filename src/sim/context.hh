@@ -1,0 +1,52 @@
+/**
+ * @file
+ * SimContext: the shared virtual-time state of one simulated machine —
+ * the cost-model parameters plus the host-side resources every device
+ * contends for (the single-threaded daemon's file-I/O path and the
+ * disk). Per-GPU resources (PCIe links, MP slots) live in GpuDevice.
+ */
+
+#ifndef GPUFS_SIM_CONTEXT_HH
+#define GPUFS_SIM_CONTEXT_HH
+
+#include "sim/hw_params.hh"
+#include "sim/resource.hh"
+
+namespace gpufs {
+namespace sim {
+
+class SimContext
+{
+  public:
+    explicit SimContext(const HwParams &hw_params = HwParams{})
+        : params(hw_params), cpuIo("cpu_io"), disk("disk") {}
+
+    SimContext(const SimContext &) = delete;
+    SimContext &operator=(const SimContext &) = delete;
+
+    /** Cost-model parameters. Mutable so benchmarks can toggle charges. */
+    HwParams params;
+
+    /**
+     * The host daemon's file-I/O path. The paper's daemon is single
+     * threaded and "orders file accesses" (§4.3), so this is a single-
+     * server resource shared by all GPUs.
+     */
+    Resource cpuIo;
+
+    /** The disk behind the host page cache. */
+    Resource disk;
+
+    /** Clear all reservations (between benchmark phases). */
+    void
+    reset()
+    {
+        cpuIo.reset();
+        disk.reset();
+    }
+};
+
+} // namespace sim
+} // namespace gpufs
+
+#endif // GPUFS_SIM_CONTEXT_HH

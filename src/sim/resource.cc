@@ -1,0 +1,141 @@
+#include "sim/resource.hh"
+
+#include "base/logging.hh"
+
+namespace gpufs {
+namespace sim {
+
+Grant
+Resource::reserve(Time ready, Time dur)
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    busyTime_ += dur;
+    if (dur == 0)
+        return {ready, ready};
+
+    // Find the earliest gap of length >= dur starting at or after
+    // ready. Intervals are disjoint and coalesced, so walking from the
+    // last interval that begins at or before `t` suffices.
+    Time t = ready;
+    auto it = busy.upper_bound(t);
+    if (it != busy.begin()) {
+        auto prev = std::prev(it);
+        if (prev->second > t)
+            t = prev->second;     // ready lands inside a busy interval
+    }
+    while (it != busy.end() && it->first < t + dur) {
+        t = it->second;           // gap too small; skip past interval
+        ++it;
+    }
+
+    // Insert [t, t+dur) and coalesce with neighbours.
+    Time start = t;
+    Time end = t + dur;
+    if (it != busy.end() && it->first == end) {
+        end = it->second;
+        it = busy.erase(it);
+    }
+    if (it != busy.begin()) {
+        auto prev = std::prev(it);
+        if (prev->second == start) {
+            start = prev->first;
+            busy.erase(prev);
+        }
+    }
+    busy.emplace(start, end);
+
+    // Bound memory: merge the oldest fragments once the map grows
+    // large (treating old gaps as busy only delays stragglers that
+    // are already far in the past).
+    if (busy.size() > 8192) {
+        auto first = busy.begin();
+        auto second = std::next(first);
+        Time merged_end = std::max(first->second, second->second);
+        Time merged_start = first->first;
+        busy.erase(first, std::next(second));
+        busy.emplace(merged_start, merged_end);
+    }
+    return {t, t + dur};
+}
+
+Time
+Resource::horizon() const
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    return busy.empty() ? 0 : busy.rbegin()->second;
+}
+
+MultiResource::MultiResource(std::string resource_name, unsigned num_servers)
+    : name_(std::move(resource_name))
+{
+    if (num_servers == 0)
+        gpufs_fatal("MultiResource '%s' needs at least one server",
+                    name_.c_str());
+    freeAt.assign(num_servers, 0);
+}
+
+unsigned
+MultiResource::pickEarliestLocked() const
+{
+    unsigned best = 0;
+    for (unsigned i = 1; i < freeAt.size(); ++i) {
+        if (freeAt[i] < freeAt[best])
+            best = i;
+    }
+    return best;
+}
+
+Grant
+MultiResource::reserve(Time ready, Time dur)
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    unsigned s = pickEarliestLocked();
+    Time start = std::max(ready, freeAt[s]);
+    freeAt[s] = start + dur;
+    return {start, freeAt[s]};
+}
+
+Grant
+MultiResource::acquire(Time ready)
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    unsigned s = pickEarliestLocked();
+    Time start = std::max(ready, freeAt[s]);
+    // Mark the server busy "forever" until release() publishes the real
+    // end; encode the server index in the grant via the start time pair.
+    freeAt[s] = UINT64_MAX;
+    return {start, static_cast<Time>(s)};   // .end carries the server id
+}
+
+void
+MultiResource::release(const Grant &grant, Time end)
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    unsigned s = static_cast<unsigned>(grant.end);
+    gpufs_assert(s < freeAt.size(), "bad server id %u", s);
+    gpufs_assert(freeAt[s] == UINT64_MAX, "release of non-acquired server");
+    freeAt[s] = end;
+}
+
+Time
+MultiResource::horizon() const
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    Time h = 0;
+    for (Time t : freeAt) {
+        if (t != UINT64_MAX)
+            h = std::max(h, t);
+    }
+    return h;
+}
+
+void
+MultiResource::reset()
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    for (Time &t : freeAt)
+        t = 0;
+}
+
+} // namespace sim
+} // namespace gpufs

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Image-database workload (§5.2.1): approximate image matching.
+ *
+ * "The input is a set of query images and several image databases
+ * containing many small images. The goal is to find which databases
+ * contain images matching the query images ... the databases must be
+ * scanned in a predefined order and only the first match output."
+ * Images are 4K-element float vectors; the paper's inputs are randomly
+ * generated with query images injected at random database locations.
+ *
+ * Databases are procedural (seeded) so multi-GB inputs cost no RAM:
+ * element e of database image i is a hash of (seed, i, e), except
+ * planted images, which reproduce a query image exactly.
+ */
+
+#ifndef GPUFS_WORKLOADS_IMAGEDB_HH
+#define GPUFS_WORKLOADS_IMAGEDB_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/rng.hh"
+#include "base/units.hh"
+#include "consistency/wrapfs.hh"
+#include "hostfs/content.hh"
+#include "hostfs/hostfs.hh"
+
+namespace gpufs {
+namespace workloads {
+
+/** Geometry of one image database file. */
+struct ImageDbSpec {
+    std::string path;
+    uint64_t seed;
+    uint32_t numImages;
+    uint32_t dim = 4096;            ///< elements per image (paper: 4K)
+    /** db image index -> query index planted there. */
+    std::map<uint32_t, uint32_t> planted;
+
+    uint64_t imageBytes() const { return uint64_t(dim) * sizeof(float); }
+    uint64_t fileBytes() const { return uint64_t(numImages) * imageBytes(); }
+};
+
+/** Deterministic value of element @p e of query image @p q. */
+float queryElement(uint64_t query_seed, uint32_t q, uint32_t e);
+
+/** Materialize a full query image. */
+std::vector<float> queryImage(uint64_t query_seed, uint32_t q, uint32_t dim);
+
+/** Deterministic value of element @p e of db image @p i (pre-planting). */
+float dbElement(uint64_t db_seed, uint32_t i, uint32_t e);
+
+/** Install @p spec as a synthetic file in @p fs. */
+void addImageDb(hostfs::HostFs &fs, const ImageDbSpec &spec,
+                uint64_t query_seed);
+
+/**
+ * Squared Euclidean distance with early exit at @p threshold: returns
+ * as soon as the partial sum exceeds it (the result is then >=
+ * threshold, sufficient for match/no-match). *elems_examined reports
+ * how far the scan got (feeds the compute charge model).
+ */
+double distanceSq(const float *a, const float *b, uint32_t dim,
+                  double threshold, uint32_t *elems_examined);
+
+/** A query's first match: database index + image index, or none. */
+struct MatchResult {
+    int db = -1;
+    uint32_t image = 0;
+    bool found() const { return db >= 0; }
+};
+
+/**
+ * CPU baseline (the paper's OpenMP version): 8 cores statically
+ * partition the query set; databases are read once per sweep through
+ * the host FS and scanned in priority order.
+ * @param virt_elapsed out: modelled wall time of the 8-core run.
+ */
+std::vector<MatchResult>
+cpuImageSearch(consistency::WrapFs &fs,
+               const std::vector<ImageDbSpec> &dbs, uint64_t query_seed,
+               uint32_t num_queries, double threshold,
+               Time *virt_elapsed);
+
+/**
+ * Build the paper's three databases (383, 357, 400 MB) scaled by
+ * @p scale (1 = full size), optionally planting every query at a
+ * random location (exact-match input).
+ */
+std::vector<ImageDbSpec>
+makePaperDbs(uint64_t seed, uint32_t num_queries, bool plant_queries,
+             double scale = 1.0);
+
+} // namespace workloads
+} // namespace gpufs
+
+#endif // GPUFS_WORKLOADS_IMAGEDB_HH

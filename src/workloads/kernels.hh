@@ -1,0 +1,93 @@
+/**
+ * @file
+ * The GPU-side applications of §5, written against the GpuFs API.
+ *
+ * Like the paper's workloads, each of these is "implemented entirely in
+ * the GPU kernel without CPU-side application code": the host driver
+ * only launches the kernel. Examples and benchmarks share these
+ * implementations.
+ */
+
+#ifndef GPUFS_WORKLOADS_KERNELS_HH
+#define GPUFS_WORKLOADS_KERNELS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gpufs/gpufs.hh"
+#include "workloads/imagedb.hh"
+#include "workloads/matrix.hh"
+#include "workloads/textcorpus.hh"
+
+namespace gpufs {
+namespace workloads {
+
+/** Install the query-image input file (the paper's 31.5 MB input). */
+void addQueryFile(hostfs::HostFs &fs, const std::string &path,
+                  uint64_t query_seed, uint32_t num_queries, uint32_t dim);
+
+// ---- image search (§5.2.1) ----
+
+struct ImageSearchGpuResult {
+    std::vector<MatchResult> results;   ///< per-query first match
+    Time elapsed;                       ///< virtual kernel time
+};
+
+/**
+ * Run the approximate-image-matching kernel on one GPU. Queries
+ * [q_begin, q_end) are statically split across threadblocks; each
+ * block greads database images into its scratchpad and matches them
+ * against its unmatched queries, scanning databases in priority order.
+ */
+ImageSearchGpuResult
+gpuImageSearch(core::GpuFs &fs, gpu::GpuDevice &dev,
+               const std::vector<ImageDbSpec> &dbs,
+               const std::string &query_path, uint32_t q_begin,
+               uint32_t q_end, double threshold, unsigned num_blocks = 28,
+               unsigned threads = 512);
+
+// ---- grep (§5.2.2) ----
+
+struct GrepGpuResult {
+    std::vector<uint64_t> counts;   ///< per-dictionary-word totals
+    Time elapsed;
+    uint64_t outputBytes;           ///< formatted output written
+};
+
+/**
+ * The "grep -w" kernel: blocks claim files from the list file, read
+ * them through GPUfs, count dictionary words (each thread owns a slice
+ * of the dictionary), and print "word file count" records into an
+ * O_GWRONCE output file via the gpuutil string routines.
+ * @param dict functional word set (the kernel reads the on-disk
+ *             dictionary through GPUfs and cross-checks its size).
+ */
+GrepGpuResult
+gpuGrep(core::GpuFs &fs, gpu::GpuDevice &dev, const Dictionary &dict,
+        const std::string &dict_path, const std::string &list_path,
+        const std::string &out_path, unsigned num_blocks = 28,
+        unsigned threads = 512, uint64_t segment_bytes = 256 * KiB);
+
+// ---- matrix-vector product (§5.1.4) ----
+
+struct MatvecGpuResult {
+    Time elapsed;
+    double checksum;    ///< sum of output elements (verification)
+    uint32_t rows;
+};
+
+/**
+ * y = A·x entirely from the GPU: gmmap over the matrix, gwrite +
+ * gfsync for the output, gftruncate to reset it first — the paper's
+ * no-CPU-code implementation.
+ */
+MatvecGpuResult
+gpuMatvec(core::GpuFs &fs, gpu::GpuDevice &dev, const MatrixSpec &spec,
+          const std::string &out_path, unsigned num_blocks = 28,
+          unsigned threads = 512);
+
+} // namespace workloads
+} // namespace gpufs
+
+#endif // GPUFS_WORKLOADS_KERNELS_HH

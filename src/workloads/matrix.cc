@@ -1,0 +1,120 @@
+#include "workloads/matrix.hh"
+
+#include <cstring>
+
+#include "base/logging.hh"
+#include "base/rng.hh"
+
+namespace gpufs {
+namespace workloads {
+
+namespace {
+
+float
+smallFloat(uint64_t h)
+{
+    // [-0.5, 0.5): keeps dot products numerically tame at 128K columns.
+    return static_cast<float>(h >> 40) * (1.0f / 16777216.0f) - 0.5f;
+}
+
+/** Generator for a row-major float matrix derived from @p seed. */
+hostfs::SyntheticContent::Generator
+matrixGen(uint64_t seed, uint32_t cols)
+{
+    return [seed, cols](uint64_t offset, uint64_t len, uint8_t *dst) {
+        uint64_t row_bytes = uint64_t(cols) * sizeof(float);
+        uint64_t pos = offset;
+        const uint64_t end = offset + len;
+        while (pos < end) {
+            uint32_t r = uint32_t(pos / row_bytes);
+            uint64_t in_row = pos % row_bytes;
+            uint32_t c = uint32_t(in_row / sizeof(float));
+            uint32_t in_elem = uint32_t(in_row % sizeof(float));
+            float v = smallFloat(hashCombine(hashCombine(seed, r), c));
+            uint8_t bytes[sizeof(float)];
+            std::memcpy(bytes, &v, sizeof(float));
+            uint64_t n =
+                std::min<uint64_t>(sizeof(float) - in_elem, end - pos);
+            std::memcpy(dst + (pos - offset), bytes + in_elem, n);
+            pos += n;
+        }
+    };
+}
+
+} // namespace
+
+float
+matrixElement(uint64_t seed, uint32_t r, uint32_t c)
+{
+    return smallFloat(hashCombine(hashCombine(seed, r), c));
+}
+
+float
+vectorElement(uint64_t seed, uint32_t c)
+{
+    return smallFloat(hashCombine(seed ^ 0x5EC7u, c));
+}
+
+void
+addMatrixFiles(hostfs::HostFs &fs, const MatrixSpec &spec)
+{
+    Status st = fs.addFile(
+        spec.matrixPath,
+        std::make_unique<hostfs::SyntheticContent>(
+            matrixGen(spec.seed, spec.cols)),
+        spec.matrixBytes());
+    if (!ok(st))
+        gpufs_fatal("addMatrixFiles(%s): %s", spec.matrixPath.c_str(),
+                    statusName(st));
+
+    uint64_t vseed = spec.seed;
+    uint32_t cols = spec.cols;
+    auto vgen = [vseed, cols](uint64_t offset, uint64_t len, uint8_t *dst) {
+        uint64_t pos = offset;
+        const uint64_t end = offset + len;
+        while (pos < end) {
+            uint32_t c = uint32_t(pos / sizeof(float));
+            uint32_t in_elem = uint32_t(pos % sizeof(float));
+            float v = c < cols ? vectorElement(vseed, c) : 0.0f;
+            uint8_t bytes[sizeof(float)];
+            std::memcpy(bytes, &v, sizeof(float));
+            uint64_t n =
+                std::min<uint64_t>(sizeof(float) - in_elem, end - pos);
+            std::memcpy(dst + (pos - offset), bytes + in_elem, n);
+            pos += n;
+        }
+    };
+    st = fs.addFile(spec.vectorPath,
+                    std::make_unique<hostfs::SyntheticContent>(vgen),
+                    uint64_t(spec.cols) * sizeof(float));
+    if (!ok(st))
+        gpufs_fatal("addMatrixFiles(%s): %s", spec.vectorPath.c_str(),
+                    statusName(st));
+}
+
+double
+referenceRow(const MatrixSpec &spec, uint32_t r)
+{
+    double sum = 0.0;
+    for (uint32_t c = 0; c < spec.cols; ++c) {
+        sum += double(matrixElement(spec.seed, r, c)) *
+            double(vectorElement(spec.seed, c));
+    }
+    return sum;
+}
+
+MatrixSpec
+makeMatrix(uint64_t seed, double mb, const std::string &dir)
+{
+    MatrixSpec spec;
+    spec.seed = seed;
+    spec.matrixPath = dir + "/matrix.bin";
+    spec.vectorPath = dir + "/vector.bin";
+    spec.rows = uint32_t(uint64_t(mb * 1e6) / spec.rowBytes());
+    if (spec.rows == 0)
+        spec.rows = 1;
+    return spec;
+}
+
+} // namespace workloads
+} // namespace gpufs

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Matrix-vector product workload (§5.1.4, Figure 8).
+ *
+ * Single-precision y = A·x with a fixed 128K-element vector and a
+ * matrix swept from a few hundred MB to 11 GB — deliberately past both
+ * the GPU's memory and the host's page cache. Matrices are procedural
+ * (seeded), so the 11 GB input needs no RAM; reference results are
+ * computable row by row for verification.
+ */
+
+#ifndef GPUFS_WORKLOADS_MATRIX_HH
+#define GPUFS_WORKLOADS_MATRIX_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hostfs/hostfs.hh"
+
+namespace gpufs {
+namespace workloads {
+
+/** Paper: "we fix the input vector length to 128K elements". */
+constexpr uint32_t kMatvecCols = 128 * 1024;
+
+struct MatrixSpec {
+    std::string matrixPath;
+    std::string vectorPath;
+    uint64_t seed;
+    uint32_t rows;
+    uint32_t cols = kMatvecCols;
+
+    uint64_t rowBytes() const { return uint64_t(cols) * sizeof(float); }
+    uint64_t matrixBytes() const { return uint64_t(rows) * rowBytes(); }
+};
+
+/** Element (r, c) of the matrix. */
+float matrixElement(uint64_t seed, uint32_t r, uint32_t c);
+
+/** Element c of the input vector. */
+float vectorElement(uint64_t seed, uint32_t c);
+
+/** Install matrix + vector files in @p fs. */
+void addMatrixFiles(hostfs::HostFs &fs, const MatrixSpec &spec);
+
+/** Reference dot product of row @p r with the vector. */
+double referenceRow(const MatrixSpec &spec, uint32_t r);
+
+/** Spec with @p mb megabytes of matrix (rounded to whole rows). */
+MatrixSpec makeMatrix(uint64_t seed, double mb, const std::string &dir);
+
+} // namespace workloads
+} // namespace gpufs
+
+#endif // GPUFS_WORKLOADS_MATRIX_HH

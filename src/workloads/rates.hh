@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Calibrated compute rates for the application workloads (§5.2).
+ *
+ * The simulator reproduces *system* behaviour (caching, RPC, paging,
+ * transfer overlap) structurally, but the raw arithmetic speed of a
+ * TESLA C2075 threadblock or a Xeon L5630 core is a hardware fact we
+ * cannot re-derive on a different machine; those enter as per-workload
+ * charge rates, calibrated once from the paper's own numbers and
+ * documented here. EXPERIMENTS.md carries the full derivations.
+ */
+
+#ifndef GPUFS_WORKLOADS_RATES_HH
+#define GPUFS_WORKLOADS_RATES_HH
+
+#include "base/units.hh"
+
+namespace gpufs {
+namespace workloads {
+
+/**
+ * Image matching (§5.2.1). The kernel compares query images to database
+ * images (4K-element float vectors, Euclidean distance with early
+ * exit). We charge a fixed cost per query-image pair examined.
+ *
+ * GPU: the no-match run scans all pairs: 2,016 queries x 72,960 db
+ * images = 147.1M pairs in 53 s on one GPU with 28 resident blocks
+ * => 53 s * 28 / 147.1M = ~10.1 us per pair per block *including* the
+ * buffer-cache access and data-movement costs folded into every pair.
+ * Our kernel charges those system costs explicitly (gread hits, page
+ * maps, PCIe), so the pure-compute residual per pair is lower; 5.5 us
+ * reproduces the paper's CPU:GPU ratio of ~2.2x once system charges
+ * are added back by the simulator.
+ * CPU: 119 s on 8 cores => 119 * 8 / 147.1M = ~6.5 us per pair per core
+ * (a Xeon core is faster than one GPU threadblock's slice; the GPU wins
+ * on block parallelism, matching the paper's 18 vs 9 GFLOP/s).
+ */
+constexpr Time kImagePairCostGpuBlock = 5500;    // ns per pair per block
+constexpr Time kImagePairCostCpuCore = 6500;     // ns per pair per core
+
+/**
+ * Exact string match, "grep -w" (§5.2.2). Every GPU thread scans file
+ * text for its share of the 58,000-word dictionary; the charge is per
+ * (text byte x dictionary word) per thread.
+ *
+ * GPU: Linux source = 524 MB, 53 min on 28 blocks x 512 threads
+ * => 3,180 s * 28 * 512 / (524e6 * 58,000) = ~1,500 ns
+ * (Shakespeare cross-checks: 6 MB in 40 s => ~1,650 ns). A single GPU
+ * thread is ~250x slower than a Xeon core on this byte-at-a-time,
+ * branchy scan; the GPU wins only through its 14,336-thread residency,
+ * netting the paper's ~7x.
+ * CPU: 6.07 h on 8 cores => 21,852 s * 8 / (524e6 * 58,000) = ~5.8 ns
+ * (Shakespeare: 292 s => ~6.7 ns; we use 6.0 ns).
+ */
+constexpr double kGrepByteWordCostGpuThreadNs = 1500.0;
+constexpr double kGrepByteWordCostCpuCoreNs = 6.0;
+
+/**
+ * Matrix-vector product (§5.1.4): 2 flops per element, entirely
+ * PCIe-bound on the paper's hardware. Effective in-kernel rate for a
+ * C2075 streaming from GDDR5 (bandwidth-limited: 144 GB/s / 4 B per
+ * element ~= 36 Gelem/s => ~72 GFLOP/s effective).
+ */
+constexpr double kMatvecGpuGFlops = 72.0;
+
+/** Number of CPU cores in the paper's baselines ("CPUx8"). */
+constexpr unsigned kCpuCores = 8;
+
+} // namespace workloads
+} // namespace gpufs
+
+#endif // GPUFS_WORKLOADS_RATES_HH

@@ -1,0 +1,252 @@
+#include "workloads/textcorpus.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "base/logging.hh"
+#include "base/rng.hh"
+#include "gpuutil/gstring.hh"
+#include "workloads/rates.hh"
+
+namespace gpufs {
+namespace workloads {
+
+namespace {
+
+/** Deterministic lowercase word: base letters from the rng, plus an
+ *  index-derived suffix guaranteeing uniqueness. */
+std::string
+makeWord(SplitMix64 &rng, uint32_t index)
+{
+    unsigned base_len = 2 + unsigned(rng.nextBelow(8));   // 2..9 chars
+    std::string w;
+    w.reserve(base_len + 4);
+    for (unsigned i = 0; i < base_len; ++i)
+        w.push_back(char('a' + rng.nextBelow(26)));
+    // Unique suffix: index in base 26. Total length <= 14 < 32-byte
+    // record with room for the NUL padding.
+    uint32_t v = index;
+    do {
+        w.push_back(char('a' + v % 26));
+        v /= 26;
+    } while (v != 0);
+    return w;
+}
+
+} // namespace
+
+Dictionary::Dictionary(uint64_t seed, uint32_t count)
+{
+    SplitMix64 rng(hash64(seed));
+    words_.reserve(count);
+    for (uint32_t i = 0; i < count; ++i) {
+        std::string w = makeWord(rng, i);
+        gpufs_assert(w.size() < kDictRecord, "dictionary word too long");
+        index.emplace(w, i);
+        words_.push_back(std::move(w));
+    }
+    gpufs_assert(index.size() == count, "dictionary words not unique");
+}
+
+int32_t
+Dictionary::lookup(const std::string &token) const
+{
+    auto it = index.find(token);
+    return it == index.end() ? -1 : int32_t(it->second);
+}
+
+int32_t
+Dictionary::lookup(const char *s, size_t len) const
+{
+    return lookup(std::string(s, len));
+}
+
+std::vector<uint8_t>
+Dictionary::fileImage() const
+{
+    std::vector<uint8_t> img(size_t(words_.size()) * kDictRecord, 0);
+    for (size_t i = 0; i < words_.size(); ++i) {
+        std::memcpy(img.data() + i * kDictRecord, words_[i].data(),
+                    words_[i].size());
+    }
+    return img;
+}
+
+void
+Dictionary::install(hostfs::HostFs &fs, const std::string &path) const
+{
+    auto img = fileImage();
+    uint64_t bytes = img.size();
+    Status st = fs.addFile(
+        path, std::make_unique<hostfs::InMemoryContent>(std::move(img)),
+        bytes);
+    if (!ok(st))
+        gpufs_fatal("Dictionary::install(%s): %s", path.c_str(),
+                    statusName(st));
+}
+
+namespace {
+
+/** Append one token stream of ~target bytes to @p out. */
+void
+fillText(std::string &out, const Dictionary &dict, SplitMix64 &rng,
+         uint64_t target, double dict_fraction)
+{
+    while (out.size() < target) {
+        if (rng.nextDouble() < dict_fraction) {
+            out += dict.word(uint32_t(rng.nextBelow(dict.size())));
+        } else {
+            // Identifier-like non-word (underscore keeps it out of the
+            // dictionary by construction).
+            unsigned len = 2 + unsigned(rng.nextBelow(10));
+            out.push_back('_');
+            for (unsigned i = 0; i < len; ++i)
+                out.push_back(char('a' + rng.nextBelow(26)));
+        }
+        out.push_back(rng.nextBelow(12) == 0 ? '\n' : ' ');
+    }
+}
+
+void
+installText(hostfs::HostFs &fs, const std::string &path, std::string text)
+{
+    uint64_t bytes = text.size();
+    std::vector<uint8_t> raw(text.begin(), text.end());
+    Status st = fs.addFile(
+        path, std::make_unique<hostfs::InMemoryContent>(std::move(raw)),
+        bytes);
+    if (!ok(st))
+        gpufs_fatal("installText(%s): %s", path.c_str(), statusName(st));
+}
+
+} // namespace
+
+Corpus
+makeTree(hostfs::HostFs &fs, const Dictionary &dict, uint64_t seed,
+         const std::string &dir, unsigned num_files, uint64_t total_bytes,
+         double dict_fraction)
+{
+    Corpus corpus;
+    SplitMix64 rng(hash64(seed ^ 0xC0DE));
+    // Heavy-tailed sizes (log-normal-ish): source trees are mostly
+    // small files with a long tail; the paper's tree averages ~16 KB.
+    double mean = double(total_bytes) / num_files;
+    std::string list;
+    std::string text;
+    for (unsigned f = 0; f < num_files; ++f) {
+        double z = (rng.nextDouble() + rng.nextDouble() +
+                    rng.nextDouble() - 1.5) * 1.6;      // ~N(0, 1)
+        uint64_t target = std::max<uint64_t>(
+            256, uint64_t(mean * std::exp(z) * 0.8));
+        std::string path = dir + "/f" + std::to_string(f / 256) + "/s" +
+            std::to_string(f) + ".c";
+        text.clear();
+        fillText(text, dict, rng, target, dict_fraction);
+        corpus.totalBytes += text.size();
+        // Manifest line: "path size" (find -printf style) — the GPU
+        // kernel uses the sizes to enumerate work segments up front.
+        list += path + " " + std::to_string(text.size()) + "\n";
+        installText(fs, path, text);
+        corpus.paths.push_back(std::move(path));
+    }
+    corpus.listPath = dir + "/files.list";
+    installText(fs, corpus.listPath, list);
+    return corpus;
+}
+
+Corpus
+makeSingleFile(hostfs::HostFs &fs, const Dictionary &dict, uint64_t seed,
+               const std::string &path, uint64_t bytes,
+               double dict_fraction)
+{
+    Corpus corpus;
+    SplitMix64 rng(hash64(seed ^ 0xBA2D));
+    std::string text;
+    text.reserve(bytes + 64);
+    fillText(text, dict, rng, bytes, dict_fraction);
+    corpus.totalBytes = text.size();
+    installText(fs, path, text);
+    corpus.paths.push_back(path);
+    corpus.listPath = path + ".list";
+    installText(fs, corpus.listPath,
+                path + " " + std::to_string(corpus.totalBytes) + "\n");
+    return corpus;
+}
+
+void
+countWords(const Dictionary &dict, const char *text, size_t len,
+           std::vector<uint64_t> &counts)
+{
+    countWordsRange(dict, text, len, 0, len, counts);
+}
+
+void
+countWordsRange(const Dictionary &dict, const char *text, size_t len,
+                size_t start_lo, size_t start_hi,
+                std::vector<uint64_t> &counts)
+{
+    counts.assign(dict.size(), 0);
+    size_t i = 0;
+    while (i < len && i < start_hi) {
+        while (i < len && gpuutil::gisWordDelim(text[i]))
+            ++i;
+        size_t start = i;
+        while (i < len && !gpuutil::gisWordDelim(text[i]))
+            ++i;
+        if (i > start && start >= start_lo && start < start_hi) {
+            int32_t idx = dict.lookup(text + start, i - start);
+            if (idx >= 0)
+                ++counts[size_t(idx)];
+        }
+    }
+}
+
+std::vector<uint64_t>
+cpuGrep(consistency::WrapFs &fs, const Dictionary &dict,
+        const Corpus &corpus, Time *virt_elapsed)
+{
+    std::vector<uint64_t> totals(dict.size(), 0);
+    std::vector<uint64_t> counts;
+
+    // Phase 1 (paper): "prefetch the contents of the input files into
+    // a large memory buffer first".
+    Time io_time = 0;
+    std::vector<std::string> contents;
+    contents.reserve(corpus.paths.size());
+    std::vector<uint8_t> buf;
+    for (const auto &path : corpus.paths) {
+        Status st;
+        int fd = fs.open(path, hostfs::O_RDONLY_F, &st);
+        if (fd < 0)
+            gpufs_fatal("cpuGrep: open(%s): %s", path.c_str(),
+                        statusName(st));
+        hostfs::FileInfo info;
+        fs.hostFs().fstat(fd, &info);
+        buf.resize(info.size);
+        hostfs::IoResult r = fs.pread(fd, buf.data(), info.size, 0, io_time);
+        io_time = r.done;
+        fs.close(fd);
+        contents.emplace_back(reinterpret_cast<char *>(buf.data()),
+                              info.size);
+    }
+
+    // Phase 2: match. Real counting is a single tokenize pass; the
+    // charge prices the thread-per-word scan of the paper's CPU code
+    // (8 cores, words statically split).
+    Time compute_per_core = 0;
+    for (const auto &text : contents) {
+        countWords(dict, text.data(), text.size(), counts);
+        for (size_t w = 0; w < totals.size(); ++w)
+            totals[w] += counts[w];
+        double byte_words = double(text.size()) * double(dict.size());
+        compute_per_core += Time(byte_words * kGrepByteWordCostCpuCoreNs /
+                                 double(kCpuCores));
+    }
+    if (virt_elapsed)
+        *virt_elapsed = io_time + compute_per_core;
+    return totals;
+}
+
+} // namespace workloads
+} // namespace gpufs

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Text-search workload (§5.2.2): "grep -w" over a dictionary.
+ *
+ * The paper searches 58,000 modern English words (reformatted to
+ * 32-byte-aligned records) through two datasets: the complete works of
+ * Shakespeare (one 6 MB file) and the Linux 3.3.1 source tree (~33,000
+ * files, 524 MB). Neither dataset ships with this repository, so
+ * seeded generators reproduce the *distributions* that drive the
+ * experiment: the dictionary record format, the many-small-files size
+ * profile of a source tree, and a token stream in which a controlled
+ * fraction of tokens are dictionary words.
+ */
+
+#ifndef GPUFS_WORKLOADS_TEXTCORPUS_HH
+#define GPUFS_WORKLOADS_TEXTCORPUS_HH
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "base/units.hh"
+#include "consistency/wrapfs.hh"
+#include "hostfs/hostfs.hh"
+
+namespace gpufs {
+namespace workloads {
+
+/** Paper: every dictionary word is padded to a 32-byte boundary. */
+constexpr uint32_t kDictRecord = 32;
+
+/** A generated dictionary of unique lowercase words. */
+class Dictionary
+{
+  public:
+    /** Generate @p count unique words from @p seed (3..14 chars). */
+    Dictionary(uint64_t seed, uint32_t count);
+
+    uint32_t size() const { return uint32_t(words_.size()); }
+    const std::string &word(uint32_t i) const { return words_[i]; }
+    const std::vector<std::string> &words() const { return words_; }
+
+    /** Index of @p token, or -1 if not a dictionary word. */
+    int32_t lookup(const std::string &token) const;
+    int32_t lookup(const char *s, size_t len) const;
+
+    /** The 32-byte-aligned on-disk dictionary image. */
+    std::vector<uint8_t> fileImage() const;
+
+    /** Install the dictionary file at @p path. */
+    void install(hostfs::HostFs &fs, const std::string &path) const;
+
+  private:
+    std::vector<std::string> words_;
+    std::unordered_map<std::string, uint32_t> index;
+};
+
+/** One generated corpus: file paths plus a file listing them. */
+struct Corpus {
+    std::vector<std::string> paths;
+    std::string listPath;       ///< newline-separated list-of-files file
+    uint64_t totalBytes = 0;
+};
+
+/**
+ * Generate a source-tree-like corpus: @p num_files files whose sizes
+ * follow a heavy-tailed distribution around total/num_files, whose
+ * tokens are drawn from @p dict with probability @p dict_fraction (the
+ * rest are identifier-like non-words). Installed as in-memory files.
+ */
+Corpus makeTree(hostfs::HostFs &fs, const Dictionary &dict, uint64_t seed,
+                const std::string &dir, unsigned num_files,
+                uint64_t total_bytes, double dict_fraction = 0.6);
+
+/** Generate a single large text file (the Shakespeare stand-in). */
+Corpus makeSingleFile(hostfs::HostFs &fs, const Dictionary &dict,
+                      uint64_t seed, const std::string &path,
+                      uint64_t bytes, double dict_fraction = 0.8);
+
+/**
+ * Reference scan: exact whole-word counts of every dictionary word in
+ * text[0..len). One pass (tokenize + hash), used both for functional
+ * verification and as the kernels' fast functional engine — the
+ * *charge* model still prices the paper's brute-force thread-per-word
+ * scan (see rates.hh).
+ */
+void countWords(const Dictionary &dict, const char *text, size_t len,
+                std::vector<uint64_t> &counts);
+
+/**
+ * Segmented variant for parallel scans: counts only tokens whose first
+ * character lies in [start_lo, start_hi) of text[0..len). Segments
+ * overlap by a word-length of slack, and each token is attributed to
+ * the segment containing its start, so per-segment counts sum exactly
+ * to the whole-file counts.
+ */
+void countWordsRange(const Dictionary &dict, const char *text, size_t len,
+                     size_t start_lo, size_t start_hi,
+                     std::vector<uint64_t> &counts);
+
+/**
+ * CPU baseline ("grep -w" on 8 cores): prefetches file contents into
+ * memory, then counts. @return per-word total counts.
+ * @param virt_elapsed out: modelled 8-core wall time.
+ */
+std::vector<uint64_t>
+cpuGrep(consistency::WrapFs &fs, const Dictionary &dict,
+        const Corpus &corpus, Time *virt_elapsed);
+
+} // namespace workloads
+} // namespace gpufs
+
+#endif // GPUFS_WORKLOADS_TEXTCORPUS_HH

@@ -1,0 +1,167 @@
+/** @file Unit tests for src/base. */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "base/logging.hh"
+#include "base/rng.hh"
+#include "base/stats.hh"
+#include "base/status.hh"
+#include "base/units.hh"
+
+namespace gpufs {
+namespace {
+
+TEST(Logging, VformatFormatsLikePrintf)
+{
+    EXPECT_EQ("x=5 s=abc", detail::vformat("x=%d s=%s", 5, "abc"));
+    EXPECT_EQ("", detail::vformat("%s", ""));
+}
+
+TEST(Logging, AssertPassesOnTrue)
+{
+    gpufs_assert(1 + 1 == 2, "math works");
+    SUCCEED();
+}
+
+TEST(Status, EveryCodeHasAName)
+{
+    for (int i = 0; i <= int(Status::TooManyFiles); ++i)
+        EXPECT_STRNE("Unknown", statusName(Status(i)));
+}
+
+TEST(Status, OkPredicate)
+{
+    EXPECT_TRUE(ok(Status::Ok));
+    EXPECT_FALSE(ok(Status::NoEnt));
+}
+
+TEST(Units, TransferTimeMatchesBandwidth)
+{
+    // 1 MB at 1000 MB/s = 1 ms.
+    EXPECT_EQ(Time(1 * kMillisecond), transferTime(1'000'000, 1000.0));
+    // Zero bandwidth -> charge nothing (used by the Fig. 5 toggles).
+    EXPECT_EQ(Time(0), transferTime(12345, 0.0));
+}
+
+TEST(Units, ThroughputInverseOfTransferTime)
+{
+    uint64_t bytes = 512 * MiB;
+    Time t = transferTime(bytes, 5731.0);
+    EXPECT_NEAR(5731.0, throughputMBps(bytes, t), 1.0);
+}
+
+TEST(Units, ConversionHelpers)
+{
+    EXPECT_DOUBLE_EQ(1.5, toSeconds(1'500'000'000ull));
+    EXPECT_DOUBLE_EQ(2.0, toMillis(2'000'000ull));
+}
+
+TEST(Rng, SplitMixIsDeterministic)
+{
+    SplitMix64 a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    SplitMix64 a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.next() == b.next();
+    EXPECT_EQ(0, same);
+}
+
+TEST(Rng, NextBelowInRange)
+{
+    SplitMix64 rng(7);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(rng.nextBelow(17), 17u);
+}
+
+TEST(Rng, NextDoubleInUnitInterval)
+{
+    SplitMix64 rng(9);
+    for (int i = 0; i < 1000; ++i) {
+        double d = rng.nextDouble();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+    }
+}
+
+TEST(Rng, Hash64AvoidsTrivialCollisions)
+{
+    std::set<uint64_t> seen;
+    for (uint64_t i = 0; i < 10000; ++i)
+        seen.insert(hash64(i));
+    EXPECT_EQ(10000u, seen.size());
+}
+
+TEST(Rng, HashCombineOrderSensitive)
+{
+    EXPECT_NE(hashCombine(1, 2), hashCombine(2, 1));
+}
+
+TEST(Stats, CounterBasics)
+{
+    Counter c;
+    EXPECT_EQ(0u, c.get());
+    c.inc();
+    c.inc(41);
+    EXPECT_EQ(42u, c.get());
+    c.reset();
+    EXPECT_EQ(0u, c.get());
+}
+
+TEST(Stats, CounterMaxWith)
+{
+    Counter c;
+    c.maxWith(10);
+    c.maxWith(5);
+    EXPECT_EQ(10u, c.get());
+    c.maxWith(20);
+    EXPECT_EQ(20u, c.get());
+}
+
+TEST(Stats, CounterIsThreadSafe)
+{
+    Counter c;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 8; ++t) {
+        threads.emplace_back([&c] {
+            for (int i = 0; i < 10000; ++i)
+                c.inc();
+        });
+    }
+    for (auto &t : threads)
+        t.join();
+    EXPECT_EQ(80000u, c.get());
+}
+
+TEST(Stats, StatSetSnapshotAndReset)
+{
+    StatSet s("test");
+    s.counter("a").inc(3);
+    s.counter("b").inc(4);
+    auto snap = s.snapshot();
+    EXPECT_EQ(3u, snap.at("a"));
+    EXPECT_EQ(4u, snap.at("b"));
+    s.resetAll();
+    EXPECT_EQ(0u, s.counter("a").get());
+}
+
+TEST(Stats, CounterAddressesStable)
+{
+    StatSet s("test");
+    Counter *a = &s.counter("a");
+    for (int i = 0; i < 100; ++i)
+        s.counter("c" + std::to_string(i));
+    EXPECT_EQ(a, &s.counter("a"));
+}
+
+} // namespace
+} // namespace gpufs

@@ -1,0 +1,156 @@
+/** @file Unit tests for the consistency layer and WrapFs. */
+
+#include <gtest/gtest.h>
+
+#include "consistency/consistency.hh"
+#include "consistency/wrapfs.hh"
+#include "tests/testutil.hh"
+
+namespace gpufs {
+namespace consistency {
+namespace {
+
+TEST(Consistency, MultipleReadersAdmitted)
+{
+    ConsistencyMgr mgr;
+    EXPECT_EQ(Status::Ok, mgr.acquireOpen(0, 1, false, false));
+    EXPECT_EQ(Status::Ok, mgr.acquireOpen(1, 1, false, false));
+    EXPECT_EQ(Status::Ok, mgr.acquireOpen(kCpuDevice, 1, false, false));
+    mgr.releaseOpen(0, 1, false);
+    mgr.releaseOpen(1, 1, false);
+    mgr.releaseOpen(kCpuDevice, 1, false);
+}
+
+TEST(Consistency, SecondWriterRejected)
+{
+    ConsistencyMgr mgr;
+    EXPECT_EQ(Status::Ok, mgr.acquireOpen(0, 1, true, false));
+    EXPECT_EQ(Status::Busy, mgr.acquireOpen(1, 1, true, false));
+    EXPECT_EQ(1u, mgr.writerCount(1));
+    mgr.releaseOpen(0, 1, true);
+    EXPECT_EQ(Status::Ok, mgr.acquireOpen(1, 1, true, false));
+    mgr.releaseOpen(1, 1, true);
+}
+
+TEST(Consistency, SameDeviceMayReopenForWrite)
+{
+    ConsistencyMgr mgr;
+    EXPECT_EQ(Status::Ok, mgr.acquireOpen(0, 1, true, false));
+    EXPECT_EQ(Status::Ok, mgr.acquireOpen(0, 1, true, false));
+    mgr.releaseOpen(0, 1, true);
+    EXPECT_EQ(1u, mgr.writerCount(1));
+    mgr.releaseOpen(0, 1, true);
+    EXPECT_EQ(0u, mgr.writerCount(1));
+}
+
+TEST(Consistency, GwronceWritersMayCoexist)
+{
+    // Write-once writers merge by diff-against-zeros, so several
+    // devices may produce disjoint parts of one file (§3.1).
+    ConsistencyMgr mgr;
+    EXPECT_EQ(Status::Ok, mgr.acquireOpen(0, 1, true, true));
+    EXPECT_EQ(Status::Ok, mgr.acquireOpen(1, 1, true, true));
+    EXPECT_EQ(Status::Ok, mgr.acquireOpen(2, 1, true, true));
+    EXPECT_EQ(3u, mgr.writerCount(1));
+    // ... but a non-mergeable writer cannot join them.
+    EXPECT_EQ(Status::Busy, mgr.acquireOpen(3, 1, true, false));
+    mgr.releaseOpen(0, 1, true);
+    mgr.releaseOpen(1, 1, true);
+    mgr.releaseOpen(2, 1, true);
+}
+
+TEST(Consistency, NonMergeableWriterBlocksGwronce)
+{
+    ConsistencyMgr mgr;
+    EXPECT_EQ(Status::Ok, mgr.acquireOpen(0, 1, true, false));
+    EXPECT_EQ(Status::Busy, mgr.acquireOpen(1, 1, true, true));
+    mgr.releaseOpen(0, 1, true);
+}
+
+TEST(Consistency, WriterClassResetsAfterDrain)
+{
+    ConsistencyMgr mgr;
+    EXPECT_EQ(Status::Ok, mgr.acquireOpen(0, 1, true, false));
+    mgr.releaseOpen(0, 1, true);
+    // Previous non-mergeable writer is gone; GWRONCE group may form.
+    EXPECT_EQ(Status::Ok, mgr.acquireOpen(1, 1, true, true));
+    EXPECT_EQ(Status::Ok, mgr.acquireOpen(2, 1, true, true));
+    mgr.releaseOpen(1, 1, true);
+    mgr.releaseOpen(2, 1, true);
+}
+
+TEST(Consistency, ReadersDoNotBlockWriter)
+{
+    ConsistencyMgr mgr;
+    EXPECT_EQ(Status::Ok, mgr.acquireOpen(0, 1, false, false));
+    EXPECT_EQ(Status::Ok, mgr.acquireOpen(1, 1, true, false));
+    mgr.releaseOpen(0, 1, false);
+    mgr.releaseOpen(1, 1, true);
+}
+
+TEST(Consistency, MustInvalidateOnVersionChange)
+{
+    ConsistencyMgr mgr;
+    EXPECT_FALSE(mgr.mustInvalidate(5, 5));
+    EXPECT_TRUE(mgr.mustInvalidate(4, 5));
+    EXPECT_EQ(1u, mgr.stats().counter("stale_invalidations").get());
+}
+
+TEST(Consistency, DropFileForgetsState)
+{
+    ConsistencyMgr mgr;
+    mgr.acquireOpen(0, 1, true, false);
+    mgr.dropFile(1);
+    EXPECT_EQ(0u, mgr.writerCount(1));
+    EXPECT_EQ(Status::Ok, mgr.acquireOpen(1, 1, true, false));
+    mgr.releaseOpen(1, 1, true);
+}
+
+class WrapFsTest : public ::testing::Test
+{
+  protected:
+    sim::SimContext sim;
+    hostfs::HostFs fs{sim};
+    ConsistencyMgr mgr;
+    WrapFs wrap{fs, mgr};
+};
+
+TEST_F(WrapFsTest, CpuOpenRegistersClaim)
+{
+    test::addRamp(fs, "/f", 100);
+    hostfs::FileInfo info;
+    fs.stat("/f", &info);
+    int fd = wrap.open("/f", hostfs::O_RDWR_F);
+    ASSERT_GE(fd, 0);
+    EXPECT_EQ(1u, mgr.writerCount(info.ino));
+    EXPECT_EQ(Status::Ok, wrap.close(fd));
+    EXPECT_EQ(0u, mgr.writerCount(info.ino));
+}
+
+TEST_F(WrapFsTest, CpuWriterBlockedByGpuWriter)
+{
+    test::addRamp(fs, "/f", 100);
+    hostfs::FileInfo info;
+    fs.stat("/f", &info);
+    ASSERT_EQ(Status::Ok, mgr.acquireOpen(0, info.ino, true, false));
+    Status st;
+    EXPECT_LT(wrap.open("/f", hostfs::O_RDWR_F, &st), 0);
+    EXPECT_EQ(Status::Busy, st);
+    EXPECT_EQ(0u, fs.openCount());   // no fd leaked on rejection
+    mgr.releaseOpen(0, info.ino, true);
+}
+
+TEST_F(WrapFsTest, ReadersPassThrough)
+{
+    test::addRamp(fs, "/f", 100);
+    int fd = wrap.open("/f", hostfs::O_RDONLY_F);
+    ASSERT_GE(fd, 0);
+    uint8_t b;
+    EXPECT_EQ(1u, wrap.pread(fd, &b, 1, 50).bytes);
+    EXPECT_EQ(test::rampByte(50), b);
+    wrap.close(fd);
+}
+
+} // namespace
+} // namespace consistency
+} // namespace gpufs

@@ -1,0 +1,150 @@
+/** @file Unit tests for the CUDA-like baseline host API. */
+
+#include <gtest/gtest.h>
+
+#include "cuda/cudasim.hh"
+#include "tests/testutil.hh"
+
+namespace gpufs {
+namespace cudasim {
+namespace {
+
+class CudaTest : public ::testing::Test
+{
+  protected:
+    sim::SimContext sim;
+    hostfs::HostFs fs{sim};
+    gpu::GpuDevice dev{sim, 0};
+    CudaApp app{dev, fs};
+};
+
+TEST_F(CudaTest, SyncMemcpyBlocksHostClock)
+{
+    Time before = app.now();
+    app.memcpyH2D(64 * MiB);
+    Time dur = app.now() - before;
+    EXPECT_GE(dur, transferTime(64 * MiB, sim.params.pcieBwH2DMBps));
+}
+
+TEST_F(CudaTest, AsyncMemcpyReturnsImmediately)
+{
+    Stream s;
+    Time before = app.now();
+    app.memcpyH2DAsync(s, 64 * MiB);
+    // Submission is cheap; completion is on the stream.
+    EXPECT_LT(app.now() - before, Time(100 * kMicrosecond));
+    EXPECT_GE(s.readyAt, transferTime(64 * MiB, sim.params.pcieBwH2DMBps));
+    app.streamSync(s);
+    EXPECT_GE(app.now(), s.readyAt);
+}
+
+TEST_F(CudaTest, StreamOperationsAreOrdered)
+{
+    Stream s;
+    app.memcpyH2DAsync(s, 16 * MiB);
+    Time after_copy = s.readyAt;
+    app.kernelAsync(s, 5 * kMillisecond);
+    EXPECT_GE(s.readyAt, after_copy + 5 * kMillisecond);
+}
+
+TEST_F(CudaTest, IndependentStreamsOverlapDma)
+{
+    // Same direction: serialized on the single H2D link.
+    Stream a, b;
+    app.memcpyH2DAsync(a, 32 * MiB);
+    app.memcpyH2DAsync(b, 32 * MiB);
+    Time one = transferTime(32 * MiB, sim.params.pcieBwH2DMBps);
+    EXPECT_GE(std::max(a.readyAt, b.readyAt), 2 * one);
+
+    // Opposite directions: full duplex.
+    Stream c, d;
+    Time base = std::max(a.readyAt, b.readyAt);
+    app.waitUntil(base);
+    app.memcpyH2DAsync(c, 32 * MiB);
+    app.memcpyD2HAsync(d, 32 * MiB);
+    EXPECT_LT(std::max(c.readyAt, d.readyAt), base + 2 * one);
+}
+
+TEST_F(CudaTest, KernelsSerializeOnComputeResource)
+{
+    Stream a, b;
+    app.kernelAsync(a, 10 * kMillisecond);
+    app.kernelAsync(b, 10 * kMillisecond);
+    // One whole-device kernel at a time (grids fill the GPU).
+    EXPECT_GE(std::max(a.readyAt, b.readyAt), Time(20 * kMillisecond));
+}
+
+TEST_F(CudaTest, PreadAdvancesClockAndReturnsData)
+{
+    test::addRamp(fs, "/f", 1 * MiB);
+    int fd = app.open("/f", hostfs::O_RDONLY_F);
+    std::vector<uint8_t> buf(64 * KiB);
+    Time before = app.now();
+    EXPECT_EQ(buf.size(), app.pread(fd, buf.data(), buf.size(), 4096));
+    EXPECT_GT(app.now(), before);
+    EXPECT_EQ(test::rampByte(4096), buf[0]);
+    app.close(fd);
+}
+
+TEST_F(CudaTest, PinnedMemorySqueezesHostCache)
+{
+    uint64_t cap = fs.cache().effectiveCapacity();
+    int id = app.hostAllocPinned(2 * GiB);
+    EXPECT_EQ(cap - 2 * GiB, fs.cache().effectiveCapacity());
+    app.hostFreePinned(id);
+    EXPECT_EQ(cap, fs.cache().effectiveCapacity());
+}
+
+TEST_F(CudaTest, PinnedPressureSlowsDiskReads)
+{
+    // The Figure 8 mechanism: cold reads under heavy pinning pay the
+    // direct-reclaim penalty.
+    test::addRamp(fs, "/cold", 8 * MiB);
+    std::vector<uint8_t> buf(8 * MiB);
+    int fd = app.open("/cold", hostfs::O_RDONLY_F);
+    Time t0 = app.now();
+    app.pread(fd, buf.data(), buf.size(), 0);
+    Time unpressured = app.now() - t0;
+
+    fs.dropCaches();
+    int id = app.hostAllocPinned(sim.params.hostCacheBytes / 2);
+    t0 = app.now();
+    app.pread(fd, buf.data(), buf.size(), 0);
+    Time pressured = app.now() - t0;
+    app.hostFreePinned(id);
+    app.close(fd);
+    // Penalty factor = 1 + 5 * 0.5 = 3.5 on the disk component.
+    EXPECT_GT(pressured, unpressured * 2);
+}
+
+TEST_F(CudaTest, PipelineBeatsSerialTransfer)
+{
+    // The double-buffering pattern every CUDA baseline uses: chunked
+    // pread+DMA must beat pread-everything-then-DMA.
+    test::addRamp(fs, "/pipe", 64 * MiB);
+    fs.cache().prefault(1, 0, 64 * MiB);
+
+    // Serial.
+    CudaApp serial(dev, fs);
+    int fd = serial.open("/pipe", hostfs::O_RDONLY_F);
+    serial.pread(fd, nullptr, 64 * MiB, 0);
+    serial.memcpyH2D(64 * MiB);
+    Time serial_time = serial.now();
+    serial.close(fd);
+
+    dev.resetTime();
+    CudaApp pipe(dev, fs);
+    fd = pipe.open("/pipe", hostfs::O_RDONLY_F);
+    Stream s;
+    for (uint64_t off = 0; off < 64 * MiB; off += 4 * MiB) {
+        pipe.pread(fd, nullptr, 4 * MiB, off);
+        pipe.memcpyH2DAsync(s, 4 * MiB);
+    }
+    pipe.streamSync(s);
+    EXPECT_LT(pipe.now(), serial_time);
+    pipe.close(fd);
+}
+
+} // namespace
+} // namespace cudasim
+} // namespace gpufs

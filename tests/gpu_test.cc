@@ -1,0 +1,153 @@
+/** @file Unit tests for the GPU execution-model simulator. */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <set>
+#include <vector>
+
+#include "gpu/device.hh"
+#include "gpu/launch.hh"
+#include "sim/context.hh"
+
+namespace gpufs {
+namespace gpu {
+namespace {
+
+class GpuTest : public ::testing::Test
+{
+  protected:
+    sim::SimContext sim;
+    GpuDevice dev{sim, 0};
+};
+
+TEST_F(GpuTest, EveryBlockRunsExactlyOnce)
+{
+    constexpr unsigned kBlocks = 100;
+    std::mutex mtx;
+    std::set<unsigned> seen;
+    KernelStats ks = launch(dev, kBlocks, 256, [&](BlockCtx &ctx) {
+        std::lock_guard<std::mutex> lock(mtx);
+        EXPECT_TRUE(seen.insert(ctx.blockId()).second);
+        EXPECT_EQ(kBlocks, ctx.numBlocks());
+        EXPECT_EQ(256u, ctx.threadsPerBlock());
+    });
+    EXPECT_EQ(kBlocks, seen.size());
+    EXPECT_EQ(kBlocks, ks.blocksRun);
+}
+
+TEST_F(GpuTest, KernelSpanCoversLaunchLatency)
+{
+    KernelStats ks = launch(dev, 1, 32, [](BlockCtx &) {});
+    EXPECT_GE(ks.start, sim.params.kernelLaunchLat);
+    EXPECT_GE(ks.end, ks.start);
+}
+
+TEST_F(GpuTest, BlockChargesAccumulateIntoKernelEnd)
+{
+    KernelStats ks = launch(dev, 1, 32, [](BlockCtx &ctx) {
+        ctx.charge(5 * kMillisecond);
+    });
+    EXPECT_GE(ks.elapsed(), Time(5 * kMillisecond));
+}
+
+TEST_F(GpuTest, WaveSchedulingLimitsParallelism)
+{
+    // 56 blocks of 1 ms on 28 slots => ~2 ms, not 1 and not 56.
+    KernelStats ks = launch(dev, 56, 32, [](BlockCtx &ctx) {
+        ctx.charge(1 * kMillisecond);
+    });
+    EXPECT_GE(ks.elapsed(), Time(2 * kMillisecond));
+    EXPECT_LT(ks.elapsed(), Time(4 * kMillisecond));
+}
+
+TEST_F(GpuTest, SingleWaveRunsFullyParallel)
+{
+    KernelStats ks = launch(dev, 28, 32, [](BlockCtx &ctx) {
+        ctx.charge(1 * kMillisecond);
+    });
+    EXPECT_LT(ks.elapsed(), Time(1 * kMillisecond) + 100 * kMicrosecond);
+}
+
+TEST_F(GpuTest, SequentialKernelsDoNotOverlap)
+{
+    KernelStats a = launch(dev, 4, 32, [](BlockCtx &ctx) {
+        ctx.charge(1 * kMillisecond);
+    });
+    KernelStats b = launch(dev, 4, 32, [](BlockCtx &) {});
+    EXPECT_GE(b.start, a.end);
+}
+
+TEST_F(GpuTest, ReadyParameterDelaysLaunch)
+{
+    KernelStats ks = launch(dev, 1, 32, [](BlockCtx &) {}, 7 * kSecond);
+    EXPECT_GE(ks.start, Time(7 * kSecond));
+}
+
+TEST_F(GpuTest, ChargeGpuMemUsesDeviceBandwidth)
+{
+    Time dur = 0;
+    launch(dev, 1, 32, [&](BlockCtx &ctx) {
+        Time before = ctx.now();
+        ctx.chargeGpuMem(144'000'000);   // 1 ms at 144 GB/s
+        dur = ctx.now() - before;
+    });
+    EXPECT_NEAR(double(kMillisecond), double(dur), double(kMillisecond) / 100);
+}
+
+TEST_F(GpuTest, SharedMemSizedPerLaunch)
+{
+    launch(dev, 1, 32, [](BlockCtx &ctx) {
+        EXPECT_EQ(16 * KiB, ctx.sharedMemBytes());
+        ctx.sharedMem()[0] = 42;        // writable
+    }, 0, 16 * KiB);
+}
+
+TEST_F(GpuTest, BlockRngIsPerBlockDeterministic)
+{
+    std::vector<uint64_t> first(8), second(8);
+    launch(dev, 8, 32, [&](BlockCtx &ctx) {
+        first[ctx.blockId()] = ctx.rng().next();
+    });
+    launch(dev, 8, 32, [&](BlockCtx &ctx) {
+        second[ctx.blockId()] = ctx.rng().next();
+    });
+    EXPECT_EQ(first, second);
+    EXPECT_NE(first[0], first[1]);
+}
+
+TEST_F(GpuTest, DeviceMemAccounting)
+{
+    uint64_t used = dev.deviceMemUsed();
+    dev.allocDeviceMem(1 * GiB);
+    EXPECT_EQ(used + 1 * GiB, dev.deviceMemUsed());
+    dev.freeDeviceMem(1 * GiB);
+    EXPECT_EQ(used, dev.deviceMemUsed());
+}
+
+TEST_F(GpuTest, RealConcurrencyBoundedByWaveSlots)
+{
+    std::atomic<int> inside{0}, peak{0};
+    launch(dev, 200, 32, [&](BlockCtx &) {
+        int now = inside.fetch_add(1) + 1;
+        int p = peak.load();
+        while (now > p && !peak.compare_exchange_weak(p, now)) {
+        }
+        inside.fetch_sub(1);
+    });
+    EXPECT_LE(peak.load(), int(sim.params.waveSlots()));
+}
+
+TEST_F(GpuTest, ResetTimeClearsDeviceState)
+{
+    launch(dev, 4, 32, [](BlockCtx &ctx) { ctx.charge(1000); });
+    dev.resetTime();
+    EXPECT_EQ(0u, dev.lastIdle());
+    EXPECT_EQ(0u, dev.pcieH2D().horizon());
+    EXPECT_EQ(0u, dev.mpSlots().horizon());
+}
+
+} // namespace
+} // namespace gpu
+} // namespace gpufs

@@ -1,0 +1,153 @@
+/** @file Unit tests for the GPU-side string library. */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+
+#include "gpuutil/gstring.hh"
+
+namespace gpufs {
+namespace gpuutil {
+namespace {
+
+TEST(GString, StrlenMatchesLibc)
+{
+    EXPECT_EQ(0u, gstrlen(""));
+    EXPECT_EQ(5u, gstrlen("hello"));
+    EXPECT_EQ(3u, gstrlen("hello", 3));   // bounded
+}
+
+TEST(GString, StrcmpOrdering)
+{
+    EXPECT_EQ(0, gstrcmp("abc", "abc"));
+    EXPECT_LT(gstrcmp("abc", "abd"), 0);
+    EXPECT_GT(gstrcmp("abd", "abc"), 0);
+    EXPECT_LT(gstrcmp("ab", "abc"), 0);
+    EXPECT_GT(gstrcmp("abc", "ab"), 0);
+}
+
+TEST(GString, StrncmpStopsAtN)
+{
+    EXPECT_EQ(0, gstrncmp("abcX", "abcY", 3));
+    EXPECT_NE(0, gstrncmp("abcX", "abcY", 4));
+    EXPECT_EQ(0, gstrncmp("abc", "abc", 10));   // NUL stops comparison
+}
+
+TEST(GString, StrlcpyTruncatesAndTerminates)
+{
+    char buf[4];
+    EXPECT_EQ(5u, gstrlcpy(buf, "hello", sizeof(buf)));
+    EXPECT_STREQ("hel", buf);
+    EXPECT_EQ(2u, gstrlcpy(buf, "ab", sizeof(buf)));
+    EXPECT_STREQ("ab", buf);
+}
+
+TEST(GString, StrlcatAppendsWithinBound)
+{
+    char buf[8] = "ab";
+    EXPECT_EQ(4u, gstrlcat(buf, "cd", sizeof(buf)));
+    EXPECT_STREQ("abcd", buf);
+    EXPECT_EQ(9u, gstrlcat(buf, "efghi", sizeof(buf)));
+    EXPECT_STREQ("abcdefg", buf);   // truncated at 7 + NUL
+}
+
+TEST(GString, MemchrFindsAndMisses)
+{
+    const char *s = "abcdef";
+    EXPECT_EQ(s + 2, gmemchr(s, 'c', 6));
+    EXPECT_EQ(nullptr, gmemchr(s, 'z', 6));
+    EXPECT_EQ(nullptr, gmemchr(s, 'f', 5));   // bounded
+}
+
+TEST(GString, StrtokSplitsLikeLibc)
+{
+    char buf[] = "  one two\nthree  ";
+    char *save = nullptr;
+    EXPECT_STREQ("one", gstrtok_r(buf, " \n", &save));
+    EXPECT_STREQ("two", gstrtok_r(nullptr, " \n", &save));
+    EXPECT_STREQ("three", gstrtok_r(nullptr, " \n", &save));
+    EXPECT_EQ(nullptr, gstrtok_r(nullptr, " \n", &save));
+}
+
+TEST(GString, StrtokEmptyString)
+{
+    char buf[] = "   ";
+    char *save = nullptr;
+    EXPECT_EQ(nullptr, gstrtok_r(buf, " ", &save));
+}
+
+TEST(GString, WordDelimClassification)
+{
+    EXPECT_FALSE(gisWordDelim('a'));
+    EXPECT_FALSE(gisWordDelim('Z'));
+    EXPECT_FALSE(gisWordDelim('0'));
+    EXPECT_FALSE(gisWordDelim('_'));
+    EXPECT_TRUE(gisWordDelim(' '));
+    EXPECT_TRUE(gisWordDelim('.'));
+    EXPECT_TRUE(gisWordDelim('\n'));
+}
+
+TEST(GString, WordCountWholeWordsOnly)
+{
+    const char *text = "cat catalog cat concat cat.";
+    EXPECT_EQ(3u, gwordCount(text, std::strlen(text), "cat", 3));
+    EXPECT_EQ(1u, gwordCount(text, std::strlen(text), "catalog", 7));
+    EXPECT_EQ(0u, gwordCount(text, std::strlen(text), "dog", 3));
+}
+
+TEST(GString, WordCountAtBoundaries)
+{
+    const char *text = "cat x cat";
+    EXPECT_EQ(2u, gwordCount(text, std::strlen(text), "cat", 3));
+    EXPECT_EQ(0u, gwordCount(text, 2, "cat", 3));   // word longer than text
+}
+
+TEST(GString, WordCountUnderscoreIsWordChar)
+{
+    const char *text = "_cat cat_ cat";
+    EXPECT_EQ(1u, gwordCount(text, std::strlen(text), "cat", 3));
+}
+
+TEST(GString, SnprintfBasicVerbs)
+{
+    char buf[128];
+    gsnprintf(buf, sizeof(buf), "%s=%d 0x%x %c %u%%", "x", -42, 255u, 'Q',
+              7u);
+    EXPECT_STREQ("x=-42 0xff Q 7%", buf);
+}
+
+TEST(GString, SnprintfLongLong)
+{
+    char buf[64];
+    gsnprintf(buf, sizeof(buf), "%llu", 12345678901234567ull);
+    EXPECT_STREQ("12345678901234567", buf);
+    gsnprintf(buf, sizeof(buf), "%lld", -9876543210ll);
+    EXPECT_STREQ("-9876543210", buf);
+}
+
+TEST(GString, SnprintfTruncationReportsFullLength)
+{
+    char buf[6];
+    size_t n = gsnprintf(buf, sizeof(buf), "%s", "hello world");
+    EXPECT_EQ(11u, n);
+    EXPECT_STREQ("hello", buf);
+}
+
+TEST(GString, SnprintfNullStringAndUnknownVerb)
+{
+    char buf[32];
+    gsnprintf(buf, sizeof(buf), "%s %q", static_cast<const char *>(nullptr));
+    EXPECT_STREQ("(null) %q", buf);
+}
+
+TEST(GString, SnprintfZero)
+{
+    char buf[8];
+    gsnprintf(buf, sizeof(buf), "%d", 0);
+    EXPECT_STREQ("0", buf);
+}
+
+} // namespace
+} // namespace gpuutil
+} // namespace gpufs

@@ -1,0 +1,313 @@
+/** @file Unit tests for the simulated host file system. */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "hostfs/content.hh"
+#include "hostfs/hostfs.hh"
+#include "sim/context.hh"
+#include "tests/testutil.hh"
+
+namespace gpufs {
+namespace hostfs {
+namespace {
+
+class HostFsTest : public ::testing::Test
+{
+  protected:
+    sim::SimContext sim;
+    HostFs fs{sim};
+};
+
+TEST_F(HostFsTest, OpenMissingFileFails)
+{
+    Status st;
+    EXPECT_LT(fs.open("/nope", O_RDONLY_F, &st), 0);
+    EXPECT_EQ(Status::NoEnt, st);
+}
+
+TEST_F(HostFsTest, CreateWriteReadBack)
+{
+    int fd = fs.open("/f", O_CREAT_F | O_RDWR_F);
+    ASSERT_GE(fd, 0);
+    const char data[] = "hello gpufs";
+    auto r = fs.pwrite(fd, reinterpret_cast<const uint8_t *>(data),
+                       sizeof(data), 0);
+    EXPECT_EQ(Status::Ok, r.status);
+    EXPECT_EQ(sizeof(data), r.bytes);
+
+    uint8_t buf[64] = {};
+    r = fs.pread(fd, buf, sizeof(buf), 0);
+    EXPECT_EQ(sizeof(data), r.bytes);   // clamped at EOF
+    EXPECT_STREQ(data, reinterpret_cast<char *>(buf));
+    EXPECT_EQ(Status::Ok, fs.close(fd));
+}
+
+TEST_F(HostFsTest, PreadAtOffset)
+{
+    test::addRamp(fs, "/r", 1000);
+    int fd = fs.open("/r", O_RDONLY_F);
+    uint8_t buf[10];
+    auto r = fs.pread(fd, buf, 10, 500);
+    EXPECT_EQ(10u, r.bytes);
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(test::rampByte(500 + i), buf[i]);
+    fs.close(fd);
+}
+
+TEST_F(HostFsTest, PreadPastEofReturnsZeroBytes)
+{
+    test::addRamp(fs, "/r", 100);
+    int fd = fs.open("/r", O_RDONLY_F);
+    uint8_t buf[10];
+    EXPECT_EQ(0u, fs.pread(fd, buf, 10, 200).bytes);
+    fs.close(fd);
+}
+
+TEST_F(HostFsTest, WriteToReadOnlyFdFails)
+{
+    test::addRamp(fs, "/r", 10);
+    int fd = fs.open("/r", O_RDONLY_F);
+    uint8_t b = 1;
+    EXPECT_EQ(Status::ReadOnlyFile, fs.pwrite(fd, &b, 1, 0).status);
+    fs.close(fd);
+}
+
+TEST_F(HostFsTest, VersionBumpsOnWriteTruncateUnlink)
+{
+    test::addRamp(fs, "/v", 10);
+    FileInfo a, b;
+    fs.stat("/v", &a);
+    int fd = fs.open("/v", O_RDWR_F);
+    uint8_t x = 9;
+    fs.pwrite(fd, &x, 1, 0);
+    fs.stat("/v", &b);
+    EXPECT_GT(b.version, a.version);
+    fs.ftruncate(fd, 5);
+    FileInfo c;
+    fs.stat("/v", &c);
+    EXPECT_GT(c.version, b.version);
+    EXPECT_EQ(5u, c.size);
+    fs.close(fd);
+}
+
+TEST_F(HostFsTest, OpenTruncResetsSizeAndBumpsVersion)
+{
+    test::addRamp(fs, "/t", 100);
+    FileInfo before;
+    fs.stat("/t", &before);
+    int fd = fs.open("/t", O_RDWR_F | O_TRUNC_F);
+    FileInfo after;
+    fs.fstat(fd, &after);
+    EXPECT_EQ(0u, after.size);
+    EXPECT_GT(after.version, before.version);
+    fs.close(fd);
+}
+
+TEST_F(HostFsTest, UnlinkedFileStaysReadableViaOpenFd)
+{
+    test::addRamp(fs, "/u", 10);
+    int fd = fs.open("/u", O_RDONLY_F);
+    EXPECT_EQ(Status::Ok, fs.unlink("/u"));
+    EXPECT_EQ(Status::NoEnt, fs.stat("/u", nullptr));
+    uint8_t buf[10];
+    EXPECT_EQ(10u, fs.pread(fd, buf, 10, 0).bytes);   // POSIX semantics
+    fs.close(fd);
+}
+
+TEST_F(HostFsTest, WriteExtendsSize)
+{
+    int fd = fs.open("/grow", O_CREAT_F | O_WRONLY_F);
+    uint8_t b = 0xAB;
+    fs.pwrite(fd, &b, 1, 999);
+    FileInfo info;
+    fs.fstat(fd, &info);
+    EXPECT_EQ(1000u, info.size);
+    fs.close(fd);
+}
+
+TEST_F(HostFsTest, OpenCountTracksLeaks)
+{
+    test::addRamp(fs, "/x", 4);
+    EXPECT_EQ(0u, fs.openCount());
+    int fd = fs.open("/x", O_RDONLY_F);
+    EXPECT_EQ(1u, fs.openCount());
+    fs.close(fd);
+    EXPECT_EQ(0u, fs.openCount());
+}
+
+TEST_F(HostFsTest, BadFdRejectedEverywhere)
+{
+    uint8_t b;
+    EXPECT_EQ(Status::BadFd, fs.pread(77, &b, 1, 0).status);
+    EXPECT_EQ(Status::BadFd, fs.pwrite(77, &b, 1, 0).status);
+    EXPECT_EQ(Status::BadFd, fs.close(77));
+    EXPECT_EQ(Status::BadFd, fs.ftruncate(77, 0));
+    EXPECT_EQ(Status::BadFd, fs.fsync(77).status);
+}
+
+// ---- content providers ----
+
+TEST(Content, InMemoryZeroFillsPastEnd)
+{
+    InMemoryContent c(std::vector<uint8_t>{1, 2, 3});
+    uint8_t buf[6] = {9, 9, 9, 9, 9, 9};
+    c.readAt(0, 6, buf);
+    EXPECT_EQ(1, buf[0]);
+    EXPECT_EQ(3, buf[2]);
+    EXPECT_EQ(0, buf[3]);
+    EXPECT_EQ(0, buf[5]);
+}
+
+TEST(Content, PatternIsOffsetStable)
+{
+    auto p = SyntheticContent::pattern(77);
+    // Reading [100, 200) must agree with reading [0, 4096) sliced.
+    uint8_t big[4096], small[100];
+    p->readAt(0, sizeof(big), big);
+    p->readAt(100, sizeof(small), small);
+    EXPECT_EQ(0, std::memcmp(big + 100, small, sizeof(small)));
+    for (int i = 0; i < 64; ++i)
+        EXPECT_EQ(SyntheticContent::patternByte(77, i), big[i]);
+}
+
+TEST(Content, PatternDiffersBySeed)
+{
+    auto a = SyntheticContent::pattern(1);
+    auto b = SyntheticContent::pattern(2);
+    uint8_t ba[256], bb[256];
+    a->readAt(0, 256, ba);
+    b->readAt(0, 256, bb);
+    EXPECT_NE(0, std::memcmp(ba, bb, 256));
+}
+
+TEST(Content, OverlayWritePatchesSyntheticContent)
+{
+    auto p = SyntheticContent::pattern(5);
+    uint8_t patch[16];
+    std::memset(patch, 0xEE, sizeof(patch));
+    EXPECT_TRUE(p->writeAt(1000, sizeof(patch), patch));
+    uint8_t buf[32];
+    p->readAt(992, sizeof(buf), buf);
+    // 8 pattern bytes, 16 patched, 8 pattern bytes.
+    EXPECT_EQ(SyntheticContent::patternByte(5, 992), buf[0]);
+    EXPECT_EQ(0xEE, buf[8]);
+    EXPECT_EQ(0xEE, buf[23]);
+    EXPECT_EQ(SyntheticContent::patternByte(5, 1016), buf[24]);
+}
+
+TEST(Content, OverlayStraddlesChunkBoundary)
+{
+    auto p = SyntheticContent::pattern(6);
+    std::vector<uint8_t> patch(128 * 1024, 0x5A);
+    EXPECT_TRUE(p->writeAt(60 * 1024, patch.size(), patch.data()));
+    uint8_t b;
+    p->readAt(60 * 1024, 1, &b);
+    EXPECT_EQ(0x5A, b);
+    p->readAt(60 * 1024 + patch.size() - 1, 1, &b);
+    EXPECT_EQ(0x5A, b);
+    p->readAt(60 * 1024 + patch.size(), 1, &b);
+    EXPECT_EQ(SyntheticContent::patternByte(6, 60 * 1024 + patch.size()), b);
+}
+
+// ---- page cache timing ----
+
+class PageCacheTest : public ::testing::Test
+{
+  protected:
+    sim::SimContext sim;
+    HostFs fs{sim};
+};
+
+TEST_F(PageCacheTest, ColdReadPaysDiskWarmReadDoesNot)
+{
+    test::addRamp(fs, "/c", 1 * MiB);
+    int fd = fs.open("/c", O_RDONLY_F);
+    std::vector<uint8_t> buf(1 * MiB);
+    Time cold = fs.pread(fd, buf.data(), buf.size(), 0, 0).done;
+    Time warm_start = cold;
+    Time warm = fs.pread(fd, buf.data(), buf.size(), 0, warm_start).done
+        - warm_start;
+    EXPECT_GT(cold, warm * 5);   // disk ~25x slower than cache here
+    fs.close(fd);
+}
+
+TEST_F(PageCacheTest, DropCachesMakesReadsColdAgain)
+{
+    test::addRamp(fs, "/c", 256 * KiB);
+    int fd = fs.open("/c", O_RDONLY_F);
+    std::vector<uint8_t> buf(256 * KiB);
+    fs.pread(fd, buf.data(), buf.size(), 0, 0);
+    uint64_t miss1 = fs.cache().stats().counter("miss_bytes").get();
+    fs.dropCaches();
+    fs.pread(fd, buf.data(), buf.size(), 0, 0);
+    uint64_t miss2 = fs.cache().stats().counter("miss_bytes").get();
+    EXPECT_GT(miss2, miss1);
+    fs.close(fd);
+}
+
+TEST_F(PageCacheTest, PinnedMemoryShrinksCapacity)
+{
+    uint64_t cap = fs.cache().effectiveCapacity();
+    ASSERT_TRUE(fs.cache().reservePinned(1 * GiB));
+    EXPECT_EQ(cap - 1 * GiB, fs.cache().effectiveCapacity());
+    fs.cache().releasePinned(1 * GiB);
+    EXPECT_EQ(cap, fs.cache().effectiveCapacity());
+}
+
+TEST_F(PageCacheTest, PinnedBeyondTotalRejected)
+{
+    EXPECT_FALSE(fs.cache().reservePinned(1ull << 60));
+}
+
+TEST_F(PageCacheTest, EvictionUnderCapacityPressure)
+{
+    sim.params.hostCacheBytes = 1 * MiB;   // tiny cache
+    test::addRamp(fs, "/big", 4 * MiB);
+    int fd = fs.open("/big", O_RDONLY_F);
+    std::vector<uint8_t> buf(4 * MiB);
+    fs.pread(fd, buf.data(), buf.size(), 0, 0);
+    EXPECT_GT(fs.cache().stats().counter("evictions").get(), 0u);
+    EXPECT_LE(fs.cache().residentBytes(), 1 * MiB + sim.params.hostCacheGranule);
+    fs.close(fd);
+}
+
+TEST_F(PageCacheTest, FsyncChargesDiskForDirtyData)
+{
+    int fd = fs.open("/w", O_CREAT_F | O_WRONLY_F);
+    std::vector<uint8_t> buf(1 * MiB, 0x11);
+    Time t = fs.pwrite(fd, buf.data(), buf.size(), 0, 0).done;
+    Time synced = fs.fsync(fd, t).done;
+    EXPECT_GT(synced - t, transferTime(1 * MiB, sim.params.diskWriteMBps) / 2);
+    // Second fsync: nothing dirty, ~free.
+    EXPECT_EQ(synced, fs.fsync(fd, synced).done);
+    fs.close(fd);
+}
+
+TEST_F(PageCacheTest, ChargeHostIoToggleZeroesCosts)
+{
+    sim.params.chargeHostIo = false;
+    test::addRamp(fs, "/z", 1 * MiB);
+    int fd = fs.open("/z", O_RDONLY_F);
+    std::vector<uint8_t> buf(1 * MiB);
+    EXPECT_EQ(Time(0), fs.pread(fd, buf.data(), buf.size(), 0, 0).done);
+    fs.close(fd);
+}
+
+TEST_F(PageCacheTest, PrefaultMakesFirstReadWarm)
+{
+    test::addRamp(fs, "/p", 512 * KiB);
+    FileInfo info;
+    fs.stat("/p", &info);
+    fs.cache().prefault(info.ino, 0, 512 * KiB);
+    int fd = fs.open("/p", O_RDONLY_F);
+    std::vector<uint8_t> buf(512 * KiB);
+    fs.pread(fd, buf.data(), buf.size(), 0, 0);
+    EXPECT_EQ(0u, fs.cache().stats().counter("miss_bytes").get());
+    fs.close(fd);
+}
+
+} // namespace
+} // namespace hostfs
+} // namespace gpufs

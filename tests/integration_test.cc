@@ -1,0 +1,280 @@
+/** @file Multi-GPU / cross-device integration tests: the consistency
+ *  model of §3.1 and §4.4 end to end. */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <thread>
+
+#include "gpufs/system.hh"
+#include "tests/testutil.hh"
+
+namespace gpufs {
+namespace core {
+namespace {
+
+class MultiGpuTest : public ::testing::Test
+{
+  protected:
+    MultiGpuTest()
+    {
+        GpuFsParams p;
+        p.pageSize = 64 * KiB;
+        p.cacheBytes = 16 * MiB;
+        sys = std::make_unique<GpufsSystem>(4, p);
+    }
+
+    gpu::BlockCtx
+    block(unsigned gpu_id)
+    {
+        return test::makeBlock(sys->device(gpu_id));
+    }
+
+    std::unique_ptr<GpufsSystem> sys;
+};
+
+TEST_F(MultiGpuTest, WriteOnOneGpuVisibleOnAnotherAfterSyncAndReopen)
+{
+    // The §3.1 model: local modifications propagate on explicit sync,
+    // and become visible to other GPUs when they (re)open the file.
+    auto ctx0 = block(0);
+    auto ctx1 = block(1);
+
+    int w = sys->fs(0).gopen(ctx0, "/shared", G_RDWR | G_CREAT);
+    const char msg[] = "written by gpu0";
+    sys->fs(0).gwrite(ctx0, w, 0, sizeof(msg), msg);
+    sys->fs(0).gfsync(ctx0, w);
+    sys->fs(0).gclose(ctx0, w);
+
+    int r = sys->fs(1).gopen(ctx1, "/shared", G_RDONLY);
+    ASSERT_GE(r, 0);
+    char back[sizeof(msg)] = {};
+    ASSERT_EQ(int64_t(sizeof(msg)),
+              sys->fs(1).gread(ctx1, r, 0, sizeof(msg), back));
+    EXPECT_STREQ(msg, back);
+    sys->fs(1).gclose(ctx1, r);
+}
+
+TEST_F(MultiGpuTest, StaleReaderSeesOldDataUntilReopen)
+{
+    // Weak consistency: a GPU holding the file open keeps reading its
+    // local copy even after another device rewrites the file.
+    test::addRamp(sys->hostFs(), "/f", 64 * KiB);
+    auto ctx0 = block(0);
+    int r = sys->fs(0).gopen(ctx0, "/f", G_RDONLY);
+    uint8_t before;
+    sys->fs(0).gread(ctx0, r, 0, 1, &before);
+
+    // CPU rewrites byte 0 (host-side, bumps the version).
+    int hfd = sys->hostFs().open("/f", hostfs::O_RDWR_F);
+    uint8_t nv = uint8_t(~before);
+    sys->hostFs().pwrite(hfd, &nv, 1, 0);
+    sys->hostFs().close(hfd);
+
+    // Still-open reader: cached (stale) data — by design.
+    uint8_t during;
+    sys->fs(0).gread(ctx0, r, 0, 1, &during);
+    EXPECT_EQ(before, during);
+    sys->fs(0).gclose(ctx0, r);
+
+    // Reopen: lazy invalidation kicks in.
+    r = sys->fs(0).gopen(ctx0, "/f", G_RDONLY);
+    uint8_t after;
+    sys->fs(0).gread(ctx0, r, 0, 1, &after);
+    EXPECT_EQ(nv, after);
+    sys->fs(0).gclose(ctx0, r);
+}
+
+TEST_F(MultiGpuTest, SecondGpuWriterRejectedWithBusy)
+{
+    auto ctx0 = block(0);
+    auto ctx1 = block(1);
+    int w0 = sys->fs(0).gopen(ctx0, "/excl", G_RDWR | G_CREAT);
+    ASSERT_GE(w0, 0);
+    int w1 = sys->fs(1).gopen(ctx1, "/excl", G_RDWR);
+    EXPECT_EQ(-int(Status::Busy), w1);
+    sys->fs(0).gclose(ctx0, w0);
+    // After gpu0 closes (clean file -> claim released), gpu1 may write.
+    w1 = sys->fs(1).gopen(ctx1, "/excl", G_RDWR);
+    EXPECT_GE(w1, 0);
+    sys->fs(1).gclose(ctx1, w1);
+}
+
+TEST_F(MultiGpuTest, CpuWriterBlockedByGpuWriter)
+{
+    auto ctx0 = block(0);
+    int w = sys->fs(0).gopen(ctx0, "/excl2", G_RDWR | G_CREAT);
+    ASSERT_GE(w, 0);
+    Status st;
+    EXPECT_LT(sys->wrapFs().open("/excl2", hostfs::O_RDWR_F, &st), 0);
+    EXPECT_EQ(Status::Busy, st);
+    // Readers are fine (workspace consistency allows concurrency).
+    int rfd = sys->wrapFs().open("/excl2", hostfs::O_RDONLY_F, &st);
+    EXPECT_GE(rfd, 0);
+    sys->wrapFs().close(rfd);
+    sys->fs(0).gclose(ctx0, w);
+}
+
+TEST_F(MultiGpuTest, GwronceWritersMergeDisjointRegions)
+{
+    // The headline O_GWRONCE use case: a parallel task on several
+    // GPUs produces one output file, each device writing its assigned
+    // range; diff-against-zeros merges them on the host (§3.1).
+    constexpr unsigned kGpus = 4;
+    constexpr uint64_t kChunk = 200 * KiB;   // straddles page boundaries
+
+    std::vector<std::thread> writers;
+    for (unsigned g = 0; g < kGpus; ++g) {
+        writers.emplace_back([&, g] {
+            auto ctx = block(g);
+            int fd = sys->fs(g).gopen(ctx, "/merged", G_GWRONCE);
+            ASSERT_GE(fd, 0);
+            std::vector<uint8_t> data(kChunk, uint8_t(g + 1));
+            sys->fs(g).gwrite(ctx, fd, g * kChunk, data.size(),
+                              data.data());
+            EXPECT_EQ(Status::Ok, sys->fs(g).gfsync(ctx, fd));
+            sys->fs(g).gclose(ctx, fd);
+        });
+    }
+    for (auto &t : writers)
+        t.join();
+
+    int fd = sys->hostFs().open("/merged", hostfs::O_RDONLY_F);
+    hostfs::FileInfo info;
+    sys->hostFs().fstat(fd, &info);
+    EXPECT_EQ(kGpus * kChunk, info.size);
+    std::vector<uint8_t> all(info.size);
+    sys->hostFs().pread(fd, all.data(), all.size(), 0);
+    sys->hostFs().close(fd);
+    for (unsigned g = 0; g < kGpus; ++g) {
+        for (uint64_t i = 0; i < kChunk; i += 4096)
+            ASSERT_EQ(g + 1, all[g * kChunk + i]) << "gpu " << g;
+    }
+}
+
+TEST_F(MultiGpuTest, NosyncFilesAreDevicePrivate)
+{
+    auto ctx0 = block(0);
+    auto ctx1 = block(1);
+    int t0 = sys->fs(0).gopen(ctx0, "/tmp/scratch", G_RDWR | G_NOSYNC);
+    int t1 = sys->fs(1).gopen(ctx1, "/tmp/scratch1", G_RDWR | G_NOSYNC);
+    ASSERT_GE(t0, 0);
+    ASSERT_GE(t1, 0);
+    uint8_t a = 0xA0, b = 0xB0;
+    sys->fs(0).gwrite(ctx0, t0, 0, 1, &a);
+    sys->fs(1).gwrite(ctx1, t1, 0, 1, &b);
+    sys->fs(0).gfsync(ctx0, t0);    // no-ops
+    sys->fs(1).gfsync(ctx1, t1);
+    hostfs::FileInfo info;
+    sys->hostFs().stat("/tmp/scratch", &info);
+    EXPECT_EQ(0u, info.size);       // nothing reached the host
+    sys->fs(0).gclose(ctx0, t0);
+    sys->fs(1).gclose(ctx1, t1);
+}
+
+TEST_F(MultiGpuTest, ConcurrentReadersShareHostFileSafely)
+{
+    test::addRamp(sys->hostFs(), "/ro", 2 * MiB);
+    std::atomic<uint64_t> errors{0};
+    std::vector<std::thread> readers;
+    for (unsigned g = 0; g < 4; ++g) {
+        readers.emplace_back([&, g] {
+            gpu::launch(sys->device(g), 8, 128, [&](gpu::BlockCtx &ctx) {
+                GpuFs &fs = sys->fs(g);
+                int fd = fs.gopen(ctx, "/ro", G_RDONLY);
+                if (fd < 0) {
+                    errors.fetch_add(1);
+                    return;
+                }
+                std::vector<uint8_t> buf(32 * KiB);
+                for (int i = 0; i < 8; ++i) {
+                    uint64_t off = ctx.rng().nextBelow(2 * MiB - buf.size());
+                    if (fs.gread(ctx, fd, off, buf.size(), buf.data()) !=
+                        int64_t(buf.size())) {
+                        errors.fetch_add(1);
+                        continue;
+                    }
+                    for (size_t k = 0; k < buf.size(); k += 1024) {
+                        if (buf[k] != test::rampByte(off + k))
+                            errors.fetch_add(1);
+                    }
+                }
+                fs.gclose(ctx, fd);
+            });
+        });
+    }
+    for (auto &t : readers)
+        t.join();
+    EXPECT_EQ(0u, errors.load());
+    EXPECT_EQ(0u, sys->hostFs().openCount());
+}
+
+TEST_F(MultiGpuTest, UnlinkInvalidatesOtherGpusClosedCache)
+{
+    test::addRamp(sys->hostFs(), "/gone", 64 * KiB);
+    auto ctx0 = block(0);
+    auto ctx1 = block(1);
+    // GPU1 caches the file, closes it.
+    int r = sys->fs(1).gopen(ctx1, "/gone", G_RDONLY);
+    uint8_t b;
+    sys->fs(1).gread(ctx1, r, 0, 1, &b);
+    sys->fs(1).gclose(ctx1, r);
+    // GPU0 unlinks it; recreate with different content.
+    EXPECT_EQ(Status::Ok, sys->fs(0).gunlink(ctx0, "/gone"));
+    test::addBytes(sys->hostFs(), "/gone",
+                   std::vector<uint8_t>(1024, 0xEE));
+    // GPU1 reopens: must see the new file, not its stale cache.
+    r = sys->fs(1).gopen(ctx1, "/gone", G_RDONLY);
+    ASSERT_GE(r, 0);
+    uint8_t nb;
+    sys->fs(1).gread(ctx1, r, 0, 1, &nb);
+    EXPECT_EQ(0xEE, nb);
+    sys->fs(1).gclose(ctx1, r);
+}
+
+TEST_F(MultiGpuTest, PerGpuCachesAreIndependent)
+{
+    test::addRamp(sys->hostFs(), "/indep", 256 * KiB);
+    auto ctx0 = block(0);
+    auto ctx1 = block(1);
+    std::vector<uint8_t> buf(256 * KiB);
+
+    int f0 = sys->fs(0).gopen(ctx0, "/indep", G_RDONLY);
+    sys->fs(0).gread(ctx0, f0, 0, buf.size(), buf.data());
+    uint64_t misses0 = sys->fs(0).stats().counter("cache_misses").get();
+    EXPECT_GT(misses0, 0u);
+
+    // GPU1's cache is cold regardless of GPU0's: it fetches its own
+    // replica (the buffer cache is distributed, §3.3).
+    int f1 = sys->fs(1).gopen(ctx1, "/indep", G_RDONLY);
+    sys->fs(1).gread(ctx1, f1, 0, buf.size(), buf.data());
+    EXPECT_GT(sys->fs(1).stats().counter("cache_misses").get(), 0u);
+    sys->fs(0).gclose(ctx0, f0);
+    sys->fs(1).gclose(ctx1, f1);
+}
+
+TEST_F(MultiGpuTest, RangeSyncPushesOnlyRequestedPages)
+{
+    auto ctx = block(0);
+    int fd = sys->fs(0).gopen(ctx, "/range", G_RDWR | G_CREAT);
+    std::vector<uint8_t> data(64 * KiB, 0x11);
+    // Two dirty pages: page 0 and page 2.
+    sys->fs(0).gwrite(ctx, fd, 0, data.size(), data.data());
+    sys->fs(0).gwrite(ctx, fd, 2 * 64 * KiB, data.size(), data.data());
+
+    // Sync only the first page's range.
+    EXPECT_EQ(Status::Ok,
+              sys->fs(0).gfsyncRange(ctx, fd, 0, 64 * KiB));
+    hostfs::FileInfo info;
+    sys->hostFs().stat("/range", &info);
+    EXPECT_EQ(64 * KiB, info.size);     // page 2 not written yet
+
+    EXPECT_EQ(Status::Ok, sys->fs(0).gfsync(ctx, fd));
+    sys->hostFs().stat("/range", &info);
+    EXPECT_EQ(3 * 64 * KiB, info.size);
+    sys->fs(0).gclose(ctx, fd);
+}
+
+} // namespace
+} // namespace core
+} // namespace gpufs

@@ -1,0 +1,274 @@
+/** @file Correctness tests of the GPU application kernels (§5.2). */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <map>
+#include <sstream>
+
+#include "gpufs/system.hh"
+#include "tests/testutil.hh"
+#include "workloads/kernels.hh"
+
+namespace gpufs {
+namespace workloads {
+namespace {
+
+class KernelsTest : public ::testing::Test
+{
+  protected:
+    KernelsTest()
+    {
+        core::GpuFsParams p;
+        p.pageSize = 64 * KiB;
+        p.cacheBytes = 512 * MiB;
+        sys = std::make_unique<core::GpufsSystem>(1, p);
+    }
+
+    std::unique_ptr<core::GpufsSystem> sys;
+};
+
+// ---- image search ----
+
+TEST_F(KernelsTest, ImageSearchFindsEveryPlantedQuery)
+{
+    const uint32_t kQueries = 48;
+    auto dbs = makePaperDbs(1, kQueries, /*plant=*/true, 0.01);
+    for (const auto &db : dbs)
+        addImageDb(sys->hostFs(), db, 42);
+    addQueryFile(sys->hostFs(), "/q.bin", 42, kQueries, dbs[0].dim);
+
+    auto r = gpuImageSearch(sys->fs(), sys->device(0), dbs, "/q.bin", 0,
+                            kQueries, 1e-6);
+    ASSERT_EQ(kQueries, r.results.size());
+    for (uint32_t q = 0; q < kQueries; ++q) {
+        ASSERT_TRUE(r.results[q].found()) << "query " << q;
+        const auto &db = dbs[r.results[q].db];
+        auto it = db.planted.find(r.results[q].image);
+        ASSERT_NE(db.planted.end(), it) << "query " << q;
+        EXPECT_EQ(q, it->second);
+    }
+    EXPECT_GT(r.elapsed, 0u);
+}
+
+TEST_F(KernelsTest, ImageSearchNoMatchFindsNothing)
+{
+    const uint32_t kQueries = 16;
+    auto dbs = makePaperDbs(2, kQueries, /*plant=*/false, 0.005);
+    for (const auto &db : dbs)
+        addImageDb(sys->hostFs(), db, 42);
+    addQueryFile(sys->hostFs(), "/q.bin", 42, kQueries, dbs[0].dim);
+
+    auto r = gpuImageSearch(sys->fs(), sys->device(0), dbs, "/q.bin", 0,
+                            kQueries, 1e-6);
+    for (const auto &m : r.results)
+        EXPECT_FALSE(m.found());
+}
+
+TEST_F(KernelsTest, ImageSearchAgreesWithCpuBaseline)
+{
+    const uint32_t kQueries = 24;
+    auto dbs = makePaperDbs(3, kQueries, /*plant=*/true, 0.005);
+    for (const auto &db : dbs)
+        addImageDb(sys->hostFs(), db, 42);
+    addQueryFile(sys->hostFs(), "/q.bin", 42, kQueries, dbs[0].dim);
+
+    auto gpu = gpuImageSearch(sys->fs(), sys->device(0), dbs, "/q.bin", 0,
+                              kQueries, 1e-6);
+    Time cpu_time = 0;
+    auto cpu = cpuImageSearch(sys->wrapFs(), dbs, 42, kQueries, 1e-6,
+                              &cpu_time);
+    for (uint32_t q = 0; q < kQueries; ++q) {
+        EXPECT_EQ(cpu[q].db, gpu.results[q].db) << "query " << q;
+        EXPECT_EQ(cpu[q].image, gpu.results[q].image) << "query " << q;
+    }
+}
+
+TEST_F(KernelsTest, ImageSearchQueryRangeSplit)
+{
+    // Splitting the query list (as the multi-GPU run does) must yield
+    // the same per-query results.
+    const uint32_t kQueries = 20;
+    auto dbs = makePaperDbs(4, kQueries, /*plant=*/true, 0.004);
+    for (const auto &db : dbs)
+        addImageDb(sys->hostFs(), db, 42);
+    addQueryFile(sys->hostFs(), "/q.bin", 42, kQueries, dbs[0].dim);
+
+    auto whole = gpuImageSearch(sys->fs(), sys->device(0), dbs, "/q.bin",
+                                0, kQueries, 1e-6);
+    auto lo = gpuImageSearch(sys->fs(), sys->device(0), dbs, "/q.bin", 0,
+                             kQueries / 2, 1e-6);
+    auto hi = gpuImageSearch(sys->fs(), sys->device(0), dbs, "/q.bin",
+                             kQueries / 2, kQueries, 1e-6);
+    for (uint32_t q = 0; q < kQueries / 2; ++q) {
+        EXPECT_EQ(whole.results[q].db, lo.results[q].db);
+        EXPECT_EQ(whole.results[q].image, lo.results[q].image);
+    }
+    for (uint32_t q = kQueries / 2; q < kQueries; ++q) {
+        EXPECT_EQ(whole.results[q].db,
+                  hi.results[q - kQueries / 2].db);
+        EXPECT_EQ(whole.results[q].image,
+                  hi.results[q - kQueries / 2].image);
+    }
+}
+
+// ---- grep ----
+
+TEST_F(KernelsTest, GrepCountsMatchCpuAndRawScan)
+{
+    Dictionary dict(7, 500);
+    dict.install(sys->hostFs(), "/dict.bin");
+    Corpus corpus = makeTree(sys->hostFs(), dict, 8, "/src", 40,
+                             512 * 1024);
+
+    auto gpu = gpuGrep(sys->fs(), sys->device(0), dict, "/dict.bin",
+                       corpus.listPath, "/out.txt");
+    Time cpu_time = 0;
+    auto cpu = cpuGrep(sys->wrapFs(), dict, corpus, &cpu_time);
+    EXPECT_EQ(cpu, gpu.counts);
+    uint64_t total = 0;
+    for (uint64_t c : gpu.counts)
+        total += c;
+    EXPECT_GT(total, 0u);
+}
+
+TEST_F(KernelsTest, GrepSegmentationInvariantToSegmentSize)
+{
+    // The same corpus counted with tiny and huge segments must agree:
+    // boundary tokens are attributed exactly once.
+    Dictionary dict(9, 300);
+    dict.install(sys->hostFs(), "/dict.bin");
+    Corpus corpus = makeSingleFile(sys->hostFs(), dict, 4, "/big.txt",
+                                   300 * 1024);
+
+    auto tiny = gpuGrep(sys->fs(), sys->device(0), dict, "/dict.bin",
+                        corpus.listPath, "/out1.txt", 28, 512, 4 * KiB);
+    auto huge = gpuGrep(sys->fs(), sys->device(0), dict, "/dict.bin",
+                        corpus.listPath, "/out2.txt", 28, 512, 1 * MiB);
+    EXPECT_EQ(tiny.counts, huge.counts);
+}
+
+TEST_F(KernelsTest, GrepOutputLinesSumToCounts)
+{
+    // Parse the GPU-formatted output file and check the per-word sums
+    // equal the in-memory totals (the output is the real deliverable).
+    Dictionary dict(11, 200);
+    dict.install(sys->hostFs(), "/dict.bin");
+    Corpus corpus = makeTree(sys->hostFs(), dict, 10, "/src", 12,
+                             128 * 1024);
+    auto gpu = gpuGrep(sys->fs(), sys->device(0), dict, "/dict.bin",
+                       corpus.listPath, "/out.txt");
+
+    hostfs::FileInfo info;
+    ASSERT_EQ(Status::Ok, sys->hostFs().stat("/out.txt", &info));
+    ASSERT_EQ(gpu.outputBytes, info.size);
+    std::vector<char> raw(info.size);
+    int fd = sys->hostFs().open("/out.txt", hostfs::O_RDONLY_F);
+    sys->hostFs().pread(fd, reinterpret_cast<uint8_t *>(raw.data()),
+                        info.size, 0);
+    sys->hostFs().close(fd);
+
+    std::map<std::string, uint64_t> sums;
+    std::istringstream in(std::string(raw.begin(), raw.end()));
+    std::string word, path;
+    uint64_t count;
+    while (in >> word >> path >> count) {
+        sums[word] += count;
+        EXPECT_EQ('/', path[0]);    // second field is a path
+    }
+    for (uint32_t w = 0; w < dict.size(); ++w) {
+        uint64_t expect = gpu.counts[w];
+        auto it = sums.find(dict.word(w));
+        uint64_t got = it == sums.end() ? 0 : it->second;
+        EXPECT_EQ(expect, got) << dict.word(w);
+    }
+}
+
+TEST_F(KernelsTest, GrepEmptyCorpus)
+{
+    Dictionary dict(13, 100);
+    dict.install(sys->hostFs(), "/dict.bin");
+    // Manifest with a single zero-byte file.
+    test::addBytes(sys->hostFs(), "/empty.txt", {});
+    std::string manifest = "/empty.txt 0\n";
+    test::addBytes(sys->hostFs(), "/files.list",
+                   std::vector<uint8_t>(manifest.begin(), manifest.end()));
+    auto gpu = gpuGrep(sys->fs(), sys->device(0), dict, "/dict.bin",
+                       "/files.list", "/out.txt");
+    for (uint64_t c : gpu.counts)
+        EXPECT_EQ(0u, c);
+    EXPECT_EQ(0u, gpu.outputBytes);
+}
+
+// ---- matvec ----
+
+TEST_F(KernelsTest, MatvecMatchesReferenceRowByRow)
+{
+    MatrixSpec spec = makeMatrix(21, 16.0, "/m");   // 32 rows
+    addMatrixFiles(sys->hostFs(), spec);
+    auto r = gpuMatvec(sys->fs(), sys->device(0), spec, "/y.bin");
+    EXPECT_EQ(spec.rows, r.rows);
+
+    int fd = sys->hostFs().open("/y.bin", hostfs::O_RDONLY_F);
+    hostfs::FileInfo info;
+    sys->hostFs().fstat(fd, &info);
+    EXPECT_EQ(uint64_t(spec.rows) * sizeof(float), info.size);
+    double sum = 0;
+    for (uint32_t row = 0; row < spec.rows; ++row) {
+        float y = 0;
+        sys->hostFs().pread(fd, reinterpret_cast<uint8_t *>(&y),
+                            sizeof(y), uint64_t(row) * sizeof(float));
+        double ref = referenceRow(spec, row);
+        EXPECT_NEAR(ref, y, 1e-3 * (1.0 + std::abs(ref))) << "row " << row;
+        sum += y;
+    }
+    sys->hostFs().close(fd);
+    EXPECT_NEAR(sum, r.checksum, 1e-2 * (1.0 + std::abs(sum)));
+}
+
+TEST_F(KernelsTest, MatvecCorrectUnderCachePressure)
+{
+    // Matrix 4x larger than the buffer cache: results must survive
+    // paging (pages evicted and refetched mid-computation). With a
+    // 32-frame cache the kernel runs 8 blocks (each block transiently
+    // pins up to 2 pages; the cache must never be fully pinned).
+    core::GpuFsParams p;
+    p.pageSize = 2 * MiB;
+    p.cacheBytes = 64 * MiB;
+    core::GpufsSystem small(1, p);
+    MatrixSpec spec = makeMatrix(22, 256.0, "/m");
+    addMatrixFiles(small.hostFs(), spec);
+
+    auto r = gpuMatvec(small.fs(), small.device(0), spec, "/y.bin",
+                       /*num_blocks=*/8);
+    EXPECT_GT(small.fs().stats().counter("pages_reclaimed").get(), 0u);
+
+    int fd = small.hostFs().open("/y.bin", hostfs::O_RDONLY_F);
+    for (uint32_t row = 0; row < spec.rows; row += 37) {
+        float y = 0;
+        small.hostFs().pread(fd, reinterpret_cast<uint8_t *>(&y),
+                             sizeof(y), uint64_t(row) * sizeof(float));
+        double ref = referenceRow(spec, row);
+        EXPECT_NEAR(ref, y, 1e-3 * (1.0 + std::abs(ref))) << "row " << row;
+    }
+    small.hostFs().close(fd);
+    EXPECT_GT(r.elapsed, 0u);
+}
+
+TEST_F(KernelsTest, MatvecRerunOverwritesOutput)
+{
+    // gftruncate at kernel start must reset stale output.
+    MatrixSpec spec = makeMatrix(23, 8.0, "/m");
+    addMatrixFiles(sys->hostFs(), spec);
+    gpuMatvec(sys->fs(), sys->device(0), spec, "/y.bin");
+    auto r2 = gpuMatvec(sys->fs(), sys->device(0), spec, "/y.bin");
+    hostfs::FileInfo info;
+    sys->hostFs().stat("/y.bin", &info);
+    EXPECT_EQ(uint64_t(spec.rows) * sizeof(float), info.size);
+    EXPECT_FALSE(std::isnan(r2.checksum));
+}
+
+} // namespace
+} // namespace workloads
+} // namespace gpufs

@@ -1,0 +1,325 @@
+/** @file Property-based / parameterized sweeps over the GPUfs stack. */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+
+#include "gpufs/system.hh"
+#include "gpuutil/gstring.hh"
+#include "tests/testutil.hh"
+
+namespace gpufs {
+namespace core {
+namespace {
+
+// ---------------------------------------------------------------------
+// Property: any sequence of gwrites followed by greads through GPUfs is
+// equivalent to the same operations on a flat shadow buffer — across
+// page sizes, with and without cache pressure, for random offsets and
+// lengths crossing page boundaries.
+// ---------------------------------------------------------------------
+
+struct RwParam {
+    uint64_t pageSize;
+    uint64_t cacheBytes;
+    bool gwronce;       // write-once (disjoint) vs read-modify-write
+};
+
+std::string
+rwParamName(const ::testing::TestParamInfo<RwParam> &info)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "page%lluK_cache%lluK_%s",
+                  static_cast<unsigned long long>(info.param.pageSize /
+                                                  KiB),
+                  static_cast<unsigned long long>(info.param.cacheBytes /
+                                                  KiB),
+                  info.param.gwronce ? "gwronce" : "rmw");
+    return buf;
+}
+
+class RwRoundtrip : public ::testing::TestWithParam<RwParam>
+{
+};
+
+TEST_P(RwRoundtrip, MatchesShadowBuffer)
+{
+    const RwParam &prm = GetParam();
+    GpuFsParams p;
+    p.pageSize = prm.pageSize;
+    p.cacheBytes = prm.cacheBytes;
+    GpufsSystem sys(1, p);
+    auto ctx = test::makeBlock(sys.device(0));
+
+    const uint64_t file_size = 512 * KiB;
+    std::vector<uint8_t> shadow(file_size, 0);
+    uint32_t flags = prm.gwronce ? G_GWRONCE : (G_RDWR | G_CREAT);
+    int fd = sys.fs().gopen(ctx, "/prop", flags);
+    ASSERT_GE(fd, 0);
+
+    SplitMix64 rng(prm.pageSize ^ prm.cacheBytes ^ prm.gwronce);
+    std::vector<uint8_t> chunk;
+    if (prm.gwronce) {
+        // Disjoint write-once records (the O_GWRONCE contract).
+        uint64_t pos = 0;
+        while (pos < file_size) {
+            uint64_t n = 1 + rng.nextBelow(3 * prm.pageSize / 2);
+            n = std::min(n, file_size - pos);
+            chunk.resize(n);
+            for (auto &b : chunk)
+                b = uint8_t(rng.next() | 1);    // non-zero (write-once)
+            ASSERT_EQ(int64_t(n),
+                      sys.fs().gwrite(ctx, fd, pos, n, chunk.data()));
+            std::memcpy(shadow.data() + pos, chunk.data(), n);
+            pos += n + rng.nextBelow(4096);     // leave zero gaps
+        }
+    }
+    uint64_t cur_size = 0;      // local file size: max written end
+    if (!prm.gwronce) {
+        // Random overlapping writes.
+        for (int i = 0; i < 200; ++i) {
+            uint64_t off = rng.nextBelow(file_size - 1);
+            uint64_t n = 1 + rng.nextBelow(
+                std::min<uint64_t>(file_size - off, 3 * prm.pageSize));
+            chunk.resize(n);
+            for (auto &b : chunk)
+                b = uint8_t(rng.next());
+            ASSERT_EQ(int64_t(n),
+                      sys.fs().gwrite(ctx, fd, off, n, chunk.data()));
+            std::memcpy(shadow.data() + off, chunk.data(), n);
+            cur_size = std::max(cur_size, off + n);
+        }
+    }
+
+    if (!prm.gwronce) {
+        // Read back through the same GPU (GWRONCE files are write-only).
+        // Reads clamp at the local file size (gfstat semantics).
+        std::vector<uint8_t> buf;
+        for (int i = 0; i < 100; ++i) {
+            uint64_t off = rng.nextBelow(file_size - 1);
+            uint64_t n = 1 + rng.nextBelow(
+                std::min<uint64_t>(file_size - off, 2 * prm.pageSize));
+            uint64_t expect = off >= cur_size
+                ? 0 : std::min(n, cur_size - off);
+            buf.assign(n, 0);
+            ASSERT_EQ(int64_t(expect),
+                      sys.fs().gread(ctx, fd, off, n, buf.data()));
+            ASSERT_EQ(0, std::memcmp(shadow.data() + off, buf.data(),
+                                     expect))
+                << "off=" << off << " n=" << n;
+        }
+    }
+
+    // Sync everything; the host file must equal the shadow exactly
+    // (for GWRONCE, zero gaps stay zero).
+    ASSERT_EQ(Status::Ok, sys.fs().gfsync(ctx, fd));
+    sys.fs().gclose(ctx, fd);
+    hostfs::FileInfo info;
+    ASSERT_EQ(Status::Ok, sys.hostFs().stat("/prop", &info));
+    std::vector<uint8_t> host(info.size);
+    int hfd = sys.hostFs().open("/prop", hostfs::O_RDONLY_F);
+    sys.hostFs().pread(hfd, host.data(), host.size(), 0);
+    sys.hostFs().close(hfd);
+    ASSERT_LE(host.size(), shadow.size());
+    EXPECT_EQ(0, std::memcmp(shadow.data(), host.data(), host.size()));
+    // Bytes past the host size must be zero in the shadow.
+    for (uint64_t i = host.size(); i < shadow.size(); ++i)
+        ASSERT_EQ(0, shadow[i]) << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PageAndCacheSweep, RwRoundtrip,
+    ::testing::Values(
+        RwParam{16 * KiB, 8 * MiB, false},
+        RwParam{16 * KiB, 128 * KiB, false},    // heavy eviction
+        RwParam{64 * KiB, 8 * MiB, false},
+        RwParam{64 * KiB, 512 * KiB, false},
+        RwParam{256 * KiB, 8 * MiB, false},
+        RwParam{256 * KiB, 1 * MiB, false},
+        RwParam{16 * KiB, 8 * MiB, true},
+        RwParam{64 * KiB, 8 * MiB, true},
+        RwParam{256 * KiB, 8 * MiB, true}),
+    rwParamName);
+
+// ---------------------------------------------------------------------
+// Property: sequential reads return identical data for every page size
+// and for every read-chunk size, matching the generator directly.
+// ---------------------------------------------------------------------
+
+class ReadSweep : public ::testing::TestWithParam<std::tuple<uint64_t,
+                                                             uint64_t>>
+{
+};
+
+TEST_P(ReadSweep, SequentialReadMatchesGenerator)
+{
+    uint64_t page_size = std::get<0>(GetParam());
+    uint64_t chunk = std::get<1>(GetParam());
+    GpuFsParams p;
+    p.pageSize = page_size;
+    p.cacheBytes = 4 * MiB;
+    GpufsSystem sys(1, p);
+
+    const uint64_t file_size = 600 * KiB + 123;   // non-aligned EOF
+    uint64_t seed = 99;
+    sys.hostFs().addFile("/gen", hostfs::SyntheticContent::pattern(seed),
+                         file_size);
+
+    auto ctx = test::makeBlock(sys.device(0));
+    int fd = sys.fs().gopen(ctx, "/gen", G_RDONLY);
+    ASSERT_GE(fd, 0);
+    std::vector<uint8_t> buf(chunk);
+    uint64_t pos = 0;
+    while (pos < file_size) {
+        int64_t n = sys.fs().gread(ctx, fd, pos, chunk, buf.data());
+        ASSERT_GT(n, 0);
+        ASSERT_LE(uint64_t(n), chunk);
+        for (int64_t i = 0; i < n; i += 419) {
+            ASSERT_EQ(hostfs::SyntheticContent::patternByte(seed, pos + i),
+                      buf[i])
+                << "pos=" << pos + i;
+        }
+        pos += uint64_t(n);
+    }
+    EXPECT_EQ(file_size, pos);
+    sys.fs().gclose(ctx, fd);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PageByChunk, ReadSweep,
+    ::testing::Combine(::testing::Values(16 * KiB, 64 * KiB, 256 * KiB,
+                                         1 * MiB),
+                       ::testing::Values(1 * KiB, 16 * KiB, 100 * KiB)));
+
+// ---------------------------------------------------------------------
+// Property: gmmap maps a non-empty prefix, never crosses a page, and
+// the bytes match the file at every page size.
+// ---------------------------------------------------------------------
+
+class MmapSweep : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(MmapSweep, PrefixContract)
+{
+    uint64_t page_size = GetParam();
+    GpuFsParams p;
+    p.pageSize = page_size;
+    p.cacheBytes = 4 * MiB;
+    GpufsSystem sys(1, p);
+    test::addRamp(sys.hostFs(), "/m", 700 * KiB);
+    auto ctx = test::makeBlock(sys.device(0));
+    int fd = sys.fs().gopen(ctx, "/m", G_RDONLY);
+
+    SplitMix64 rng(page_size);
+    for (int i = 0; i < 50; ++i) {
+        uint64_t off = rng.nextBelow(700 * KiB - 1);
+        uint64_t len = 1 + rng.nextBelow(3 * page_size);
+        uint64_t mapped = 0;
+        void *ptr = sys.fs().gmmap(ctx, fd, off, len, &mapped);
+        ASSERT_NE(nullptr, ptr);
+        ASSERT_GE(mapped, 1u);
+        ASSERT_LE(mapped, len);
+        // Never crosses the containing buffer-cache page.
+        EXPECT_LE(off % page_size + mapped, page_size);
+        // Never exceeds EOF for a read-only mapping.
+        EXPECT_LE(off + mapped, 700 * KiB);
+        auto *bytes = static_cast<uint8_t *>(ptr);
+        for (uint64_t k = 0; k < mapped; k += 777)
+            ASSERT_EQ(test::rampByte(off + k), bytes[k]);
+        EXPECT_EQ(Status::Ok, sys.fs().gmunmap(ctx, ptr));
+    }
+    sys.fs().gclose(ctx, fd);
+}
+
+INSTANTIATE_TEST_SUITE_P(Pages, MmapSweep,
+                         ::testing::Values(16 * KiB, 64 * KiB, 256 * KiB,
+                                           2 * MiB));
+
+// ---------------------------------------------------------------------
+// Property: the resource timeline never double-books, for arbitrary
+// ready/duration sequences.
+// ---------------------------------------------------------------------
+
+class ResourceFuzz : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(ResourceFuzz, GrantsNeverOverlap)
+{
+    sim::Resource r("fuzz");
+    SplitMix64 rng(GetParam());
+    std::vector<sim::Grant> grants;
+    for (int i = 0; i < 2000; ++i) {
+        Time ready = rng.nextBelow(1000000);
+        Time dur = 1 + rng.nextBelow(5000);
+        sim::Grant g = r.reserve(ready, dur);
+        ASSERT_GE(g.start, ready);
+        ASSERT_EQ(g.end - g.start, dur);
+        grants.push_back(g);
+    }
+    std::sort(grants.begin(), grants.end(),
+              [](const sim::Grant &a, const sim::Grant &b) {
+                  return a.start < b.start;
+              });
+    for (size_t i = 1; i < grants.size(); ++i)
+        ASSERT_LE(grants[i - 1].end, grants[i].start) << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ResourceFuzz,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+// ---------------------------------------------------------------------
+// Property: gsnprintf agrees with libc snprintf on its supported verbs.
+// ---------------------------------------------------------------------
+
+TEST(GsnprintfDifferential, MatchesLibcOnRandomInputs)
+{
+    SplitMix64 rng(321);
+    char ours[256], libc[256];
+    for (int i = 0; i < 2000; ++i) {
+        int d = int(rng.next());
+        unsigned u = unsigned(rng.next());
+        unsigned long long llu = rng.next();
+        char c = char('!' + rng.nextBelow(90));
+        gpuutil::gsnprintf(ours, sizeof(ours), "%d|%u|%llu|%x|%c|%%", d, u,
+                           llu, u, c);
+        std::snprintf(libc, sizeof(libc), "%d|%u|%llu|%x|%c|%%", d, u, llu,
+                      u, c);
+        ASSERT_STREQ(libc, ours) << "iteration " << i;
+    }
+}
+
+TEST(GwordCountDifferential, MatchesNaiveReference)
+{
+    SplitMix64 rng(77);
+    for (int iter = 0; iter < 200; ++iter) {
+        // Random text over a tiny alphabet so matches are frequent.
+        std::string text;
+        for (int i = 0; i < 300; ++i) {
+            const char alphabet[] = "ab _.";
+            text.push_back(alphabet[rng.nextBelow(5)]);
+        }
+        const char *word = iter % 2 ? "ab" : "a";
+        size_t wlen = std::strlen(word);
+
+        // Naive reference: check every position.
+        uint64_t expect = 0;
+        for (size_t i = 0; i + wlen <= text.size(); ++i) {
+            if (std::memcmp(text.data() + i, word, wlen) != 0)
+                continue;
+            bool left = i == 0 || gpuutil::gisWordDelim(text[i - 1]);
+            bool right = i + wlen == text.size() ||
+                gpuutil::gisWordDelim(text[i + wlen]);
+            expect += left && right;
+        }
+        ASSERT_EQ(expect, gpuutil::gwordCount(text.data(), text.size(),
+                                              word, wlen))
+            << "iter " << iter << " text=" << text;
+    }
+}
+
+} // namespace
+} // namespace core
+} // namespace gpufs

@@ -1,0 +1,278 @@
+/** @file Unit tests for the GPU-CPU RPC layer. */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "consistency/consistency.hh"
+#include "gpu/device.hh"
+#include "hostfs/hostfs.hh"
+#include "rpc/daemon.hh"
+#include "tests/testutil.hh"
+
+namespace gpufs {
+namespace rpc {
+namespace {
+
+class RpcTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        queue = &daemon.attachGpu(dev);
+        daemon.start();
+    }
+
+    void TearDown() override { daemon.stop(); }
+
+    sim::SimContext sim;
+    hostfs::HostFs fs{sim};
+    consistency::ConsistencyMgr mgr;
+    gpu::GpuDevice dev{sim, 0};
+    rpc::CpuDaemon daemon{fs, mgr};
+    RpcQueue *queue = nullptr;
+
+    RpcResponse
+    openFile(const std::string &path, uint32_t flags, bool write = false)
+    {
+        RpcRequest req;
+        req.op = RpcOp::Open;
+        std::strncpy(req.path, path.c_str(), kMaxPath - 1);
+        req.flags = flags;
+        req.wantsWrite = write;
+        return queue->call(req);
+    }
+};
+
+TEST_F(RpcTest, NopRoundtrip)
+{
+    RpcRequest req;
+    req.op = RpcOp::Nop;
+    req.issueTime = 1000;
+    RpcResponse resp = queue->call(req);
+    EXPECT_EQ(Status::Ok, resp.status);
+    // Completion covers submit latency + daemon handling.
+    EXPECT_GE(resp.done,
+              1000 + sim.params.rpcSubmitLat + sim.params.rpcCpuOverhead);
+}
+
+TEST_F(RpcTest, OpenReturnsMetadata)
+{
+    test::addRamp(fs, "/f", 12345);
+    RpcResponse resp = openFile("/f", hostfs::O_RDONLY_F);
+    EXPECT_EQ(Status::Ok, resp.status);
+    EXPECT_GE(resp.hostFd, 0);
+    EXPECT_EQ(12345u, resp.size);
+    EXPECT_GT(resp.ino, 0u);
+
+    RpcRequest creq;
+    creq.op = RpcOp::Close;
+    creq.hostFd = resp.hostFd;
+    EXPECT_EQ(Status::Ok, queue->call(creq).status);
+    EXPECT_EQ(0u, fs.openCount());
+}
+
+TEST_F(RpcTest, OpenMissingFails)
+{
+    RpcResponse resp = openFile("/missing", hostfs::O_RDONLY_F);
+    EXPECT_EQ(Status::NoEnt, resp.status);
+}
+
+TEST_F(RpcTest, ReadPageMovesBytesAndChargesPcie)
+{
+    test::addRamp(fs, "/f", 256 * KiB);
+    RpcResponse open = openFile("/f", hostfs::O_RDONLY_F);
+
+    std::vector<uint8_t> page(64 * KiB);
+    RpcRequest req;
+    req.op = RpcOp::ReadPage;
+    req.hostFd = open.hostFd;
+    req.offset = 64 * KiB;
+    req.len = page.size();
+    req.data = page.data();
+    req.issueTime = 0;
+    RpcResponse resp = queue->call(req);
+    ASSERT_EQ(Status::Ok, resp.status);
+    EXPECT_EQ(page.size(), resp.bytes);
+    for (unsigned i = 0; i < 64; ++i)
+        EXPECT_EQ(test::rampByte(64 * KiB + i), page[i]);
+    // PCIe DMA must appear in the completion time.
+    EXPECT_GE(resp.done,
+              transferTime(page.size(), sim.params.pcieBwH2DMBps));
+    EXPECT_EQ(page.size(),
+              daemon.stats().counter("bytes_to_gpu").get());
+}
+
+TEST_F(RpcTest, ReadPageClampsAtEof)
+{
+    test::addRamp(fs, "/small", 1000);
+    RpcResponse open = openFile("/small", hostfs::O_RDONLY_F);
+    std::vector<uint8_t> page(4096);
+    RpcRequest req;
+    req.op = RpcOp::ReadPage;
+    req.hostFd = open.hostFd;
+    req.offset = 0;
+    req.len = page.size();
+    req.data = page.data();
+    RpcResponse resp = queue->call(req);
+    EXPECT_EQ(1000u, resp.bytes);
+}
+
+TEST_F(RpcTest, WriteBackFullExtent)
+{
+    test::addRamp(fs, "/w", 4096);
+    RpcResponse open = openFile("/w", hostfs::O_RDWR_F, true);
+    std::vector<uint8_t> page(4096, 0xCD);
+    RpcRequest req;
+    req.op = RpcOp::WriteBack;
+    req.hostFd = open.hostFd;
+    req.offset = 0;
+    req.len = page.size();
+    req.data = page.data();
+    RpcResponse resp = queue->call(req);
+    ASSERT_EQ(Status::Ok, resp.status);
+    EXPECT_EQ(4096u, resp.bytes);
+
+    int fd = fs.open("/w", hostfs::O_RDONLY_F);
+    uint8_t b;
+    fs.pread(fd, &b, 1, 100);
+    EXPECT_EQ(0xCD, b);
+    fs.close(fd);
+}
+
+TEST_F(RpcTest, DiffAgainstZerosPreservesOtherWritersBytes)
+{
+    // Host file already contains 0xAA everywhere (another writer's
+    // data); our page is zero except a small run. Only the run may
+    // land (O_GWRONCE merge, §3.1).
+    test::addBytes(fs, "/m", std::vector<uint8_t>(4096, 0xAA));
+    RpcResponse open = openFile("/m", hostfs::O_RDWR_F, true);
+    std::vector<uint8_t> page(4096, 0);
+    for (int i = 100; i < 200; ++i)
+        page[i] = 0x55;
+    RpcRequest req;
+    req.op = RpcOp::WriteBack;
+    req.hostFd = open.hostFd;
+    req.offset = 0;
+    req.len = page.size();
+    req.data = page.data();
+    req.diffAgainstZeros = true;
+    RpcResponse resp = queue->call(req);
+    ASSERT_EQ(Status::Ok, resp.status);
+    EXPECT_EQ(100u, resp.bytes);    // only the non-zero run moved
+
+    int fd = fs.open("/m", hostfs::O_RDONLY_F);
+    std::vector<uint8_t> check(4096);
+    fs.pread(fd, check.data(), check.size(), 0);
+    EXPECT_EQ(0xAA, check[99]);
+    EXPECT_EQ(0x55, check[100]);
+    EXPECT_EQ(0x55, check[199]);
+    EXPECT_EQ(0xAA, check[200]);
+    fs.close(fd);
+}
+
+TEST_F(RpcTest, StatAndUnlink)
+{
+    test::addRamp(fs, "/s", 777);
+    RpcRequest req;
+    req.op = RpcOp::Stat;
+    std::strncpy(req.path, "/s", kMaxPath - 1);
+    RpcResponse resp = queue->call(req);
+    EXPECT_EQ(Status::Ok, resp.status);
+    EXPECT_EQ(777u, resp.size);
+
+    req.op = RpcOp::Unlink;
+    EXPECT_EQ(Status::Ok, queue->call(req).status);
+    req.op = RpcOp::Stat;
+    EXPECT_EQ(Status::NoEnt, queue->call(req).status);
+}
+
+TEST_F(RpcTest, ConsistencyClaimsFollowOpenClose)
+{
+    test::addRamp(fs, "/c", 10);
+    RpcResponse a = openFile("/c", hostfs::O_RDWR_F, true);
+    ASSERT_EQ(Status::Ok, a.status);
+    EXPECT_EQ(1u, mgr.writerCount(a.ino));
+    RpcRequest creq;
+    creq.op = RpcOp::Close;
+    creq.hostFd = a.hostFd;
+    queue->call(creq);
+    EXPECT_EQ(0u, mgr.writerCount(a.ino));
+}
+
+TEST_F(RpcTest, ManyConcurrentCallersAllServed)
+{
+    test::addRamp(fs, "/p", 1 * MiB);
+    RpcResponse open = openFile("/p", hostfs::O_RDONLY_F);
+    constexpr int kThreads = 16, kCalls = 200;
+    std::atomic<int> failures{0};
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&, t] {
+            std::vector<uint8_t> buf(4096);
+            for (int i = 0; i < kCalls; ++i) {
+                RpcRequest req;
+                req.op = RpcOp::ReadPage;
+                req.hostFd = open.hostFd;
+                req.offset = ((t * kCalls + i) * 4096ull) % (1 * MiB);
+                req.len = buf.size();
+                req.data = buf.data();
+                RpcResponse resp = queue->call(req);
+                if (resp.status != Status::Ok || resp.bytes != buf.size())
+                    failures.fetch_add(1);
+                if (buf[0] != test::rampByte(req.offset))
+                    failures.fetch_add(1);
+            }
+        });
+    }
+    for (auto &t : threads)
+        t.join();
+    EXPECT_EQ(0, failures.load());
+    EXPECT_GE(daemon.stats().counter("requests_served").get(),
+              uint64_t(kThreads) * kCalls);
+}
+
+TEST_F(RpcTest, PipelinedRequestsOverlapDiskAndDma)
+{
+    // Two reads issued at t=0: the second's host I/O should overlap
+    // the first's DMA, so total < strict serial sum.
+    test::addRamp(fs, "/o", 8 * MiB);
+    fs.cache().prefault(1, 0, 8 * MiB);   // warm (ino 1: first file)
+    RpcResponse open = openFile("/o", hostfs::O_RDONLY_F);
+    std::vector<uint8_t> a(4 * MiB), b(4 * MiB);
+
+    RpcResponse ra, rb;
+    std::thread t1([&] {
+        RpcRequest req;
+        req.op = RpcOp::ReadPage;
+        req.hostFd = open.hostFd;
+        req.offset = 0;
+        req.len = a.size();
+        req.data = a.data();
+        req.issueTime = 0;
+        ra = queue->call(req);
+    });
+    std::thread t2([&] {
+        RpcRequest req;
+        req.op = RpcOp::ReadPage;
+        req.hostFd = open.hostFd;
+        req.offset = 4 * MiB;
+        req.len = b.size();
+        req.data = b.data();
+        req.issueTime = 0;
+        rb = queue->call(req);
+    });
+    t1.join();
+    t2.join();
+    Time io = transferTime(4 * MiB, sim.params.hostCacheReadMBps);
+    Time dma = transferTime(4 * MiB, sim.params.pcieBwH2DMBps);
+    Time serial_sum = 2 * (io + dma);
+    EXPECT_LT(std::max(ra.done, rb.done), serial_sum);
+}
+
+} // namespace
+} // namespace rpc
+} // namespace gpufs

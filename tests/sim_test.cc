@@ -1,0 +1,186 @@
+/** @file Unit tests for the virtual-time resource model. */
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "sim/context.hh"
+#include "sim/hw_params.hh"
+#include "sim/resource.hh"
+
+namespace gpufs {
+namespace sim {
+namespace {
+
+TEST(Resource, SerializesOverlappingRequests)
+{
+    Resource r("r");
+    Grant a = r.reserve(0, 100);
+    Grant b = r.reserve(0, 100);
+    EXPECT_EQ(0u, a.start);
+    EXPECT_EQ(100u, a.end);
+    EXPECT_EQ(100u, b.start);    // queued behind a
+    EXPECT_EQ(200u, b.end);
+}
+
+TEST(Resource, GapsAreBackfilledByVirtualTime)
+{
+    // Real threads race, so reservations may register out of virtual-
+    // time order; the timeline must serve them by ready time, not by
+    // arrival order.
+    Resource r("r");
+    r.reserve(0, 10);
+    Grant late = r.reserve(1000, 10);
+    EXPECT_EQ(1000u, late.start);    // device idle 10..1000
+    Grant backfill = r.reserve(0, 10);
+    EXPECT_EQ(10u, backfill.start);  // slots into the idle gap
+    Grant tight = r.reserve(0, 2000);
+    EXPECT_EQ(1010u, tight.start);   // too big for any gap: appends
+}
+
+TEST(Resource, ReadyInsideBusyIntervalPushesToEnd)
+{
+    Resource r("r");
+    r.reserve(100, 100);     // busy [100, 200)
+    Grant g = r.reserve(150, 10);
+    EXPECT_EQ(200u, g.start);
+}
+
+TEST(Resource, ExactFitGapIsUsed)
+{
+    Resource r("r");
+    r.reserve(0, 10);        // [0,10)
+    r.reserve(20, 10);       // [20,30)
+    Grant g = r.reserve(0, 10);
+    EXPECT_EQ(10u, g.start); // exact 10-wide gap
+    Grant g2 = r.reserve(0, 1);
+    EXPECT_EQ(30u, g2.start);   // everything coalesced: appends
+}
+
+TEST(Resource, BusyTimeAccumulates)
+{
+    Resource r("r");
+    r.reserve(0, 70);
+    r.reserve(500, 30);
+    EXPECT_EQ(100u, r.busyTime());
+}
+
+TEST(Resource, ResetClearsTimeline)
+{
+    Resource r("r");
+    r.reserve(0, 100);
+    r.reset();
+    EXPECT_EQ(0u, r.horizon());
+    EXPECT_EQ(0u, r.reserve(0, 5).start);
+}
+
+TEST(Resource, ConcurrentReservationsNeverOverlap)
+{
+    Resource r("r");
+    constexpr int kThreads = 8, kPer = 500;
+    std::vector<std::vector<Grant>> grants(kThreads);
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&, t] {
+            for (int i = 0; i < kPer; ++i)
+                grants[t].push_back(r.reserve(0, 7));
+        });
+    }
+    for (auto &t : threads)
+        t.join();
+    // All grants must tile [0, kThreads*kPer*7) exactly.
+    std::vector<Grant> all;
+    for (auto &v : grants)
+        all.insert(all.end(), v.begin(), v.end());
+    std::sort(all.begin(), all.end(),
+              [](const Grant &a, const Grant &b) { return a.start < b.start; });
+    Time expect = 0;
+    for (const Grant &g : all) {
+        EXPECT_EQ(expect, g.start);
+        EXPECT_EQ(expect + 7, g.end);
+        expect = g.end;
+    }
+}
+
+TEST(MultiResource, ParallelUpToServerCount)
+{
+    MultiResource m("m", 3);
+    EXPECT_EQ(0u, m.reserve(0, 100).start);
+    EXPECT_EQ(0u, m.reserve(0, 100).start);
+    EXPECT_EQ(0u, m.reserve(0, 100).start);
+    EXPECT_EQ(100u, m.reserve(0, 100).start);   // 4th waits
+}
+
+TEST(MultiResource, PicksEarliestServer)
+{
+    MultiResource m("m", 2);
+    m.reserve(0, 10);    // server A busy to 10
+    m.reserve(0, 50);    // server B busy to 50
+    EXPECT_EQ(10u, m.reserve(0, 5).start);
+}
+
+TEST(MultiResource, AcquireReleaseRoundtrip)
+{
+    MultiResource m("m", 2);
+    Grant g1 = m.acquire(0);
+    Grant g2 = m.acquire(0);
+    EXPECT_EQ(0u, g1.start);
+    EXPECT_EQ(0u, g2.start);
+    m.release(g1, 30);
+    m.release(g2, 40);
+    // Next block starts when the earliest slot freed.
+    Grant g3 = m.acquire(0);
+    EXPECT_EQ(30u, g3.start);
+    m.release(g3, 60);
+    EXPECT_EQ(60u, m.horizon());
+}
+
+TEST(MultiResource, HorizonIgnoresHeldSlots)
+{
+    MultiResource m("m", 2);
+    Grant g = m.acquire(0);
+    EXPECT_EQ(0u, m.horizon());   // held slot doesn't count
+    m.release(g, 25);
+    EXPECT_EQ(25u, m.horizon());
+}
+
+TEST(MultiResource, WaveSchedulingMatchesBlockModel)
+{
+    // 28 slots, 56 equal blocks -> exactly two waves.
+    MultiResource m("m", 28);
+    std::vector<Grant> grants;
+    for (int b = 0; b < 56; ++b)
+        grants.push_back(m.reserve(0, 1000));
+    int wave0 = 0, wave1 = 0;
+    for (const Grant &g : grants) {
+        if (g.start == 0)
+            ++wave0;
+        else if (g.start == 1000)
+            ++wave1;
+    }
+    EXPECT_EQ(28, wave0);
+    EXPECT_EQ(28, wave1);
+}
+
+TEST(HwParams, WaveSlotsIsMpTimesResidency)
+{
+    HwParams p;
+    EXPECT_EQ(p.mpCount * p.blocksPerMp, p.waveSlots());
+    // Paper: 28 blocks = "twice the number of active multiprocessors".
+    EXPECT_EQ(28u, p.waveSlots());
+}
+
+TEST(SimContext, ResetClearsSharedResources)
+{
+    SimContext ctx;
+    ctx.cpuIo.reserve(0, 100);
+    ctx.disk.reserve(0, 100);
+    ctx.reset();
+    EXPECT_EQ(0u, ctx.cpuIo.horizon());
+    EXPECT_EQ(0u, ctx.disk.horizon());
+}
+
+} // namespace
+} // namespace sim
+} // namespace gpufs

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Shared fixtures for the GPUfs test suite.
+ */
+
+#ifndef GPUFS_TESTS_TESTUTIL_HH
+#define GPUFS_TESTS_TESTUTIL_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "gpufs/system.hh"
+#include "hostfs/content.hh"
+
+namespace gpufs {
+namespace test {
+
+/** Make a BlockCtx suitable for direct API calls in tests. */
+inline gpu::BlockCtx
+makeBlock(gpu::GpuDevice &dev, unsigned block_id = 0)
+{
+    return gpu::BlockCtx(dev, block_id, 1, 512, /*start_time=*/0,
+                         /*shared_bytes=*/48 * KiB);
+}
+
+/** Install an in-memory file with the given bytes. */
+inline void
+addBytes(hostfs::HostFs &fs, const std::string &path,
+         std::vector<uint8_t> bytes)
+{
+    uint64_t n = bytes.size();
+    ASSERT_EQ(Status::Ok,
+              fs.addFile(path,
+                         std::make_unique<hostfs::InMemoryContent>(
+                             std::move(bytes)),
+                         n));
+}
+
+/** Install an in-memory file with a ramp pattern of @p n bytes. */
+inline void
+addRamp(hostfs::HostFs &fs, const std::string &path, uint64_t n)
+{
+    std::vector<uint8_t> bytes(n);
+    for (uint64_t i = 0; i < n; ++i)
+        bytes[i] = uint8_t(i * 131 + 7);
+    addBytes(fs, path, std::move(bytes));
+}
+
+/** The ramp value addRamp puts at offset @p i. */
+inline uint8_t
+rampByte(uint64_t i)
+{
+    return uint8_t(i * 131 + 7);
+}
+
+} // namespace test
+} // namespace gpufs
+
+#endif // GPUFS_TESTS_TESTUTIL_HH

@@ -1,0 +1,248 @@
+/** @file Unit tests for the workload generators and CPU baselines. */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "consistency/wrapfs.hh"
+#include "gpuutil/gstring.hh"
+#include "hostfs/hostfs.hh"
+#include "sim/context.hh"
+#include "workloads/imagedb.hh"
+#include "workloads/matrix.hh"
+#include "workloads/textcorpus.hh"
+
+namespace gpufs {
+namespace workloads {
+namespace {
+
+class WorkloadsTest : public ::testing::Test
+{
+  protected:
+    sim::SimContext sim;
+    hostfs::HostFs fs{sim};
+    consistency::ConsistencyMgr mgr;
+    consistency::WrapFs wrap{fs, mgr};
+};
+
+// ---- image databases ----
+
+TEST_F(WorkloadsTest, ImageDbBytesMatchElements)
+{
+    ImageDbSpec spec;
+    spec.path = "/db";
+    spec.seed = 11;
+    spec.numImages = 10;
+    spec.dim = 64;
+    addImageDb(fs, spec, /*query_seed=*/5);
+
+    int fd = fs.open("/db", hostfs::O_RDONLY_F);
+    std::vector<float> img(spec.dim);
+    fs.pread(fd, reinterpret_cast<uint8_t *>(img.data()), spec.imageBytes(),
+             3 * spec.imageBytes(), 0);
+    for (uint32_t e = 0; e < spec.dim; ++e)
+        EXPECT_FLOAT_EQ(dbElement(spec.seed, 3, e), img[e]);
+    fs.close(fd);
+}
+
+TEST_F(WorkloadsTest, PlantedImageReproducesQuery)
+{
+    ImageDbSpec spec;
+    spec.path = "/db";
+    spec.seed = 11;
+    spec.numImages = 10;
+    spec.dim = 64;
+    spec.planted[7] = 2;    // query 2 planted at image 7
+    addImageDb(fs, spec, 5);
+
+    int fd = fs.open("/db", hostfs::O_RDONLY_F);
+    std::vector<float> img(spec.dim);
+    fs.pread(fd, reinterpret_cast<uint8_t *>(img.data()), spec.imageBytes(),
+             7 * spec.imageBytes(), 0);
+    auto q = queryImage(5, 2, spec.dim);
+    EXPECT_EQ(0, std::memcmp(q.data(), img.data(), spec.imageBytes()));
+    fs.close(fd);
+}
+
+TEST_F(WorkloadsTest, DistanceZeroForIdenticalVectors)
+{
+    auto q = queryImage(5, 0, 256);
+    uint32_t examined = 0;
+    double d = distanceSq(q.data(), q.data(), 256, 1e-6, &examined);
+    EXPECT_DOUBLE_EQ(0.0, d);
+    EXPECT_EQ(256u, examined);   // no early exit on a match
+}
+
+TEST_F(WorkloadsTest, DistanceEarlyExitsOnMismatch)
+{
+    auto a = queryImage(5, 0, 4096);
+    auto b = queryImage(5, 1, 4096);
+    uint32_t examined = 0;
+    double d = distanceSq(a.data(), b.data(), 4096, 0.5, &examined);
+    EXPECT_GT(d, 0.5);
+    EXPECT_LT(examined, 4096u);   // random vectors diverge fast
+}
+
+TEST_F(WorkloadsTest, MakePaperDbsGeometry)
+{
+    auto dbs = makePaperDbs(1, 100, false, 0.01);
+    ASSERT_EQ(3u, dbs.size());
+    for (const auto &db : dbs) {
+        EXPECT_GT(db.numImages, 0u);
+        EXPECT_TRUE(db.planted.empty());
+    }
+    auto planted = makePaperDbs(1, 100, true, 0.01);
+    size_t total = 0;
+    for (const auto &db : planted)
+        total += db.planted.size();
+    EXPECT_EQ(100u, total);
+}
+
+TEST_F(WorkloadsTest, CpuImageSearchFindsPlantedMatches)
+{
+    const uint32_t kQueries = 8;
+    auto dbs = makePaperDbs(3, kQueries, true, 0.002);
+    for (auto &db : dbs)
+        addImageDb(fs, db, /*query_seed=*/42);
+    Time elapsed = 0;
+    auto results = cpuImageSearch(wrap, dbs, 42, kQueries, 1e-6, &elapsed);
+    ASSERT_EQ(kQueries, results.size());
+    for (uint32_t q = 0; q < kQueries; ++q) {
+        ASSERT_TRUE(results[q].found()) << "query " << q;
+        // The reported hit must actually be the planted location.
+        const auto &db = dbs[results[q].db];
+        auto it = db.planted.find(results[q].image);
+        ASSERT_NE(db.planted.end(), it);
+        EXPECT_EQ(q, it->second);
+    }
+    EXPECT_GT(elapsed, 0u);
+}
+
+TEST_F(WorkloadsTest, CpuImageSearchNoMatchScansEverything)
+{
+    auto dbs = makePaperDbs(3, 4, false, 0.002);
+    for (auto &db : dbs)
+        addImageDb(fs, db, 42);
+    Time no_match_time = 0;
+    auto results = cpuImageSearch(wrap, dbs, 42, 4, 1e-6, &no_match_time);
+    for (const auto &r : results)
+        EXPECT_FALSE(r.found());
+}
+
+// ---- text corpus ----
+
+TEST_F(WorkloadsTest, DictionaryUniqueAndAligned)
+{
+    Dictionary dict(9, 5000);
+    EXPECT_EQ(5000u, dict.size());
+    auto img = dict.fileImage();
+    EXPECT_EQ(5000u * kDictRecord, img.size());
+    // Record 123 round-trips.
+    std::string w(reinterpret_cast<char *>(img.data() + 123 * kDictRecord));
+    EXPECT_EQ(dict.word(123), w);
+    EXPECT_EQ(123, dict.lookup(w));
+    EXPECT_EQ(-1, dict.lookup("NOTAWORD"));
+}
+
+TEST_F(WorkloadsTest, DictionaryDeterministic)
+{
+    Dictionary a(7, 100), b(7, 100);
+    for (uint32_t i = 0; i < 100; ++i)
+        EXPECT_EQ(a.word(i), b.word(i));
+}
+
+TEST_F(WorkloadsTest, TreeCorpusShape)
+{
+    Dictionary dict(9, 500);
+    Corpus c = makeTree(fs, dict, 1, "/src", 50, 512 * 1024);
+    EXPECT_EQ(50u, c.paths.size());
+    EXPECT_GT(c.totalBytes, 256u * 1024);
+    // The list file enumerates every path.
+    hostfs::FileInfo info;
+    ASSERT_EQ(Status::Ok, fs.stat(c.listPath, &info));
+    std::vector<uint8_t> list(info.size);
+    int fd = fs.open(c.listPath, hostfs::O_RDONLY_F);
+    fs.pread(fd, list.data(), info.size, 0);
+    fs.close(fd);
+    std::string text(list.begin(), list.end());
+    for (const auto &p : c.paths) {
+        // Manifest lines are "path size".
+        EXPECT_NE(std::string::npos, text.find(p + " "));
+    }
+}
+
+TEST_F(WorkloadsTest, CountWordsMatchesManualScan)
+{
+    Dictionary dict(9, 50);
+    std::string text = dict.word(3) + " " + dict.word(3) + "\n_x " +
+        dict.word(7) + ".";
+    std::vector<uint64_t> counts;
+    countWords(dict, text.data(), text.size(), counts);
+    EXPECT_EQ(2u, counts[3]);
+    EXPECT_EQ(1u, counts[7]);
+    EXPECT_EQ(0u, counts[0]);
+}
+
+TEST_F(WorkloadsTest, CpuGrepCountsDictionaryTokens)
+{
+    Dictionary dict(9, 200);
+    Corpus c = makeSingleFile(fs, dict, 2, "/text", 64 * 1024, 0.9);
+    Time elapsed = 0;
+    auto totals = cpuGrep(wrap, dict, c, &elapsed);
+    uint64_t sum = 0;
+    for (uint64_t n : totals)
+        sum += n;
+    EXPECT_GT(sum, 1000u);   // ~90% of tokens are dictionary words
+    EXPECT_GT(elapsed, 0u);
+
+    // Cross-check one word against gwordCount on the raw text.
+    hostfs::FileInfo info;
+    fs.stat("/text", &info);
+    std::vector<uint8_t> raw(info.size);
+    int fd = fs.open("/text", hostfs::O_RDONLY_F);
+    fs.pread(fd, raw.data(), info.size, 0);
+    fs.close(fd);
+    const auto &w = dict.word(5);
+    EXPECT_EQ(gpuutil::gwordCount(reinterpret_cast<char *>(raw.data()),
+                                  raw.size(), w.c_str(), w.size()),
+              totals[5]);
+}
+
+// ---- matrices ----
+
+TEST_F(WorkloadsTest, MatrixFilesRoundTrip)
+{
+    MatrixSpec spec = makeMatrix(5, 0.01, "/mat");   // tiny
+    spec.cols = 256;                                  // shrink for test
+    spec.rows = 8;
+    addMatrixFiles(fs, spec);
+    int fd = fs.open(spec.matrixPath, hostfs::O_RDONLY_F);
+    std::vector<float> row(spec.cols);
+    fs.pread(fd, reinterpret_cast<uint8_t *>(row.data()), spec.rowBytes(),
+             2 * spec.rowBytes(), 0);
+    for (uint32_t c = 0; c < spec.cols; c += 17)
+        EXPECT_FLOAT_EQ(matrixElement(spec.seed, 2, c), row[c]);
+    fs.close(fd);
+
+    fd = fs.open(spec.vectorPath, hostfs::O_RDONLY_F);
+    std::vector<float> vec(spec.cols);
+    fs.pread(fd, reinterpret_cast<uint8_t *>(vec.data()),
+             spec.cols * sizeof(float), 0, 0);
+    double dot = 0;
+    for (uint32_t c = 0; c < spec.cols; ++c)
+        dot += double(row[c]) * double(vec[c]);
+    EXPECT_NEAR(referenceRow(spec, 2), dot, 1e-9);
+    fs.close(fd);
+}
+
+TEST_F(WorkloadsTest, MakeMatrixRoundsToWholeRows)
+{
+    MatrixSpec spec = makeMatrix(1, 280.0, "/m");
+    EXPECT_EQ(kMatvecCols, spec.cols);
+    EXPECT_EQ(spec.rows * spec.rowBytes(), spec.matrixBytes());
+    EXPECT_NEAR(280e6, double(spec.matrixBytes()), double(spec.rowBytes()));
+}
+
+} // namespace
+} // namespace workloads
+} // namespace gpufs
