@@ -1,0 +1,686 @@
+#include "gpufs/buffer_cache.hh"
+
+#include <algorithm>
+#include <cstring>
+#include <unordered_map>
+
+#include "base/logging.hh"
+#include "base/rng.hh"
+
+namespace gpufs {
+namespace core {
+
+// ---------------------------------------------------------------------
+// Eviction policies
+// ---------------------------------------------------------------------
+
+namespace {
+
+/**
+ * The paper's policy (§4.2): three constant-work passes over the file
+ * table — closed clean files (evictable with no GPU-CPU communication),
+ * then open read-only files, then writable files as a last resort.
+ * Within a file, frames go in the FIFO order of their leaf nodes.
+ */
+class PaperTieredPolicy : public EvictionPolicy
+{
+  public:
+    const char *name() const override { return "paper_tiered"; }
+
+    unsigned
+    reclaim(const std::vector<CacheFile *> &files, FrameArena &,
+            unsigned want, const EvictFn &evict) override
+    {
+        unsigned freed = 0;
+        for (int pass = 0; pass < 3 && freed < want; ++pass) {
+            for (CacheFile *f : files) {
+                if (freed >= want)
+                    break;
+                if (!f->cache)
+                    continue;
+                bool open_ro = !f->closed && !f->write;
+                bool clean = f->cache->dirtyCount() == 0;
+                bool eligible = false;
+                bool allow_dirty = false;
+                switch (pass) {
+                  case 0:
+                    eligible = f->closed && clean;
+                    break;
+                  case 1:
+                    eligible = open_ro;
+                    break;
+                  case 2:
+                    eligible = true;    // last resort: writable files
+                    allow_dirty = true;
+                    break;
+                }
+                if (!eligible)
+                    continue;
+                freed += evict(*f, allow_dirty, want - freed, kNoFrame);
+            }
+        }
+        return freed;
+    }
+};
+
+/**
+ * Ablation: global LRU. Every round scans the whole arena for the
+ * unpinned frame with the oldest access stamp and evicts it — exactly
+ * the variable-work shape §4.2 rejects, since the scan runs on the
+ * faulting application block's thread.
+ */
+class GlobalLruPolicy : public EvictionPolicy
+{
+  public:
+    const char *name() const override { return "global_lru"; }
+
+    unsigned
+    reclaim(const std::vector<CacheFile *> &files, FrameArena &arena,
+            unsigned want, const EvictFn &evict) override
+    {
+        std::unordered_map<uint64_t, CacheFile *> by_uid;
+        for (CacheFile *f : files) {
+            if (f->cache)
+                by_uid.emplace(f->cache->uid(), f);
+        }
+        // Snapshot every evictable frame ordered by access stamp, then
+        // walk the order evicting those exact frames, skipping victims
+        // that race away (pinned between the scan and the eviction
+        // attempt) instead of aborting the pass — giving up while
+        // evictable frames remain would surface as spurious NoSpace
+        // failures in the caller.
+        struct Candidate {
+            uint64_t stamp;
+            uint32_t frame;
+            CacheFile *file;
+        };
+        std::vector<Candidate> order;
+        for (uint32_t fr = 0; fr < arena.numFrames(); ++fr) {
+            PFrame &pf = arena.frame(fr);
+            uint64_t uid = pf.fileUid.load(std::memory_order_acquire);
+            if (uid == 0)
+                continue;
+            auto *p = static_cast<FPage *>(
+                pf.owner.load(std::memory_order_acquire));
+            if (!p || p->refs.load(std::memory_order_relaxed) != 0)
+                continue;
+            auto it = by_uid.find(uid);
+            if (it == by_uid.end())
+                continue;
+            order.push_back(
+                {pf.lastAccess.load(std::memory_order_relaxed), fr,
+                 it->second});
+        }
+        std::sort(order.begin(), order.end(),
+                  [](const Candidate &a, const Candidate &b) {
+                      return a.stamp < b.stamp;
+                  });
+        unsigned freed = 0;
+        for (const Candidate &c : order) {
+            if (freed >= want)
+                break;
+            freed += evict(*c.file, true, 1, c.frame);
+        }
+        return freed;
+    }
+};
+
+/**
+ * Ablation: uniform-random victim files, FIFO within the file. A
+ * deterministic sweep backstop guarantees exhaustion still frees
+ * frames (and writes dirty pages home) when the dice keep missing.
+ */
+class RandomPolicy : public EvictionPolicy
+{
+  public:
+    const char *name() const override { return "random"; }
+
+    unsigned
+    reclaim(const std::vector<CacheFile *> &files, FrameArena &,
+            unsigned want, const EvictFn &evict) override
+    {
+        unsigned freed = 0;
+        if (files.empty())
+            return freed;
+        unsigned attempts = static_cast<unsigned>(files.size()) * 2 + 8;
+        for (unsigned a = 0; a < attempts && freed < want; ++a) {
+            CacheFile *f = files[rng_.nextBelow(files.size())];
+            if (!f->cache)
+                continue;
+            freed += evict(*f, true, want - freed, kNoFrame);
+        }
+        for (CacheFile *f : files) {
+            if (freed >= want)
+                break;
+            if (f->cache)
+                freed += evict(*f, true, want - freed, kNoFrame);
+        }
+        return freed;
+    }
+
+  private:
+    SplitMix64 rng_{0xE71C7E0Dull};
+};
+
+} // namespace
+
+std::unique_ptr<EvictionPolicy>
+makeEvictionPolicy(EvictionPolicyKind kind)
+{
+    switch (kind) {
+      case EvictionPolicyKind::PaperTiered:
+        return std::make_unique<PaperTieredPolicy>();
+      case EvictionPolicyKind::GlobalLru:
+        return std::make_unique<GlobalLruPolicy>();
+      case EvictionPolicyKind::Random:
+        return std::make_unique<RandomPolicy>();
+    }
+    gpufs_fatal("unknown eviction policy kind");
+    return nullptr;
+}
+
+// ---------------------------------------------------------------------
+// BufferCache
+// ---------------------------------------------------------------------
+
+BufferCache::BufferCache(gpu::GpuDevice &device, rpc::RpcQueue &rpc_queue,
+                         const GpuFsParams &fs_params, StatSet &stat_set)
+    : dev(device), queue(rpc_queue), params_(fs_params),
+      arena_(fs_params.cacheBytes, fs_params.pageSize),
+      policy_(makeEvictionPolicy(fs_params.evictPolicy)),
+      cntCacheHits(stat_set.counter("cache_hits")),
+      cntCacheMisses(stat_set.counter("cache_misses")),
+      // Table 2 semantics: a "lock-free access" is a page access whose
+      // fast-path pin succeeds; a "locked access" is one that had to
+      // take the fpage lock (initialization, eviction collisions).
+      cntLockfree(stat_set.counter("lockfree_accesses")),
+      cntLocked(stat_set.counter("locked_accesses")),
+      cntReadRpcs(stat_set.counter("read_rpcs")),
+      cntBatchReadRpcs(stat_set.counter("batch_read_rpcs")),
+      cntBatchPages(stat_set.counter("batch_read_pages")),
+      cacheCounters_(cacheCounters(stat_set))
+{
+    dev.allocDeviceMem(params_.cacheBytes);
+}
+
+BufferCache::~BufferCache()
+{
+    dev.freeDeviceMem(params_.cacheBytes);
+}
+
+CacheCounters
+BufferCache::cacheCounters(StatSet &stat_set)   // static
+{
+    // Radix-tree *walk* counters are tracked separately from the
+    // page-access counters above (walks hardly ever lock because
+    // nodes are never deleted; page pins do lock under paging).
+    return CacheCounters{stat_set.counter("radix_lockfree_walks"),
+                         stat_set.counter("radix_locked_walks"),
+                         stat_set.counter("pages_reclaimed")};
+}
+
+void
+BufferCache::attach(CacheFile &f)
+{
+    std::lock_guard<std::mutex> lock(pagingMtx);
+    attached_.push_back(&f);
+}
+
+void
+BufferCache::setupFile(CacheFile &f)
+{
+    std::lock_guard<std::mutex> lock(pagingMtx);
+    f.cache = std::make_unique<FileCache>(arena_, cacheCounters_,
+                                          params_.forceLockedTraversal);
+}
+
+int
+BufferCache::parkFile(CacheFile &f, uint64_t close_seq)
+{
+    std::lock_guard<std::mutex> lock(pagingMtx);
+    f.closeSeq = close_seq;
+    f.closed = true;
+    if (f.cache && f.cache->dirtyCount() != 0)
+        return -1;      // keep the fd: eviction may still write back
+    int old_fd = f.hostFd;
+    f.hostFd = -1;
+    return old_fd;
+}
+
+int
+BufferCache::reopenFile(CacheFile &f, int new_host_fd)
+{
+    std::lock_guard<std::mutex> lock(pagingMtx);
+    int old_fd = f.hostFd;
+    f.hostFd = new_host_fd;
+    f.closed = false;
+    return old_fd;
+}
+
+bool
+BufferCache::dropPages(CacheFile &f)
+{
+    std::lock_guard<std::mutex> lock(pagingMtx);
+    return f.cache ? f.cache->dropAll() : true;
+}
+
+void
+BufferCache::destroyFile(CacheFile &f)
+{
+    std::lock_guard<std::mutex> lock(pagingMtx);
+    if (!f.cache)
+        return;
+    bool clean = f.cache->dropAll();
+    gpufs_assert(clean, "destroying file cache with pinned pages");
+    f.cache.reset();
+}
+
+Status
+BufferCache::fetchPage(gpu::BlockCtx &ctx, CacheFile &f, uint64_t page_idx,
+                       uint8_t *data, uint32_t *valid, Time *done)
+{
+    const uint64_t page_size = params_.pageSize;
+    if (f.wronce) {
+        // The pristine copy is implicitly all zeros (§3.1): no fetch,
+        // no DMA — the page is "ready" from the beginning of time for
+        // any block's virtual clock (see pinPage's skip_fetch note).
+        std::memset(data, 0, page_size);
+        *valid = 0;
+        *done = 0;
+        return Status::Ok;
+    }
+    rpc::RpcRequest req;
+    req.op = rpc::RpcOp::ReadPage;
+    req.hostFd = f.hostFd;
+    req.offset = page_idx * page_size;
+    req.len = page_size;
+    req.data = data;
+    req.gpuId = dev.id();
+    req.issueTime = ctx.now();
+    rpc::RpcResponse resp = queue.call(req);
+    cntReadRpcs.inc();
+    if (!ok(resp.status))
+        return resp.status;
+    if (resp.bytes < page_size)
+        std::memset(data + resp.bytes, 0, page_size - resp.bytes);
+    *valid = static_cast<uint32_t>(resp.bytes);
+    *done = resp.done;
+    return Status::Ok;
+}
+
+Time
+BufferCache::writebackExtent(CacheFile &f, uint64_t page_idx,
+                             const uint8_t *data, uint32_t lo, uint32_t hi,
+                             Time issue, Status *st)
+{
+    gpufs_assert(f.hostFd >= 0, "write-back without host fd");
+
+    // Diff-and-merge (extension, §3.1): the GPU "diffs the working and
+    // the pristine copies at the next synchronization point". Each
+    // byte is read from the working copy exactly once, folded into the
+    // pristine, and exactly that value is propagated — so a concurrent
+    // writer racing this scan either lands before the single read
+    // (propagated now) or after it (differs from the refreshed
+    // pristine, propagated by the next sync). Only changed runs are
+    // written, preserving other processors' updates to falsely shared
+    // pages.
+    uint32_t working = arena_.frameOf(data);
+    uint8_t *pristine_base = nullptr;
+    if (params_.enableDiffMerge && !f.wronce && working != kNoFrame) {
+        uint32_t pr = arena_.frame(working).pristineFrame.load(
+            std::memory_order_acquire);
+        if (pr != kNoFrame)
+            pristine_base = arena_.data(pr);
+    }
+    if (pristine_base) {
+        // Charge the GPU-side diff scan (read both copies).
+        Time t = issue + transferTime(2 * (hi - lo),
+                                      dev.simContext().params.gpuMemBwMBps);
+        Time max_done = t;
+        Status agg = Status::Ok;
+        uint32_t i = lo;
+        while (i < hi) {
+            while (i < hi && data[i] == pristine_base[i])
+                ++i;
+            uint32_t run = i;
+            while (run < hi) {
+                uint8_t v = data[run];      // single racy read, folded
+                if (v == pristine_base[run])
+                    break;
+                pristine_base[run] = v;
+                ++run;
+            }
+            if (run > i) {
+                rpc::RpcRequest req;
+                req.op = rpc::RpcOp::WriteBack;
+                req.hostFd = f.hostFd;
+                req.offset = page_idx * params_.pageSize + i;
+                req.len = run - i;
+                req.data = pristine_base + i;   // stable snapshot
+                req.gpuId = dev.id();
+                req.issueTime = t;
+                rpc::RpcResponse r = queue.call(req);
+                if (!ok(r.status))
+                    agg = r.status;
+                else if (r.version != 0)
+                    f.version.store(r.version, std::memory_order_relaxed);
+                max_done = std::max(max_done, r.done);
+            }
+            i = run;
+        }
+        if (st)
+            *st = agg;
+        return max_done;
+    }
+
+    rpc::RpcRequest req;
+    req.op = rpc::RpcOp::WriteBack;
+    req.hostFd = f.hostFd;
+    req.offset = page_idx * params_.pageSize + lo;
+    req.len = hi - lo;
+    req.data = const_cast<uint8_t *>(data) + lo;
+    req.diffAgainstZeros = f.wronce;
+    req.gpuId = dev.id();
+    req.issueTime = issue;
+    rpc::RpcResponse resp = queue.call(req);
+    if (st)
+        *st = resp.status;
+    if (ok(resp.status) && resp.version != 0) {
+        // Track the version our own write produced so reopen does not
+        // mistake it for a remote modification.
+        f.version.store(resp.version, std::memory_order_relaxed);
+    }
+    return resp.done;
+}
+
+Status
+BufferCache::flushDirty(gpu::BlockCtx &ctx, CacheFile &f,
+                        uint64_t first_page, uint64_t last_page)
+{
+    if (!f.cache)
+        return Status::Ok;
+    Time max_done = ctx.now();
+    Status agg = Status::Ok;
+    f.cache->forEachDirty([&](uint64_t idx, uint8_t *data, uint32_t lo,
+                              uint32_t hi) -> bool {
+        if (idx < first_page || idx >= last_page)
+            return false;    // outside the range: keep it dirty
+        Status one;
+        // All write-backs are issued at the current clock so their DMA
+        // and host I/O pipeline on the resource timelines.
+        Time done = writebackExtent(f, idx, data, lo, hi, ctx.now(), &one);
+        max_done = std::max(max_done, done);
+        if (!ok(one))
+            agg = one;
+        return true;
+    });
+    ctx.waitUntil(max_done);
+    return agg;
+}
+
+Status
+BufferCache::syncFrame(gpu::BlockCtx &ctx, CacheFile &f, uint32_t frame)
+{
+    PFrame &pf = arena_.frame(frame);
+    uint64_t extent = f.cache->takeDirtyCounted(pf);
+    uint32_t lo = PFrame::extentLo(extent);
+    uint32_t hi = PFrame::extentHi(extent);
+    if (lo >= hi)
+        return Status::Ok;
+    Status st;
+    Time done = writebackExtent(
+        f, pf.pageIdx.load(std::memory_order_relaxed), arena_.data(frame),
+        lo, hi, ctx.now(), &st);
+    ctx.waitUntil(done);
+    if (!ok(st)) {
+        // Restore so a later sync can retry.
+        f.cache->noteDirty(pf, lo, hi);
+    }
+    return st;
+}
+
+unsigned
+BufferCache::reclaimFrames(gpu::BlockCtx &ctx, unsigned want)
+{
+    // Paging runs on the calling block's thread — "pay-as-you-go"
+    // (§3.4): no daemon threadblock exists to do it asynchronously.
+    std::lock_guard<std::mutex> lock(pagingMtx);
+
+    auto evict = [&](CacheFile &f, bool allow_dirty, unsigned n,
+                     uint32_t frame_hint) -> unsigned {
+        auto wb = [&](uint64_t idx, uint8_t *data, uint32_t lo,
+                      uint32_t hi) {
+            if (f.hostFd < 0)
+                return;     // NOSYNC temp whose fd is gone: discard
+            Status st;
+            Time done = writebackExtent(f, idx, data, lo, hi, ctx.now(),
+                                        &st);
+            ctx.waitUntil(done);
+            if (!ok(st))
+                gpufs_warn("eviction write-back failed: %s",
+                           statusName(st));
+        };
+        if (frame_hint != kNoFrame)
+            return f.cache->evictFrame(frame_hint, allow_dirty, wb);
+        return f.cache->reclaim(n, allow_dirty, wb);
+    };
+
+    unsigned freed = policy_->reclaim(attached_, arena_, want, evict);
+
+    // Closed files whose last dirty page just went home can release
+    // their host fd (and with it the host-side write claim).
+    for (CacheFile *f : attached_) {
+        if (f->closed && f->cache)
+            maybeReleaseClosedFdLocked(ctx, *f);
+    }
+    return freed;
+}
+
+void
+BufferCache::maybeReleaseClosedFd(gpu::BlockCtx &ctx, CacheFile &f)
+{
+    std::lock_guard<std::mutex> lock(pagingMtx);
+    maybeReleaseClosedFdLocked(ctx, f);
+}
+
+void
+BufferCache::maybeReleaseClosedFdLocked(gpu::BlockCtx &ctx, CacheFile &f)
+{
+    if (f.closed && f.hostFd >= 0 && f.cache &&
+        f.cache->dirtyCount() == 0) {
+        rpc::RpcRequest req;
+        req.op = rpc::RpcOp::Close;
+        req.hostFd = f.hostFd;
+        req.gpuId = dev.id();
+        req.issueTime = ctx.now();
+        rpc::RpcResponse resp = queue.call(req);
+        ctx.waitUntil(resp.done);
+        f.hostFd = -1;
+    }
+}
+
+Status
+BufferCache::pinPage(gpu::BlockCtx &ctx, CacheFile &f, uint64_t page_idx,
+                     uint32_t *frame_out, FPage **fpage_out,
+                     bool skip_fetch)
+{
+    if (page_idx > FileCache::maxPageIndex())
+        return Status::Inval;
+    // Diff-and-merge pages must snapshot the true host content as
+    // their pristine copy, so the whole-page-overwrite fetch skip does
+    // not apply to them.
+    const bool diff_merge = params_.enableDiffMerge && f.write &&
+        !f.wronce && !f.noSync;
+    if (diff_merge)
+        skip_fetch = false;
+    FileCache &c = *f.cache;
+    FPage *p = c.getPage(page_idx);
+
+    uint32_t frame;
+    if (c.tryPinReady(*p, page_idx, &frame)) {
+        cntCacheHits.inc();
+        cntLockfree.inc();
+        ctx.charge(dev.simContext().params.cacheHitOverhead);
+        ctx.waitUntil(arena_.frame(frame).readyTime.load(
+            std::memory_order_acquire));
+        *frame_out = frame;
+        *fpage_out = p;
+        return Status::Ok;
+    }
+
+    for (;;) {
+        bool did_init = false;
+        Status st = c.initAndPin(
+            *p, page_idx, &frame, &did_init,
+            [&](uint8_t *data, uint32_t *valid) -> Status {
+                if (skip_fetch) {
+                    // Whole-page overwrite: no reason to fetch content
+                    // that is about to be clobbered. Zero-init needs
+                    // no DMA, so readyTime stays 0: another block
+                    // whose virtual clock is earlier than ours must
+                    // not be stalled by OUR clock (it could equally
+                    // have done the memset itself).
+                    std::memset(data, 0, params_.pageSize);
+                    *valid = 0;
+                    return Status::Ok;
+                }
+                Time done = 0;
+                Status fst = fetchPage(ctx, f, page_idx, data, valid,
+                                       &done);
+                if (!ok(fst))
+                    return fst;
+                PFrame &pf = arena_.frame(arena_.frameOf(data));
+                pf.readyTime.store(done, std::memory_order_release);
+                if (diff_merge) {
+                    // §3.1: "a working copy to which local writes are
+                    // performed, and a pristine copy preserved when
+                    // the page is first read". One alloc attempt only:
+                    // reclaim must not run while the fpage lock is
+                    // held, so exhaustion rolls back to the NoSpace
+                    // retry path below.
+                    uint32_t pr = arena_.alloc();
+                    if (pr == kNoFrame)
+                        return Status::NoSpace;
+                    std::memcpy(arena_.data(pr), data, params_.pageSize);
+                    ctx.chargeGpuMem(params_.pageSize);
+                    pf.pristineFrame.store(pr, std::memory_order_release);
+                }
+                return fst;
+            });
+        if (st == Status::NoSpace) {
+            unsigned freed = reclaimFrames(ctx, params_.reclaimBatch);
+            if (freed == 0)
+                return Status::NoSpace;
+            continue;
+        }
+        if (!ok(st))
+            return st;
+        cntLocked.inc();    // slow path held the fpage lock
+        PFrame &pf = arena_.frame(frame);
+        if (did_init) {
+            cntCacheMisses.inc();
+            ctx.charge(dev.simContext().params.pageMapOverhead);
+        } else {
+            cntCacheHits.inc();
+            ctx.charge(dev.simContext().params.cacheHitOverhead);
+        }
+        ctx.waitUntil(pf.readyTime.load(std::memory_order_acquire));
+        *frame_out = frame;
+        *fpage_out = p;
+        if (did_init && params_.readAheadPages > 0 && !skip_fetch &&
+            !f.wronce) {
+            readAheadFrom(ctx, f, page_idx);
+        }
+        return Status::Ok;
+    }
+}
+
+bool
+BufferCache::fetchBatch(gpu::BlockCtx &ctx, CacheFile &f,
+                        uint64_t start_idx, const BatchSlot *slots,
+                        unsigned n)
+{
+    const uint64_t page_size = params_.pageSize;
+    rpc::RpcRequest req;
+    req.op = rpc::RpcOp::ReadPages;
+    req.hostFd = f.hostFd;
+    req.offset = start_idx * page_size;
+    req.len = uint64_t(n) * page_size;
+    req.pageLen = page_size;
+    req.pageCount = n;
+    for (unsigned i = 0; i < n; ++i)
+        req.batch[i] = arena_.data(slots[i].frame);
+    req.gpuId = dev.id();
+    req.issueTime = ctx.now();
+    rpc::RpcResponse resp = queue.call(req);
+    cntBatchReadRpcs.inc();
+    if (!ok(resp.status)) {
+        f.cache->abortInitBatch(slots, n);
+        return false;
+    }
+    uint32_t valid[rpc::kMaxBatchPages];
+    for (unsigned i = 0; i < n; ++i) {
+        uint64_t base = uint64_t(i) * page_size;
+        uint64_t got = resp.bytes > base
+            ? std::min<uint64_t>(page_size, resp.bytes - base) : 0;
+        valid[i] = static_cast<uint32_t>(got);
+        if (got < page_size) {
+            std::memset(arena_.data(slots[i].frame) + got, 0,
+                        page_size - got);
+        }
+    }
+    f.cache->finishInitBatch(slots, n, valid, resp.done);
+    cntCacheMisses.inc(n);
+    cntBatchPages.inc(n);
+    return true;
+}
+
+void
+BufferCache::readAheadFrom(gpu::BlockCtx &ctx, CacheFile &f,
+                           uint64_t page_idx)
+{
+    FileCache &c = *f.cache;
+    const uint64_t page_size = params_.pageSize;
+    const uint64_t fsize = f.size.load(std::memory_order_relaxed);
+    if (fsize == 0 || f.hostFd < 0)
+        return;
+    const uint64_t eof_page = (fsize + page_size - 1) / page_size;
+    const uint64_t end = std::min<uint64_t>(
+        page_idx + 1 + params_.readAheadPages, eof_page);
+
+    uint64_t idx = page_idx + 1;
+    while (idx < end) {
+        unsigned max_n = static_cast<unsigned>(
+            std::min<uint64_t>(end - idx, rpc::kMaxBatchPages));
+        BatchSlot slots[rpc::kMaxBatchPages];
+        unsigned n = c.beginInitBatch(idx, max_n, slots);
+        if (n == 0) {
+            // The head of the window is resident or in flight (another
+            // block's fetch holds its lock): step over it and keep
+            // coalescing from the next gap — under concurrent
+            // sequential readers most windows start on a neighbour's
+            // in-flight page. Anything else (contended Empty page,
+            // arena exhausted) ends read-ahead — it must never page
+            // out on its own behalf.
+            FPage *p = c.getPage(idx);
+            uint32_t fr;
+            if (c.tryPinReady(*p, idx, &fr)) {
+                c.unpin(*p);
+                ++idx;
+                continue;
+            }
+            uint32_t s = p->state.load(std::memory_order_acquire);
+            if (s == kPageInit || s == kPageReady) {
+                ++idx;
+                continue;
+            }
+            break;
+        }
+        if (!fetchBatch(ctx, f, idx, slots, n))
+            break;
+        idx += n;
+    }
+}
+
+} // namespace core
+} // namespace gpufs

@@ -1,0 +1,266 @@
+/**
+ * @file
+ * The GPU-side buffer cache and paging subsystem (§3.4, §4.2).
+ *
+ * This layer owns everything between the POSIX-like API (GpuFs) and
+ * the RPC transport: the raw data array (FrameArena), the per-file
+ * radix-tree caches, page pinning and miss handling, sequential
+ * read-ahead with batched multi-page fetch, dirty write-back (plain,
+ * diff-against-zeros, diff-and-merge), and frame reclamation under a
+ * pluggable EvictionPolicy.
+ *
+ * The API layer registers one CacheFile per file-table entry and keeps
+ * its bookkeeping fields (host fd, size, open/closed state) current;
+ * BufferCache never looks at file descriptors, paths, or flag words —
+ * which is what makes it constructible and testable without a GpuFs
+ * instance, and the seam future scaling work (async write-back
+ * daemons, multi-GPU cache sharding) builds on.
+ */
+
+#ifndef GPUFS_GPUFS_BUFFER_CACHE_HH
+#define GPUFS_GPUFS_BUFFER_CACHE_HH
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "base/stats.hh"
+#include "base/status.hh"
+#include "gpu/launch.hh"
+#include "gpufs/frame.hh"
+#include "gpufs/params.hh"
+#include "gpufs/radix.hh"
+#include "rpc/queue.hh"
+
+namespace gpufs {
+namespace core {
+
+/**
+ * Per-file state the cache layer operates on. The API layer embeds one
+ * in every file-table entry and keeps the bookkeeping fields current;
+ * tests may construct them standalone. The policy booleans are derived
+ * from the GPUfs open flags by the API layer so this header does not
+ * depend on API-level flag encodings.
+ */
+struct CacheFile {
+    /** The radix-tree page cache; null until setupFile(). */
+    std::unique_ptr<FileCache> cache;
+
+    /** Host fd write-back RPCs target; -1 when released. */
+    int hostFd = -1;
+
+    /** File size as the cache layer may read it (first-open size plus
+     *  local writes; read-ahead stops at this bound). */
+    std::atomic<uint64_t> size{0};
+
+    /** Host version this cache reflects. The cache's own write-backs
+     *  advance it so the GPU never mistakes its writes for remote
+     *  modifications (§4.4). */
+    std::atomic<uint64_t> version{0};
+
+    // Policy booleans. Atomic because the API layer rewrites them on
+    // (re)open under its table lock while reclamation reads them under
+    // the paging lock only — eviction tolerates a momentarily stale
+    // value (the tiers are heuristics), but the access must not be a
+    // data race.
+    std::atomic<bool> write{false};   ///< opened with write intent
+    std::atomic<bool> wronce{false};  ///< O_GWRONCE: zero pristine (§3.1)
+    std::atomic<bool> noSync{false};  ///< O_NOSYNC: never written back
+
+    /** Parked (closed-table) entry: first eviction tier when clean. */
+    std::atomic<bool> closed{false};
+    /** Stamp of the close that parked this entry (oldest goes first). */
+    uint64_t closeSeq = 0;
+};
+
+/**
+ * Victim-selection strategy for frame reclamation. reclaim() runs with
+ * the paging lock held, on the faulting application block's thread
+ * ("pay-as-you-go", §3.4) — policies therefore trade victim quality
+ * against the work they burn on that hijacked thread, the trade
+ * bench/ablate_eviction quantifies.
+ *
+ * @p evict(file, allow_dirty, want, frame_hint) reclaims up to
+ * @p want frames from one file (handling dirty write-back when
+ * @p allow_dirty) and returns the number actually freed. A
+ * @p frame_hint other than kNoFrame targets exactly that frame (at
+ * most one page, identity-verified); kNoFrame takes the file's pages
+ * in FIFO order.
+ */
+using EvictFn =
+    std::function<unsigned(CacheFile &, bool allow_dirty, unsigned want,
+                           uint32_t frame_hint)>;
+
+class EvictionPolicy
+{
+  public:
+    virtual ~EvictionPolicy() = default;
+
+    virtual const char *name() const = 0;
+
+    /**
+     * Free up to @p want frames from @p files (the attached set, stable
+     * while the paging lock is held). @return frames freed.
+     */
+    virtual unsigned reclaim(const std::vector<CacheFile *> &files,
+                             FrameArena &arena, unsigned want,
+                             const EvictFn &evict) = 0;
+};
+
+/** Instantiate the policy selected by GpuFsParams::evictPolicy. */
+std::unique_ptr<EvictionPolicy> makeEvictionPolicy(EvictionPolicyKind kind);
+
+class BufferCache
+{
+  public:
+    /**
+     * @param device    the GPU whose memory backs the frame arena
+     * @param rpc_queue transport for page fetch / write-back RPCs
+     * @param fs_params cache geometry and policy switches
+     * @param stat_set  counter registry (shared with the API layer so
+     *                  benchmarks see one namespace)
+     */
+    BufferCache(gpu::GpuDevice &device, rpc::RpcQueue &rpc_queue,
+                const GpuFsParams &fs_params, StatSet &stat_set);
+    ~BufferCache();
+
+    BufferCache(const BufferCache &) = delete;
+    BufferCache &operator=(const BufferCache &) = delete;
+
+    // ---- file lifecycle ----
+
+    /** Register @p f as a paging candidate. Entries without a live
+     *  FileCache are skipped by reclamation, so attaching the whole
+     *  file table up front is cheap. */
+    void attach(CacheFile &f);
+
+    /** Allocate @p f's FileCache (on open of a fresh entry). */
+    void setupFile(CacheFile &f);
+
+    /**
+     * Park @p f as closed (cache retained for reuse, §4.1). When the
+     * cache holds no dirty data the host fd is surrendered for the
+     * caller to release; a dirty cache keeps it so later eviction can
+     * still write back (footnote-2 handling). Runs under the paging
+     * lock so reclamation's own fd-release sweep cannot interleave.
+     * @return the host fd to close, or -1 to keep it.
+     */
+    int parkFile(CacheFile &f, uint64_t close_seq);
+
+    /**
+     * Reopen a parked file: install the fresh host fd and clear the
+     * closed mark, atomically with respect to reclamation. @return the
+     * fd the entry had kept for dirty pages (-1 if none), which the
+     * caller releases once the new claim is established.
+     */
+    int reopenFile(CacheFile &f, int new_host_fd);
+
+    /**
+     * Drop every cached page of @p f without write-back (stale-cache
+     * invalidation, truncate, unlink). The FileCache object survives.
+     * @return false if any page was pinned (nothing destroyed).
+     */
+    bool dropPages(CacheFile &f);
+
+    /** dropPages + destroy the FileCache. Asserts nothing is pinned. */
+    void destroyFile(CacheFile &f);
+
+    // ---- data plane ----
+
+    /**
+     * Pin the page of (f, page_idx), fetching it on a miss and running
+     * the paging policy when the arena is exhausted. On success
+     * *frame_out is pinned (drop with f.cache->unpin). @p skip_fetch
+     * suppresses the host read for pages about to be fully overwritten.
+     */
+    Status pinPage(gpu::BlockCtx &ctx, CacheFile &f, uint64_t page_idx,
+                   uint32_t *frame_out, FPage **fpage_out, bool skip_fetch);
+
+    // ---- write-back ----
+
+    /** Write one page extent back to the host, honouring the file's
+     *  merge semantics (zero-diff, diff-and-merge). @return completion
+     *  time of the last write. */
+    Time writebackExtent(CacheFile &f, uint64_t page_idx,
+                         const uint8_t *data, uint32_t lo, uint32_t hi,
+                         Time issue, Status *st);
+
+    /**
+     * Write back every dirty, unpinned page of @p f whose page index
+     * lies in [first_page, last_page). Advances @p ctx past the last
+     * completion. @return first failure status, Ok otherwise.
+     */
+    Status flushDirty(gpu::BlockCtx &ctx, CacheFile &f,
+                      uint64_t first_page = 0,
+                      uint64_t last_page = UINT64_MAX);
+
+    /** gmsync back end: atomically take @p frame's dirty extent and
+     *  write it back, restoring the extent on failure so a later sync
+     *  can retry. */
+    Status syncFrame(gpu::BlockCtx &ctx, CacheFile &f, uint32_t frame);
+
+    // ---- paging ----
+
+    /**
+     * Free at least @p want frames by running the eviction policy over
+     * the attached files. Runs on the calling block's thread. @return
+     * frames freed.
+     */
+    unsigned reclaimFrames(gpu::BlockCtx &ctx, unsigned want);
+
+    /** Release a closed file's host fd (and with it the host-side
+     *  consistency claim) once its cache holds no dirty data. */
+    void maybeReleaseClosedFd(gpu::BlockCtx &ctx, CacheFile &f);
+
+    // ---- introspection ----
+    FrameArena &arena() { return arena_; }
+    EvictionPolicy &policy() { return *policy_; }
+    const GpuFsParams &params() const { return params_; }
+
+  private:
+    gpu::GpuDevice &dev;
+    rpc::RpcQueue &queue;
+    GpuFsParams params_;
+    FrameArena arena_;
+    std::unique_ptr<EvictionPolicy> policy_;
+
+    /** Guards the attached set and serializes reclamation passes; also
+     *  excludes FileCache creation/destruction against a concurrent
+     *  reclaim walking the same entries. Callers holding the API
+     *  layer's table lock may take this after it, never the reverse. */
+    std::mutex pagingMtx;
+    std::vector<CacheFile *> attached_;
+
+    Counter &cntCacheHits;
+    Counter &cntCacheMisses;
+    Counter &cntLockfree;
+    Counter &cntLocked;
+    Counter &cntReadRpcs;
+    Counter &cntBatchReadRpcs;
+    Counter &cntBatchPages;
+    CacheCounters cacheCounters_;
+
+    static CacheCounters cacheCounters(StatSet &stat_set);
+
+    /** Fetch one page's content from the host (or zero-fill). */
+    Status fetchPage(gpu::BlockCtx &ctx, CacheFile &f, uint64_t page_idx,
+                     uint8_t *data, uint32_t *valid, Time *done);
+
+    /** Sequential read-ahead from a miss at @p page_idx: coalesces runs
+     *  of missing pages into batched ReadPages RPCs. */
+    void readAheadFrom(gpu::BlockCtx &ctx, CacheFile &f, uint64_t page_idx);
+
+    /** Issue one batched fetch for @p n already-claimed slots starting
+     *  at @p start_idx. @return false on RPC failure (slots aborted). */
+    bool fetchBatch(gpu::BlockCtx &ctx, CacheFile &f, uint64_t start_idx,
+                    const BatchSlot *slots, unsigned n);
+
+    void maybeReleaseClosedFdLocked(gpu::BlockCtx &ctx, CacheFile &f);
+};
+
+} // namespace core
+} // namespace gpufs
+
+#endif // GPUFS_GPUFS_BUFFER_CACHE_HH

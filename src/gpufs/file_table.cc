@@ -1,0 +1,114 @@
+#include "gpufs/file_table.hh"
+
+namespace gpufs {
+namespace core {
+
+FileTable::FileTable(unsigned capacity)
+{
+    entries_.resize(capacity);
+    for (auto &e : entries_)
+        e = std::make_unique<OpenFile>();
+}
+
+OpenFile *
+FileTable::openEntry(int fd)
+{
+    if (fd < 0 || static_cast<size_t>(fd) >= entries_.size())
+        return nullptr;
+    OpenFile *e = entries_[fd].get();
+    return e->state == OpenFile::EState::Open ? e : nullptr;
+}
+
+int
+FileTable::findOpenByPath(const std::string &path)
+{
+    for (size_t i = 0; i < entries_.size(); ++i) {
+        if (entries_[i]->state == OpenFile::EState::Open &&
+            entries_[i]->path == path) {
+            return static_cast<int>(i);
+        }
+    }
+    return -1;
+}
+
+int
+FileTable::findClosedByIno(uint64_t ino)
+{
+    for (size_t i = 0; i < entries_.size(); ++i) {
+        if (entries_[i]->state == OpenFile::EState::Closed &&
+            entries_[i]->ino == ino) {
+            return static_cast<int>(i);
+        }
+    }
+    return -1;
+}
+
+int
+FileTable::findFree()
+{
+    for (size_t i = 0; i < entries_.size(); ++i) {
+        if (entries_[i]->state == OpenFile::EState::Free)
+            return static_cast<int>(i);
+    }
+    return -1;
+}
+
+int
+FileTable::pickRecyclable()
+{
+    for (int pass = 0; pass < 2; ++pass) {
+        int best = -1;
+        uint64_t best_seq = UINT64_MAX;
+        for (size_t i = 0; i < entries_.size(); ++i) {
+            OpenFile &e = *entries_[i];
+            if (e.state != OpenFile::EState::Closed)
+                continue;
+            bool clean = !e.cf.cache || e.cf.cache->dirtyCount() == 0;
+            if (pass == 0 && !clean)
+                continue;
+            if (e.cf.closeSeq < best_seq) {
+                best_seq = e.cf.closeSeq;
+                best = static_cast<int>(i);
+            }
+        }
+        if (best >= 0)
+            return best;
+    }
+    return -1;
+}
+
+int
+FileTable::findDrainedClosed()
+{
+    for (size_t i = 0; i < entries_.size(); ++i) {
+        OpenFile &e = *entries_[i];
+        if (e.state == OpenFile::EState::Closed && e.cf.cache &&
+            e.cf.cache->dirtyCount() == 0 &&
+            e.cf.cache->residentPages() == 0) {
+            return static_cast<int>(i);
+        }
+    }
+    return -1;
+}
+
+OpenFile *
+FileTable::findByCacheUid(uint64_t uid)
+{
+    for (auto &e : entries_) {
+        if (e->cf.cache && e->cf.cache->uid() == uid)
+            return e.get();
+    }
+    return nullptr;
+}
+
+unsigned
+FileTable::countHostFds() const
+{
+    unsigned n = 0;
+    for (const auto &e : entries_)
+        n += e->cf.hostFd >= 0 ? 1 : 0;
+    return n;
+}
+
+} // namespace core
+} // namespace gpufs

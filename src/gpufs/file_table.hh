@@ -20,6 +20,9 @@
  * write claim) alive so that later eviction can still write the pages
  * back; the fd is released when the pages are synced, invalidated, or
  * the entry is recycled.
+ *
+ * FileTable owns the entry array and the lookup/recycling scans; all
+ * calls must run under the owning GpuFs's table lock.
  */
 
 #ifndef GPUFS_GPUFS_FILE_TABLE_HH
@@ -29,8 +32,9 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
-#include "gpufs/radix.hh"
+#include "gpufs/buffer_cache.hh"
 
 namespace gpufs {
 namespace core {
@@ -60,25 +64,21 @@ struct GStat {
 };
 
 /** One file-table entry. State transitions happen under the GpuFs
- *  table lock; data-plane fields are read lock-free. */
+ *  table lock; data-plane fields are read lock-free. The cache-layer
+ *  view of the file (page cache, host fd, size/version, write-back
+ *  semantics) lives in the embedded CacheFile, which the API layer
+ *  keeps current as flags and open state change. */
 struct OpenFile {
     enum class EState { Free, Open, Closed };
 
     EState state = EState::Free;
     std::string path;
-    int hostFd = -1;
     uint64_t ino = 0;
-    /** Host version this GPU's cache reflects. Atomic because the
-     *  GPU's own write-backs advance it from data-plane paths: a GPU
-     *  must not treat its own writes as a remote modification. */
-    std::atomic<uint64_t> version{0};
-    std::atomic<uint64_t> size{0};
     uint32_t flags = 0;
     std::atomic<int> refs{0};
-    std::unique_ptr<FileCache> cache;
-    /** Monotonic stamp of the close that parked this entry (the closed
-     *  table is recycled oldest-first). */
-    uint64_t closeSeq = 0;
+
+    /** Cache-layer state; registered with the BufferCache. */
+    CacheFile cf;
 
     bool
     wantsWrite() const
@@ -89,6 +89,81 @@ struct OpenFile {
     }
     bool gwronce() const { return flags & G_GWRONCE; }
     bool nosync() const { return flags & G_NOSYNC; }
+
+    /** Project the flag word into the cache layer's policy booleans. */
+    void
+    syncCacheFlags()
+    {
+        cf.write = wantsWrite();
+        cf.wronce = gwronce();
+        cf.noSync = nosync();
+    }
+
+    /** Return the entry to the Free state (cache already destroyed and
+     *  host fd released by the caller). */
+    void
+    resetEntry()
+    {
+        state = EState::Free;
+        path.clear();
+        ino = 0;
+        flags = 0;
+        refs.store(0, std::memory_order_relaxed);
+        cf.version.store(0, std::memory_order_relaxed);
+        cf.size.store(0, std::memory_order_relaxed);
+        cf.closed = false;
+        syncCacheFlags();
+    }
+};
+
+/** The fixed-capacity entry array plus its lookup and recycling scans.
+ *  Thread-compatible: the owning GpuFs serializes access. */
+class FileTable
+{
+  public:
+    explicit FileTable(unsigned capacity);
+
+    size_t size() const { return entries_.size(); }
+    OpenFile &at(int fd) { return *entries_[fd]; }
+
+    /** Validate @p fd and return its entry iff it is Open. */
+    OpenFile *openEntry(int fd);
+
+    /** Index of the Open entry for @p path, or -1. */
+    int findOpenByPath(const std::string &path);
+
+    /** Index of the Closed entry caching inode @p ino, or -1. */
+    int findClosedByIno(uint64_t ino);
+
+    /** Index of the first Free entry, or -1. */
+    int findFree();
+
+    /**
+     * Pick the Closed entry to recycle when the table is full: oldest
+     * close stamp first, preferring clean entries (their caches drop
+     * without write-back). @return index, or -1 if nothing is Closed.
+     */
+    int pickRecyclable();
+
+    /**
+     * Index of a Closed entry whose cache eviction has fully drained
+     * (no resident and no dirty pages), or -1. The owner destroys
+     * such entries on the open slow path — retaining their empty
+     * radix trees would hold memory proportional to every file ever
+     * streamed through the cache.
+     */
+    int findDrainedClosed();
+
+    /** Entry whose page-cache uid is @p uid (gmsync path), or null. */
+    OpenFile *findByCacheUid(uint64_t uid);
+
+    /** Entries (any state) currently holding a host fd. */
+    unsigned countHostFds() const;
+
+    std::vector<std::unique_ptr<OpenFile>> &entries() { return entries_; }
+
+  private:
+    std::vector<std::unique_ptr<OpenFile>> entries_;
 };
 
 } // namespace core

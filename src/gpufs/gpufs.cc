@@ -32,26 +32,17 @@ GpuFs::GpuFs(gpu::GpuDevice &device, rpc::RpcQueue &rpc_queue,
              const GpuFsParams &fs_params)
     : dev(device), queue(rpc_queue), params_(fs_params),
       stats_("gpufs.gpu" + std::to_string(device.id())),
-      arena_(fs_params.cacheBytes, fs_params.pageSize),
+      bc_(device, rpc_queue, fs_params, stats_),
+      table_(fs_params.maxOpenFiles),
       cntOpens(stats_.counter("opens")),
       cntOpenRpcs(stats_.counter("open_rpcs")),
       cntCloses(stats_.counter("closes")),
-      cntCacheHits(stats_.counter("cache_hits")),
-      cntCacheMisses(stats_.counter("cache_misses")),
-      // Table 2 semantics: a "lock-free access" is a page access whose
-      // fast-path pin succeeds; a "locked access" is one that had to
-      // take the fpage lock (initialization, eviction collisions).
-      cntLockfree(stats_.counter("lockfree_accesses")),
-      cntLocked(stats_.counter("locked_accesses")),
-      cntReclaimed(stats_.counter("pages_reclaimed")),
       cntInvalidations(stats_.counter("cache_invalidations")),
       cntBytesRead(stats_.counter("bytes_read")),
       cntBytesWritten(stats_.counter("bytes_written"))
 {
-    files.resize(params_.maxOpenFiles);
-    for (auto &f : files)
-        f = std::make_unique<OpenFile>();
-    dev.allocDeviceMem(params_.cacheBytes);
+    for (auto &e : table_.entries())
+        bc_.attach(e->cf);
 }
 
 GpuFs::~GpuFs()
@@ -59,37 +50,8 @@ GpuFs::~GpuFs()
     // Tear down caches; entries with host fds cannot RPC here (the
     // daemon may already be gone), so host fds are abandoned — tests
     // that care close everything first.
-    for (auto &f : files)
-        f->cache.reset();
-    dev.freeDeviceMem(params_.cacheBytes);
-}
-
-CacheCounters
-GpuFs::cacheCounters()
-{
-    // Radix-tree *walk* counters are tracked separately from the
-    // page-access counters above (walks hardly ever lock because
-    // nodes are never deleted; page pins do lock under paging).
-    return CacheCounters{stats_.counter("radix_lockfree_walks"),
-                         stats_.counter("radix_locked_walks"),
-                         cntReclaimed};
-}
-
-OpenFile *
-GpuFs::entryOf(int fd, Status *st)
-{
-    if (fd < 0 || static_cast<size_t>(fd) >= files.size()) {
-        if (st)
-            *st = Status::BadFd;
-        return nullptr;
-    }
-    OpenFile *e = files[fd].get();
-    if (e->state != OpenFile::EState::Open) {
-        if (st)
-            *st = Status::BadFd;
-        return nullptr;
-    }
-    return e;
+    for (auto &e : table_.entries())
+        e->cf.cache.reset();
 }
 
 rpc::RpcResponse
@@ -102,105 +64,39 @@ GpuFs::rpcCall(gpu::BlockCtx &ctx, rpc::RpcRequest &req)
     return resp;
 }
 
-int
-GpuFs::findOpenByPathLocked(const std::string &path)
-{
-    for (size_t i = 0; i < files.size(); ++i) {
-        if (files[i]->state == OpenFile::EState::Open &&
-            files[i]->path == path) {
-            return static_cast<int>(i);
-        }
-    }
-    return -1;
-}
-
-int
-GpuFs::findClosedByInoLocked(uint64_t ino)
-{
-    for (size_t i = 0; i < files.size(); ++i) {
-        if (files[i]->state == OpenFile::EState::Closed &&
-            files[i]->ino == ino) {
-            return static_cast<int>(i);
-        }
-    }
-    return -1;
-}
-
 void
 GpuFs::destroyEntryLocked(gpu::BlockCtx &ctx, OpenFile &entry)
 {
-    if (entry.cache) {
-        bool clean = entry.cache->dropAll();
-        gpufs_assert(clean, "destroying entry with pinned pages");
-        entry.cache.reset();
+    bc_.destroyFile(entry.cf);
+    if (entry.cf.hostFd >= 0) {
+        closeHostFd(ctx, entry.cf.hostFd);
+        entry.cf.hostFd = -1;
     }
-    if (entry.hostFd >= 0) {
-        rpc::RpcRequest req;
-        req.op = rpc::RpcOp::Close;
-        req.hostFd = entry.hostFd;
-        rpcCall(ctx, req);
-        entry.hostFd = -1;
-    }
-    entry.state = OpenFile::EState::Free;
-    entry.path.clear();
-    entry.ino = 0;
-    entry.version.store(0, std::memory_order_relaxed);
-    entry.size.store(0, std::memory_order_relaxed);
-    entry.flags = 0;
-    entry.refs.store(0, std::memory_order_relaxed);
+    entry.resetEntry();
 }
 
 int
 GpuFs::allocEntryLocked(gpu::BlockCtx &ctx)
 {
-    for (size_t i = 0; i < files.size(); ++i) {
-        if (files[i]->state == OpenFile::EState::Free)
-            return static_cast<int>(i);
-    }
+    int idx = table_.findFree();
+    if (idx >= 0)
+        return idx;
     // Recycle the oldest closed entry, preferring clean ones (their
     // caches are droppable without write-back).
-    for (int pass = 0; pass < 2; ++pass) {
-        int best = -1;
-        uint64_t best_seq = UINT64_MAX;
-        for (size_t i = 0; i < files.size(); ++i) {
-            OpenFile &e = *files[i];
-            if (e.state != OpenFile::EState::Closed)
-                continue;
-            bool clean = !e.cache || e.cache->dirtyCount() == 0;
-            if (pass == 0 && !clean)
-                continue;
-            if (e.closeSeq < best_seq) {
-                best_seq = e.closeSeq;
-                best = static_cast<int>(i);
-            }
-        }
-        if (best >= 0) {
-            OpenFile &victim = *files[best];
-            if (victim.cache && victim.cache->dirtyCount() > 0 &&
-                !victim.nosync()) {
-                // Push dirty data home before discarding the cache.
-                Time max_done = ctx.now();
-                Status wb_st = Status::Ok;
-                victim.cache->forEachDirty(
-                    [&](uint64_t idx, uint8_t *data, uint32_t lo,
-                        uint32_t hi) {
-                        Status st;
-                        Time done = writebackExtent(victim, idx, data, lo,
-                                                    hi, ctx.now(), &st);
-                        max_done = std::max(max_done, done);
-                        if (!ok(st))
-                            wb_st = st;
-                    });
-                ctx.waitUntil(max_done);
-                if (!ok(wb_st))
-                    gpufs_warn("write-back failed recycling entry: %s",
-                               statusName(wb_st));
-            }
-            destroyEntryLocked(ctx, victim);
-            return best;
-        }
+    idx = table_.pickRecyclable();
+    if (idx < 0)
+        return -1;
+    OpenFile &victim = table_.at(idx);
+    if (victim.cf.cache && victim.cf.cache->dirtyCount() > 0 &&
+        !victim.nosync()) {
+        // Push dirty data home before discarding the cache.
+        Status wb_st = bc_.flushDirty(ctx, victim.cf);
+        if (!ok(wb_st))
+            gpufs_warn("write-back failed recycling entry: %s",
+                       statusName(wb_st));
     }
-    return -1;
+    destroyEntryLocked(ctx, victim);
+    return idx;
 }
 
 int
@@ -215,9 +111,9 @@ GpuFs::gopen(gpu::BlockCtx &ctx, const std::string &path, uint32_t flags)
 
     // Fast path: the file is already open — bump the reference count
     // without CPU communication (§4.1).
-    int idx = findOpenByPathLocked(path);
+    int idx = table_.findOpenByPath(path);
     if (idx >= 0) {
-        OpenFile &e = *files[idx];
+        OpenFile &e = table_.at(idx);
         bool want_write = (flags & G_ACCMODE) != G_RDONLY
             || (flags & G_GWRONCE);
         if (want_write && !e.wantsWrite()) {
@@ -229,7 +125,12 @@ GpuFs::gopen(gpu::BlockCtx &ctx, const std::string &path, uint32_t flags)
         return idx;
     }
 
-    // Slow path: open on the host.
+    // Slow path. First collect closed entries eviction has fully
+    // drained — their empty radix trees hold memory for nothing.
+    for (int di; (di = table_.findDrainedClosed()) >= 0;)
+        destroyEntryLocked(ctx, table_.at(di));
+
+    // Open on the host.
     rpc::RpcRequest req;
     req.op = rpc::RpcOp::Open;
     std::strncpy(req.path, path.c_str(), rpc::kMaxPath - 1);
@@ -248,53 +149,47 @@ GpuFs::gopen(gpu::BlockCtx &ctx, const std::string &path, uint32_t flags)
 
     // Closed-table check: reuse the retained page cache if the host's
     // version proves it is still current (lazy invalidation, §4.4).
-    int cidx = findClosedByInoLocked(resp.ino);
+    int cidx = table_.findClosedByIno(resp.ino);
     if (cidx >= 0) {
-        OpenFile &e = *files[cidx];
-        if (e.version.load(std::memory_order_relaxed) == resp.version &&
-            e.cache) {
-            int old_fd = e.hostFd;
-            e.hostFd = resp.hostFd;
+        OpenFile &e = table_.at(cidx);
+        if (e.cf.version.load(std::memory_order_relaxed) == resp.version &&
+            e.cf.cache) {
+            int old_fd = bc_.reopenFile(e.cf, resp.hostFd);
             e.state = OpenFile::EState::Open;
             e.path = path;
             e.flags = flags;
             e.refs.store(1, std::memory_order_relaxed);
-            e.size.store(resp.size, std::memory_order_relaxed);
+            e.cf.size.store(resp.size, std::memory_order_relaxed);
+            e.syncCacheFlags();
             if (old_fd >= 0) {
                 // The entry had kept its fd for dirty pages; the new
                 // claim is established, release the old one.
-                rpc::RpcRequest creq;
-                creq.op = rpc::RpcOp::Close;
-                creq.hostFd = old_fd;
-                rpcCall(ctx, creq);
+                closeHostFd(ctx, old_fd);
             }
             return cidx;
         }
-        // Stale cache: drop it and fall through to a fresh entry.
+        // Stale cache: drop it; the now-Free slot is reused below.
         cntInvalidations.inc();
         destroyEntryLocked(ctx, e);
-        // (destroyEntryLocked leaves the slot Free; reuse it.)
     }
 
     int nidx = cidx >= 0 ? cidx : allocEntryLocked(ctx);
     if (nidx < 0) {
-        rpc::RpcRequest creq;
-        creq.op = rpc::RpcOp::Close;
-        creq.hostFd = resp.hostFd;
-        rpcCall(ctx, creq);
+        closeHostFd(ctx, resp.hostFd);
         return -static_cast<int>(Status::TooManyFiles);
     }
-    OpenFile &e = *files[nidx];
+    OpenFile &e = table_.at(nidx);
     e.state = OpenFile::EState::Open;
     e.path = path;
-    e.hostFd = resp.hostFd;
     e.ino = resp.ino;
-    e.version.store(resp.version, std::memory_order_relaxed);
-    e.size.store(resp.size, std::memory_order_relaxed);
     e.flags = flags;
     e.refs.store(1, std::memory_order_relaxed);
-    e.cache = std::make_unique<FileCache>(arena_, cacheCounters(),
-                                          params_.forceLockedTraversal);
+    e.cf.hostFd = resp.hostFd;
+    e.cf.version.store(resp.version, std::memory_order_relaxed);
+    e.cf.size.store(resp.size, std::memory_order_relaxed);
+    e.cf.closed = false;
+    e.syncCacheFlags();
+    bc_.setupFile(e.cf);
     return nidx;
 }
 
@@ -312,351 +207,14 @@ GpuFs::gclose(gpu::BlockCtx &ctx, int fd)
         return Status::Ok;
 
     // Last close: park the entry (cache retained for reuse). Dirty data
-    // is NOT written back — close and sync are decoupled (§3.2).
-    e->closeSeq = ++closeCounter;
+    // is NOT written back — close and sync are decoupled (§3.2); a
+    // clean cache releases the host fd (and consistency claim) now,
+    // a dirty one keeps it for future eviction write-back.
     e->state = OpenFile::EState::Closed;
-    if (!e->cache || e->cache->dirtyCount() == 0) {
-        // Clean: the host fd (and the consistency claim) can go now.
-        rpc::RpcRequest req;
-        req.op = rpc::RpcOp::Close;
-        req.hostFd = e->hostFd;
-        rpcCall(ctx, req);
-        e->hostFd = -1;
-    }
-    // Dirty: keep the fd so future eviction can write back (footnote 2
-    // resolution, see file_table.hh).
+    int release_fd = bc_.parkFile(e->cf, ++closeCounter);
+    if (release_fd >= 0)
+        closeHostFd(ctx, release_fd);
     return Status::Ok;
-}
-
-Status
-GpuFs::fetchPage(gpu::BlockCtx &ctx, OpenFile &entry, uint64_t page_idx,
-                 uint8_t *data, uint32_t *valid, Time *done)
-{
-    const uint64_t page_size = params_.pageSize;
-    if (entry.gwronce()) {
-        // The pristine copy is implicitly all zeros (§3.1): no fetch,
-        // no DMA — the page is "ready" from the beginning of time for
-        // any block's virtual clock (see pinPage's skip_fetch note).
-        std::memset(data, 0, page_size);
-        *valid = 0;
-        *done = 0;
-        return Status::Ok;
-    }
-    rpc::RpcRequest req;
-    req.op = rpc::RpcOp::ReadPage;
-    req.hostFd = entry.hostFd;
-    req.offset = page_idx * page_size;
-    req.len = page_size;
-    req.data = data;
-    req.gpuId = dev.id();
-    req.issueTime = ctx.now();
-    rpc::RpcResponse resp = queue.call(req);
-    if (!ok(resp.status))
-        return resp.status;
-    if (resp.bytes < page_size)
-        std::memset(data + resp.bytes, 0, page_size - resp.bytes);
-    *valid = static_cast<uint32_t>(resp.bytes);
-    *done = resp.done;
-    return Status::Ok;
-}
-
-Time
-GpuFs::writebackExtent(OpenFile &entry, uint64_t page_idx,
-                       const uint8_t *data, uint32_t lo, uint32_t hi,
-                       Time issue, Status *st)
-{
-    gpufs_assert(entry.hostFd >= 0, "write-back without host fd");
-
-    // Diff-and-merge (extension, §3.1): the GPU "diffs the working and
-    // the pristine copies at the next synchronization point". Each
-    // byte is read from the working copy exactly once, folded into the
-    // pristine, and exactly that value is propagated — so a concurrent
-    // writer racing this scan either lands before the single read
-    // (propagated now) or after it (differs from the refreshed
-    // pristine, propagated by the next sync). Only changed runs are
-    // written, preserving other processors' updates to falsely shared
-    // pages.
-    uint32_t working = arena_.frameOf(data);
-    uint8_t *pristine_base = nullptr;
-    if (params_.enableDiffMerge && !entry.gwronce() &&
-        working != kNoFrame) {
-        uint32_t pr = arena_.frame(working).pristineFrame.load(
-            std::memory_order_acquire);
-        if (pr != kNoFrame)
-            pristine_base = arena_.data(pr);
-    }
-    if (pristine_base) {
-        // Charge the GPU-side diff scan (read both copies).
-        Time t = issue + transferTime(2 * (hi - lo),
-                                      dev.simContext().params.gpuMemBwMBps);
-        Time max_done = t;
-        Status agg = Status::Ok;
-        uint32_t i = lo;
-        while (i < hi) {
-            while (i < hi && data[i] == pristine_base[i])
-                ++i;
-            uint32_t run = i;
-            while (run < hi) {
-                uint8_t v = data[run];      // single racy read, folded
-                if (v == pristine_base[run])
-                    break;
-                pristine_base[run] = v;
-                ++run;
-            }
-            if (run > i) {
-                rpc::RpcRequest req;
-                req.op = rpc::RpcOp::WriteBack;
-                req.hostFd = entry.hostFd;
-                req.offset = page_idx * params_.pageSize + i;
-                req.len = run - i;
-                req.data = pristine_base + i;   // stable snapshot
-                req.gpuId = dev.id();
-                req.issueTime = t;
-                rpc::RpcResponse r = queue.call(req);
-                if (!ok(r.status))
-                    agg = r.status;
-                else if (r.version != 0)
-                    entry.version.store(r.version,
-                                        std::memory_order_relaxed);
-                max_done = std::max(max_done, r.done);
-            }
-            i = run;
-        }
-        if (st)
-            *st = agg;
-        return max_done;
-    }
-
-    rpc::RpcRequest req;
-    req.op = rpc::RpcOp::WriteBack;
-    req.hostFd = entry.hostFd;
-    req.offset = page_idx * params_.pageSize + lo;
-    req.len = hi - lo;
-    req.data = const_cast<uint8_t *>(data) + lo;
-    req.diffAgainstZeros = entry.gwronce();
-    req.gpuId = dev.id();
-    req.issueTime = issue;
-    rpc::RpcResponse resp = queue.call(req);
-    if (st)
-        *st = resp.status;
-    if (ok(resp.status) && resp.version != 0) {
-        // Track the version our own write produced so reopen does not
-        // mistake it for a remote modification.
-        entry.version.store(resp.version, std::memory_order_relaxed);
-    }
-    return resp.done;
-}
-
-unsigned
-GpuFs::reclaimFrames(gpu::BlockCtx &ctx, unsigned want)
-{
-    // Paging runs on the calling block's thread — "pay-as-you-go"
-    // (§3.4): no daemon threadblock exists to do it asynchronously.
-    std::lock_guard<std::mutex> lock(tableMtx);
-    unsigned freed = 0;
-
-    auto reclaim_from = [&](OpenFile &e, bool allow_dirty, unsigned n) {
-        auto wb = [&](uint64_t idx, uint8_t *data, uint32_t lo,
-                      uint32_t hi) {
-            if (e.hostFd < 0)
-                return;     // NOSYNC temp whose fd is gone: discard
-            Status st;
-            Time done = writebackExtent(e, idx, data, lo, hi, ctx.now(),
-                                        &st);
-            ctx.waitUntil(done);
-            if (!ok(st))
-                gpufs_warn("eviction write-back failed: %s",
-                           statusName(st));
-        };
-        if (params_.evictLru)
-            return e.cache->reclaimLru(n, allow_dirty, wb);
-        return e.cache->reclaim(n, allow_dirty, wb);
-    };
-
-    // Pass 1: closed, clean files — evictable without any GPU-CPU
-    // communication. Oldest-closed first.
-    for (int pass = 0; pass < 3 && freed < want; ++pass) {
-        for (auto &fptr : files) {
-            if (freed >= want)
-                break;
-            OpenFile &e = *fptr;
-            if (!e.cache)
-                continue;
-            bool closed = e.state == OpenFile::EState::Closed;
-            bool open_ro =
-                e.state == OpenFile::EState::Open && !e.wantsWrite();
-            bool clean = e.cache->dirtyCount() == 0;
-            bool eligible = false;
-            bool allow_dirty = false;
-            switch (pass) {
-              case 0:
-                eligible = closed && clean;
-                break;
-              case 1:
-                eligible = open_ro;
-                break;
-              case 2:
-                eligible = true;      // last resort: writable files
-                allow_dirty = true;
-                break;
-            }
-            if (!eligible)
-                continue;
-            freed += reclaim_from(e, allow_dirty, want - freed);
-            if (closed && e.cache->residentPages() == 0)
-                destroyEntryLocked(ctx, e);
-            else if (closed)
-                maybeReleaseClosedFd(ctx, e);
-        }
-    }
-    return freed;
-}
-
-void
-GpuFs::maybeReleaseClosedFd(gpu::BlockCtx &ctx, OpenFile &entry)
-{
-    if (entry.state == OpenFile::EState::Closed && entry.hostFd >= 0 &&
-        entry.cache && entry.cache->dirtyCount() == 0) {
-        rpc::RpcRequest req;
-        req.op = rpc::RpcOp::Close;
-        req.hostFd = entry.hostFd;
-        rpcCall(ctx, req);
-        entry.hostFd = -1;
-    }
-}
-
-Status
-GpuFs::pinPage(gpu::BlockCtx &ctx, OpenFile &entry, uint64_t page_idx,
-               uint32_t *frame_out, FPage **fpage_out, bool skip_fetch)
-{
-    if (page_idx > FileCache::maxPageIndex())
-        return Status::Inval;
-    // Diff-and-merge pages must snapshot the true host content as
-    // their pristine copy, so the whole-page-overwrite fetch skip does
-    // not apply to them.
-    const bool diff_merge = params_.enableDiffMerge &&
-        entry.wantsWrite() && !entry.gwronce() && !entry.nosync();
-    if (diff_merge)
-        skip_fetch = false;
-    FileCache &c = *entry.cache;
-    FPage *p = c.getPage(page_idx);
-
-    uint32_t frame;
-    if (c.tryPinReady(*p, page_idx, &frame)) {
-        cntCacheHits.inc();
-        cntLockfree.inc();
-        ctx.charge(dev.simContext().params.cacheHitOverhead);
-        ctx.waitUntil(arena_.frame(frame).readyTime.load(
-            std::memory_order_acquire));
-        *frame_out = frame;
-        *fpage_out = p;
-        return Status::Ok;
-    }
-
-    for (;;) {
-        bool did_init = false;
-        Status st = c.initAndPin(
-            *p, page_idx, &frame, &did_init,
-            [&](uint8_t *data, uint32_t *valid) -> Status {
-                if (skip_fetch) {
-                    // Whole-page overwrite: no reason to fetch content
-                    // that is about to be clobbered. Zero-init needs
-                    // no DMA, so readyTime stays 0: another block
-                    // whose virtual clock is earlier than ours must
-                    // not be stalled by OUR clock (it could equally
-                    // have done the memset itself).
-                    std::memset(data, 0, params_.pageSize);
-                    *valid = 0;
-                    return Status::Ok;
-                }
-                Time done = 0;
-                Status fst = fetchPage(ctx, entry, page_idx, data, valid,
-                                       &done);
-                if (!ok(fst))
-                    return fst;
-                PFrame &pf = arena_.frame(arena_.frameOf(data));
-                pf.readyTime.store(done, std::memory_order_release);
-                if (diff_merge) {
-                    // §3.1: "a working copy to which local writes are
-                    // performed, and a pristine copy preserved when
-                    // the page is first read". One alloc attempt only:
-                    // reclaim must not run while the fpage lock is
-                    // held, so exhaustion rolls back to the NoSpace
-                    // retry path below.
-                    uint32_t pr = arena_.alloc();
-                    if (pr == kNoFrame)
-                        return Status::NoSpace;
-                    std::memcpy(arena_.data(pr), data, params_.pageSize);
-                    ctx.chargeGpuMem(params_.pageSize);
-                    pf.pristineFrame.store(pr, std::memory_order_release);
-                }
-                return fst;
-            });
-        if (st == Status::NoSpace) {
-            unsigned freed = reclaimFrames(ctx, params_.reclaimBatch);
-            if (freed == 0)
-                return Status::NoSpace;
-            continue;
-        }
-        if (!ok(st))
-            return st;
-        cntLocked.inc();    // slow path held the fpage lock
-        PFrame &pf = arena_.frame(frame);
-        if (did_init) {
-            cntCacheMisses.inc();
-            ctx.charge(dev.simContext().params.pageMapOverhead);
-        } else {
-            cntCacheHits.inc();
-            ctx.charge(dev.simContext().params.cacheHitOverhead);
-        }
-        ctx.waitUntil(pf.readyTime.load(std::memory_order_acquire));
-        *frame_out = frame;
-        *fpage_out = p;
-        if (did_init && params_.readAheadPages > 0 && !skip_fetch &&
-            !entry.gwronce()) {
-            readAheadFrom(ctx, entry, page_idx);
-        }
-        return Status::Ok;
-    }
-}
-
-void
-GpuFs::readAheadFrom(gpu::BlockCtx &ctx, OpenFile &entry, uint64_t page_idx)
-{
-    FileCache &c = *entry.cache;
-    uint64_t fsize = entry.size.load(std::memory_order_relaxed);
-    for (unsigned k = 1; k <= params_.readAheadPages; ++k) {
-        uint64_t idx = page_idx + k;
-        if (idx * params_.pageSize >= fsize)
-            break;
-        FPage *p = c.getPage(idx);
-        uint32_t frame;
-        if (c.tryPinReady(*p, idx, &frame)) {
-            c.unpin(*p);
-            continue;       // already resident
-        }
-        bool did_init = false;
-        Status st = c.initAndPin(
-            *p, idx, &frame, &did_init,
-            [&](uint8_t *data, uint32_t *valid) -> Status {
-                Time done = 0;
-                Status fst = fetchPage(ctx, entry, idx, data, valid, &done);
-                if (ok(fst)) {
-                    // The prefetching block does NOT wait: the page's
-                    // readyTime gates whoever touches it first.
-                    arena_.frame(arena_.frameOf(data))
-                        .readyTime.store(done, std::memory_order_release);
-                }
-                return fst;
-            });
-        if (st == Status::NoSpace)
-            break;          // never page out on behalf of read-ahead
-        if (ok(st)) {
-            if (did_init)
-                cntCacheMisses.inc();
-            c.unpin(*p);
-        }
-    }
 }
 
 int64_t
@@ -670,7 +228,7 @@ GpuFs::gread(gpu::BlockCtx &ctx, int fd, uint64_t offset, uint64_t len,
     if ((e->flags & G_ACCMODE) == G_WRONLY || e->gwronce())
         return -static_cast<int64_t>(Status::Inval);
 
-    uint64_t fsize = e->size.load(std::memory_order_relaxed);
+    uint64_t fsize = e->cf.size.load(std::memory_order_relaxed);
     if (offset >= fsize)
         return 0;
     len = std::min(len, fsize - offset);
@@ -685,12 +243,12 @@ GpuFs::gread(gpu::BlockCtx &ctx, int fd, uint64_t offset, uint64_t len,
         uint64_t n = std::min(page_size - in_page, end - pos);
         uint32_t frame;
         FPage *fp;
-        st = pinPage(ctx, *e, page_idx, &frame, &fp, false);
+        st = bc_.pinPage(ctx, e->cf, page_idx, &frame, &fp, false);
         if (!ok(st))
             return -static_cast<int64_t>(st);
-        std::memcpy(out, arena_.data(frame) + in_page, n);
+        std::memcpy(out, bc_.arena().data(frame) + in_page, n);
         ctx.chargeGpuMem(n);
-        e->cache->unpin(*fp);
+        e->cf.cache->unpin(*fp);
         pos += n;
         out += n;
     }
@@ -720,35 +278,29 @@ GpuFs::gwrite(gpu::BlockCtx &ctx, int fd, uint64_t offset, uint64_t len,
         bool whole_page = (in_page == 0 && n == page_size);
         uint32_t frame;
         FPage *fp;
-        st = pinPage(ctx, *e, page_idx, &frame, &fp, whole_page);
+        st = bc_.pinPage(ctx, e->cf, page_idx, &frame, &fp, whole_page);
         if (!ok(st))
             return -static_cast<int64_t>(st);
-        std::memcpy(arena_.data(frame) + in_page, in, n);
+        std::memcpy(bc_.arena().data(frame) + in_page, in, n);
         ctx.chargeGpuMem(n);
-        e->cache->noteDirty(arena_.frame(frame),
-                            static_cast<uint32_t>(in_page),
-                            static_cast<uint32_t>(in_page + n));
-        e->cache->unpin(*fp);
+        e->cf.cache->noteDirty(bc_.arena().frame(frame),
+                               static_cast<uint32_t>(in_page),
+                               static_cast<uint32_t>(in_page + n));
+        e->cf.cache->unpin(*fp);
         pos += n;
         in += n;
     }
     // Local size grows with writes (visible to this GPU's greads).
-    uint64_t cur = e->size.load(std::memory_order_relaxed);
+    uint64_t cur = e->cf.size.load(std::memory_order_relaxed);
     while (end > cur &&
-           !e->size.compare_exchange_weak(cur, end,
-                                          std::memory_order_relaxed)) {
+           !e->cf.size.compare_exchange_weak(cur, end,
+                                             std::memory_order_relaxed)) {
     }
     // "When gwrite completes, each thread issues a memory fence" (§4.1)
     // so a later page-out DMA observes the data.
     ctx.threadFence();
     cntBytesWritten.inc(len);
     return static_cast<int64_t>(len);
-}
-
-Status
-GpuFs::gfsync(gpu::BlockCtx &ctx, int fd)
-{
-    return gfsyncRange(ctx, fd, 0, UINT64_MAX);
 }
 
 Status
@@ -767,21 +319,7 @@ GpuFs::gfsyncRange(gpu::BlockCtx &ctx, int fd, uint64_t offset,
     const uint64_t last_page = len >= UINT64_MAX - offset
         ? UINT64_MAX : (offset + len + page_size - 1) / page_size;
 
-    Time max_done = ctx.now();
-    Status wb_st = Status::Ok;
-    e->cache->forEachDirty([&](uint64_t idx, uint8_t *data, uint32_t lo,
-                               uint32_t hi) {
-        if (idx < first_page || idx >= last_page)
-            return false;    // outside the range: keep it dirty
-        Status one;
-        // All write-backs are issued at the current clock so their DMA
-        // and host I/O pipeline on the resource timelines.
-        Time done = writebackExtent(*e, idx, data, lo, hi, ctx.now(), &one);
-        max_done = std::max(max_done, done);
-        if (!ok(one))
-            wb_st = one;
-        return true;
-    });
+    Status wb_st = bc_.flushDirty(ctx, e->cf, first_page, last_page);
     if (!ok(wb_st))
         return wb_st;
 
@@ -790,11 +328,8 @@ GpuFs::gfsyncRange(gpu::BlockCtx &ctx, int fd, uint64_t offset,
     // it durable like CPU fsync).
     rpc::RpcRequest req;
     req.op = rpc::RpcOp::Fsync;
-    req.hostFd = e->hostFd;
-    req.gpuId = dev.id();
-    req.issueTime = max_done;
-    rpc::RpcResponse resp = queue.call(req);
-    ctx.waitUntil(resp.done);
+    req.hostFd = e->cf.hostFd;
+    rpc::RpcResponse resp = rpcCall(ctx, req);
     return resp.status;
 }
 
@@ -809,7 +344,7 @@ GpuFs::gmmap(gpu::BlockCtx &ctx, int fd, uint64_t offset, uint64_t len,
             *st_out = st;
         return nullptr;
     }
-    uint64_t fsize = e->size.load(std::memory_order_relaxed);
+    uint64_t fsize = e->cf.size.load(std::memory_order_relaxed);
     if (len == 0 || (!e->wantsWrite() && offset >= fsize)) {
         if (st_out)
             *st_out = Status::Inval;
@@ -821,7 +356,7 @@ GpuFs::gmmap(gpu::BlockCtx &ctx, int fd, uint64_t offset, uint64_t len,
 
     uint32_t frame;
     FPage *fp;
-    st = pinPage(ctx, *e, page_idx, &frame, &fp, false);
+    st = bc_.pinPage(ctx, e->cf, page_idx, &frame, &fp, false);
     if (!ok(st)) {
         if (st_out)
             *st_out = st;
@@ -837,17 +372,17 @@ GpuFs::gmmap(gpu::BlockCtx &ctx, int fd, uint64_t offset, uint64_t len,
         *st_out = Status::Ok;
     // The page stays pinned until gmunmap; eviction skips pinned pages,
     // which also keeps gfsync away from mapped pages (Table 1).
-    return arena_.data(frame) + in_page;
+    return bc_.arena().data(frame) + in_page;
 }
 
 Status
 GpuFs::gmunmap(gpu::BlockCtx &ctx, void *ptr)
 {
     ctx.charge(500);    // trivial translation cost (0.5 us)
-    uint32_t frame = arena_.frameOf(ptr);
+    uint32_t frame = bc_.arena().frameOf(ptr);
     if (frame == kNoFrame)
         return Status::Inval;
-    PFrame &pf = arena_.frame(frame);
+    PFrame &pf = bc_.arena().frame(frame);
     auto *fp = static_cast<FPage *>(pf.owner.load(std::memory_order_acquire));
     if (!fp || fp->refs.load(std::memory_order_relaxed) <= 0)
         return Status::Inval;
@@ -855,48 +390,24 @@ GpuFs::gmunmap(gpu::BlockCtx &ctx, void *ptr)
     return Status::Ok;
 }
 
-OpenFile *
-GpuFs::entryByCacheUid(uint64_t uid)
-{
-    for (auto &fptr : files) {
-        if (fptr->cache && fptr->cache->uid() == uid)
-            return fptr.get();
-    }
-    return nullptr;
-}
-
 Status
 GpuFs::gmsync(gpu::BlockCtx &ctx, void *ptr)
 {
-    uint32_t frame = arena_.frameOf(ptr);
+    uint32_t frame = bc_.arena().frameOf(ptr);
     if (frame == kNoFrame)
         return Status::Inval;
-    PFrame &pf = arena_.frame(frame);
-    uint64_t uid = pf.fileUid.load(std::memory_order_acquire);
+    uint64_t uid =
+        bc_.arena().frame(frame).fileUid.load(std::memory_order_acquire);
     OpenFile *e;
     {
         std::lock_guard<std::mutex> lock(tableMtx);
-        e = entryByCacheUid(uid);
+        e = table_.findByCacheUid(uid);
     }
-    if (!e || e->hostFd < 0)
+    if (!e || e->cf.hostFd < 0)
         return Status::Inval;
     if (e->nosync())
         return Status::Ok;
-    uint64_t extent = e->cache->takeDirtyCounted(pf);
-    uint32_t lo = PFrame::extentLo(extent);
-    uint32_t hi = PFrame::extentHi(extent);
-    if (lo >= hi)
-        return Status::Ok;
-    Status st;
-    Time done = writebackExtent(
-        *e, pf.pageIdx.load(std::memory_order_relaxed), arena_.data(frame),
-        lo, hi, ctx.now(), &st);
-    ctx.waitUntil(done);
-    if (!ok(st)) {
-        // Restore so a later sync can retry.
-        e->cache->noteDirty(pf, lo, hi);
-    }
-    return st;
+    return bc_.syncFrame(ctx, e->cf, frame);
 }
 
 Status
@@ -908,14 +419,14 @@ GpuFs::gunlink(gpu::BlockCtx &ctx, const std::string &path)
         std::lock_guard<std::mutex> lock(tableMtx);
         // "Files unlinked on the GPU have their local buffer space
         // reclaimed immediately" (Table 1).
-        for (auto &fptr : files) {
-            OpenFile &e = *fptr;
+        for (auto &eptr : table_.entries()) {
+            OpenFile &e = *eptr;
             if (e.state == OpenFile::EState::Free || e.path != path)
                 continue;
             if (e.state == OpenFile::EState::Closed) {
                 destroyEntryLocked(ctx, e);
-            } else if (e.cache) {
-                if (!e.cache->dropAll())
+            } else if (e.cf.cache) {
+                if (!bc_.dropPages(e.cf))
                     return Status::Busy;
             }
         }
@@ -936,7 +447,7 @@ GpuFs::gfstat(gpu::BlockCtx &ctx, int fd, GStat *out)
     if (!e)
         return st;
     out->ino = e->ino;
-    out->size = e->size.load(std::memory_order_relaxed);
+    out->size = e->cf.size.load(std::memory_order_relaxed);
     return Status::Ok;
 }
 
@@ -953,31 +464,25 @@ GpuFs::gftruncate(gpu::BlockCtx &ctx, int fd, uint64_t new_size)
     std::lock_guard<std::mutex> lock(tableMtx);
     // Reclaim cached pages ("reclaim any relevant pages", Table 1);
     // unsynced dirty data below the cut is pushed home first so a
-    // truncate-to-larger does not lose writes.
-    Time max_done = ctx.now();
-    e->cache->forEachDirty([&](uint64_t idx, uint8_t *data, uint32_t lo,
-                               uint32_t hi) -> bool {
-        uint64_t base = idx * params_.pageSize;
-        if (base + lo >= new_size)
-            return false;   // truncated away; nothing to preserve
-        Status one;
-        Time done = writebackExtent(*e, idx, data, lo, hi, ctx.now(), &one);
-        max_done = std::max(max_done, done);
-        return true;
-    });
-    ctx.waitUntil(max_done);
-    if (!e->cache->dropAll())
+    // truncate-to-larger does not lose writes. Pages entirely beyond
+    // the cut are dropped without write-back.
+    const uint64_t keep_pages =
+        (new_size + params_.pageSize - 1) / params_.pageSize;
+    Status wb_st = bc_.flushDirty(ctx, e->cf, 0, keep_pages);
+    if (!ok(wb_st))
+        return wb_st;   // do NOT drop pages whose write-back failed
+    if (!bc_.dropPages(e->cf))
         return Status::Busy;
 
     rpc::RpcRequest req;
     req.op = rpc::RpcOp::Truncate;
-    req.hostFd = e->hostFd;
+    req.hostFd = e->cf.hostFd;
     req.offset = new_size;
     rpc::RpcResponse resp = rpcCall(ctx, req);
     if (!ok(resp.status))
         return resp.status;
-    e->size.store(new_size, std::memory_order_relaxed);
-    e->version.store(resp.version, std::memory_order_relaxed);
+    e->cf.size.store(new_size, std::memory_order_relaxed);
+    e->cf.version.store(resp.version, std::memory_order_relaxed);
     return Status::Ok;
 }
 
@@ -985,10 +490,7 @@ unsigned
 GpuFs::hostFdsHeld() const
 {
     std::lock_guard<std::mutex> lock(tableMtx);
-    unsigned n = 0;
-    for (const auto &fptr : files)
-        n += fptr->hostFd >= 0 ? 1 : 0;
-    return n;
+    return table_.countHostFds();
 }
 
 } // namespace core

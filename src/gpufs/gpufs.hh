@@ -8,6 +8,12 @@
  * calls with the same arguments at the same point, which the block-
  * level BlockCtx makes structural.
  *
+ * This class is the POSIX-like API layer only: the open/closed file
+ * table, flag semantics, and stat bookkeeping. All paging machinery —
+ * the frame arena, per-file page caches, miss handling, read-ahead,
+ * write-back, and eviction policy — lives one layer down in
+ * core::BufferCache (buffer_cache.hh).
+ *
  * Deviations from POSIX follow the paper exactly (Table 1):
  *  - gread/gwrite take explicit offsets (pread/pwrite semantics; file
  *    descriptors have no seek pointer);
@@ -32,6 +38,7 @@
 #include "base/stats.hh"
 #include "base/status.hh"
 #include "gpu/launch.hh"
+#include "gpufs/buffer_cache.hh"
 #include "gpufs/file_table.hh"
 #include "gpufs/params.hh"
 #include "rpc/queue.hh"
@@ -72,7 +79,11 @@ class GpuFs
 
     /** Synchronously write back all dirty pages of @p fd that are not
      *  mapped or concurrently accessed. */
-    Status gfsync(gpu::BlockCtx &ctx, int fd);
+    Status
+    gfsync(gpu::BlockCtx &ctx, int fd)
+    {
+        return gfsyncRange(ctx, fd, 0, UINT64_MAX);
+    }
 
     /** Range variant (§3.2: applications may "synchronize either an
      *  entire file or a specific offset range"). Pages intersecting
@@ -108,7 +119,8 @@ class GpuFs
     const GpuFsParams &params() const { return params_; }
     StatSet &stats() { return stats_; }
     gpu::GpuDevice &device() { return dev; }
-    FrameArena &arena() { return arena_; }
+    BufferCache &bufferCache() { return bc_; }
+    FrameArena &arena() { return bc_.arena(); }
 
     /** Open + closed entries currently holding a host fd (tests). */
     unsigned hostFdsHeld() const;
@@ -118,74 +130,47 @@ class GpuFs
     rpc::RpcQueue &queue;
     GpuFsParams params_;
     StatSet stats_;
-    FrameArena arena_;
+    BufferCache bc_;
 
     mutable std::mutex tableMtx;
-    std::vector<std::unique_ptr<OpenFile>> files;
+    FileTable table_;
     uint64_t closeCounter = 0;
 
     // Counters (registered once; fast paths use references).
     Counter &cntOpens;
     Counter &cntOpenRpcs;
     Counter &cntCloses;
-    Counter &cntCacheHits;
-    Counter &cntCacheMisses;
-    Counter &cntLockfree;
-    Counter &cntLocked;
-    Counter &cntReclaimed;
     Counter &cntInvalidations;
     Counter &cntBytesRead;
     Counter &cntBytesWritten;
 
-    CacheCounters cacheCounters();
-
     /** Validate fd and return its entry (nullptr + status otherwise). */
-    OpenFile *entryOf(int fd, Status *st);
+    OpenFile *
+    entryOf(int fd, Status *st)
+    {
+        OpenFile *e = table_.openEntry(fd);
+        if (!e && st)
+            *st = Status::BadFd;
+        return e;
+    }
 
-    /** RPC helpers. */
+    /** Synchronous RPC from this block (submit, wait, advance clock). */
     rpc::RpcResponse rpcCall(gpu::BlockCtx &ctx, rpc::RpcRequest &req);
 
-    /**
-     * Pin the page of (entry, page_idx), fetching it on a miss.
-     * On success *frame_out is pinned. Runs the paging policy when the
-     * arena is exhausted. @p skip_fetch suppresses the host read for
-     * pages about to be fully overwritten.
-     */
-    Status pinPage(gpu::BlockCtx &ctx, OpenFile &entry, uint64_t page_idx,
-                   uint32_t *frame_out, FPage **fpage_out, bool skip_fetch);
-
-    /** Sequential read-ahead (extension; params_.readAheadPages). */
-    void readAheadFrom(gpu::BlockCtx &ctx, OpenFile &entry,
-                       uint64_t page_idx);
-
-    /** Fetch one page's content from the host (or zero-fill). */
-    Status fetchPage(gpu::BlockCtx &ctx, OpenFile &entry, uint64_t page_idx,
-                     uint8_t *data, uint32_t *valid, Time *done);
-
-    /** Write one page extent back to the host. @return completion. */
-    Time writebackExtent(OpenFile &entry, uint64_t page_idx,
-                         const uint8_t *data, uint32_t lo, uint32_t hi,
-                         Time issue, Status *st);
-
-    /**
-     * Paging: free at least @p want frames, preferring closed clean
-     * files, then open read-only files, then writable files (§4.2).
-     * Runs on the calling block's thread ("pay-as-you-go").
-     * @return frames freed.
-     */
-    unsigned reclaimFrames(gpu::BlockCtx &ctx, unsigned want);
-
-    /** Release a closed entry's host fd / claim if it is now clean. */
-    void maybeReleaseClosedFd(gpu::BlockCtx &ctx, OpenFile &entry);
+    /** Close @p host_fd on the host (gopen/gclose bookkeeping). */
+    void
+    closeHostFd(gpu::BlockCtx &ctx, int host_fd)
+    {
+        rpc::RpcRequest req;
+        req.op = rpc::RpcOp::Close;
+        req.hostFd = host_fd;
+        rpcCall(ctx, req);
+    }
 
     /** Destroy an entry's cache and release its fd (table lock held). */
     void destroyEntryLocked(gpu::BlockCtx &ctx, OpenFile &entry);
 
-    /** Find the entry whose cache uid is @p uid (gmsync path). */
-    OpenFile *entryByCacheUid(uint64_t uid);
-
-    int findOpenByPathLocked(const std::string &path);
-    int findClosedByInoLocked(uint64_t ino);
+    /** Free slot, recycling the oldest closed entry if needed. */
     int allocEntryLocked(gpu::BlockCtx &ctx);
 };
 

@@ -13,6 +13,23 @@
 namespace gpufs {
 namespace core {
 
+/**
+ * Frame-reclamation policies (BufferCache::EvictionPolicy variants).
+ *
+ * PaperTiered is §4.2's constant-work order: closed clean files first
+ * (no GPU-CPU communication), then open read-only files, then writable
+ * files as a last resort. GlobalLru and Random are ablation policies
+ * wired into bench/ablate_eviction: LRU scans every frame for the
+ * globally oldest access stamp (the variable-work shape the paper
+ * rejects because paging hijacks application threads), Random picks
+ * victim files uniformly.
+ */
+enum class EvictionPolicyKind : uint8_t {
+    PaperTiered,
+    GlobalLru,
+    Random,
+};
+
 struct GpuFsParams {
     /**
      * Buffer-cache page size. "Performance considerations typically
@@ -33,16 +50,15 @@ struct GpuFsParams {
      */
     bool forceLockedTraversal = false;
 
-    /**
-     * Ablation: replace the paper's FIFO-like reclamation (§4.2) with
-     * an LRU scan over frames. The paper rejects variable-work policies
-     * because paging hijacks application threads.
-     */
-    bool evictLru = false;
+    /** Frame-reclamation policy (see EvictionPolicyKind). */
+    EvictionPolicyKind evictPolicy = EvictionPolicyKind::PaperTiered;
 
     /**
      * Extension (off by default, matching the prototype): number of
      * pages of sequential read-ahead issued on a buffer-cache miss.
+     * Runs of missing pages are coalesced into batched ReadPages RPCs
+     * of up to rpc::kMaxBatchPages each, so the per-request CPU and
+     * DMA-setup overheads are paid once per run instead of per page.
      */
     unsigned readAheadPages = 0;
 

@@ -148,6 +148,65 @@ FileCache::tryPinReady(FPage &p, uint64_t page_idx, uint32_t *frame_out)
     return false;
 }
 
+unsigned
+FileCache::beginInitBatch(uint64_t start_idx, unsigned max_n,
+                          BatchSlot *out)
+{
+    unsigned n = 0;
+    while (n < max_n) {
+        uint64_t idx = start_idx + n;
+        if (idx > maxPageIndex())
+            break;
+        FPage *p = getPage(idx);
+        if (!p->lock.tryLock())
+            break;
+        if (p->state.load(std::memory_order_acquire) != kPageEmpty) {
+            p->lock.unlock();
+            break;
+        }
+        uint32_t f = arena.alloc();
+        if (f == kNoFrame) {
+            p->lock.unlock();
+            break;
+        }
+        PFrame &pf = arena.frame(f);
+        pf.fileUid.store(uid_, std::memory_order_relaxed);
+        pf.pageIdx.store(idx, std::memory_order_relaxed);
+        pf.owner.store(p, std::memory_order_relaxed);
+        pf.lastAccess.store(arena.nextTick(), std::memory_order_relaxed);
+        p->frame.store(f, std::memory_order_release);
+        p->state.store(kPageInit, std::memory_order_release);
+        out[n++] = BatchSlot{p, f};
+    }
+    return n;
+}
+
+void
+FileCache::finishInitBatch(const BatchSlot *slots, unsigned n,
+                           const uint32_t *valid, Time ready)
+{
+    for (unsigned i = 0; i < n; ++i) {
+        PFrame &pf = arena.frame(slots[i].frame);
+        pf.validBytes.store(valid[i], std::memory_order_relaxed);
+        // The prefetching block does not wait: readyTime gates whoever
+        // pins the page first.
+        pf.readyTime.store(ready, std::memory_order_release);
+        slots[i].page->state.store(kPageReady, std::memory_order_release);
+        slots[i].page->lock.unlock();
+    }
+}
+
+void
+FileCache::abortInitBatch(const BatchSlot *slots, unsigned n)
+{
+    for (unsigned i = 0; i < n; ++i) {
+        slots[i].page->frame.store(kNoFrame, std::memory_order_relaxed);
+        slots[i].page->state.store(kPageEmpty, std::memory_order_release);
+        arena.free(slots[i].frame);
+        slots[i].page->lock.unlock();
+    }
+}
+
 bool
 FileCache::dropAll()
 {

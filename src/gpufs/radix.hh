@@ -89,11 +89,18 @@ struct RadixNode {
     }
 };
 
-/** Counters shared with the owning GpuFs instance's StatSet. */
+/** Counters shared with the owning subsystem's StatSet. */
 struct CacheCounters {
     Counter &lockfreeAccesses;
     Counter &lockedAccesses;
     Counter &pagesReclaimed;
+};
+
+/** One page claimed by beginInitBatch: the fpage (held locked) and the
+ *  frame allocated for it. */
+struct BatchSlot {
+    FPage *page;
+    uint32_t frame;
 };
 
 /**
@@ -204,6 +211,31 @@ class FileCache
     }
 
     /**
+     * Claim up to @p max_n contiguous Empty pages starting at
+     * @p start_idx for a batched fill (read-ahead coalescing): each
+     * claimed page is locked, given a frame, and moved to Init so
+     * concurrent pinners serialize on it exactly as they do against a
+     * single-page fill. The run stops at the first page that is
+     * resident, in flight, contended, or unallocatable — a batch always
+     * covers one contiguous file extent. Claimed pages stay locked
+     * until finishInitBatch/abortInitBatch. Never blocks on a page
+     * lock (tryLock only): read-ahead must not stall behind another
+     * block's fetch.
+     * @return the number of slots claimed (may be 0).
+     */
+    unsigned beginInitBatch(uint64_t start_idx, unsigned max_n,
+                            BatchSlot *out);
+
+    /** Publish a filled batch: per-page valid byte counts, a shared
+     *  DMA-completion time gating first use, pages become Ready and
+     *  unlocked. Batch pages are NOT pinned (prefetch semantics). */
+    void finishInitBatch(const BatchSlot *slots, unsigned n,
+                         const uint32_t *valid, Time ready);
+
+    /** Roll a failed batch back to Empty, freeing the frames. */
+    void abortInitBatch(const BatchSlot *slots, unsigned n);
+
+    /**
      * Reclaim up to @p want unpinned Ready pages, FIFO order (oldest
      * leaf nodes first). Dirty pages are skipped unless @p allow_dirty,
      * in which case @p writeback is invoked (under the fpage lock) with
@@ -227,43 +259,29 @@ class FileCache
     }
 
     /**
-     * LRU-ablation reclaim: repeatedly evict the unpinned Ready page
-     * of this file with the oldest lastAccess stamp. Variable work —
-     * exactly what the paper avoids; measured by bench/ablate_eviction.
+     * Try to evict the page currently backed by @p frame_idx (global-
+     * LRU policy: the caller snapshotted evictable frames in access
+     * order). Identity is verified — a frame recycled since the
+     * snapshot is left alone. @return 1 if the frame was freed.
      */
     template <typename WbFn>
     unsigned
-    reclaimLru(unsigned want, bool allow_dirty, WbFn &&writeback)
+    evictFrame(uint32_t frame_idx, bool allow_dirty, WbFn &&writeback)
     {
-        unsigned freed = 0;
-        while (freed < want) {
-            FPage *best = nullptr;
-            uint64_t best_idx = 0;
-            uint64_t best_stamp = UINT64_MAX;
-            for (uint32_t f = 0; f < arena.numFrames(); ++f) {
-                PFrame &pf = arena.frame(f);
-                if (pf.fileUid.load(std::memory_order_acquire) != uid_)
-                    continue;
-                auto *p = static_cast<FPage *>(
-                    pf.owner.load(std::memory_order_acquire));
-                if (!p || p->refs.load(std::memory_order_relaxed) != 0)
-                    continue;
-                uint64_t stamp = pf.lastAccess.load(std::memory_order_relaxed);
-                if (stamp < best_stamp) {
-                    best_stamp = stamp;
-                    best = p;
-                    best_idx = pf.pageIdx.load(std::memory_order_relaxed);
-                }
-            }
-            if (!best)
-                break;
-            unsigned got = tryEvictPage(*best, best_idx, allow_dirty,
-                                        writeback);
-            if (got == 0)
-                break;      // best candidate raced away; give up this pass
-            freed += got;
+        PFrame &pf = arena.frame(frame_idx);
+        if (pf.fileUid.load(std::memory_order_acquire) != uid_)
+            return 0;   // recycled since the caller's snapshot
+        auto *p = static_cast<FPage *>(
+            pf.owner.load(std::memory_order_acquire));
+        if (!p || p->frame.load(std::memory_order_acquire) != frame_idx ||
+            pf.fileUid.load(std::memory_order_acquire) != uid_) {
+            return 0;
         }
-        return freed;
+        // An FPage maps to a fixed page index for the life of the
+        // tree, so pageIdx cannot be stale once identity holds;
+        // tryEvictPage re-verifies state/refs under the fpage lock.
+        return tryEvictPage(*p, pf.pageIdx.load(std::memory_order_relaxed),
+                            allow_dirty, writeback);
     }
 
     /**

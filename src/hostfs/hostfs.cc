@@ -121,6 +121,73 @@ HostFs::pread(int fd, uint8_t *dst, uint64_t len, uint64_t offset,
 }
 
 IoResult
+HostFs::preadPages(int fd, uint8_t *const *dsts, unsigned n_pages,
+                   uint64_t page_len, uint64_t offset, Time ready,
+                   sim::Resource *io_path)
+{
+    uint32_t flags;
+    auto node = lookupFd(fd, &flags);
+    if (!node)
+        return {Status::BadFd, 0, ready};
+    uint64_t size;
+    uint64_t ino;
+    {
+        std::lock_guard<std::mutex> lock(mtx);
+        size = node->size;
+        ino = node->ino;
+    }
+    if (offset >= size)
+        return {Status::Ok, 0, ready};
+    uint64_t n = std::min(uint64_t(n_pages) * page_len, size - offset);
+    for (unsigned i = 0; i < n_pages; ++i) {
+        uint64_t base = uint64_t(i) * page_len;
+        if (base >= n)
+            break;
+        node->content->readAt(offset + base, std::min(page_len, n - base),
+                              dsts[i]);
+    }
+    // One contiguous extent, one preadv charge.
+    Time done = pageCache.chargeRead(ino, offset, n, ready, io_path);
+    return {Status::Ok, n, done};
+}
+
+IoResult
+HostFs::pwritev(int fd, const WriteRun *runs, unsigned n, Time ready,
+                sim::Resource *io_path)
+{
+    uint32_t flags;
+    auto node = lookupFd(fd, &flags);
+    if (!node)
+        return {Status::BadFd, 0, ready};
+    if ((flags & O_ACCMODE_F) == O_RDONLY_F)
+        return {Status::ReadOnlyFile, 0, ready};
+    uint64_t total = 0;
+    uint64_t max_end = 0;
+    std::vector<IoSpan> spans(n);
+    for (unsigned r = 0; r < n; ++r) {
+        if (runs[r].len &&
+            !node->content->writeAt(runs[r].offset, runs[r].len,
+                                    runs[r].data)) {
+            return {Status::ReadOnlyFile, total, ready};
+        }
+        total += runs[r].len;
+        max_end = std::max(max_end, runs[r].offset + runs[r].len);
+        spans[r] = {runs[r].offset, runs[r].len};
+    }
+    if (total == 0)
+        return {Status::Ok, 0, ready};
+    uint64_t ino;
+    {
+        std::lock_guard<std::mutex> lock(mtx);
+        node->size = std::max(node->size, max_end);
+        node->version++;    // one gathered write, one version step
+        ino = node->ino;
+    }
+    Time done = pageCache.chargeWritev(ino, spans.data(), n, ready, io_path);
+    return {Status::Ok, total, done};
+}
+
+IoResult
 HostFs::pwrite(int fd, const uint8_t *src, uint64_t len, uint64_t offset,
                Time ready, sim::Resource *io_path)
 {

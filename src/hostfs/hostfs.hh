@@ -53,6 +53,13 @@ struct IoResult {
     Time done;          ///< virtual completion time
 };
 
+/** One run of a gathered write (pwritev). */
+struct WriteRun {
+    uint64_t offset;
+    uint64_t len;
+    const uint8_t *data;
+};
+
 /**
  * The host file system. All methods are thread safe. Methods that move
  * data take the caller's virtual ready time and return a completion
@@ -81,6 +88,25 @@ class HostFs
                    Time ready = 0, sim::Resource *io_path = nullptr);
     IoResult pwrite(int fd, const uint8_t *src, uint64_t len, uint64_t offset,
                     Time ready = 0, sim::Resource *io_path = nullptr);
+
+    /**
+     * Vectored scatter-read: one contiguous file extent starting at
+     * @p offset lands in @p n_pages buffers of @p page_len bytes each
+     * (dsts[i] receives [offset + i*page_len, ...)), charged as ONE
+     * preadv syscall — the daemon's batched ReadPages path. Bytes
+     * clamp at EOF; tails of partial pages are left untouched.
+     */
+    IoResult preadPages(int fd, uint8_t *const *dsts, unsigned n_pages,
+                        uint64_t page_len, uint64_t offset, Time ready = 0,
+                        sim::Resource *io_path = nullptr);
+
+    /**
+     * Gathered write: all runs land atomically as ONE pwritev — a
+     * single syscall charge and a single version bump, which is how
+     * the daemon writes back multi-run (zero-diff) page extents.
+     */
+    IoResult pwritev(int fd, const WriteRun *runs, unsigned n,
+                     Time ready = 0, sim::Resource *io_path = nullptr);
 
     /** fsync: flush dirty page-cache granules to disk. */
     IoResult fsync(int fd, Time ready = 0);

@@ -177,6 +177,46 @@ HostPageCache::chargeWrite(uint64_t ino, uint64_t offset, uint64_t len,
 }
 
 Time
+HostPageCache::chargeWritev(uint64_t ino, const IoSpan *runs, unsigned n,
+                            Time ready, sim::Resource *io_path)
+{
+    const auto &p = sim.params;
+    uint64_t g = granuleSize();
+    uint64_t total = 0;
+    uint64_t writeback_bytes = 0;
+    {
+        std::lock_guard<std::mutex> lock(mtx);
+        for (unsigned r = 0; r < n; ++r) {
+            if (runs[r].len == 0)
+                continue;
+            total += runs[r].len;
+            uint64_t first = runs[r].offset / g;
+            uint64_t last = (runs[r].offset + runs[r].len - 1) / g;
+            for (uint64_t gi = first; gi <= last; ++gi) {
+                bool resident;
+                writeback_bytes += touchLocked({ino, gi}, true, resident);
+            }
+        }
+    }
+    if (total == 0 || !p.chargeHostIo)
+        return ready;
+
+    Time t = ready;
+    if (writeback_bytes > 0) {
+        t = sim.disk.reserve(
+            t, transferTime(writeback_bytes, p.diskWriteMBps)).end;
+    }
+    // One gathered syscall for every run.
+    Time copy_dur = p.preadOverhead + transferTime(total,
+                                                   p.hostCacheWriteMBps);
+    if (io_path)
+        t = io_path->reserve(t, copy_dur).end;
+    else
+        t += copy_dur;
+    return t;
+}
+
+Time
 HostPageCache::chargeSync(uint64_t ino, Time ready)
 {
     uint64_t dirty_bytes = 0;

@@ -28,6 +28,13 @@
 namespace gpufs {
 namespace hostfs {
 
+/** One extent of a vectored I/O charge (offset/len only; the data
+ *  movement itself is functional and untimed). */
+struct IoSpan {
+    uint64_t offset;
+    uint64_t len;
+};
+
 /**
  * LRU residency map over (inode, granule) pairs with a byte capacity.
  * Thread safe.
@@ -53,6 +60,15 @@ class HostPageCache
      */
     Time chargeWrite(uint64_t ino, uint64_t offset, uint64_t len, Time ready,
                      sim::Resource *io_path);
+
+    /**
+     * Vectored chargeWrite: touch every run's granules (resident +
+     * dirty) but charge ONE syscall overhead plus the runs' total
+     * bytes — the cost of a single gathered pwritev, which is how the
+     * daemon lands multi-run write-backs.
+     */
+    Time chargeWritev(uint64_t ino, const IoSpan *runs, unsigned n,
+                      Time ready, sim::Resource *io_path);
 
     /** Write back dirty granules of @p ino to disk. ~fsync. */
     Time chargeSync(uint64_t ino, Time ready);

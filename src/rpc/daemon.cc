@@ -113,6 +113,12 @@ CpuDaemon::handle(unsigned port_idx, const RpcRequest &req)
         resp = handleReadPage(dev, timed);
         break;
       }
+      case RpcOp::ReadPages: {
+        RpcRequest timed = req;
+        timed.issueTime = t0;
+        resp = handleReadPages(dev, timed);
+        break;
+      }
       case RpcOp::WriteBack: {
         RpcRequest timed = req;
         timed.issueTime = t0;
@@ -216,11 +222,27 @@ CpuDaemon::handleClose(gpu::GpuDevice &dev, const RpcRequest &req)
     return resp;
 }
 
+Time
+CpuDaemon::chargeH2dDma(gpu::GpuDevice &dev, uint64_t bytes, Time ready)
+{
+    // Staging -> GPU: one DMA reservation on this GPU's H2D channel.
+    // Functionally the host read already placed the bytes (one copy in
+    // simulation).
+    auto &sim = dev.simContext();
+    const auto &p = sim.params;
+    bytesToGpu.inc(bytes);
+    if (bytes == 0 || !p.chargeDma)
+        return ready;
+    Time dur = p.dmaSetup + transferTime(bytes, p.pcieBwH2DMBps);
+    sim::Resource &channel =
+        p.serializeDmaWithIo ? sim.cpuIo : dev.pcieH2D();
+    return channel.reserve(ready, dur).end;
+}
+
 RpcResponse
 CpuDaemon::handleReadPage(gpu::GpuDevice &dev, const RpcRequest &req)
 {
     auto &sim = dev.simContext();
-    const auto &p = sim.params;
     RpcResponse resp;
 
     // Host file -> staging: the daemon's pread, serialized on cpuIo.
@@ -228,18 +250,32 @@ CpuDaemon::handleReadPage(gpu::GpuDevice &dev, const RpcRequest &req)
                                   req.issueTime, &sim.cpuIo);
     resp.status = r.status;
     resp.bytes = r.bytes;
-    Time t = r.done;
+    resp.done = chargeH2dDma(dev, r.bytes, r.done);
+    return resp;
+}
 
-    // Staging -> GPU page: DMA on this GPU's H2D channel. Functionally
-    // the pread above already placed the bytes (one copy in simulation).
-    if (r.bytes > 0 && p.chargeDma) {
-        Time dur = p.dmaSetup + transferTime(r.bytes, p.pcieBwH2DMBps);
-        sim::Resource &channel =
-            p.serializeDmaWithIo ? sim.cpuIo : dev.pcieH2D();
-        t = channel.reserve(t, dur).end;
+RpcResponse
+CpuDaemon::handleReadPages(gpu::GpuDevice &dev, const RpcRequest &req)
+{
+    auto &sim = dev.simContext();
+    RpcResponse resp;
+    if (req.pageCount == 0 || req.pageCount > kMaxBatchPages) {
+        resp.status = Status::Inval;
+        resp.done = req.issueTime;
+        return resp;
     }
-    bytesToGpu.inc(r.bytes);
-    resp.done = t;
+
+    // Host file -> staging: ONE vectored pread for the whole extent,
+    // serialized on cpuIo — the per-request CPU overhead was already
+    // charged once per batch by handle(), which is the point of
+    // batching (amortizing GPU->CPU request costs). The batch then
+    // rides ONE DMA reservation (a single setup cost).
+    hostfs::IoResult r = fs.preadPages(req.hostFd, req.batch, req.pageCount,
+                                       req.pageLen, req.offset,
+                                       req.issueTime, &sim.cpuIo);
+    resp.status = r.status;
+    resp.bytes = r.bytes;
+    resp.done = chargeH2dDma(dev, r.bytes, r.done);
     return resp;
 }
 
@@ -265,9 +301,10 @@ CpuDaemon::handleWriteBack(gpu::GpuDevice &dev, const RpcRequest &req)
         // locally-modified bytes are exactly the non-zero ones. Write
         // back maximal non-zero runs so concurrent writers to other
         // regions of the same page are not reverted (§3.1). The runs
-        // land as one gathered write: charge a single pwrite for the
-        // total, not per-run syscall overhead.
-        Time charge_ready = t;
+        // land as ONE gathered pwritev: a single syscall charge on the
+        // daemon's I/O path and a single version bump — never per-run
+        // overhead or per-run version churn.
+        std::vector<hostfs::WriteRun> runs;
         uint64_t i = 0;
         while (i < req.len) {
             while (i < req.len && req.data[i] == 0)
@@ -275,23 +312,22 @@ CpuDaemon::handleWriteBack(gpu::GpuDevice &dev, const RpcRequest &req)
             uint64_t run = i;
             while (run < req.len && req.data[run] != 0)
                 ++run;
-            if (run > i) {
-                hostfs::IoResult w = fs.pwrite(
-                    req.hostFd, req.data + i, run - i, req.offset + i,
-                    /*ready=*/0, /*io_path=*/nullptr);
-                if (!ok(w.status)) {
-                    resp.status = w.status;
-                    resp.done = t;
-                    return resp;
-                }
-                written += w.bytes;
-            }
+            if (run > i)
+                runs.push_back({req.offset + i, run - i, req.data + i});
             i = run;
         }
-        Time copy_dur = p.preadOverhead
-            + transferTime(written, p.hostCacheWriteMBps);
-        t = p.chargeHostIo ? sim.cpuIo.reserve(charge_ready, copy_dur).end
-                           : charge_ready;
+        if (!runs.empty()) {
+            hostfs::IoResult w = fs.pwritev(
+                req.hostFd, runs.data(),
+                static_cast<unsigned>(runs.size()), t, &sim.cpuIo);
+            if (!ok(w.status)) {
+                resp.status = w.status;
+                resp.done = t;
+                return resp;
+            }
+            written = w.bytes;
+            t = w.done;
+        }
     } else {
         hostfs::IoResult w = fs.pwrite(req.hostFd, req.data, req.len,
                                        req.offset, t, &sim.cpuIo);

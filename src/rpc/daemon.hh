@@ -78,9 +78,15 @@ class CpuDaemon
     void loop();
     RpcResponse handle(unsigned port_idx, const RpcRequest &req);
 
+    /** Charge one H2D DMA for @p bytes ready at @p ready; counts the
+     *  bytes. Shared by the single-page and batched read paths so the
+     *  two charge identically. */
+    Time chargeH2dDma(gpu::GpuDevice &dev, uint64_t bytes, Time ready);
+
     RpcResponse handleOpen(gpu::GpuDevice &dev, const RpcRequest &req);
     RpcResponse handleClose(gpu::GpuDevice &dev, const RpcRequest &req);
     RpcResponse handleReadPage(gpu::GpuDevice &dev, const RpcRequest &req);
+    RpcResponse handleReadPages(gpu::GpuDevice &dev, const RpcRequest &req);
     RpcResponse handleWriteBack(gpu::GpuDevice &dev, const RpcRequest &req);
 
     /** Track (fd -> ino, write, gwronce) for consistency release. */

@@ -25,6 +25,7 @@ enum class RpcOp : uint32_t {
     Open,        ///< open host file; returns fd, ino, size, version
     Close,       ///< close host fd
     ReadPage,    ///< host file -> GPU buffer-cache page (H2D DMA)
+    ReadPages,   ///< batched: one contiguous extent -> many pages
     WriteBack,   ///< GPU page -> host file (D2H DMA), optional zero-diff
     Fsync,       ///< flush host dirty pages of fd to disk
     Truncate,
@@ -34,6 +35,14 @@ enum class RpcOp : uint32_t {
 
 /** Maximum path length carried in a fixed-size request slot. */
 constexpr size_t kMaxPath = 240;
+
+/**
+ * Maximum pages one ReadPages request carries. The request slot stays
+ * fixed size (the paper's queue is an array of fixed slots in shared
+ * memory), so the batch is a bounded pointer array; the GPU splits
+ * longer read-ahead runs into multiple requests.
+ */
+constexpr unsigned kMaxBatchPages = 16;
 
 struct RpcRequest {
     RpcOp op = RpcOp::Nop;
@@ -48,11 +57,17 @@ struct RpcRequest {
     bool mergeableWriter = false;
     bool nosync = false;        ///< Open: O_NOSYNC temp file
 
-    int hostFd = -1;            ///< Close/ReadPage/WriteBack/Fsync/Truncate
-    uint64_t offset = 0;        ///< ReadPage/WriteBack/Truncate(new size)
-    uint64_t len = 0;           ///< ReadPage/WriteBack
+    int hostFd = -1;            ///< Close/ReadPage(s)/WriteBack/Fsync/Truncate
+    uint64_t offset = 0;        ///< ReadPage(s)/WriteBack/Truncate(new size)
+    uint64_t len = 0;           ///< ReadPage/WriteBack; ReadPages: total
     uint8_t *data = nullptr;    ///< GPU page pointer for bulk ops
     bool diffAgainstZeros = false;  ///< WriteBack: O_GWRONCE semantics
+
+    // ---- ReadPages only: one contiguous file extent, scattered into
+    // pageCount GPU buffer-cache frames of pageLen bytes each ----
+    uint32_t pageCount = 0;
+    uint64_t pageLen = 0;
+    uint8_t *batch[kMaxBatchPages] = {};
 };
 
 struct RpcResponse {

@@ -274,23 +274,27 @@ TEST_F(RadixTest, ResidentPagesCount)
     EXPECT_EQ(5u, cache.residentPages());
 }
 
-TEST_F(RadixTest, LruReclaimEvictsOldestAccess)
+TEST_F(RadixTest, EvictFrameTargetsSnapshotAndVerifiesIdentity)
 {
     for (uint64_t i = 0; i < 4; ++i) {
         fill(cache, i, uint8_t(i));
         cache.unpin(*cache.getPage(i));
     }
-    // Touch pages 0..2 again: page 3 becomes LRU.
-    for (uint64_t i = 0; i < 3; ++i) {
-        FPage *p = cache.getPage(i);
-        uint32_t f;
-        ASSERT_TRUE(cache.tryPinReady(*p, i, &f));
-        cache.unpin(*p);
-    }
-    cache.reclaimLru(1, false,
-                     [](uint64_t, uint8_t *, uint32_t, uint32_t) {});
+    auto noop = [](uint64_t, uint8_t *, uint32_t, uint32_t) {};
+    // Evict exactly the frame backing page 3 (the global-LRU policy's
+    // snapshot-then-evict protocol).
+    uint32_t f3 = cache.getPage(3)->frame.load();
+    EXPECT_EQ(1u, cache.evictFrame(f3, false, noop));
     EXPECT_EQ(kPageEmpty, cache.getPage(3)->state.load());
     EXPECT_EQ(kPageReady, cache.getPage(0)->state.load());
+    // A stale snapshot entry (frame already freed) is a no-op.
+    EXPECT_EQ(0u, cache.evictFrame(f3, false, noop));
+    // A pinned page refuses eviction through its frame.
+    uint32_t f0;
+    FPage *p0 = cache.getPage(0);
+    ASSERT_TRUE(cache.tryPinReady(*p0, 0, &f0));
+    EXPECT_EQ(0u, cache.evictFrame(f0, false, noop));
+    cache.unpin(*p0);
 }
 
 TEST_F(RadixTest, UidsAreUniqueAcrossCaches)

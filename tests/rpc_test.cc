@@ -121,6 +121,77 @@ TEST_F(RpcTest, ReadPageClampsAtEof)
     EXPECT_EQ(1000u, resp.bytes);
 }
 
+TEST_F(RpcTest, ReadPagesScattersOneExtentIntoManyBuffers)
+{
+    test::addRamp(fs, "/b", 256 * KiB);
+    hostfs::FileInfo binfo;
+    ASSERT_EQ(Status::Ok, fs.stat("/b", &binfo));
+    fs.cache().prefault(binfo.ino, 0, 256 * KiB);   // warm: no disk term
+    RpcResponse open = openFile("/b", hostfs::O_RDONLY_F);
+
+    constexpr uint64_t kPage = 16 * KiB;
+    constexpr unsigned kPages = 4;
+    std::vector<std::vector<uint8_t>> pages(
+        kPages, std::vector<uint8_t>(kPage, 0));
+    RpcRequest req;
+    req.op = RpcOp::ReadPages;
+    req.hostFd = open.hostFd;
+    req.offset = 2 * kPage;
+    req.len = kPages * kPage;
+    req.pageLen = kPage;
+    req.pageCount = kPages;
+    for (unsigned i = 0; i < kPages; ++i)
+        req.batch[i] = pages[i].data();
+    RpcResponse resp = queue->call(req);
+    ASSERT_EQ(Status::Ok, resp.status);
+    EXPECT_EQ(kPages * kPage, resp.bytes);
+    for (unsigned i = 0; i < kPages; ++i) {
+        for (uint64_t off = 0; off < kPage; off += 997) {
+            ASSERT_EQ(test::rampByte(2 * kPage + i * kPage + off),
+                      pages[i][off]) << "page " << i;
+        }
+    }
+    // One DMA for the whole batch: a single dmaSetup, not one per page.
+    Time one_dma = sim.params.dmaSetup
+        + transferTime(kPages * kPage, sim.params.pcieBwH2DMBps);
+    Time per_page_dma = kPages * sim.params.dmaSetup
+        + transferTime(kPages * kPage, sim.params.pcieBwH2DMBps);
+    EXPECT_GE(resp.done, one_dma);
+    EXPECT_LT(resp.done,
+              per_page_dma + sim.params.rpcSubmitLat
+                  + 2 * sim.params.rpcCpuOverhead
+                  + sim.params.preadOverhead
+                  + transferTime(kPages * kPage,
+                                 sim.params.hostCacheReadMBps));
+    EXPECT_EQ(kPages * kPage,
+              daemon.stats().counter("bytes_to_gpu").get());
+}
+
+TEST_F(RpcTest, ReadPagesClampsAtEofAndRejectsOversizedBatch)
+{
+    test::addRamp(fs, "/short", 20 * KiB);
+    RpcResponse open = openFile("/short", hostfs::O_RDONLY_F);
+    constexpr uint64_t kPage = 16 * KiB;
+    std::vector<uint8_t> a(kPage, 0xEE), b(kPage, 0xEE);
+    RpcRequest req;
+    req.op = RpcOp::ReadPages;
+    req.hostFd = open.hostFd;
+    req.offset = 0;
+    req.len = 2 * kPage;
+    req.pageLen = kPage;
+    req.pageCount = 2;
+    req.batch[0] = a.data();
+    req.batch[1] = b.data();
+    RpcResponse resp = queue->call(req);
+    ASSERT_EQ(Status::Ok, resp.status);
+    EXPECT_EQ(20 * KiB, resp.bytes);    // clamped at EOF
+    EXPECT_EQ(test::rampByte(kPage), b[0]);
+    EXPECT_EQ(0xEE, b[4 * KiB]);        // past EOF: untouched
+
+    req.pageCount = kMaxBatchPages + 1;
+    EXPECT_EQ(Status::Inval, queue->call(req).status);
+}
+
 TEST_F(RpcTest, WriteBackFullExtent)
 {
     test::addRamp(fs, "/w", 4096);
@@ -171,6 +242,57 @@ TEST_F(RpcTest, DiffAgainstZerosPreservesOtherWritersBytes)
     EXPECT_EQ(0x55, check[100]);
     EXPECT_EQ(0x55, check[199]);
     EXPECT_EQ(0xAA, check[200]);
+    fs.close(fd);
+}
+
+TEST_F(RpcTest, GwronceWriteBackIsOneGatheredWrite)
+{
+    // Two non-zero runs in one O_GWRONCE page must land as a single
+    // gathered pwritev: one version bump and one syscall charge — not
+    // per-run version churn or per-run pwrite overhead.
+    test::addBytes(fs, "/g", std::vector<uint8_t>(4096, 0));
+    RpcResponse open = openFile("/g", hostfs::O_RDWR_F, true);
+    hostfs::FileInfo before;
+    ASSERT_EQ(Status::Ok, fs.stat("/g", &before));
+
+    std::vector<uint8_t> page(4096, 0);
+    for (int i = 100; i < 200; ++i)
+        page[i] = 0x11;
+    for (int i = 1000; i < 1100; ++i)
+        page[i] = 0x22;
+    RpcRequest req;
+    req.op = RpcOp::WriteBack;
+    req.hostFd = open.hostFd;
+    req.offset = 0;
+    req.len = page.size();
+    req.data = page.data();
+    req.diffAgainstZeros = true;
+    req.issueTime = 0;
+    RpcResponse resp = queue->call(req);
+    ASSERT_EQ(Status::Ok, resp.status);
+    EXPECT_EQ(200u, resp.bytes);
+
+    // Regression: exactly ONE version step for the gathered write.
+    hostfs::FileInfo after;
+    ASSERT_EQ(Status::Ok, fs.stat("/g", &after));
+    EXPECT_EQ(before.version + 1, after.version);
+
+    // Regression: completion charges exactly one pwrite syscall
+    // overhead for both runs (open's cpuIo slot precedes ours).
+    Time t0 = sim.params.rpcSubmitLat + 2 * sim.params.rpcCpuOverhead;
+    Time dma = sim.params.dmaSetup
+        + transferTime(page.size(), sim.params.pcieBwD2HMBps);
+    Time copy = sim.params.preadOverhead
+        + transferTime(200, sim.params.hostCacheWriteMBps);
+    EXPECT_EQ(t0 + dma + copy, resp.done);
+
+    // Both runs landed; the zero gap between them stayed untouched.
+    int fd = fs.open("/g", hostfs::O_RDONLY_F);
+    std::vector<uint8_t> check(4096);
+    fs.pread(fd, check.data(), check.size(), 0);
+    EXPECT_EQ(0x11, check[150]);
+    EXPECT_EQ(0x22, check[1050]);
+    EXPECT_EQ(0x00, check[500]);
     fs.close(fd);
 }
 
