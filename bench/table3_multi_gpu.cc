@@ -25,10 +25,18 @@ namespace {
 
 constexpr char kQueryPath[] = "/data/queries.bin";
 
+/** RPC slot pressure observed during one run (ROADMAP "RPC slot
+ *  scaling"): how deep the per-GPU request queue actually gets, and
+ *  whether submitters ever found every slot busy. */
+struct SlotPressure {
+    unsigned maxInFlight = 0;
+    uint64_t fullStalls = 0;
+};
+
 Time
 runGpus(const std::vector<ImageDbSpec> &dbs, uint32_t num_queries,
         unsigned num_gpus, double threshold, double scale,
-        unsigned *matches_out)
+        unsigned *matches_out, SlotPressure *pressure_out)
 {
     core::GpuFsParams p;
     p.pageSize = 256 * KiB;
@@ -57,6 +65,15 @@ runGpus(const std::vector<ImageDbSpec> &dbs, uint32_t num_queries,
     }
     for (auto &t : threads)
         t.join();
+    if (pressure_out) {
+        *pressure_out = SlotPressure{};
+        for (unsigned g = 0; g < num_gpus; ++g) {
+            pressure_out->maxInFlight = std::max(
+                pressure_out->maxInFlight,
+                sys.rpcQueue(g).maxInFlightSlots());
+            pressure_out->fullStalls += sys.rpcQueue(g).fullQueueStalls();
+        }
+    }
     Time end = 0;
     unsigned matches = 0;
     for (const auto &r : results) {
@@ -95,15 +112,29 @@ runInput(const char *label, bool planted, uint32_t num_queries,
     Time cpu = runCpu(dbs, num_queries, threshold);
     std::printf("%-12s CPUx8 %7.1fs |", label, toSeconds(cpu));
     Time one = 0;
+    SlotPressure pressure[5];
     for (unsigned g = 1; g <= 4; ++g) {
         unsigned matches = 0;
-        Time t = runGpus(dbs, num_queries, g, threshold, scale, &matches);
+        Time t = runGpus(dbs, num_queries, g, threshold, scale, &matches,
+                         &pressure[g]);
         if (g == 1)
             one = t;
         std::printf("  %uGPU %6.1fs (%.1fx)", g, toSeconds(t),
                     double(one) / double(t));
         if (planted && matches != num_queries)
             std::printf(" [!%u/%u matched]", matches, num_queries);
+    }
+    std::printf("\n");
+    // Slot pressure (ROADMAP "RPC slot scaling"): kQueueSlots=64 per
+    // GPU; if max in-flight approaches it or any submitter stalled on
+    // a full queue, the slot array is becoming the bottleneck.
+    std::printf("#  slot pressure (max in-flight of %u slots / "
+                "full-queue stalls):",
+                rpc::kQueueSlots);
+    for (unsigned g = 1; g <= 4; ++g) {
+        std::printf("  %uGPU %u/%llu", g, pressure[g].maxInFlight,
+                    static_cast<unsigned long long>(
+                        pressure[g].fullStalls));
     }
     std::printf("\n");
 }

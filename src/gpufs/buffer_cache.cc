@@ -198,6 +198,9 @@ BufferCache::BufferCache(gpu::GpuDevice &device, rpc::RpcQueue &rpc_queue,
       cntReadRpcs(stat_set.counter("read_rpcs")),
       cntBatchReadRpcs(stat_set.counter("batch_read_rpcs")),
       cntBatchPages(stat_set.counter("batch_read_pages")),
+      cntWriteRpcs(stat_set.counter("writeback_rpcs")),
+      cntBatchWriteRpcs(stat_set.counter("batch_write_rpcs")),
+      cntBatchWritePages(stat_set.counter("batch_write_pages")),
       cacheCounters_(cacheCounters(stat_set))
 {
     dev.allocDeviceMem(params_.cacheBytes);
@@ -222,14 +225,14 @@ BufferCache::cacheCounters(StatSet &stat_set)   // static
 void
 BufferCache::attach(CacheFile &f)
 {
-    std::lock_guard<std::mutex> lock(pagingMtx);
+    PagingGuard lock(*this);
     attached_.push_back(&f);
 }
 
 void
 BufferCache::setupFile(CacheFile &f)
 {
-    std::lock_guard<std::mutex> lock(pagingMtx);
+    PagingGuard lock(*this);
     f.cache = std::make_unique<FileCache>(arena_, cacheCounters_,
                                           params_.forceLockedTraversal);
 }
@@ -237,11 +240,17 @@ BufferCache::setupFile(CacheFile &f)
 int
 BufferCache::parkFile(CacheFile &f, uint64_t close_seq)
 {
-    std::lock_guard<std::mutex> lock(pagingMtx);
+    PagingGuard lock(*this);
     f.closeSeq = close_seq;
     f.closed = true;
-    if (f.cache && f.cache->dirtyCount() != 0)
-        return -1;      // keep the fd: eviction may still write back
+    if (f.cache && (f.cache->dirtyCount() != 0 ||
+                    f.wbInFlight.load() != 0)) {
+        // Keep the fd: eviction may still write back, and an in-flight
+        // drain (async flusher) still needs it — its take made the
+        // count 0 before its RPC landed. maybeReleaseClosedFd picks
+        // the fd up once the drain completes.
+        return -1;
+    }
     int old_fd = f.hostFd;
     f.hostFd = -1;
     return old_fd;
@@ -250,7 +259,7 @@ BufferCache::parkFile(CacheFile &f, uint64_t close_seq)
 int
 BufferCache::reopenFile(CacheFile &f, int new_host_fd)
 {
-    std::lock_guard<std::mutex> lock(pagingMtx);
+    PagingGuard lock(*this);
     int old_fd = f.hostFd;
     f.hostFd = new_host_fd;
     f.closed = false;
@@ -260,14 +269,14 @@ BufferCache::reopenFile(CacheFile &f, int new_host_fd)
 bool
 BufferCache::dropPages(CacheFile &f)
 {
-    std::lock_guard<std::mutex> lock(pagingMtx);
+    PagingGuard lock(*this);
     return f.cache ? f.cache->dropAll() : true;
 }
 
 void
 BufferCache::destroyFile(CacheFile &f)
 {
-    std::lock_guard<std::mutex> lock(pagingMtx);
+    PagingGuard lock(*this);
     if (!f.cache)
         return;
     bool clean = f.cache->dropAll();
@@ -338,6 +347,23 @@ BufferCache::writebackExtent(CacheFile &f, uint64_t page_idx,
                                       dev.simContext().params.gpuMemBwMBps);
         Time max_done = t;
         Status agg = Status::Ok;
+        // Changed runs batch into WritePages requests (up to
+        // kMaxBatchPages runs each) instead of one WriteBack RPC per
+        // run: a heavily fragmented page pays one request charge per
+        // batch, not per run.
+        WriteExtent runs[rpc::kMaxBatchPages];
+        unsigned nruns = 0;
+        auto flush_runs = [&]() {
+            if (nruns == 0)
+                return;
+            Time done = t;
+            Status run_st = writeExtentsRpc(f, runs, nruns,
+                                            /*zero_diff=*/false, t, &done);
+            if (!ok(run_st))
+                agg = run_st;
+            max_done = std::max(max_done, done);
+            nruns = 0;
+        };
         uint32_t i = lo;
         while (i < hi) {
             while (i < hi && data[i] == pristine_base[i])
@@ -351,23 +377,34 @@ BufferCache::writebackExtent(CacheFile &f, uint64_t page_idx,
                 ++run;
             }
             if (run > i) {
-                rpc::RpcRequest req;
-                req.op = rpc::RpcOp::WriteBack;
-                req.hostFd = f.hostFd;
-                req.offset = page_idx * params_.pageSize + i;
-                req.len = run - i;
-                req.data = pristine_base + i;   // stable snapshot
-                req.gpuId = dev.id();
-                req.issueTime = t;
-                rpc::RpcResponse r = queue.call(req);
-                if (!ok(r.status))
-                    agg = r.status;
-                else if (r.version != 0)
-                    f.version.store(r.version, std::memory_order_relaxed);
-                max_done = std::max(max_done, r.done);
+                if (params_.batchWriteback) {
+                    if (nruns == rpc::kMaxBatchPages)
+                        flush_runs();
+                    runs[nruns++] = {page_idx * params_.pageSize + i,
+                                     run - i,
+                                     pristine_base + i};  // stable snapshot
+                } else {
+                    rpc::RpcRequest req;
+                    req.op = rpc::RpcOp::WriteBack;
+                    req.hostFd = f.hostFd;
+                    req.offset = page_idx * params_.pageSize + i;
+                    req.len = run - i;
+                    req.data = pristine_base + i;   // stable snapshot
+                    req.gpuId = dev.id();
+                    req.issueTime = t;
+                    rpc::RpcResponse r = queue.call(req);
+                    cntWriteRpcs.inc();
+                    if (!ok(r.status))
+                        agg = r.status;
+                    else if (r.version != 0)
+                        f.version.store(r.version,
+                                        std::memory_order_relaxed);
+                    max_done = std::max(max_done, r.done);
+                }
             }
             i = run;
         }
+        flush_runs();
         if (st)
             *st = agg;
         return max_done;
@@ -383,6 +420,7 @@ BufferCache::writebackExtent(CacheFile &f, uint64_t page_idx,
     req.gpuId = dev.id();
     req.issueTime = issue;
     rpc::RpcResponse resp = queue.call(req);
+    cntWriteRpcs.inc();
     if (st)
         *st = resp.status;
     if (ok(resp.status) && resp.version != 0) {
@@ -394,26 +432,172 @@ BufferCache::writebackExtent(CacheFile &f, uint64_t page_idx,
 }
 
 Status
-BufferCache::flushDirty(gpu::BlockCtx &ctx, CacheFile &f,
-                        uint64_t first_page, uint64_t last_page)
+BufferCache::writeExtentsRpc(CacheFile &f, const WriteExtent *ext,
+                             unsigned n, bool zero_diff, Time issue,
+                             Time *done_out)
 {
+    gpufs_assert(f.hostFd >= 0, "write-back without host fd");
+    gpufs_assert(n >= 1 && n <= rpc::kMaxBatchPages,
+                 "write batch size out of range");
+    rpc::RpcRequest req;
+    req.op = rpc::RpcOp::WritePages;
+    req.hostFd = f.hostFd;
+    req.diffAgainstZeros = zero_diff;
+    req.gpuId = dev.id();
+    req.issueTime = issue;
+    req.pageCount = n;
+    uint64_t total = 0;
+    for (unsigned i = 0; i < n; ++i) {
+        req.batch[i] = const_cast<uint8_t *>(ext[i].data);
+        req.batchOff[i] = ext[i].off;
+        req.batchLen[i] = ext[i].len;
+        total += ext[i].len;
+    }
+    req.len = total;
+    rpc::RpcResponse resp = queue.call(req);
+    cntBatchWriteRpcs.inc();
+    cntBatchWritePages.inc(n);
+    if (done_out)
+        *done_out = resp.done;
+    if (!ok(resp.status))
+        return resp.status;
+    if (resp.version != 0) {
+        // Track the version our own write produced so reopen does not
+        // mistake it for a remote modification.
+        f.version.store(resp.version, std::memory_order_relaxed);
+    }
+    return Status::Ok;
+}
+
+Status
+BufferCache::flushDirty(gpu::BlockCtx &ctx, CacheFile &f,
+                        uint64_t first_page, uint64_t last_page,
+                        unsigned *pages_out, uint64_t max_pages)
+{
+    if (pages_out)
+        *pages_out = 0;
     if (!f.cache)
         return Status::Ok;
+    // Mark the drain in flight for its whole duration: once a take
+    // drops dirtyCount() to 0, this is the only signal telling fd
+    // release (parkFile, the closed-fd sweep) that the host fd is
+    // still needed by our not-yet-landed RPCs.
+    struct WbGuard {
+        CacheFile &cf;
+        explicit WbGuard(CacheFile &file) : cf(file)
+        {
+            cf.wbInFlight.fetch_add(1);
+        }
+        ~WbGuard() { cf.wbInFlight.fetch_sub(1); }
+    } wb_guard(f);
+    // Callers draining for durability (gfsync, truncate, recycle — no
+    // page bound) must also wait out extents a CONCURRENT collector
+    // (e.g. the async flusher) took and still has in flight; bounded
+    // callers (eviction, the flusher itself) don't make that promise.
+    const bool durability = max_pages == UINT64_MAX;
+
+    // Diff-and-merge pages must diff against their GPU-side pristine
+    // copies, so they go through writebackExtent per page (each page's
+    // changed runs still batch into WritePages there).
+    const bool diff_merge = params_.enableDiffMerge && f.write &&
+        !f.wronce && !f.noSync;
+    if (!params_.batchWriteback || diff_merge) {
+        Status st = flushDirtyPerPage(ctx, f, first_page, last_page,
+                                      pages_out, max_pages);
+        if (ok(st) && durability)
+            f.cache->awaitWritebacks(first_page, last_page);
+        return st;
+    }
+
     Time max_done = ctx.now();
     Status agg = Status::Ok;
-    f.cache->forEachDirty([&](uint64_t idx, uint8_t *data, uint32_t lo,
-                              uint32_t hi) -> bool {
-        if (idx < first_page || idx >= last_page)
-            return false;    // outside the range: keep it dirty
-        Status one;
+    // Bound the drain to the pages dirty at entry (gfsync's contract:
+    // pages dirtied after the sync started belong to a later sync), so
+    // a concurrent writer cannot keep this loop alive forever; callers
+    // may bound it further via max_pages.
+    uint64_t budget = std::min(f.cache->dirtyCount(), max_pages);
+    while (budget > 0) {
+        DirtyExtent ext[rpc::kMaxBatchPages];
+        unsigned n = f.cache->takeDirtyBatch(
+            first_page, last_page, ext,
+            static_cast<unsigned>(
+                std::min<uint64_t>(budget, rpc::kMaxBatchPages)));
+        if (n == 0)
+            break;
+        budget -= std::min<uint64_t>(budget, n);
+        if (f.hostFd < 0) {
+            if (f.noSync) {
+                // NOSYNC temp whose fd is gone: never written back
+                // anyway; discard.
+                f.cache->finishDirtyBatch(ext, n, /*restore=*/false);
+                continue;
+            }
+            // A host-synced file without an fd must not silently eat
+            // dirty data — restore and report (should be unreachable:
+            // fd release defers while pages are dirty or in flight).
+            f.cache->finishDirtyBatch(ext, n, /*restore=*/true);
+            gpufs_warn("dirty pages on fd-less host-synced file");
+            agg = Status::BadFd;
+            break;
+        }
+        WriteExtent w[rpc::kMaxBatchPages];
+        for (unsigned i = 0; i < n; ++i) {
+            w[i] = {ext[i].pageIdx * params_.pageSize + ext[i].lo,
+                    ext[i].hi - ext[i].lo,
+                    arena_.data(ext[i].frame) + ext[i].lo};
+        }
         // All write-backs are issued at the current clock so their DMA
         // and host I/O pipeline on the resource timelines.
-        Time done = writebackExtent(f, idx, data, lo, hi, ctx.now(), &one);
-        max_done = std::max(max_done, done);
-        if (!ok(one))
+        Time done = ctx.now();
+        Status one = writeExtentsRpc(f, w, n, f.wronce, ctx.now(), &done);
+        if (!ok(one)) {
+            // Restore the extents so a later sync can retry; stop
+            // rather than re-take the same failing pages.
+            f.cache->finishDirtyBatch(ext, n, /*restore=*/true);
             agg = one;
-        return true;
-    });
+            break;
+        }
+        f.cache->finishDirtyBatch(ext, n, /*restore=*/false);
+        if (pages_out)
+            *pages_out += n;
+        max_done = std::max(max_done, done);
+    }
+    if (ok(agg) && durability)
+        f.cache->awaitWritebacks(first_page, last_page);
+    ctx.waitUntil(max_done);
+    return agg;
+}
+
+Status
+BufferCache::flushDirtyPerPage(gpu::BlockCtx &ctx, CacheFile &f,
+                               uint64_t first_page, uint64_t last_page,
+                               unsigned *pages_out, uint64_t max_pages)
+{
+    Time max_done = ctx.now();
+    Status agg = Status::Ok;
+    uint64_t left = max_pages;
+    unsigned flushed = f.cache->forEachDirty(
+        [&](uint64_t idx, uint8_t *data, uint32_t lo,
+            uint32_t hi) -> bool {
+            if (left == 0)
+                return false;    // page cap hit: keep the rest dirty
+            if (idx < first_page || idx >= last_page)
+                return false;    // outside the range: keep it dirty
+            Status one;
+            // All write-backs are issued at the current clock so their
+            // DMA and host I/O pipeline on the resource timelines.
+            Time done = writebackExtent(f, idx, data, lo, hi, ctx.now(),
+                                        &one);
+            max_done = std::max(max_done, done);
+            if (!ok(one)) {
+                agg = one;
+                return false;   // restore the extent: a later sync retries
+            }
+            --left;
+            return true;
+        });
+    if (pages_out)
+        *pages_out = flushed;
     ctx.waitUntil(max_done);
     return agg;
 }
@@ -421,6 +605,14 @@ BufferCache::flushDirty(gpu::BlockCtx &ctx, CacheFile &f,
 Status
 BufferCache::syncFrame(gpu::BlockCtx &ctx, CacheFile &f, uint32_t frame)
 {
+    // Same in-flight marking as flushDirty: the take below makes the
+    // page read clean before the RPC lands, and fd release must not
+    // slip into that window.
+    f.wbInFlight.fetch_add(1);
+    struct WbGuard {
+        CacheFile &cf;
+        ~WbGuard() { cf.wbInFlight.fetch_sub(1); }
+    } wb_guard{f};
     PFrame &pf = arena_.frame(frame);
     uint64_t extent = f.cache->takeDirtyCounted(pf);
     uint32_t lo = PFrame::extentLo(extent);
@@ -444,7 +636,7 @@ BufferCache::reclaimFrames(gpu::BlockCtx &ctx, unsigned want)
 {
     // Paging runs on the calling block's thread — "pay-as-you-go"
     // (§3.4): no daemon threadblock exists to do it asynchronously.
-    std::lock_guard<std::mutex> lock(pagingMtx);
+    PagingGuard lock(*this);
 
     auto evict = [&](CacheFile &f, bool allow_dirty, unsigned n,
                      uint32_t frame_hint) -> unsigned {
@@ -462,6 +654,23 @@ BufferCache::reclaimFrames(gpu::BlockCtx &ctx, unsigned want)
         };
         if (frame_hint != kNoFrame)
             return f.cache->evictFrame(frame_hint, allow_dirty, wb);
+        if (allow_dirty && params_.batchWriteback && f.hostFd >= 0 &&
+            !f.noSync && f.cache->dirtyCount() != 0) {
+            // Dirty eviction routes through the batched path: push
+            // about as many of the file's oldest dirty extents home as
+            // frames are wanted (takeDirtyBatch walks the same FIFO
+            // order reclaim evicts in), as WritePages batches, so the
+            // reclaim below finds clean pages. Bounded: draining the
+            // whole file under the paging lock would stall every other
+            // block needing a frame. The per-page wb above stays as
+            // the backstop for dirty pages the bound left behind.
+            Status st = flushDirty(ctx, f, 0, UINT64_MAX, nullptr,
+                                   std::max<uint64_t>(
+                                       n, rpc::kMaxBatchPages));
+            if (!ok(st))
+                gpufs_warn("eviction batch write-back failed: %s",
+                           statusName(st));
+        }
         return f.cache->reclaim(n, allow_dirty, wb);
     };
 
@@ -479,7 +688,7 @@ BufferCache::reclaimFrames(gpu::BlockCtx &ctx, unsigned want)
 void
 BufferCache::maybeReleaseClosedFd(gpu::BlockCtx &ctx, CacheFile &f)
 {
-    std::lock_guard<std::mutex> lock(pagingMtx);
+    PagingGuard lock(*this);
     maybeReleaseClosedFdLocked(ctx, f);
 }
 
@@ -487,7 +696,7 @@ void
 BufferCache::maybeReleaseClosedFdLocked(gpu::BlockCtx &ctx, CacheFile &f)
 {
     if (f.closed && f.hostFd >= 0 && f.cache &&
-        f.cache->dirtyCount() == 0) {
+        f.cache->dirtyCount() == 0 && f.wbInFlight.load() == 0) {
         rpc::RpcRequest req;
         req.op = rpc::RpcOp::Close;
         req.hostFd = f.hostFd;

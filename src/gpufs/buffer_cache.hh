@@ -5,16 +5,18 @@
  * This layer owns everything between the POSIX-like API (GpuFs) and
  * the RPC transport: the raw data array (FrameArena), the per-file
  * radix-tree caches, page pinning and miss handling, sequential
- * read-ahead with batched multi-page fetch, dirty write-back (plain,
- * diff-against-zeros, diff-and-merge), and frame reclamation under a
- * pluggable EvictionPolicy.
+ * read-ahead with batched multi-page fetch, batched dirty write-back
+ * (plain, diff-against-zeros, diff-and-merge — coalesced into
+ * WritePages RPCs), and frame reclamation under a pluggable
+ * EvictionPolicy.
  *
  * The API layer registers one CacheFile per file-table entry and keeps
  * its bookkeeping fields (host fd, size, open/closed state) current;
  * BufferCache never looks at file descriptors, paths, or flag words —
  * which is what makes it constructible and testable without a GpuFs
- * instance, and the seam future scaling work (async write-back
- * daemons, multi-GPU cache sharding) builds on.
+ * instance. The async write-back flusher (GpufsSystem's thread,
+ * GpuFs::backgroundFlushPass) is one client of this seam; multi-GPU
+ * cache sharding is the next.
  */
 
 #ifndef GPUFS_GPUFS_BUFFER_CACHE_HH
@@ -24,6 +26,7 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <thread>
 #include <vector>
 
 #include "base/stats.hh"
@@ -73,6 +76,15 @@ struct CacheFile {
     std::atomic<bool> closed{false};
     /** Stamp of the close that parked this entry (oldest goes first). */
     uint64_t closeSeq = 0;
+
+    /** Drains of this file currently in flight (flushDirty holds it
+     *  across its whole take-RPC-finish loop). A collector makes
+     *  dirtyCount() drop to 0 BEFORE its WritePages RPC lands, so fd
+     *  release (parkFile, the closed-fd sweep) must treat
+     *  "clean but wbInFlight" as still-dirty — closing the host fd
+     *  under an in-flight write-back would send the write to a dead
+     *  (or worse, recycled) descriptor. */
+    std::atomic<uint32_t> wbInFlight{0};
 };
 
 /**
@@ -111,6 +123,15 @@ class EvictionPolicy
 
 /** Instantiate the policy selected by GpuFsParams::evictPolicy. */
 std::unique_ptr<EvictionPolicy> makeEvictionPolicy(EvictionPolicyKind kind);
+
+/** One gathered write-back extent: @p len bytes at GPU pointer @p data
+ *  landing at absolute file offset @p off. Up to rpc::kMaxBatchPages
+ *  of these ride one WritePages RPC. */
+struct WriteExtent {
+    uint64_t off;
+    uint32_t len;
+    const uint8_t *data;
+};
 
 class BufferCache
 {
@@ -189,12 +210,22 @@ class BufferCache
 
     /**
      * Write back every dirty, unpinned page of @p f whose page index
-     * lies in [first_page, last_page). Advances @p ctx past the last
-     * completion. @return first failure status, Ok otherwise.
+     * lies in [first_page, last_page). With batchWriteback (default)
+     * the dirty extents are coalesced into WritePages RPCs of up to
+     * rpc::kMaxBatchPages pages each; extents of pages that fail are
+     * restored so a later sync can retry. Advances @p ctx past the
+     * last completion. @p pages_out, when non-null, receives the
+     * number of pages written back (gfsync, eviction, gftruncate and
+     * the async flusher all route through here). @p max_pages caps the
+     * drain (dirty eviction flushes only about as many pages as it
+     * wants to reclaim, not the whole file).
+     * @return first failure status, Ok otherwise.
      */
     Status flushDirty(gpu::BlockCtx &ctx, CacheFile &f,
                       uint64_t first_page = 0,
-                      uint64_t last_page = UINT64_MAX);
+                      uint64_t last_page = UINT64_MAX,
+                      unsigned *pages_out = nullptr,
+                      uint64_t max_pages = UINT64_MAX);
 
     /** gmsync back end: atomically take @p frame's dirty extent and
      *  write it back, restoring the extent on failure so a later sync
@@ -219,6 +250,17 @@ class BufferCache
     EvictionPolicy &policy() { return *policy_; }
     const GpuFsParams &params() const { return params_; }
 
+    /** True iff the calling thread holds the paging lock. The API
+     *  layer asserts this is false before taking its table lock, which
+     *  is how the tableMtx -> pagingMtx lock order stays enforced
+     *  rather than documented. */
+    bool
+    pagingLockHeldByCaller() const
+    {
+        return pagingOwner_.load(std::memory_order_relaxed) ==
+            std::this_thread::get_id();
+    }
+
   private:
     gpu::GpuDevice &dev;
     rpc::RpcQueue &queue;
@@ -229,9 +271,31 @@ class BufferCache
     /** Guards the attached set and serializes reclamation passes; also
      *  excludes FileCache creation/destruction against a concurrent
      *  reclaim walking the same entries. Callers holding the API
-     *  layer's table lock may take this after it, never the reverse. */
+     *  layer's table lock may take this after it, never the reverse
+     *  (see pagingLockHeldByCaller). */
     std::mutex pagingMtx;
+    /** Thread currently inside pagingMtx (lock-order assertions). */
+    std::atomic<std::thread::id> pagingOwner_{};
     std::vector<CacheFile *> attached_;
+
+    /** pagingMtx RAII that also publishes the owner thread. */
+    struct PagingGuard {
+        explicit PagingGuard(BufferCache &bc) : bc_(bc)
+        {
+            bc_.pagingMtx.lock();
+            bc_.pagingOwner_.store(std::this_thread::get_id(),
+                                   std::memory_order_relaxed);
+        }
+        ~PagingGuard()
+        {
+            bc_.pagingOwner_.store(std::thread::id{},
+                                   std::memory_order_relaxed);
+            bc_.pagingMtx.unlock();
+        }
+        PagingGuard(const PagingGuard &) = delete;
+        PagingGuard &operator=(const PagingGuard &) = delete;
+        BufferCache &bc_;
+    };
 
     Counter &cntCacheHits;
     Counter &cntCacheMisses;
@@ -240,6 +304,9 @@ class BufferCache
     Counter &cntReadRpcs;
     Counter &cntBatchReadRpcs;
     Counter &cntBatchPages;
+    Counter &cntWriteRpcs;
+    Counter &cntBatchWriteRpcs;
+    Counter &cntBatchWritePages;
     CacheCounters cacheCounters_;
 
     static CacheCounters cacheCounters(StatSet &stat_set);
@@ -256,6 +323,22 @@ class BufferCache
      *  at @p start_idx. @return false on RPC failure (slots aborted). */
     bool fetchBatch(gpu::BlockCtx &ctx, CacheFile &f, uint64_t start_idx,
                     const BatchSlot *slots, unsigned n);
+
+    /** Issue one WritePages RPC carrying @p n gathered extents of @p f
+     *  (one CPU-slot charge, one D2H DMA reservation, one pwritev on
+     *  the host). Updates f.version on success. *done_out receives the
+     *  completion time. */
+    Status writeExtentsRpc(CacheFile &f, const WriteExtent *ext,
+                           unsigned n, bool zero_diff, Time issue,
+                           Time *done_out);
+
+    /** Legacy per-page flush (batchWriteback off, or diff-and-merge
+     *  files, whose extents must diff against GPU-side pristine
+     *  copies). Honors the same @p max_pages cap as the batched
+     *  path. */
+    Status flushDirtyPerPage(gpu::BlockCtx &ctx, CacheFile &f,
+                             uint64_t first_page, uint64_t last_page,
+                             unsigned *pages_out, uint64_t max_pages);
 
     void maybeReleaseClosedFdLocked(gpu::BlockCtx &ctx, CacheFile &f);
 };

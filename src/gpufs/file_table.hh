@@ -90,6 +90,16 @@ struct OpenFile {
     bool gwronce() const { return flags & G_GWRONCE; }
     bool nosync() const { return flags & G_NOSYNC; }
 
+    /** True when the background flusher should drain this entry: a
+     *  live cache holding dirty pages whose contents are host-synced
+     *  (NOSYNC temps are never written back, §3.2). */
+    bool
+    flushEligible() const
+    {
+        return state != EState::Free && !nosync() && cf.cache &&
+            cf.cache->dirtyCount() != 0;
+    }
+
     /** Project the flag word into the cache layer's policy booleans. */
     void
     syncCacheFlags()

@@ -39,7 +39,10 @@ GpuFs::GpuFs(gpu::GpuDevice &device, rpc::RpcQueue &rpc_queue,
       cntCloses(stats_.counter("closes")),
       cntInvalidations(stats_.counter("cache_invalidations")),
       cntBytesRead(stats_.counter("bytes_read")),
-      cntBytesWritten(stats_.counter("bytes_written"))
+      cntBytesWritten(stats_.counter("bytes_written")),
+      cntFlusherPages(stats_.counter("flusher_pages")),
+      cntFlusherDrains(stats_.counter("flusher_drains")),
+      cntDrainedCollected(stats_.counter("drained_caches_collected"))
 {
     for (auto &e : table_.entries())
         bc_.attach(e->cf);
@@ -107,7 +110,7 @@ GpuFs::gopen(gpu::BlockCtx &ctx, const std::string &path, uint32_t flags)
     if (path.size() >= rpc::kMaxPath)
         return -static_cast<int>(Status::Inval);
 
-    std::lock_guard<std::mutex> lock(tableMtx);
+    auto lock = lockTable();
 
     // Fast path: the file is already open — bump the reference count
     // without CPU communication (§4.1).
@@ -196,7 +199,7 @@ GpuFs::gopen(gpu::BlockCtx &ctx, const std::string &path, uint32_t flags)
 Status
 GpuFs::gclose(gpu::BlockCtx &ctx, int fd)
 {
-    std::lock_guard<std::mutex> lock(tableMtx);
+    auto lock = lockTable();
     Status st;
     OpenFile *e = entryOf(fd, &st);
     if (!e)
@@ -400,7 +403,7 @@ GpuFs::gmsync(gpu::BlockCtx &ctx, void *ptr)
         bc_.arena().frame(frame).fileUid.load(std::memory_order_acquire);
     OpenFile *e;
     {
-        std::lock_guard<std::mutex> lock(tableMtx);
+        auto lock = lockTable();
         e = table_.findByCacheUid(uid);
     }
     if (!e || e->cf.hostFd < 0)
@@ -416,7 +419,7 @@ GpuFs::gunlink(gpu::BlockCtx &ctx, const std::string &path)
     if (path.size() >= rpc::kMaxPath)
         return Status::Inval;
     {
-        std::lock_guard<std::mutex> lock(tableMtx);
+        auto lock = lockTable();
         // "Files unlinked on the GPU have their local buffer space
         // reclaimed immediately" (Table 1).
         for (auto &eptr : table_.entries()) {
@@ -461,7 +464,7 @@ GpuFs::gftruncate(gpu::BlockCtx &ctx, int fd, uint64_t new_size)
     if (!e->wantsWrite())
         return Status::ReadOnlyFile;
 
-    std::lock_guard<std::mutex> lock(tableMtx);
+    auto lock = lockTable();
     // Reclaim cached pages ("reclaim any relevant pages", Table 1);
     // unsynced dirty data below the cut is pushed home first so a
     // truncate-to-larger does not lose writes. Pages entirely beyond
@@ -486,10 +489,92 @@ GpuFs::gftruncate(gpu::BlockCtx &ctx, int fd, uint64_t new_size)
     return Status::Ok;
 }
 
+Time
+GpuFs::backgroundFlushPass(Time start_time)
+{
+    // The flusher is a host-side thread, not a threadblock: it carries
+    // its own virtual clock (persisted across passes by the caller) so
+    // its write-backs land on the resource timelines without advancing
+    // any application block.
+    gpu::BlockCtx ctx(dev, /*block_id=*/0, /*num_blocks=*/1,
+                      /*threads=*/1, start_time, /*shared_bytes=*/0);
+    bool drained_any = false;
+    // One entry per table-lock hold: a drain is a string of blocking
+    // RPC round-trips, and holding tableMtx across the whole pass
+    // would stall every gopen/gclose for its duration — the opposite
+    // of what a background flusher is for. Entry objects are stable
+    // (the table never deallocates them), so only eligibility must be
+    // re-judged under the lock.
+    for (size_t i = 0; i < table_.size(); ++i) {
+        auto lock = lockTable();
+        OpenFile &e = table_.at(static_cast<int>(i));
+        if (!e.flushEligible())
+            continue;
+        // Cap the drain per lock hold: each batch is a blocking RPC
+        // round-trip, and an entry with a huge dirty set must not turn
+        // this hold into a long gopen/gclose stall — the remainder is
+        // picked up by the next pass (the interval is short).
+        constexpr uint64_t kDrainChunkPages = 4 * rpc::kMaxBatchPages;
+        unsigned pages = 0;
+        Status st = bc_.flushDirty(ctx, e.cf, 0, UINT64_MAX, &pages,
+                                   kDrainChunkPages);
+        if (!ok(st)) {
+            // The failed pages' extents were restored; leave them for
+            // a later pass or an explicit gfsync, which reports the
+            // error to the application.
+            gpufs_warn("background flush failed: %s", statusName(st));
+        }
+        if (pages > 0) {
+            cntFlusherPages.inc(pages);
+            drained_any = true;
+            // Write-behind reaches the disk too: once a file drains
+            // fully clean, fsync it on the host so the durability work
+            // (flushing the host page cache's dirty granules) happens
+            // HERE, overlapped with GPU compute, instead of inflating
+            // the application's later gfsync. Only on the clean edge —
+            // fsyncing every pass while a writer is still active would
+            // burn the shared CPU/disk timelines re-flushing the same
+            // file. Fire-and-forget: the flusher does not advance its
+            // clock to the (slow) disk completion — queuing its next
+            // pass behind the disk would let its virtual clock run
+            // ahead of the GPUs and manufacture contention the real
+            // write-behind thread would never cause.
+            if (e.cf.hostFd >= 0 && e.cf.cache->dirtyCount() == 0) {
+                rpc::RpcRequest req;
+                req.op = rpc::RpcOp::Fsync;
+                req.hostFd = e.cf.hostFd;
+                req.gpuId = dev.id();
+                req.issueTime = ctx.now();
+                queue.call(req);
+            }
+        }
+        // A closed file whose last dirty page just went home can
+        // release its host fd (and host-side write claim) now instead
+        // of waiting for the next reclaim pass.
+        if (e.state == OpenFile::EState::Closed)
+            bc_.maybeReleaseClosedFd(ctx, e.cf);
+    }
+    if (drained_any)
+        cntFlusherDrains.inc();
+
+    // Eager drained-cache collection: the flusher owns the deferred
+    // destroy the API/BufferCache split left to the gopen slow path —
+    // closed entries whose pages eviction has fully reclaimed keep an
+    // empty radix tree (and possibly a host fd) for nothing.
+    {
+        auto lock = lockTable();
+        for (int di; (di = table_.findDrainedClosed()) >= 0;) {
+            destroyEntryLocked(ctx, table_.at(di));
+            cntDrainedCollected.inc();
+        }
+    }
+    return ctx.now();
+}
+
 unsigned
 GpuFs::hostFdsHeld() const
 {
-    std::lock_guard<std::mutex> lock(tableMtx);
+    auto lock = lockTable();
     return table_.countHostFds();
 }
 

@@ -115,6 +115,24 @@ class GpuFs
     /** Truncate and reclaim affected cached pages. */
     Status gftruncate(gpu::BlockCtx &ctx, int fd, uint64_t new_size);
 
+    // ---- background write-back (async flusher) ----
+
+    /**
+     * One drain pass of the async write-back daemon (§3.3), called
+     * periodically from the host-side flusher thread GpufsSystem owns:
+     * write back every entry's dirty pages through the batched
+     * BufferCache::flushDirty, release host fds of closed files whose
+     * last dirty page just went home, and eagerly destroy closed-file
+     * caches eviction has fully drained (instead of waiting for the
+     * next gopen slow path). Runs under tableMtx -> pagingMtx, the
+     * same lock discipline as the API calls it races with.
+     *
+     * @param start_time  the flusher's virtual clock (persisted across
+     *                    passes by the caller)
+     * @return the clock after the pass (max write-back completion)
+     */
+    Time backgroundFlushPass(Time start_time);
+
     // ---- introspection ----
     const GpuFsParams &params() const { return params_; }
     StatSet &stats() { return stats_; }
@@ -143,6 +161,24 @@ class GpuFs
     Counter &cntInvalidations;
     Counter &cntBytesRead;
     Counter &cntBytesWritten;
+    Counter &cntFlusherPages;
+    Counter &cntFlusherDrains;
+    Counter &cntDrainedCollected;
+
+    /**
+     * Take the table lock, asserting the paging lock is not already
+     * held by this thread — the tableMtx -> pagingMtx order is
+     * enforced here rather than documented (a reclaim or flush path
+     * re-entering the API layer would deadlock against a gopen).
+     */
+    std::unique_lock<std::mutex>
+    lockTable() const
+    {
+        gpufs_assert(!bc_.pagingLockHeldByCaller(),
+                     "lock-order inversion: pagingMtx held before "
+                     "tableMtx");
+        return std::unique_lock<std::mutex>(tableMtx);
+    }
 
     /** Validate fd and return its entry (nullptr + status otherwise). */
     OpenFile *

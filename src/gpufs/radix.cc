@@ -58,9 +58,13 @@ FileCache::insertChild(RadixNode &node, unsigned slot, uint64_t idx)
     if (child)
         return child;   // lost the race; fine
     uint32_t child_level = node.level - 1;
+    // The child at this slot covers 64^(child_level+1) pages; aligning
+    // idx down to that coverage IS its base index (adding a slot term
+    // on top would double-count the slot bits and skew every
+    // baseIdx-derived page index — i.e. every write-back offset — for
+    // files larger than one leaf).
     uint64_t span = 1ull << (kRadixBits * node.level);
-    uint64_t base = (idx / span) * span
-        + static_cast<uint64_t>(slot) * (span / kRadixFanout);
+    uint64_t base = (idx / span) * span;
     child = newNode(child_level, base);
     // Seqlock write protocol: readers snapshotting around the child
     // load observe either the old null or the fully constructed node.
@@ -204,6 +208,89 @@ FileCache::abortInitBatch(const BatchSlot *slots, unsigned n)
         slots[i].page->state.store(kPageEmpty, std::memory_order_release);
         arena.free(slots[i].frame);
         slots[i].page->lock.unlock();
+    }
+}
+
+unsigned
+FileCache::takeDirtyBatch(uint64_t first_page, uint64_t last_page,
+                          DirtyExtent *out, unsigned max_n)
+{
+    unsigned n = 0;
+    for (RadixNode *nd = fifoTail.load(std::memory_order_acquire);
+         nd != nullptr && n < max_n;
+         nd = nd->fifoPrev.load(std::memory_order_acquire)) {
+        for (unsigned i = 0; i < kRadixFanout && n < max_n; ++i) {
+            uint64_t idx = nd->baseIdx + i;
+            if (idx < first_page || idx >= last_page)
+                continue;
+            FPage &p = nd->pages[i];
+            if (p.state.load(std::memory_order_acquire) != kPageReady)
+                continue;
+            uint32_t f = p.frame.load(std::memory_order_acquire);
+            if (f == kNoFrame || !arena.frame(f).isDirty())
+                continue;   // clean (awaitWritebacks barriers in-flight)
+            if (p.refs.load(std::memory_order_relaxed) != 0)
+                continue;   // concurrently accessed: skip (API: gfsync)
+            // Lock and KEEP the lock until finishDirtyBatch: the frame
+            // cannot be reclaimed under the batched RPC, and a
+            // concurrent sync of this page waits here instead of
+            // skipping an in-flight write-back (acquisition follows
+            // the leaf-FIFO walk order, so collectors cannot
+            // deadlock).
+            p.lock.lock();
+            if (p.state.load(std::memory_order_acquire) != kPageReady) {
+                p.lock.unlock();
+                continue;
+            }
+            f = p.frame.load(std::memory_order_acquire);
+            PFrame &pf = arena.frame(f);
+            // Atomically TAKE the extent: ranges merged by concurrent
+            // (lock-free) writers after this point form a fresh extent
+            // synced by a later pass, so no dirty byte is ever lost.
+            uint64_t e = takeDirtyCounted(pf);
+            uint32_t lo = PFrame::extentLo(e);
+            uint32_t hi = PFrame::extentHi(e);
+            if (lo >= hi) {
+                p.lock.unlock();
+                continue;
+            }
+            out[n++] = {&p, idx, f, lo, hi};
+        }
+    }
+    return n;
+}
+
+void
+FileCache::finishDirtyBatch(const DirtyExtent *ext, unsigned n,
+                            bool restore)
+{
+    for (unsigned i = 0; i < n; ++i) {
+        if (restore)
+            noteDirty(arena.frame(ext[i].frame), ext[i].lo, ext[i].hi);
+        ext[i].page->lock.unlock();
+    }
+}
+
+void
+FileCache::awaitWritebacks(uint64_t first_page, uint64_t last_page)
+{
+    for (RadixNode *nd = fifoTail.load(std::memory_order_acquire);
+         nd != nullptr;
+         nd = nd->fifoPrev.load(std::memory_order_acquire)) {
+        for (unsigned i = 0; i < kRadixFanout; ++i) {
+            uint64_t idx = nd->baseIdx + i;
+            if (idx < first_page || idx >= last_page)
+                continue;
+            FPage &p = nd->pages[i];
+            if (p.state.load(std::memory_order_acquire) != kPageReady)
+                continue;
+            // A collector holds the fpage lock from before it takes
+            // the extent until its write-back RPC completes, so a
+            // brief acquire is the completion barrier. One atomic RMW
+            // pair per resident page, once per sync — not per batch.
+            p.lock.lock();
+            p.lock.unlock();
+        }
     }
 }
 

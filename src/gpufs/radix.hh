@@ -103,6 +103,17 @@ struct BatchSlot {
     uint32_t frame;
 };
 
+/** One dirty page extent taken by takeDirtyBatch (fpage held LOCKED
+ *  until finishDirtyBatch): the page's dirty byte range [lo, hi)
+ *  backed by @p frame. */
+struct DirtyExtent {
+    FPage *page;
+    uint64_t pageIdx;
+    uint32_t frame;
+    uint32_t lo;
+    uint32_t hi;
+};
+
 /**
  * One file's page cache. Thread safe; all synchronization is internal
  * and follows the protocols described above.
@@ -343,6 +354,55 @@ class FileCache
         }
         return visited;
     }
+
+    /**
+     * Collect up to @p max_n dirty pages with index in [first_page,
+     * last_page) for a batched write-back: each page's dirty extent is
+     * atomically taken (leaving the page clean) and its fpage stays
+     * LOCKED until finishDirtyBatch — the write twin of
+     * beginInitBatch's lock-held-across-RPC protocol. The held lock
+     * keeps eviction off the frame while the WritePages RPC reads it,
+     * and makes a concurrent sync of the same page wait (then find
+     * only bytes written after our take), exactly as the per-page path
+     * serialized through writebackExtent under the fpage lock — it
+     * must never *report* an in-flight page as synced — pages whose
+     * extent an in-flight collector already took read as clean and
+     * are skipped here; durability callers run awaitWritebacks once
+     * after their take loop to wait those RPCs out. App-pinned pages
+     * (refs != 0) are skipped, gfsync's "not concurrently accessed"
+     * contract; lock-free readers/writers of Ready pages are NOT
+     * blocked by the held lock (writes landing mid-RPC form a fresh
+     * extent a later sync picks up).
+     *
+     * Locks are acquired in leaf-FIFO walk order, the one total order
+     * every batching caller uses, so concurrent collectors cannot
+     * deadlock. Callers loop until it returns 0 (restarts are cheap:
+     * taken pages are no longer dirty) and MUST pair every call with
+     * finishDirtyBatch. @return extents collected (may be 0).
+     */
+    unsigned takeDirtyBatch(uint64_t first_page, uint64_t last_page,
+                            DirtyExtent *out, unsigned max_n);
+
+    /**
+     * Release a takeDirtyBatch batch. When @p restore, each extent is
+     * merged back into its page (failed write-back: a later sync
+     * retries; ranges dirtied meanwhile are preserved by the merge).
+     * Always drops the fpage locks.
+     */
+    void finishDirtyBatch(const DirtyExtent *ext, unsigned n,
+                          bool restore);
+
+    /**
+     * Completion barrier for in-flight batched write-backs of pages in
+     * [first_page, last_page): collectors hold each taken page's fpage
+     * lock until their RPC completes, so briefly acquiring every
+     * in-range Ready page's lock guarantees that extents taken before
+     * this call have reached the host. flushDirty runs it once after
+     * its take loop, so sync callers never report bytes as synced that
+     * a concurrent collector (e.g. the async flusher) still has in
+     * flight.
+     */
+    void awaitWritebacks(uint64_t first_page, uint64_t last_page);
 
     /**
      * Drop every cached page without write-back (stale-cache

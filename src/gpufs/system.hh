@@ -12,7 +12,13 @@
 #ifndef GPUFS_GPUFS_SYSTEM_HH
 #define GPUFS_GPUFS_SYSTEM_HH
 
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <memory>
+#include <mutex>
+#include <thread>
 #include <vector>
 
 #include "consistency/consistency.hh"
@@ -49,10 +55,13 @@ class GpufsSystem
                                                      *queues_[i],
                                                      fs_params));
         }
+        if (fs_params.asyncWriteback)
+            startFlusher(fs_params.flusherIntervalUs);
     }
 
     ~GpufsSystem()
     {
+        stopFlusher();      // flusher references gpufs_ and the daemon
         gpufs_.clear();     // GpuFs teardown precedes daemon shutdown
         daemon_.stop();
     }
@@ -69,6 +78,10 @@ class GpufsSystem
     unsigned numGpus() const { return static_cast<unsigned>(devices_.size()); }
     gpu::GpuDevice &device(unsigned i) { return *devices_.at(i); }
     GpuFs &fs(unsigned i = 0) { return *gpufs_.at(i); }
+    rpc::RpcQueue &rpcQueue(unsigned i = 0) { return *queues_.at(i); }
+
+    /** True while the async write-back flusher thread is running. */
+    bool flusherRunning() const { return flusher_.joinable(); }
 
     /** Reset all virtual-time state (between benchmark phases). */
     void
@@ -77,9 +90,68 @@ class GpufsSystem
         sim_.reset();
         for (auto &dev : devices_)
             dev->resetTime();
+        // The flusher's persisted clocks are virtual-time state too:
+        // left alone they would place its next drains far beyond the
+        // fresh phase's clocks. The generation bump makes an in-flight
+        // pass discard its (now stale) end time instead of writing it
+        // back over the reset.
+        std::lock_guard<std::mutex> lock(flusherMtx_);
+        std::fill(flusherClocks_.begin(), flusherClocks_.end(), Time{0});
+        ++flusherGen_;
     }
 
   private:
+    /**
+     * The async write-back daemon (GpuFsParams::asyncWriteback): a
+     * host thread that periodically runs every GpuFs instance's
+     * backgroundFlushPass, persisting a per-GPU virtual clock across
+     * passes so successive drains pipeline on the resource timelines.
+     * Stopped (and joined) before GpuFs/daemon teardown.
+     */
+    void
+    startFlusher(unsigned interval_us)
+    {
+        flusherRunning_.store(true, std::memory_order_release);
+        flusherClocks_.assign(gpufs_.size(), 0);
+        flusher_ = std::thread([this, interval_us] {
+            std::unique_lock<std::mutex> lock(flusherMtx_);
+            while (flusherRunning_.load(std::memory_order_acquire)) {
+                for (size_t i = 0; i < gpufs_.size(); ++i) {
+                    // Clocks are read and written only under
+                    // flusherMtx_ (resetTime zeroes them concurrently);
+                    // the pass itself runs unlocked, and its end time
+                    // is discarded if a reset happened meanwhile.
+                    Time start = flusherClocks_[i];
+                    uint64_t gen = flusherGen_;
+                    lock.unlock();
+                    Time end = gpufs_[i]->backgroundFlushPass(start);
+                    lock.lock();
+                    if (flusherGen_ == gen)
+                        flusherClocks_[i] = end;
+                }
+                flusherCv_.wait_for(
+                    lock, std::chrono::microseconds(interval_us),
+                    [this] {
+                        return !flusherRunning_.load(
+                            std::memory_order_acquire);
+                    });
+            }
+        });
+    }
+
+    void
+    stopFlusher()
+    {
+        if (!flusher_.joinable())
+            return;
+        {
+            std::lock_guard<std::mutex> lock(flusherMtx_);
+            flusherRunning_.store(false, std::memory_order_release);
+        }
+        flusherCv_.notify_all();
+        flusher_.join();
+    }
+
     sim::SimContext sim_;
     hostfs::HostFs hostFs_;
     consistency::ConsistencyMgr consistency_;
@@ -88,6 +160,15 @@ class GpufsSystem
     std::vector<std::unique_ptr<gpu::GpuDevice>> devices_;
     std::vector<rpc::RpcQueue *> queues_;
     std::vector<std::unique_ptr<GpuFs>> gpufs_;
+
+    std::thread flusher_;
+    std::atomic<bool> flusherRunning_{false};
+    std::mutex flusherMtx_;
+    std::condition_variable flusherCv_;
+    /** Per-GPU flusher virtual clocks; guarded by flusherMtx_. */
+    std::vector<Time> flusherClocks_;
+    /** Bumped by resetTime(); stale passes drop their end time. */
+    uint64_t flusherGen_ = 0;
 };
 
 } // namespace core

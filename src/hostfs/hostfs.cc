@@ -177,14 +177,16 @@ HostFs::pwritev(int fd, const WriteRun *runs, unsigned n, Time ready,
     if (total == 0)
         return {Status::Ok, 0, ready};
     uint64_t ino;
+    uint64_t ver;
     {
         std::lock_guard<std::mutex> lock(mtx);
         node->size = std::max(node->size, max_end);
         node->version++;    // one gathered write, one version step
         ino = node->ino;
+        ver = node->version;
     }
     Time done = pageCache.chargeWritev(ino, spans.data(), n, ready, io_path);
-    return {Status::Ok, total, done};
+    return {Status::Ok, total, done, ver};
 }
 
 IoResult
@@ -200,14 +202,16 @@ HostFs::pwrite(int fd, const uint8_t *src, uint64_t len, uint64_t offset,
     if (!node->content->writeAt(offset, len, src))
         return {Status::ReadOnlyFile, 0, ready};
     uint64_t ino;
+    uint64_t ver;
     {
         std::lock_guard<std::mutex> lock(mtx);
         node->size = std::max(node->size, offset + len);
         node->version++;
         ino = node->ino;
+        ver = node->version;
     }
     Time done = pageCache.chargeWrite(ino, offset, len, ready, io_path);
-    return {Status::Ok, len, done};
+    return {Status::Ok, len, done, ver};
 }
 
 IoResult

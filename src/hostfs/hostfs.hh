@@ -51,6 +51,10 @@ struct IoResult {
     Status status;
     uint64_t bytes;
     Time done;          ///< virtual completion time
+    /** Post-write inode version (write paths only; 0 otherwise). Lets
+     *  the daemon report the version its own write produced without a
+     *  second fstat round through the namespace lock. */
+    uint64_t version = 0;
 };
 
 /** One run of a gathered write (pwritev). */

@@ -46,6 +46,15 @@ CpuDaemon::stop()
     doorbell.notify_one();
     if (worker.joinable())
         worker.join();
+    // Publish each queue's slot-pressure high-water marks into the
+    // StatSet so post-run reports see them next to the service counts.
+    for (unsigned i = 0; i < ports.size(); ++i) {
+        const std::string prefix = "gpu" + std::to_string(i);
+        stats_.counter(prefix + "_max_inflight_slots")
+            .maxWith(ports[i].queue->maxInFlightSlots());
+        stats_.counter(prefix + "_full_queue_stalls")
+            .maxWith(ports[i].queue->fullQueueStalls());
+    }
 }
 
 void
@@ -123,6 +132,12 @@ CpuDaemon::handle(unsigned port_idx, const RpcRequest &req)
         RpcRequest timed = req;
         timed.issueTime = t0;
         resp = handleWriteBack(dev, timed);
+        break;
+      }
+      case RpcOp::WritePages: {
+        RpcRequest timed = req;
+        timed.issueTime = t0;
+        resp = handleWritePages(dev, timed);
         break;
       }
       case RpcOp::Fsync: {
@@ -279,43 +294,64 @@ CpuDaemon::handleReadPages(gpu::GpuDevice &dev, const RpcRequest &req)
     return resp;
 }
 
+Time
+CpuDaemon::chargeD2hDma(gpu::GpuDevice &dev, uint64_t bytes, Time ready)
+{
+    auto &sim = dev.simContext();
+    const auto &p = sim.params;
+    if (bytes == 0 || !p.chargeDma)
+        return ready;
+    Time dur = p.dmaSetup + transferTime(bytes, p.pcieBwD2HMBps);
+    sim::Resource &channel =
+        p.serializeDmaWithIo ? sim.cpuIo : dev.pcieD2H();
+    return channel.reserve(ready, dur).end;
+}
+
+namespace {
+
+/**
+ * O_GWRONCE: the pristine copy is implicitly all zeros, so the
+ * locally-modified bytes are exactly the non-zero ones. Append maximal
+ * non-zero runs of [data, data+len) (landing at file offset @p off) so
+ * concurrent writers to other regions of the same page are not
+ * reverted (§3.1).
+ */
+void
+appendZeroDiffRuns(std::vector<hostfs::WriteRun> &runs, uint64_t off,
+                   const uint8_t *data, uint64_t len)
+{
+    uint64_t i = 0;
+    while (i < len) {
+        while (i < len && data[i] == 0)
+            ++i;
+        uint64_t run = i;
+        while (run < len && data[run] != 0)
+            ++run;
+        if (run > i)
+            runs.push_back({off + i, run - i, data + i});
+        i = run;
+    }
+}
+
+} // namespace
+
 RpcResponse
 CpuDaemon::handleWriteBack(gpu::GpuDevice &dev, const RpcRequest &req)
 {
     auto &sim = dev.simContext();
-    const auto &p = sim.params;
     RpcResponse resp;
 
     // GPU page -> staging: DMA on the D2H channel.
-    Time t = req.issueTime;
-    if (p.chargeDma) {
-        Time dur = p.dmaSetup + transferTime(req.len, p.pcieBwD2HMBps);
-        sim::Resource &channel =
-            p.serializeDmaWithIo ? sim.cpuIo : dev.pcieD2H();
-        t = channel.reserve(t, dur).end;
-    }
+    Time t = chargeD2hDma(dev, req.len, req.issueTime);
 
     uint64_t written = 0;
+    uint64_t version = 0;
     if (req.diffAgainstZeros) {
-        // O_GWRONCE: the pristine copy is implicitly all zeros, so the
-        // locally-modified bytes are exactly the non-zero ones. Write
-        // back maximal non-zero runs so concurrent writers to other
-        // regions of the same page are not reverted (§3.1). The runs
-        // land as ONE gathered pwritev: a single syscall charge on the
-        // daemon's I/O path and a single version bump — never per-run
-        // overhead or per-run version churn.
+        // The non-zero runs land as ONE gathered pwritev: a single
+        // syscall charge on the daemon's I/O path and a single version
+        // bump — never per-run overhead or per-run version churn.
         std::vector<hostfs::WriteRun> runs;
-        uint64_t i = 0;
-        while (i < req.len) {
-            while (i < req.len && req.data[i] == 0)
-                ++i;
-            uint64_t run = i;
-            while (run < req.len && req.data[run] != 0)
-                ++run;
-            if (run > i)
-                runs.push_back({req.offset + i, run - i, req.data + i});
-            i = run;
-        }
+        appendZeroDiffRuns(runs, req.offset, req.data, req.len);
         if (!runs.empty()) {
             hostfs::IoResult w = fs.pwritev(
                 req.hostFd, runs.data(),
@@ -326,6 +362,7 @@ CpuDaemon::handleWriteBack(gpu::GpuDevice &dev, const RpcRequest &req)
                 return resp;
             }
             written = w.bytes;
+            version = w.version;
             t = w.done;
         }
     } else {
@@ -337,6 +374,7 @@ CpuDaemon::handleWriteBack(gpu::GpuDevice &dev, const RpcRequest &req)
             return resp;
         }
         written = w.bytes;
+        version = w.version;
         t = w.done;
     }
     bytesFromGpu.inc(req.len);
@@ -345,9 +383,61 @@ CpuDaemon::handleWriteBack(gpu::GpuDevice &dev, const RpcRequest &req)
     resp.done = t;
     // Report the post-write version so the writing GPU can keep its
     // cached version current (its own writes are not "remote" changes).
-    hostfs::FileInfo info;
-    if (ok(fs.fstat(req.hostFd, &info)))
-        resp.version = info.version;
+    resp.version = version;
+    return resp;
+}
+
+RpcResponse
+CpuDaemon::handleWritePages(gpu::GpuDevice &dev, const RpcRequest &req)
+{
+    auto &sim = dev.simContext();
+    RpcResponse resp;
+    if (req.pageCount == 0 || req.pageCount > kMaxBatchPages) {
+        resp.status = Status::Inval;
+        resp.done = req.issueTime;
+        return resp;
+    }
+
+    // GPU pages -> staging: the whole batch rides ONE D2H DMA
+    // reservation (a single setup cost) — the per-request CPU overhead
+    // was already charged once per batch by handle(), which is the
+    // point of batching (amortizing GPU->CPU request costs).
+    uint64_t total = 0;
+    for (unsigned i = 0; i < req.pageCount; ++i)
+        total += req.batchLen[i];
+    Time t = chargeD2hDma(dev, total, req.issueTime);
+
+    // Every extent lands through ONE gathered pwritev: one syscall
+    // charge on the daemon's serialized I/O path, one version bump —
+    // the write twin of ReadPages' single vectored preadPages.
+    std::vector<hostfs::WriteRun> runs;
+    runs.reserve(req.pageCount);
+    for (unsigned i = 0; i < req.pageCount; ++i) {
+        if (req.batchLen[i] == 0)
+            continue;
+        if (req.diffAgainstZeros) {
+            appendZeroDiffRuns(runs, req.batchOff[i], req.batch[i],
+                               req.batchLen[i]);
+        } else {
+            runs.push_back({req.batchOff[i], req.batchLen[i],
+                            req.batch[i]});
+        }
+    }
+    resp.status = Status::Ok;
+    resp.done = t;
+    if (!runs.empty()) {
+        hostfs::IoResult w = fs.pwritev(req.hostFd, runs.data(),
+                                        static_cast<unsigned>(runs.size()),
+                                        t, &sim.cpuIo);
+        if (!ok(w.status)) {
+            resp.status = w.status;
+            return resp;
+        }
+        resp.bytes = w.bytes;
+        resp.version = w.version;
+        resp.done = w.done;
+    }
+    bytesFromGpu.inc(total);
     return resp;
 }
 

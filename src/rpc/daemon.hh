@@ -88,6 +88,12 @@ class CpuDaemon
     RpcResponse handleReadPage(gpu::GpuDevice &dev, const RpcRequest &req);
     RpcResponse handleReadPages(gpu::GpuDevice &dev, const RpcRequest &req);
     RpcResponse handleWriteBack(gpu::GpuDevice &dev, const RpcRequest &req);
+    RpcResponse handleWritePages(gpu::GpuDevice &dev, const RpcRequest &req);
+
+    /** Charge one D2H DMA for @p bytes ready at @p ready. Shared by the
+     *  single-extent and batched write-back paths so the two charge
+     *  identically (one setup cost per request either way). */
+    Time chargeD2hDma(gpu::GpuDevice &dev, uint64_t bytes, Time ready);
 
     /** Track (fd -> ino, write, gwronce) for consistency release. */
     struct FdClaim { uint64_t ino; bool write; };

@@ -27,6 +27,7 @@ enum class RpcOp : uint32_t {
     ReadPage,    ///< host file -> GPU buffer-cache page (H2D DMA)
     ReadPages,   ///< batched: one contiguous extent -> many pages
     WriteBack,   ///< GPU page -> host file (D2H DMA), optional zero-diff
+    WritePages,  ///< batched: many page extents -> one gathered pwritev
     Fsync,       ///< flush host dirty pages of fd to disk
     Truncate,
     Unlink,
@@ -37,10 +38,11 @@ enum class RpcOp : uint32_t {
 constexpr size_t kMaxPath = 240;
 
 /**
- * Maximum pages one ReadPages request carries. The request slot stays
- * fixed size (the paper's queue is an array of fixed slots in shared
- * memory), so the batch is a bounded pointer array; the GPU splits
- * longer read-ahead runs into multiple requests.
+ * Maximum pages one ReadPages (or extents one WritePages) request
+ * carries. The request slot stays fixed size (the paper's queue is an
+ * array of fixed slots in shared memory), so the batch is a bounded
+ * pointer array; the GPU splits longer read-ahead runs and dirty-page
+ * batches into multiple requests.
  */
 constexpr unsigned kMaxBatchPages = 16;
 
@@ -59,15 +61,25 @@ struct RpcRequest {
 
     int hostFd = -1;            ///< Close/ReadPage(s)/WriteBack/Fsync/Truncate
     uint64_t offset = 0;        ///< ReadPage(s)/WriteBack/Truncate(new size)
-    uint64_t len = 0;           ///< ReadPage/WriteBack; ReadPages: total
+    uint64_t len = 0;           ///< ReadPage/WriteBack; Read/WritePages: total
     uint8_t *data = nullptr;    ///< GPU page pointer for bulk ops
     bool diffAgainstZeros = false;  ///< WriteBack: O_GWRONCE semantics
 
-    // ---- ReadPages only: one contiguous file extent, scattered into
-    // pageCount GPU buffer-cache frames of pageLen bytes each ----
+    // ---- Batched ops ----
+    // ReadPages: one contiguous file extent starting at `offset`,
+    // scattered into pageCount GPU buffer-cache frames of pageLen
+    // bytes each (batch[i] receives extent byte i*pageLen onward).
+    // WritePages: pageCount gathered extents; extent i is batchLen[i]
+    // bytes read from GPU pointer batch[i] landing at file offset
+    // batchOff[i]. Extents need not be contiguous — the daemon services
+    // the whole batch as ONE HostFs::pwritev (one syscall charge, one
+    // version bump) behind ONE D2H DMA reservation of `len` total
+    // bytes. diffAgainstZeros applies to every extent in the batch.
     uint32_t pageCount = 0;
     uint64_t pageLen = 0;
     uint8_t *batch[kMaxBatchPages] = {};
+    uint64_t batchOff[kMaxBatchPages] = {};
+    uint32_t batchLen[kMaxBatchPages] = {};
 };
 
 struct RpcResponse {

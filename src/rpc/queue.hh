@@ -85,7 +85,22 @@ class RpcQueue
         RpcResponse resp = slot.resp;
         slot.state.store(kSlotFree, std::memory_order_release);
         slot.state.notify_all();
+        inFlight_.fetch_sub(1, std::memory_order_relaxed);
         return resp;
+    }
+
+    /** High-water mark of concurrently in-flight slots. */
+    unsigned
+    maxInFlightSlots() const
+    {
+        return maxInFlight_.load(std::memory_order_relaxed);
+    }
+
+    /** Times a submitter swept every slot and found none free. */
+    uint64_t
+    fullQueueStalls() const
+    {
+        return fullStalls_.load(std::memory_order_relaxed);
     }
 
     /**
@@ -127,9 +142,22 @@ class RpcQueue
                 uint32_t expect = kSlotFree;
                 if (slot.state.compare_exchange_strong(
                         expect, kSlotFilling, std::memory_order_acq_rel)) {
+                    // Slot-pressure accounting (ROADMAP "RPC slot
+                    // scaling") at the claim itself, so the high-water
+                    // mark matches real occupancy (a queue that ever
+                    // stalled full must have seen kQueueSlots here).
+                    unsigned depth = inFlight_.fetch_add(
+                        1, std::memory_order_relaxed) + 1;
+                    unsigned seen =
+                        maxInFlight_.load(std::memory_order_relaxed);
+                    while (seen < depth &&
+                           !maxInFlight_.compare_exchange_weak(
+                               seen, depth, std::memory_order_relaxed)) {
+                    }
                     return slot;
                 }
             }
+            fullStalls_.fetch_add(1, std::memory_order_relaxed);
             std::this_thread::yield();
         }
     }
@@ -137,6 +165,10 @@ class RpcQueue
     RpcSlot slots[kQueueSlots];
     std::atomic<unsigned> ticket{0};
     std::atomic<uint64_t> &doorbell;
+
+    std::atomic<unsigned> inFlight_{0};
+    std::atomic<unsigned> maxInFlight_{0};
+    std::atomic<uint64_t> fullStalls_{0};
 };
 
 } // namespace rpc
