@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/batch_fetch_test.dir/tests/batch_fetch_test.cc.o"
+  "CMakeFiles/batch_fetch_test.dir/tests/batch_fetch_test.cc.o.d"
+  "batch_fetch_test"
+  "batch_fetch_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/batch_fetch_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

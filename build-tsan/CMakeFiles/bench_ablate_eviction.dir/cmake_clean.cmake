@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablate_eviction.dir/bench/ablate_eviction.cc.o"
+  "CMakeFiles/bench_ablate_eviction.dir/bench/ablate_eviction.cc.o.d"
+  "bench_ablate_eviction"
+  "bench_ablate_eviction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_eviction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablate_gwronce.dir/bench/ablate_gwronce.cc.o"
+  "CMakeFiles/bench_ablate_gwronce.dir/bench/ablate_gwronce.cc.o.d"
+  "bench_ablate_gwronce"
+  "bench_ablate_gwronce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_gwronce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablate_rpc_channels.dir/bench/ablate_rpc_channels.cc.o"
+  "CMakeFiles/bench_ablate_rpc_channels.dir/bench/ablate_rpc_channels.cc.o.d"
+  "bench_ablate_rpc_channels"
+  "bench_ablate_rpc_channels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_rpc_channels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

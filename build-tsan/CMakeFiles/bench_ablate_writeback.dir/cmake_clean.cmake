@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablate_writeback.dir/bench/ablate_writeback.cc.o"
+  "CMakeFiles/bench_ablate_writeback.dir/bench/ablate_writeback.cc.o.d"
+  "bench_ablate_writeback"
+  "bench_ablate_writeback.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_writeback.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

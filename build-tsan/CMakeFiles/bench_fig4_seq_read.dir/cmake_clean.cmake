@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_seq_read.dir/bench/fig4_seq_read.cc.o"
+  "CMakeFiles/bench_fig4_seq_read.dir/bench/fig4_seq_read.cc.o.d"
+  "bench_fig4_seq_read"
+  "bench_fig4_seq_read.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_seq_read.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

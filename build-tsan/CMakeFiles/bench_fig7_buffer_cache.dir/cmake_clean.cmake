@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_buffer_cache.dir/bench/fig7_buffer_cache.cc.o"
+  "CMakeFiles/bench_fig7_buffer_cache.dir/bench/fig7_buffer_cache.cc.o.d"
+  "bench_fig7_buffer_cache"
+  "bench_fig7_buffer_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_buffer_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

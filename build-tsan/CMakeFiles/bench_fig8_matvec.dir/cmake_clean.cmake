@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_matvec.dir/bench/fig8_matvec.cc.o"
+  "CMakeFiles/bench_fig8_matvec.dir/bench/fig8_matvec.cc.o.d"
+  "bench_fig8_matvec"
+  "bench_fig8_matvec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_matvec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_grep.dir/bench/table4_grep.cc.o"
+  "CMakeFiles/bench_table4_grep.dir/bench/table4_grep.cc.o.d"
+  "bench_table4_grep"
+  "bench_table4_grep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_grep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

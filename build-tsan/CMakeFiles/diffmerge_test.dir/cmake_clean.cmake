@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diffmerge_test.dir/tests/diffmerge_test.cc.o"
+  "CMakeFiles/diffmerge_test.dir/tests/diffmerge_test.cc.o.d"
+  "diffmerge_test"
+  "diffmerge_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diffmerge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

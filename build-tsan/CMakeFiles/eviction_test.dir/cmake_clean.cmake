@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eviction_test.dir/tests/eviction_test.cc.o"
+  "CMakeFiles/eviction_test.dir/tests/eviction_test.cc.o.d"
+  "eviction_test"
+  "eviction_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eviction_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_grep.dir/examples/grep.cpp.o"
+  "CMakeFiles/example_grep.dir/examples/grep.cpp.o.d"
+  "example_grep"
+  "example_grep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_grep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_matvec.dir/examples/matvec.cpp.o"
+  "CMakeFiles/example_matvec.dir/examples/matvec.cpp.o.d"
+  "example_matvec"
+  "example_matvec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_matvec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_pipeline.dir/examples/pipeline.cpp.o"
+  "CMakeFiles/example_pipeline.dir/examples/pipeline.cpp.o.d"
+  "example_pipeline"
+  "example_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpufs_api_test.dir/tests/gpufs_api_test.cc.o"
+  "CMakeFiles/gpufs_api_test.dir/tests/gpufs_api_test.cc.o.d"
+  "gpufs_api_test"
+  "gpufs_api_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpufs_api_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,41 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/base/logging.cc" "CMakeFiles/gpufs_core.dir/src/base/logging.cc.o" "gcc" "CMakeFiles/gpufs_core.dir/src/base/logging.cc.o.d"
+  "/root/repo/src/base/stats.cc" "CMakeFiles/gpufs_core.dir/src/base/stats.cc.o" "gcc" "CMakeFiles/gpufs_core.dir/src/base/stats.cc.o.d"
+  "/root/repo/src/base/status.cc" "CMakeFiles/gpufs_core.dir/src/base/status.cc.o" "gcc" "CMakeFiles/gpufs_core.dir/src/base/status.cc.o.d"
+  "/root/repo/src/consistency/consistency.cc" "CMakeFiles/gpufs_core.dir/src/consistency/consistency.cc.o" "gcc" "CMakeFiles/gpufs_core.dir/src/consistency/consistency.cc.o.d"
+  "/root/repo/src/consistency/wrapfs.cc" "CMakeFiles/gpufs_core.dir/src/consistency/wrapfs.cc.o" "gcc" "CMakeFiles/gpufs_core.dir/src/consistency/wrapfs.cc.o.d"
+  "/root/repo/src/cuda/cudasim.cc" "CMakeFiles/gpufs_core.dir/src/cuda/cudasim.cc.o" "gcc" "CMakeFiles/gpufs_core.dir/src/cuda/cudasim.cc.o.d"
+  "/root/repo/src/gpu/device.cc" "CMakeFiles/gpufs_core.dir/src/gpu/device.cc.o" "gcc" "CMakeFiles/gpufs_core.dir/src/gpu/device.cc.o.d"
+  "/root/repo/src/gpu/launch.cc" "CMakeFiles/gpufs_core.dir/src/gpu/launch.cc.o" "gcc" "CMakeFiles/gpufs_core.dir/src/gpu/launch.cc.o.d"
+  "/root/repo/src/gpufs/buffer_cache.cc" "CMakeFiles/gpufs_core.dir/src/gpufs/buffer_cache.cc.o" "gcc" "CMakeFiles/gpufs_core.dir/src/gpufs/buffer_cache.cc.o.d"
+  "/root/repo/src/gpufs/file_table.cc" "CMakeFiles/gpufs_core.dir/src/gpufs/file_table.cc.o" "gcc" "CMakeFiles/gpufs_core.dir/src/gpufs/file_table.cc.o.d"
+  "/root/repo/src/gpufs/frame.cc" "CMakeFiles/gpufs_core.dir/src/gpufs/frame.cc.o" "gcc" "CMakeFiles/gpufs_core.dir/src/gpufs/frame.cc.o.d"
+  "/root/repo/src/gpufs/gpufs.cc" "CMakeFiles/gpufs_core.dir/src/gpufs/gpufs.cc.o" "gcc" "CMakeFiles/gpufs_core.dir/src/gpufs/gpufs.cc.o.d"
+  "/root/repo/src/gpufs/radix.cc" "CMakeFiles/gpufs_core.dir/src/gpufs/radix.cc.o" "gcc" "CMakeFiles/gpufs_core.dir/src/gpufs/radix.cc.o.d"
+  "/root/repo/src/gpuutil/gstring.cc" "CMakeFiles/gpufs_core.dir/src/gpuutil/gstring.cc.o" "gcc" "CMakeFiles/gpufs_core.dir/src/gpuutil/gstring.cc.o.d"
+  "/root/repo/src/hostfs/content.cc" "CMakeFiles/gpufs_core.dir/src/hostfs/content.cc.o" "gcc" "CMakeFiles/gpufs_core.dir/src/hostfs/content.cc.o.d"
+  "/root/repo/src/hostfs/hostfs.cc" "CMakeFiles/gpufs_core.dir/src/hostfs/hostfs.cc.o" "gcc" "CMakeFiles/gpufs_core.dir/src/hostfs/hostfs.cc.o.d"
+  "/root/repo/src/hostfs/page_cache.cc" "CMakeFiles/gpufs_core.dir/src/hostfs/page_cache.cc.o" "gcc" "CMakeFiles/gpufs_core.dir/src/hostfs/page_cache.cc.o.d"
+  "/root/repo/src/rpc/daemon.cc" "CMakeFiles/gpufs_core.dir/src/rpc/daemon.cc.o" "gcc" "CMakeFiles/gpufs_core.dir/src/rpc/daemon.cc.o.d"
+  "/root/repo/src/sim/resource.cc" "CMakeFiles/gpufs_core.dir/src/sim/resource.cc.o" "gcc" "CMakeFiles/gpufs_core.dir/src/sim/resource.cc.o.d"
+  "/root/repo/src/workloads/imagedb.cc" "CMakeFiles/gpufs_core.dir/src/workloads/imagedb.cc.o" "gcc" "CMakeFiles/gpufs_core.dir/src/workloads/imagedb.cc.o.d"
+  "/root/repo/src/workloads/kernels.cc" "CMakeFiles/gpufs_core.dir/src/workloads/kernels.cc.o" "gcc" "CMakeFiles/gpufs_core.dir/src/workloads/kernels.cc.o.d"
+  "/root/repo/src/workloads/matrix.cc" "CMakeFiles/gpufs_core.dir/src/workloads/matrix.cc.o" "gcc" "CMakeFiles/gpufs_core.dir/src/workloads/matrix.cc.o.d"
+  "/root/repo/src/workloads/textcorpus.cc" "CMakeFiles/gpufs_core.dir/src/workloads/textcorpus.cc.o" "gcc" "CMakeFiles/gpufs_core.dir/src/workloads/textcorpus.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgpufs_core.a"
+)

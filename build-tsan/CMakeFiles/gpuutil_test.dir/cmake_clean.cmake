@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpuutil_test.dir/tests/gpuutil_test.cc.o"
+  "CMakeFiles/gpuutil_test.dir/tests/gpuutil_test.cc.o.d"
+  "gpuutil_test"
+  "gpuutil_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpuutil_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

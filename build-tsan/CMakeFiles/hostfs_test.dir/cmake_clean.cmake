@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hostfs_test.dir/tests/hostfs_test.cc.o"
+  "CMakeFiles/hostfs_test.dir/tests/hostfs_test.cc.o.d"
+  "hostfs_test"
+  "hostfs_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hostfs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/radix_test.dir/tests/radix_test.cc.o"
+  "CMakeFiles/radix_test.dir/tests/radix_test.cc.o.d"
+  "radix_test"
+  "radix_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/radix_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/writeback_batch_test.dir/tests/writeback_batch_test.cc.o"
+  "CMakeFiles/writeback_batch_test.dir/tests/writeback_batch_test.cc.o.d"
+  "writeback_batch_test"
+  "writeback_batch_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/writeback_batch_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
