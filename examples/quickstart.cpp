@@ -47,10 +47,17 @@ main()
         core::GStat st;
         fs.gfstat(ctx, in, &st);
         std::vector<char> buf(st.size);
-        fs.gread(ctx, in, 0, st.size, buf.data());
+        // Count-returning calls encode failure as -(int)Status —
+        // decode with gok()/gstatus_of() (see gpufs.hh). For the
+        // async flavor of this loop, see examples/double_buffer.cpp.
+        int64_t rd = fs.gread(ctx, in, 0, st.size, buf.data());
+        gpufs_assert(core::gok(rd),
+                     "gread: %s", statusName(core::gstatus_of(rd)));
         for (char &c : buf)
             c = (c >= 'a' && c <= 'z') ? char(c - 'a' + 'A') : c;
-        fs.gwrite(ctx, out, 0, buf.size(), buf.data());
+        int64_t wr = fs.gwrite(ctx, out, 0, buf.size(), buf.data());
+        gpufs_assert(core::gok(wr),
+                     "gwrite: %s", statusName(core::gstatus_of(wr)));
 
         fs.gfsync(ctx, out);    // close does NOT sync (§3.2); gfsync does
         fs.gclose(ctx, out);

@@ -244,11 +244,16 @@ BufferCache::parkFile(CacheFile &f, uint64_t close_seq)
     f.closeSeq = close_seq;
     f.closed = true;
     if (f.cache && (f.cache->dirtyCount() != 0 ||
-                    f.wbInFlight.load() != 0)) {
-        // Keep the fd: eviction may still write back, and an in-flight
+                    f.wbInFlight.load() != 0 ||
+                    f.fetchInFlight.load() != 0 ||
+                    f.opInFlight.load() != 0)) {
+        // Keep the fd: eviction may still write back, an in-flight
         // drain (async flusher) still needs it — its take made the
-        // count 0 before its RPC landed. maybeReleaseClosedFd picks
-        // the fd up once the drain completes.
+        // count 0 before its RPC landed — a split-phase fetch
+        // (wait-after-close) reads through it until collected, and an
+        // unretired async op may need it to refetch evicted pages at
+        // resolution. maybeReleaseClosedFd picks the fd up once they
+        // complete.
         return -1;
     }
     int old_fd = f.hostFd;
@@ -270,6 +275,8 @@ bool
 BufferCache::dropPages(CacheFile &f)
 {
     PagingGuard lock(*this);
+    if (f.fetchInFlight.load(std::memory_order_acquire) != 0)
+        return false;   // split-phase fetch targets these frames
     return f.cache ? f.cache->dropAll() : true;
 }
 
@@ -394,11 +401,15 @@ BufferCache::writebackExtent(CacheFile &f, uint64_t page_idx,
                     req.issueTime = t;
                     rpc::RpcResponse r = queue.call(req);
                     cntWriteRpcs.inc();
-                    if (!ok(r.status))
+                    if (!ok(r.status)) {
                         agg = r.status;
-                    else if (r.version != 0)
-                        f.version.store(r.version,
-                                        std::memory_order_relaxed);
+                    } else {
+                        if (r.version != 0)
+                            f.version.store(r.version,
+                                            std::memory_order_relaxed);
+                        f.needsFsync.store(true,
+                                           std::memory_order_release);
+                    }
                     max_done = std::max(max_done, r.done);
                 }
             }
@@ -423,10 +434,13 @@ BufferCache::writebackExtent(CacheFile &f, uint64_t page_idx,
     cntWriteRpcs.inc();
     if (st)
         *st = resp.status;
-    if (ok(resp.status) && resp.version != 0) {
-        // Track the version our own write produced so reopen does not
-        // mistake it for a remote modification.
-        f.version.store(resp.version, std::memory_order_relaxed);
+    if (ok(resp.status)) {
+        if (resp.version != 0) {
+            // Track the version our own write produced so reopen does
+            // not mistake it for a remote modification.
+            f.version.store(resp.version, std::memory_order_relaxed);
+        }
+        f.needsFsync.store(true, std::memory_order_release);
     }
     return resp.done;
 }
@@ -466,6 +480,7 @@ BufferCache::writeExtentsRpc(CacheFile &f, const WriteExtent *ext,
         // mistake it for a remote modification.
         f.version.store(resp.version, std::memory_order_relaxed);
     }
+    f.needsFsync.store(true, std::memory_order_release);
     return Status::Ok;
 }
 
@@ -602,6 +617,87 @@ BufferCache::flushDirtyPerPage(gpu::BlockCtx &ctx, CacheFile &f,
     return agg;
 }
 
+unsigned
+BufferCache::submitFlush(gpu::BlockCtx &ctx, CacheFile &f,
+                         uint64_t first_page, uint64_t last_page,
+                         PendingFlush *out, unsigned max_batches)
+{
+    if (!f.cache || f.noSync || f.hostFd < 0 || !params_.batchWriteback)
+        return 0;
+    // Diff-and-merge extents must diff against GPU-side pristine
+    // copies page by page — they stay on the synchronous path.
+    if (params_.enableDiffMerge && f.write && !f.wronce)
+        return 0;
+    const uint64_t page_size = params_.pageSize;
+    unsigned nb = 0;
+    uint64_t budget = f.cache->dirtyCount();
+    while (nb < max_batches && budget > 0) {
+        PendingFlush &pf = out[nb];
+        pf.n = f.cache->takeDirtyBatch(
+            first_page, last_page, pf.ext,
+            static_cast<unsigned>(
+                std::min<uint64_t>(budget, rpc::kMaxBatchPages)));
+        if (pf.n == 0)
+            break;
+        budget -= std::min<uint64_t>(budget, pf.n);
+        pf.zeroDiff = f.wronce;
+        rpc::RpcRequest req;
+        req.op = rpc::RpcOp::WritePages;
+        req.hostFd = f.hostFd;
+        req.diffAgainstZeros = pf.zeroDiff;
+        req.gpuId = dev.id();
+        req.issueTime = ctx.now();
+        req.pageCount = pf.n;
+        uint64_t total = 0;
+        for (unsigned i = 0; i < pf.n; ++i) {
+            req.batch[i] = arena_.data(pf.ext[i].frame) + pf.ext[i].lo;
+            req.batchOff[i] =
+                pf.ext[i].pageIdx * page_size + pf.ext[i].lo;
+            req.batchLen[i] = pf.ext[i].hi - pf.ext[i].lo;
+            total += req.batchLen[i];
+        }
+        req.len = total;
+        // The in-flight mark spans submission→wait: the take above
+        // made these pages read clean, and fd release must not slip
+        // in before the RPC lands. Submission must not block on a
+        // full queue (the submitter may hold uncollected slots) —
+        // restore the extents and leave them to the wait-time drain.
+        f.wbInFlight.fetch_add(1);
+        pf.rpcSlot = queue.trySubmit(req);
+        if (!pf.rpcSlot) {
+            f.cache->finishDirtyBatch(pf.ext, pf.n, /*restore=*/true);
+            f.wbInFlight.fetch_sub(1);
+            break;
+        }
+        ++nb;
+    }
+    return nb;
+}
+
+Status
+BufferCache::completeFlush(CacheFile &f, PendingFlush &pf,
+                           Time *done_out)
+{
+    if (!pf.rpcSlot)
+        return Status::Ok;
+    rpc::RpcResponse resp = queue.collect(*pf.rpcSlot);
+    pf.rpcSlot = nullptr;
+    cntBatchWriteRpcs.inc();
+    cntBatchWritePages.inc(pf.n);
+    if (done_out)
+        *done_out = std::max(*done_out, resp.done);
+    // Restore failed extents BEFORE dropping the in-flight mark so the
+    // file never reads clean while its dirty data is in limbo.
+    f.cache->finishDirtyBatch(pf.ext, pf.n, /*restore=*/!ok(resp.status));
+    if (ok(resp.status)) {
+        if (resp.version != 0)
+            f.version.store(resp.version, std::memory_order_relaxed);
+        f.needsFsync.store(true, std::memory_order_release);
+    }
+    f.wbInFlight.fetch_sub(1);
+    return resp.status;
+}
+
 Status
 BufferCache::syncFrame(gpu::BlockCtx &ctx, CacheFile &f, uint32_t frame)
 {
@@ -696,7 +792,8 @@ void
 BufferCache::maybeReleaseClosedFdLocked(gpu::BlockCtx &ctx, CacheFile &f)
 {
     if (f.closed && f.hostFd >= 0 && f.cache &&
-        f.cache->dirtyCount() == 0 && f.wbInFlight.load() == 0) {
+        f.cache->dirtyCount() == 0 && f.wbInFlight.load() == 0 &&
+        f.fetchInFlight.load() == 0 && f.opInFlight.load() == 0) {
         rpc::RpcRequest req;
         req.op = rpc::RpcOp::Close;
         req.hostFd = f.hostFd;
@@ -805,43 +902,219 @@ BufferCache::pinPage(gpu::BlockCtx &ctx, CacheFile &f, uint64_t page_idx,
 }
 
 bool
-BufferCache::fetchBatch(gpu::BlockCtx &ctx, CacheFile &f,
-                        uint64_t start_idx, const BatchSlot *slots,
-                        unsigned n)
+BufferCache::submitClaimedFetch(gpu::BlockCtx &ctx, CacheFile &f,
+                                PendingFetch &pf, bool blocking)
 {
+    gpufs_assert(pf.n >= 1 && pf.n <= rpc::kMaxBatchPages,
+                 "fetch batch size out of range");
     const uint64_t page_size = params_.pageSize;
     rpc::RpcRequest req;
-    req.op = rpc::RpcOp::ReadPages;
     req.hostFd = f.hostFd;
-    req.offset = start_idx * page_size;
-    req.len = uint64_t(n) * page_size;
-    req.pageLen = page_size;
-    req.pageCount = n;
-    for (unsigned i = 0; i < n; ++i)
-        req.batch[i] = arena_.data(slots[i].frame);
+    req.offset = pf.startIdx * page_size;
     req.gpuId = dev.id();
     req.issueTime = ctx.now();
-    rpc::RpcResponse resp = queue.call(req);
-    cntBatchReadRpcs.inc();
-    if (!ok(resp.status)) {
-        f.cache->abortInitBatch(slots, n);
+    if (pf.single) {
+        req.op = rpc::RpcOp::ReadPage;
+        req.len = page_size;
+        req.data = arena_.data(pf.slots[0].frame);
+    } else {
+        req.op = rpc::RpcOp::ReadPages;
+        req.len = uint64_t(pf.n) * page_size;
+        req.pageLen = page_size;
+        req.pageCount = pf.n;
+        for (unsigned i = 0; i < pf.n; ++i)
+            req.batch[i] = arena_.data(pf.slots[i].frame);
+    }
+    // Elevated BEFORE the request is visible to the daemon: a racing
+    // fd release must never observe the RPC without the mark.
+    f.fetchInFlight.fetch_add(1);
+    pf.rpcSlot = blocking ? queue.submit(req) : queue.trySubmit(req);
+    if (!pf.rpcSlot) {
+        // Queue full: roll the claim back — the pages resolve through
+        // the synchronous pin path at wait time instead.
+        f.fetchInFlight.fetch_sub(1);
+        f.cache->abortInitBatch(pf.slots, pf.n);
         return false;
     }
+    return true;
+}
+
+Status
+BufferCache::completeFetch(CacheFile &f, PendingFetch &pf)
+{
+    if (!pf.rpcSlot)
+        return Status::Ok;
+    rpc::RpcResponse resp = queue.collect(*pf.rpcSlot);
+    pf.rpcSlot = nullptr;
+    if (pf.single)
+        cntReadRpcs.inc();
+    else
+        cntBatchReadRpcs.inc();
+    if (!ok(resp.status)) {
+        f.cache->abortInitBatch(pf.slots, pf.n);
+        f.fetchInFlight.fetch_sub(1);
+        return resp.status;
+    }
+    const uint64_t page_size = params_.pageSize;
     uint32_t valid[rpc::kMaxBatchPages];
-    for (unsigned i = 0; i < n; ++i) {
+    for (unsigned i = 0; i < pf.n; ++i) {
         uint64_t base = uint64_t(i) * page_size;
         uint64_t got = resp.bytes > base
             ? std::min<uint64_t>(page_size, resp.bytes - base) : 0;
         valid[i] = static_cast<uint32_t>(got);
         if (got < page_size) {
-            std::memset(arena_.data(slots[i].frame) + got, 0,
+            std::memset(arena_.data(pf.slots[i].frame) + got, 0,
                         page_size - got);
         }
     }
-    f.cache->finishInitBatch(slots, n, valid, resp.done);
-    cntCacheMisses.inc(n);
-    cntBatchPages.inc(n);
-    return true;
+    f.cache->finishInitBatch(pf.slots, pf.n, valid, resp.done);
+    cntCacheMisses.inc(pf.n);
+    if (pf.single) {
+        // Demand fetch: a page access that held the fpage lock, like
+        // the slow path it replaces (Table 2 accounting parity).
+        cntLocked.inc();
+    } else {
+        cntBatchPages.inc(pf.n);
+    }
+    f.fetchInFlight.fetch_sub(1);
+    return Status::Ok;
+}
+
+bool
+BufferCache::fetchBatch(gpu::BlockCtx &ctx, CacheFile &f,
+                        uint64_t start_idx, const BatchSlot *slots,
+                        unsigned n)
+{
+    PendingFetch pf;
+    pf.startIdx = start_idx;
+    pf.n = n;
+    pf.single = false;
+    std::copy(slots, slots + n, pf.slots);
+    // The synchronous path holds no uncollected slots, so blocking for
+    // a queue slot is safe here (and is the pre-async behavior).
+    submitClaimedFetch(ctx, f, pf, /*blocking=*/true);
+    return ok(completeFetch(f, pf));
+}
+
+bool
+BufferCache::submitPageFetch(gpu::BlockCtx &ctx, CacheFile &f,
+                             uint64_t page_idx, PendingFetch *out)
+{
+    if (!f.cache || f.wronce || f.hostFd < 0 ||
+        page_idx > FileCache::maxPageIndex()) {
+        return false;   // no host-fetch path: resolve pins handle it
+    }
+    // Diff-and-merge pages must snapshot a pristine copy under the
+    // fetching pin (pinPage's slow path does that); a split-phase
+    // publish without one would turn merges into clobbering writes.
+    if (params_.enableDiffMerge && f.write && !f.wronce && !f.noSync)
+        return false;
+    // Claim reserve: split-phase claims are unreclaimable until their
+    // collector runs, so a wave of submitters must not eat the arena's
+    // last frames — synchronous pins (and other blocks' resolutions)
+    // need reclaimable headroom. Under pressure the page simply
+    // resolves synchronously at wait.
+    if (arena_.freeCount() <= claimReserve())
+        return false;
+    // No reclaim attempt here (the sync miss path's retry loop): a
+    // reclaim can write back dirty pages through a BLOCKING RPC, and
+    // a split-phase submitter may already hold uncollected queue
+    // slots — the deadlock cycle trySubmit exists to prevent. An
+    // unclaimable page simply resolves synchronously at wait, where
+    // the block holds nothing.
+    if (f.cache->beginInitBatch(page_idx, 1, out->slots) == 1) {
+        out->startIdx = page_idx;
+        out->n = 1;
+        out->single = true;
+        return submitClaimedFetch(ctx, f, *out, /*blocking=*/false);
+    }
+    return false;
+}
+
+unsigned
+BufferCache::submitBatchFetch(gpu::BlockCtx &ctx, CacheFile &f,
+                              uint64_t start_idx, unsigned max_n,
+                              PendingFetch *out)
+{
+    if (!f.cache || f.wronce || f.hostFd < 0 ||
+        start_idx > FileCache::maxPageIndex()) {
+        return 0;
+    }
+    if (params_.enableDiffMerge && f.write && !f.wronce && !f.noSync)
+        return 0;   // pristine snapshot needed: stay on the sync path
+    max_n = std::min(max_n, rpc::kMaxBatchPages);
+    // Claim reserve (see submitPageFetch): shrink the run to what the
+    // arena can give without starving synchronous pins. As there, no
+    // reclaim attempt — submission must never block on an RPC.
+    uint32_t free_frames = arena_.freeCount();
+    uint32_t reserve = claimReserve();
+    if (free_frames <= reserve)
+        return 0;
+    max_n = std::min(max_n, free_frames - reserve);
+    unsigned n = f.cache->beginInitBatch(start_idx, max_n, out->slots);
+    if (n == 0)
+        return 0;
+    out->startIdx = start_idx;
+    out->n = n;
+    out->single = false;
+    return submitClaimedFetch(ctx, f, *out, /*blocking=*/false) ? n : 0;
+}
+
+unsigned
+BufferCache::submitReadAhead(gpu::BlockCtx &ctx, CacheFile &f,
+                             uint64_t page_idx, PendingFetch *out,
+                             unsigned max_fetches)
+{
+    FileCache &c = *f.cache;
+    const uint64_t page_size = params_.pageSize;
+    const uint64_t fsize = f.size.load(std::memory_order_relaxed);
+    if (fsize == 0 || f.hostFd < 0 || f.wronce || max_fetches == 0)
+        return 0;
+    const uint64_t eof_page = (fsize + page_size - 1) / page_size;
+    const uint64_t end = std::min<uint64_t>(
+        page_idx + 1 + params_.readAheadPages, eof_page);
+
+    unsigned fetches = 0;
+    uint64_t idx = page_idx + 1;
+    while (idx < end && fetches < max_fetches) {
+        unsigned max_n = static_cast<unsigned>(
+            std::min<uint64_t>(end - idx, rpc::kMaxBatchPages));
+        // Claim reserve (see submitPageFetch): prefetch never takes
+        // the frames synchronous pins would need to reclaim.
+        uint32_t free_frames = arena_.freeCount();
+        uint32_t reserve = claimReserve();
+        if (free_frames <= reserve)
+            break;
+        max_n = std::min(max_n, free_frames - reserve);
+        PendingFetch &pf = out[fetches];
+        unsigned n = c.beginInitBatch(idx, max_n, pf.slots);
+        if (n == 0) {
+            // Same stepping rule as readAheadFrom: hop over resident
+            // and in-flight pages, stop on anything else — prefetch
+            // must never page out on its own behalf.
+            FPage *p = c.getPage(idx);
+            uint32_t fr;
+            if (c.tryPinReady(*p, idx, &fr)) {
+                c.unpin(*p);
+                ++idx;
+                continue;
+            }
+            uint32_t s = p->state.load(std::memory_order_acquire);
+            if (s == kPageInit || s == kPageReady) {
+                ++idx;
+                continue;
+            }
+            break;
+        }
+        pf.startIdx = idx;
+        pf.n = n;
+        pf.single = false;
+        if (!submitClaimedFetch(ctx, f, pf, /*blocking=*/false))
+            break;      // queue full: claim rolled back, stop prefetch
+        ++fetches;
+        idx += n;
+    }
+    return fetches;
 }
 
 void

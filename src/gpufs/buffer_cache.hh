@@ -22,6 +22,7 @@
 #ifndef GPUFS_GPUFS_BUFFER_CACHE_HH
 #define GPUFS_GPUFS_BUFFER_CACHE_HH
 
+#include <algorithm>
 #include <atomic>
 #include <functional>
 #include <memory>
@@ -85,6 +86,29 @@ struct CacheFile {
      *  under an in-flight write-back would send the write to a dead
      *  (or worse, recycled) descriptor. */
     std::atomic<uint32_t> wbInFlight{0};
+
+    /** Split-phase fetches (submitPageFetch/submitBatchFetch) whose
+     *  RPC has not been collected yet. The claimed pages sit in Init
+     *  with their fpage locks held across submission→wait, so they are
+     *  invisible to residentPages() — drained-cache collection, entry
+     *  recycling and dropPages must treat "fetchInFlight" as resident,
+     *  or the daemon's DMA would land in freed frames. */
+    std::atomic<uint32_t> fetchInFlight{0};
+
+    /** Host page cache dirtied by our write-backs since the last host
+     *  fsync of this file. gfsync and the async flusher's clean-edge
+     *  fsync both clear it; both skip the Fsync RPC when it is clear —
+     *  which is what coalesces the per-block gfsync bursts (and the
+     *  flusher's repeat passes) on a shared file into one host fsync. */
+    std::atomic<bool> needsFsync{false};
+
+    /** Async request-table ops submitted against this file and not yet
+     *  retired by gwait. Wait-after-close is legal, and resolution may
+     *  have to REFETCH a page eviction took between submit and wait —
+     *  so fd release (parkFile, the closed-fd sweeps) and cache
+     *  destruction (drained collection, entry recycling) must treat a
+     *  nonzero count like dirty data: keep the fd, keep the cache. */
+    std::atomic<uint32_t> opInFlight{0};
 };
 
 /**
@@ -131,6 +155,37 @@ struct WriteExtent {
     uint64_t off;
     uint32_t len;
     const uint8_t *data;
+};
+
+/**
+ * One split-phase page fetch in flight (non-blocking I/O core): the
+ * pages were claimed under their fpage locks (beginInitBatch protocol,
+ * locks HELD until completeFetch publishes or aborts) and the RPC —
+ * a single ReadPage or a batched ReadPages — is outstanding in the
+ * queue. The init-batch lifetime spans submission→wait instead of one
+ * call, which is exactly what lets the submitting block compute while
+ * the daemon fills the frames.
+ */
+struct PendingFetch {
+    rpc::RpcSlot *rpcSlot = nullptr;
+    uint64_t startIdx = 0;
+    unsigned n = 0;                          ///< claimed pages
+    bool single = false;                     ///< ReadPage vs ReadPages
+    BatchSlot slots[rpc::kMaxBatchPages];
+};
+
+/**
+ * One split-phase dirty-extent write-back in flight: the extents were
+ * atomically taken (takeDirtyBatch protocol, fpage locks HELD until
+ * completeFlush) and the WritePages RPC is outstanding. The owning
+ * CacheFile's wbInFlight stays elevated until completion so fd release
+ * cannot slip under the RPC.
+ */
+struct PendingFlush {
+    rpc::RpcSlot *rpcSlot = nullptr;
+    unsigned n = 0;                          ///< extents taken
+    bool zeroDiff = false;
+    DirtyExtent ext[rpc::kMaxBatchPages];
 };
 
 class BufferCache
@@ -232,6 +287,74 @@ class BufferCache
      *  can retry. */
     Status syncFrame(gpu::BlockCtx &ctx, CacheFile &f, uint32_t frame);
 
+    // ---- split-phase I/O (non-blocking core) ----
+
+    /**
+     * Claim the single missing page @p page_idx and submit its
+     * ReadPage RPC without waiting (the demand twin of read-ahead's
+     * batches, kept per-page so the sync wrappers preserve the paper's
+     * demand-paging RPC pattern). On arena exhaustion runs one
+     * reclaim pass and retries once. @return true iff a fetch is now
+     * pending in *out; false when the page is resident, in flight,
+     * contended, or unallocatable (the caller resolves it with a
+     * normal pinPage at wait time).
+     */
+    bool submitPageFetch(gpu::BlockCtx &ctx, CacheFile &f,
+                         uint64_t page_idx, PendingFetch *out);
+
+    /**
+     * Claim up to @p max_n contiguous missing pages from @p start_idx
+     * and submit ONE ReadPages RPC for the run without waiting
+     * (vectored reads feed their multi-extent spans through here).
+     * @return pages claimed (0 if the head of the run is not
+     * claimable).
+     */
+    unsigned submitBatchFetch(gpu::BlockCtx &ctx, CacheFile &f,
+                              uint64_t start_idx, unsigned max_n,
+                              PendingFetch *out);
+
+    /**
+     * Split-phase read-ahead from a miss at @p page_idx: claims runs
+     * of missing pages in the window and submits their ReadPages RPCs,
+     * appending up to @p max_fetches entries to @p out. Unlike
+     * readAheadFrom the RPCs stay in flight — the async request table
+     * collects them at gwait. @return fetches submitted.
+     */
+    unsigned submitReadAhead(gpu::BlockCtx &ctx, CacheFile &f,
+                             uint64_t page_idx, PendingFetch *out,
+                             unsigned max_fetches);
+
+    /**
+     * Collect one split-phase fetch: wait out the RPC, publish the
+     * pages (valid byte counts + shared DMA-completion readyTime,
+     * locks released, pages Ready but NOT pinned) or roll the claim
+     * back to Empty on failure. Safe from any thread; charges no
+     * block clock — pinners pay via readyTime, as with read-ahead.
+     * @return the RPC's status.
+     */
+    Status completeFetch(CacheFile &f, PendingFetch &pf);
+
+    /**
+     * Split-phase gfsync front half: take up to @p max_batches batches
+     * of dirty extents of @p f in [first_page, last_page) and submit
+     * their WritePages RPCs without waiting. Only on the batched,
+     * non-diff-merge path (callers fall back to a synchronous
+     * flushDirty at wait time otherwise — completeFlush + a residual
+     * flushDirty is always correct). Each pending batch elevates
+     * f.wbInFlight until its completeFlush. @return batches submitted.
+     */
+    unsigned submitFlush(gpu::BlockCtx &ctx, CacheFile &f,
+                         uint64_t first_page, uint64_t last_page,
+                         PendingFlush *out, unsigned max_batches);
+
+    /** Collect one split-phase write-back: wait out the RPC, release
+     *  the extents (restored for retry on failure), update the file
+     *  version. *done_out maxes with the RPC's virtual completion so
+     *  the syncing block can advance its clock past the write.
+     *  @return the RPC's status. */
+    Status completeFlush(CacheFile &f, PendingFlush &pf,
+                         Time *done_out = nullptr);
+
     // ---- paging ----
 
     /**
@@ -315,14 +438,39 @@ class BufferCache
     Status fetchPage(gpu::BlockCtx &ctx, CacheFile &f, uint64_t page_idx,
                      uint8_t *data, uint32_t *valid, Time *done);
 
+    /** Frames split-phase submission must leave free (or reclaimable)
+     *  for synchronous pins: claims are unreclaimable until collected,
+     *  so a claim storm must not exhaust the arena. Scales down for
+     *  small arenas where reclaimBatch would forbid claiming at all. */
+    uint32_t
+    claimReserve() const
+    {
+        return std::max<uint32_t>(
+            1, std::min<uint32_t>(params_.reclaimBatch,
+                                  arena_.numFrames() / 4));
+    }
+
     /** Sequential read-ahead from a miss at @p page_idx: coalesces runs
      *  of missing pages into batched ReadPages RPCs. */
     void readAheadFrom(gpu::BlockCtx &ctx, CacheFile &f, uint64_t page_idx);
 
     /** Issue one batched fetch for @p n already-claimed slots starting
-     *  at @p start_idx. @return false on RPC failure (slots aborted). */
+     *  at @p start_idx and wait it out. @return false on RPC failure
+     *  (slots aborted). */
     bool fetchBatch(gpu::BlockCtx &ctx, CacheFile &f, uint64_t start_idx,
                     const BatchSlot *slots, unsigned n);
+
+    /**
+     * Build and submit the RPC for a PendingFetch whose slots are
+     * already claimed (shared by the sync and split-phase paths);
+     * elevates f.fetchInFlight until completeFetch. @p blocking
+     * callers (the synchronous fetch path — they hold no uncollected
+     * slots) may wait for a queue slot; split-phase callers must not
+     * (deadlock cycle, see RpcQueue::trySubmit) — for them a full
+     * queue aborts the claim. @return false iff aborted.
+     */
+    bool submitClaimedFetch(gpu::BlockCtx &ctx, CacheFile &f,
+                            PendingFetch &pf, bool blocking);
 
     /** Issue one WritePages RPC carrying @p n gathered extents of @p f
      *  (one CPU-slot charge, one D2H DMA reservation, one pwritev on

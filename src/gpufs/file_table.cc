@@ -63,6 +63,12 @@ FileTable::pickRecyclable()
             OpenFile &e = *entries_[i];
             if (e.state != OpenFile::EState::Closed)
                 continue;
+            if (e.cf.fetchInFlight.load(std::memory_order_acquire) != 0 ||
+                e.cf.opInFlight.load(std::memory_order_acquire) != 0) {
+                // A split-phase fetch targets its frames / an
+                // unretired token still resolves through this cache.
+                continue;
+            }
             bool clean = !e.cf.cache || e.cf.cache->dirtyCount() == 0;
             if (pass == 0 && !clean)
                 continue;
@@ -84,7 +90,13 @@ FileTable::findDrainedClosed()
         OpenFile &e = *entries_[i];
         if (e.state == OpenFile::EState::Closed && e.cf.cache &&
             e.cf.cache->dirtyCount() == 0 &&
-            e.cf.cache->residentPages() == 0) {
+            e.cf.cache->residentPages() == 0 &&
+            e.cf.fetchInFlight.load(std::memory_order_acquire) == 0 &&
+            e.cf.opInFlight.load(std::memory_order_acquire) == 0) {
+            // Split-phase fetches sit in Init (invisible to
+            // residentPages) with the daemon's DMA still inbound, and
+            // unretired tokens still resolve through this cache —
+            // neither is "drained".
             return static_cast<int>(i);
         }
     }

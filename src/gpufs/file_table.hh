@@ -122,6 +122,9 @@ struct OpenFile {
         cf.version.store(0, std::memory_order_relaxed);
         cf.size.store(0, std::memory_order_relaxed);
         cf.closed = false;
+        // Recycled slots must not inherit the fsync-dedup arming from
+        // the previous tenant (a spurious host fsync per reuse).
+        cf.needsFsync.store(false, std::memory_order_relaxed);
         syncCacheFlags();
     }
 };

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <thread>
 
 #include "base/logging.hh"
 #include "hostfs/hostfs.hh"
@@ -10,6 +11,31 @@ namespace gpufs {
 namespace core {
 
 namespace {
+
+/**
+ * Pin with a bounded retry on transient arena exhaustion. Split-phase
+ * claims are unreclaimable until their owning block collects them, so
+ * under heavy multi-block pressure a reclaim pass can momentarily find
+ * nothing evictable even though frames are seconds (of real time) from
+ * coming back — every in-flight claim has a collector that needs no
+ * frames to run. Persistent exhaustion (frames leaked under pins)
+ * still surfaces as NoSpace.
+ */
+Status
+pinPageRetry(BufferCache &bc, gpu::BlockCtx &ctx, CacheFile &cf,
+             uint64_t page_idx, uint32_t *frame_out, FPage **fpage_out,
+             bool skip_fetch)
+{
+    constexpr int kNoSpaceRetries = 4096;
+    Status st;
+    for (int tries = 0;; ++tries) {
+        st = bc.pinPage(ctx, cf, page_idx, frame_out, fpage_out,
+                        skip_fetch);
+        if (st != Status::NoSpace || tries >= kNoSpaceRetries)
+            return st;
+        std::this_thread::yield();
+    }
+}
 
 /** Map GPUfs open flags to the host-visible flag set. */
 uint32_t
@@ -42,7 +68,12 @@ GpuFs::GpuFs(gpu::GpuDevice &device, rpc::RpcQueue &rpc_queue,
       cntBytesWritten(stats_.counter("bytes_written")),
       cntFlusherPages(stats_.counter("flusher_pages")),
       cntFlusherDrains(stats_.counter("flusher_drains")),
-      cntDrainedCollected(stats_.counter("drained_caches_collected"))
+      cntDrainedCollected(stats_.counter("drained_caches_collected")),
+      cntAsyncReads(stats_.counter("async_reads")),
+      cntAsyncWrites(stats_.counter("async_writes")),
+      cntAsyncSyncs(stats_.counter("async_syncs")),
+      cntAsyncPeak(stats_.counter("async_peak_inflight")),
+      cntFsyncsDeduped(stats_.counter("fsyncs_deduped"))
 {
     for (auto &e : table_.entries())
         bc_.attach(e->cf);
@@ -50,6 +81,13 @@ GpuFs::GpuFs(gpu::GpuDevice &device, rpc::RpcQueue &rpc_queue,
 
 GpuFs::~GpuFs()
 {
+    // Collect never-waited async submissions first: their RPCs may
+    // still be in the queue, and the daemon's DMA targets frames the
+    // cache teardown below is about to free.
+    for (auto &op : asyncOps_) {
+        if (op && op->active)
+            completePending(*op);
+    }
     // Tear down caches; entries with host fds cannot RPC here (the
     // daemon may already be gone), so host fds are abandoned — tests
     // that care close everything first.
@@ -105,6 +143,10 @@ GpuFs::allocEntryLocked(gpu::BlockCtx &ctx)
 int
 GpuFs::gopen(gpu::BlockCtx &ctx, const std::string &path, uint32_t flags)
 {
+    // Structural calls collect the block's pending async claims first
+    // (see harvestBlock): the destroy/recycle paths below take fpage
+    // locks a pending claim of OURS may hold.
+    harvestBlock(ctx.blockId());
     cntOpens.inc();
     ctx.charge(1 * kMicrosecond);   // table search cost
     if (path.size() >= rpc::kMaxPath)
@@ -171,9 +213,15 @@ GpuFs::gopen(gpu::BlockCtx &ctx, const std::string &path, uint32_t flags)
             }
             return cidx;
         }
-        // Stale cache: drop it; the now-Free slot is reused below.
+        // Stale cache: drop it; the now-Free slot is reused below. If
+        // unretired async tokens still resolve through this cache,
+        // leave the entry parked instead — the drained-collection
+        // sweeps destroy it once they retire (its opInFlight guard).
         cntInvalidations.inc();
-        destroyEntryLocked(ctx, e);
+        if (e.cf.opInFlight.load(std::memory_order_acquire) == 0)
+            destroyEntryLocked(ctx, e);
+        else
+            cidx = -1;
     }
 
     int nidx = cidx >= 0 ? cidx : allocEntryLocked(ctx);
@@ -199,6 +247,7 @@ GpuFs::gopen(gpu::BlockCtx &ctx, const std::string &path, uint32_t flags)
 Status
 GpuFs::gclose(gpu::BlockCtx &ctx, int fd)
 {
+    harvestBlock(ctx.blockId());
     auto lock = lockTable();
     Status st;
     OpenFile *e = entryOf(fd, &st);
@@ -224,122 +273,600 @@ int64_t
 GpuFs::gread(gpu::BlockCtx &ctx, int fd, uint64_t offset, uint64_t len,
              void *dst)
 {
-    Status st;
-    OpenFile *e = entryOf(fd, &st);
-    if (!e)
-        return -static_cast<int64_t>(st);
-    if ((e->flags & G_ACCMODE) == G_WRONLY || e->gwronce())
-        return -static_cast<int64_t>(Status::Inval);
-
-    uint64_t fsize = e->cf.size.load(std::memory_order_relaxed);
-    if (offset >= fsize)
-        return 0;
-    len = std::min(len, fsize - offset);
-
-    auto *out = static_cast<uint8_t *>(dst);
-    uint64_t pos = offset;
-    const uint64_t end = offset + len;
-    const uint64_t page_size = params_.pageSize;
-    while (pos < end) {
-        uint64_t page_idx = pos / page_size;
-        uint64_t in_page = pos % page_size;
-        uint64_t n = std::min(page_size - in_page, end - pos);
-        uint32_t frame;
-        FPage *fp;
-        st = bc_.pinPage(ctx, e->cf, page_idx, &frame, &fp, false);
-        if (!ok(st))
-            return -static_cast<int64_t>(st);
-        std::memcpy(out, bc_.arena().data(frame) + in_page, n);
-        ctx.chargeGpuMem(n);
-        e->cf.cache->unpin(*fp);
-        pos += n;
-        out += n;
-    }
-    cntBytesRead.inc(len);
-    return static_cast<int64_t>(len);
+    // Thin submit+wait wrapper over the async core. coalesce=false
+    // keeps the paper's demand-paging RPC pattern (per-page ReadPage
+    // plus read-ahead ReadPages batches) byte-for-byte.
+    GIoVec iov{offset, len, dst};
+    return gwait(ctx, submitRead(ctx, fd, &iov, 1, /*coalesce=*/false));
 }
 
 int64_t
 GpuFs::gwrite(gpu::BlockCtx &ctx, int fd, uint64_t offset, uint64_t len,
               const void *src)
 {
-    Status st;
-    OpenFile *e = entryOf(fd, &st);
-    if (!e)
-        return -static_cast<int64_t>(st);
-    if (!e->wantsWrite())
-        return -static_cast<int64_t>(Status::ReadOnlyFile);
+    GIoVec iov{offset, len, const_cast<void *>(src)};
+    return gwait(ctx, submitWrite(ctx, fd, &iov, 1));
+}
 
-    const auto *in = static_cast<const uint8_t *>(src);
-    uint64_t pos = offset;
-    const uint64_t end = offset + len;
-    const uint64_t page_size = params_.pageSize;
-    while (pos < end) {
-        uint64_t page_idx = pos / page_size;
-        uint64_t in_page = pos % page_size;
-        uint64_t n = std::min(page_size - in_page, end - pos);
-        bool whole_page = (in_page == 0 && n == page_size);
-        uint32_t frame;
-        FPage *fp;
-        st = bc_.pinPage(ctx, e->cf, page_idx, &frame, &fp, whole_page);
-        if (!ok(st))
-            return -static_cast<int64_t>(st);
-        std::memcpy(bc_.arena().data(frame) + in_page, in, n);
-        ctx.chargeGpuMem(n);
-        e->cf.cache->noteDirty(bc_.arena().frame(frame),
-                               static_cast<uint32_t>(in_page),
-                               static_cast<uint32_t>(in_page + n));
-        e->cf.cache->unpin(*fp);
-        pos += n;
-        in += n;
-    }
-    // Local size grows with writes (visible to this GPU's greads).
-    uint64_t cur = e->cf.size.load(std::memory_order_relaxed);
-    while (end > cur &&
-           !e->cf.size.compare_exchange_weak(cur, end,
-                                             std::memory_order_relaxed)) {
-    }
-    // "When gwrite completes, each thread issues a memory fence" (§4.1)
-    // so a later page-out DMA observes the data.
-    ctx.threadFence();
-    cntBytesWritten.inc(len);
-    return static_cast<int64_t>(len);
+int64_t
+GpuFs::greadv(gpu::BlockCtx &ctx, int fd, const GIoVec *iov,
+              unsigned iovcnt)
+{
+    return gwait(ctx, submitRead(ctx, fd, iov, iovcnt, /*coalesce=*/true));
+}
+
+int64_t
+GpuFs::gwritev(gpu::BlockCtx &ctx, int fd, const GIoVec *iov,
+               unsigned iovcnt)
+{
+    return gwait(ctx, submitWrite(ctx, fd, iov, iovcnt));
+}
+
+IoToken
+GpuFs::gread_async(gpu::BlockCtx &ctx, int fd, uint64_t offset,
+                   uint64_t len, void *dst)
+{
+    GIoVec iov{offset, len, dst};
+    return submitRead(ctx, fd, &iov, 1, /*coalesce=*/true);
+}
+
+IoToken
+GpuFs::gwrite_async(gpu::BlockCtx &ctx, int fd, uint64_t offset,
+                    uint64_t len, const void *src)
+{
+    GIoVec iov{offset, len, const_cast<void *>(src)};
+    return submitWrite(ctx, fd, &iov, 1);
+}
+
+IoToken
+GpuFs::greadv_async(gpu::BlockCtx &ctx, int fd, const GIoVec *iov,
+                    unsigned iovcnt)
+{
+    return submitRead(ctx, fd, iov, iovcnt, /*coalesce=*/true);
+}
+
+IoToken
+GpuFs::gwritev_async(gpu::BlockCtx &ctx, int fd, const GIoVec *iov,
+                     unsigned iovcnt)
+{
+    return submitWrite(ctx, fd, iov, iovcnt);
+}
+
+IoToken
+GpuFs::gfsync_async(gpu::BlockCtx &ctx, int fd)
+{
+    return submitFsync(ctx, fd, 0, UINT64_MAX);
 }
 
 Status
 GpuFs::gfsyncRange(gpu::BlockCtx &ctx, int fd, uint64_t offset,
                    uint64_t len)
 {
-    Status st;
-    OpenFile *e = entryOf(fd, &st);
-    if (!e)
-        return st;
-    if (e->nosync())
-        return Status::Ok;   // never synchronized to the host (§3.2)
-
     const uint64_t page_size = params_.pageSize;
     const uint64_t first_page = offset / page_size;
     const uint64_t last_page = len >= UINT64_MAX - offset
         ? UINT64_MAX : (offset + len + page_size - 1) / page_size;
+    return gstatus_of(
+        gwait(ctx, submitFsync(ctx, fd, first_page, last_page)));
+}
 
-    Status wb_st = bc_.flushDirty(ctx, e->cf, first_page, last_page);
+// ---------------------------------------------------------------------
+// Non-blocking I/O core: the in-flight request table
+// ---------------------------------------------------------------------
+
+uint64_t
+GpuFs::buildSegs(AsyncIoOp &op, const GIoVec *iov, unsigned iovcnt,
+                 uint64_t page_size, bool clamp_to, uint64_t fsize)
+{
+    uint64_t total = 0;
+    uint64_t end_max = 0;
+    for (unsigned v = 0; v < iovcnt; ++v) {
+        uint64_t off = iov[v].offset;
+        uint64_t len = iov[v].len;
+        if (clamp_to) {
+            // Reads never cross the (first-gopen + local writes) size.
+            if (off >= fsize)
+                continue;
+            len = std::min(len, fsize - off);
+        }
+        end_max = std::max(end_max, off + len);
+        auto *buf = static_cast<uint8_t *>(iov[v].buf);
+        uint64_t pos = off;
+        const uint64_t end = off + len;
+        while (pos < end) {
+            uint64_t page_idx = pos / page_size;
+            uint32_t in_page = static_cast<uint32_t>(pos % page_size);
+            uint32_t n = static_cast<uint32_t>(
+                std::min<uint64_t>(page_size - in_page, end - pos));
+            op.segs.push_back({page_idx, in_page, n, buf});
+            buf += n;
+            pos += n;
+        }
+        total += len;
+    }
+    // Writes grow the local size to the furthest extent end, exactly
+    // as the pre-async gwrite did (even for zero-length writes).
+    if (!clamp_to && iovcnt > 0)
+        op.endOff = end_max;
+    return total;
+}
+
+IoToken
+GpuFs::allocOp(gpu::BlockCtx &ctx, AsyncIoOp **out)
+{
+    std::lock_guard<std::mutex> lock(asyncMtx);
+    unsigned mine = 0;
+    int free_i = -1;
+    for (size_t i = 0; i < asyncOps_.size(); ++i) {
+        AsyncIoOp *op = asyncOps_[i].get();
+        if (op && op->active) {
+            if (op->blockId == ctx.blockId())
+                ++mine;
+        } else if (free_i < 0) {
+            free_i = static_cast<int>(i);
+        }
+    }
+    if (free_i < 0) {
+        free_i = static_cast<int>(asyncOps_.size());
+        asyncOps_.push_back(nullptr);
+    }
+    auto &slot = asyncOps_[free_i];
+    if (!slot)
+        slot = std::make_unique<AsyncIoOp>();
+    AsyncIoOp &op = *slot;
+    op.active = true;
+    op.blockId = ctx.blockId();
+    op.kind = AsyncIoOp::Kind::None;
+    op.fd = -1;
+    op.entry = nullptr;
+    // The cap fails the OPERATION, never the table: the token stays
+    // valid and redeemable so the error surfaces through gwait.
+    op.immediate =
+        mine >= params_.maxInflightIo ? Status::Busy : Status::Ok;
+    op.result = 0;
+    op.endOff = 0;
+    op.demandPages = 0;
+    op.flushStatus = Status::Ok;
+    op.flushDone = 0;
+    unsigned active = asyncActive_.fetch_add(1,
+                                             std::memory_order_relaxed) + 1;
+    cntAsyncPeak.maxWith(active);
+    *out = &op;
+    return IoToken{static_cast<uint32_t>(free_i), op.gen};
+}
+
+AsyncIoOp *
+GpuFs::claimOp(gpu::BlockCtx &ctx, IoToken token)
+{
+    std::lock_guard<std::mutex> lock(asyncMtx);
+    if (token.id >= asyncOps_.size())
+        return nullptr;
+    AsyncIoOp *op = asyncOps_[token.id].get();
+    if (!op || !op->active || op->gen != token.gen ||
+        op->blockId != ctx.blockId()) {
+        return nullptr;     // stale, reused, or foreign token
+    }
+    return op;
+}
+
+void
+GpuFs::releaseOp(AsyncIoOp &op)
+{
+    std::lock_guard<std::mutex> lock(asyncMtx);
+    op.active = false;
+    ++op.gen;       // invalidates the redeemed token (reuse errors)
+    op.segs.clear();
+    op.fetches.clear();
+    op.flushes.clear();
+    if (op.entry)
+        op.entry->cf.opInFlight.fetch_sub(1);
+    op.entry = nullptr;
+    asyncActive_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void
+GpuFs::completePending(AsyncIoOp &op)
+{
+    if (!op.entry)
+        return;
+    CacheFile &cf = op.entry->cf;
+    for (auto &pf : op.fetches) {
+        // A failed fetch rolls its claim back to Empty; resolution
+        // refetches synchronously and reports errors through the
+        // normal pin path.
+        bc_.completeFetch(cf, pf);
+    }
+    op.fetches.clear();
+    for (auto &fl : op.flushes) {
+        Status st = bc_.completeFlush(cf, fl, &op.flushDone);
+        if (!ok(st) && ok(op.flushStatus))
+            op.flushStatus = st;
+    }
+    op.flushes.clear();
+}
+
+void
+GpuFs::harvestBlock(unsigned block_id)
+{
+    if (asyncActive_.load(std::memory_order_acquire) == 0)
+        return;
+    // Ops are owned by their submitting block's thread between submit
+    // and wait, so collecting this block's set needs the mutex only
+    // for the scan. The set must be COMPLETE — a missed op would leave
+    // its claims' fpage locks held under the resolution that follows.
+    std::vector<AsyncIoOp *> mine;
+    {
+        std::lock_guard<std::mutex> lock(asyncMtx);
+        for (auto &slot : asyncOps_) {
+            AsyncIoOp *op = slot.get();
+            if (op && op->active && op->blockId == block_id &&
+                (!op->fetches.empty() || !op->flushes.empty())) {
+                mine.push_back(op);
+            }
+        }
+    }
+    for (AsyncIoOp *op : mine)
+        completePending(*op);
+}
+
+IoToken
+GpuFs::submitRead(gpu::BlockCtx &ctx, int fd, const GIoVec *iov,
+                  unsigned iovcnt, bool coalesce)
+{
+    AsyncIoOp *op = nullptr;
+    IoToken tok = allocOp(ctx, &op);
+    op->kind = AsyncIoOp::Kind::Read;
+    op->fd = fd;
+    cntAsyncReads.inc();
+    if (!ok(op->immediate))
+        return tok;
+    Status st;
+    OpenFile *e = entryOf(fd, &st);
+    if (!e) {
+        op->immediate = st;
+        return tok;
+    }
+    if ((e->flags & G_ACCMODE) == G_WRONLY || e->gwronce()) {
+        op->immediate = Status::Inval;
+        return tok;
+    }
+    op->entry = e;
+    e->cf.opInFlight.fetch_add(1);
+    ctx.charge(500);    // submit bookkeeping (0.5 us)
+    const uint64_t fsize = e->cf.size.load(std::memory_order_relaxed);
+    op->result = static_cast<int64_t>(
+        buildSegs(*op, iov, iovcnt, params_.pageSize,
+                  /*clamp_to=*/true, fsize));
+    CacheFile &cf = e->cf;
+    if (op->segs.empty() || !cf.cache)
+        return tok;
+
+    // Demand fetches go to the daemon split-phase; everything not
+    // claimable here (resident pages, contended pages, wronce and
+    // diff-merge files) resolves through the normal pin path at wait.
+    constexpr unsigned kMaxFetchesPerOp = 16;
+    auto budget = [&]() {
+        return kMaxFetchesPerOp -
+            static_cast<unsigned>(op->fetches.size());
+    };
+    auto submit_ra = [&](uint64_t from_idx) {
+        if (params_.readAheadPages == 0 || budget() == 0)
+            return;
+        PendingFetch ra[kMaxFetchesPerOp];
+        unsigned m = bc_.submitReadAhead(ctx, cf, from_idx, ra, budget());
+        for (unsigned i = 0; i < m; ++i)
+            op->fetches.push_back(ra[i]);
+    };
+    if (!coalesce) {
+        // Sync-wrapper pattern: one ReadPage per missing page, with
+        // the read-ahead window riding each miss — the pre-async RPC
+        // shape, just submitted without waiting.
+        uint64_t last_tried = UINT64_MAX;
+        for (const auto &seg : op->segs) {
+            if (budget() == 0)
+                break;
+            if (seg.pageIdx == last_tried)
+                continue;
+            last_tried = seg.pageIdx;
+            PendingFetch pf;
+            if (bc_.submitPageFetch(ctx, cf, seg.pageIdx, &pf)) {
+                op->fetches.push_back(pf);
+                ++op->demandPages;
+                submit_ra(seg.pageIdx);
+            }
+        }
+    } else {
+        // Vectored/async pattern: runs of missing pages coalesce into
+        // ReadPages batches per extent.
+        const uint64_t page_size = params_.pageSize;
+        for (unsigned v = 0; v < iovcnt && budget() > 0; ++v) {
+            if (iov[v].len == 0 || iov[v].offset >= fsize)
+                continue;
+            uint64_t idx = iov[v].offset / page_size;
+            uint64_t end_off =
+                std::min(iov[v].offset + iov[v].len, fsize);
+            const uint64_t last = (end_off + page_size - 1) / page_size;
+            while (idx < last && budget() > 0) {
+                unsigned want = static_cast<unsigned>(
+                    std::min<uint64_t>(last - idx, rpc::kMaxBatchPages));
+                PendingFetch pf;
+                unsigned n = bc_.submitBatchFetch(ctx, cf, idx, want, &pf);
+                if (n == 0) {
+                    ++idx;      // resident/in-flight head: step over
+                    continue;
+                }
+                op->fetches.push_back(pf);
+                op->demandPages += n;
+                idx += n;
+            }
+        }
+        if (op->demandPages > 0)
+            submit_ra(op->segs.back().pageIdx);
+    }
+    return tok;
+}
+
+IoToken
+GpuFs::submitWrite(gpu::BlockCtx &ctx, int fd, const GIoVec *iov,
+                   unsigned iovcnt)
+{
+    AsyncIoOp *op = nullptr;
+    IoToken tok = allocOp(ctx, &op);
+    op->kind = AsyncIoOp::Kind::Write;
+    op->fd = fd;
+    cntAsyncWrites.inc();
+    if (!ok(op->immediate))
+        return tok;
+    Status st;
+    OpenFile *e = entryOf(fd, &st);
+    if (!e) {
+        op->immediate = st;
+        return tok;
+    }
+    if (!e->wantsWrite()) {
+        op->immediate = Status::ReadOnlyFile;
+        return tok;
+    }
+    op->entry = e;
+    e->cf.opInFlight.fetch_add(1);
+    ctx.charge(500);
+    op->result = static_cast<int64_t>(
+        buildSegs(*op, iov, iovcnt, params_.pageSize,
+                  /*clamp_to=*/false, 0));
+    CacheFile &cf = e->cf;
+    if (!cf.cache)
+        return tok;
+
+    // Only partially-overwritten pages need a read-modify-write fetch
+    // (whole pages are zero-initialized without I/O at wait time), so
+    // only those start split-phase; the read-ahead window rides each
+    // miss exactly as the sync write path's pin did.
+    const uint64_t page_size = params_.pageSize;
+    constexpr unsigned kMaxFetchesPerOp = 16;
+    uint64_t last_tried = UINT64_MAX;
+    for (const auto &seg : op->segs) {
+        if (op->fetches.size() >= kMaxFetchesPerOp)
+            break;
+        if (seg.inPage == 0 && seg.n == page_size)
+            continue;       // whole-page overwrite: no fetch
+        if (seg.pageIdx == last_tried)
+            continue;
+        last_tried = seg.pageIdx;
+        PendingFetch pf;
+        if (bc_.submitPageFetch(ctx, cf, seg.pageIdx, &pf)) {
+            op->fetches.push_back(pf);
+            ++op->demandPages;
+            if (params_.readAheadPages > 0 &&
+                op->fetches.size() < kMaxFetchesPerOp) {
+                PendingFetch ra[kMaxFetchesPerOp];
+                unsigned m = bc_.submitReadAhead(
+                    ctx, cf, seg.pageIdx, ra,
+                    kMaxFetchesPerOp -
+                        static_cast<unsigned>(op->fetches.size()));
+                for (unsigned i = 0; i < m; ++i)
+                    op->fetches.push_back(ra[i]);
+            }
+        }
+    }
+    return tok;
+}
+
+IoToken
+GpuFs::submitFsync(gpu::BlockCtx &ctx, int fd, uint64_t first_page,
+                   uint64_t last_page)
+{
+    AsyncIoOp *op = nullptr;
+    IoToken tok = allocOp(ctx, &op);
+    op->kind = AsyncIoOp::Kind::Fsync;
+    op->fd = fd;
+    op->syncFirstPage = first_page;
+    op->syncLastPage = last_page;
+    cntAsyncSyncs.inc();
+    if (!ok(op->immediate))
+        return tok;
+    Status st;
+    OpenFile *e = entryOf(fd, &st);
+    if (!e) {
+        op->immediate = st;
+        return tok;
+    }
+    op->entry = e;
+    e->cf.opInFlight.fetch_add(1);
+    if (e->nosync())
+        return tok;     // never synchronized to the host (§3.2)
+    ctx.charge(500);
+    // First rounds of WritePages batches go split-phase; the residual
+    // drain (and the durability barrier) runs at wait time.
+    PendingFlush pending[4];
+    unsigned n = bc_.submitFlush(ctx, e->cf, first_page, last_page,
+                                 pending, 4);
+    for (unsigned i = 0; i < n; ++i)
+        op->flushes.push_back(pending[i]);
+    return tok;
+}
+
+int64_t
+GpuFs::resolveRead(gpu::BlockCtx &ctx, AsyncIoOp &op)
+{
+    CacheFile &cf = op.entry->cf;
+    // Demand-fetched pages pay the per-page map cost here — the sync
+    // path charged it inside pinPage's miss branch; the split-phase
+    // path pins them as hits, so the charge moves to collection.
+    if (op.demandPages > 0) {
+        ctx.charge(op.demandPages *
+                   dev.simContext().params.pageMapOverhead);
+    }
+    for (const auto &seg : op.segs) {
+        uint32_t frame;
+        FPage *fp;
+        Status st = pinPageRetry(bc_, ctx, cf, seg.pageIdx, &frame, &fp,
+                                 false);
+        if (!ok(st))
+            return -static_cast<int64_t>(st);
+        std::memcpy(seg.buf, bc_.arena().data(frame) + seg.inPage, seg.n);
+        ctx.chargeGpuMem(seg.n);
+        cf.cache->unpin(*fp);
+    }
+    cntBytesRead.inc(static_cast<uint64_t>(op.result));
+    return op.result;
+}
+
+int64_t
+GpuFs::resolveWrite(gpu::BlockCtx &ctx, AsyncIoOp &op)
+{
+    CacheFile &cf = op.entry->cf;
+    const uint64_t page_size = params_.pageSize;
+    if (op.demandPages > 0) {
+        ctx.charge(op.demandPages *
+                   dev.simContext().params.pageMapOverhead);
+    }
+    for (const auto &seg : op.segs) {
+        bool whole_page = seg.inPage == 0 && seg.n == page_size;
+        uint32_t frame;
+        FPage *fp;
+        Status st = pinPageRetry(bc_, ctx, cf, seg.pageIdx, &frame, &fp,
+                                 whole_page);
+        if (!ok(st))
+            return -static_cast<int64_t>(st);
+        std::memcpy(bc_.arena().data(frame) + seg.inPage, seg.buf, seg.n);
+        ctx.chargeGpuMem(seg.n);
+        cf.cache->noteDirty(bc_.arena().frame(frame), seg.inPage,
+                            seg.inPage + seg.n);
+        cf.cache->unpin(*fp);
+    }
+    // Local size grows with writes (visible to this GPU's greads).
+    uint64_t cur = cf.size.load(std::memory_order_relaxed);
+    while (op.endOff > cur &&
+           !cf.size.compare_exchange_weak(cur, op.endOff,
+                                          std::memory_order_relaxed)) {
+    }
+    // "When gwrite completes, each thread issues a memory fence" (§4.1)
+    // so a later page-out DMA observes the data.
+    ctx.threadFence();
+    cntBytesWritten.inc(static_cast<uint64_t>(op.result));
+    return op.result;
+}
+
+int64_t
+GpuFs::resolveFsync(gpu::BlockCtx &ctx, AsyncIoOp &op)
+{
+    OpenFile *e = op.entry;
+    if (e->nosync())
+        return 0;       // never synchronized to the host (§3.2)
+    CacheFile &cf = e->cf;
+    ctx.waitUntil(op.flushDone);
+    if (!ok(op.flushStatus))
+        return -static_cast<int64_t>(op.flushStatus);
+    // Residual drain + durability barrier (waits out extents that
+    // concurrent collectors, e.g. the async flusher, have in flight).
+    Status wb_st = bc_.flushDirty(ctx, cf, op.syncFirstPage,
+                                  op.syncLastPage);
     if (!ok(wb_st))
-        return wb_st;
+        return -static_cast<int64_t>(wb_st);
+    // Persist: flush the host page cache's dirty granules — but only
+    // when one of our write-backs dirtied them since the last host
+    // fsync. Skipping otherwise is what coalesces per-block gfsync
+    // bursts on a shared file (and gfsync-after-flusher-drain) into
+    // one Fsync RPC instead of one per block.
+    if (cf.hostFd >= 0 &&
+        cf.needsFsync.exchange(false, std::memory_order_acq_rel)) {
+        rpc::RpcRequest req;
+        req.op = rpc::RpcOp::Fsync;
+        req.hostFd = cf.hostFd;
+        rpc::RpcResponse resp = rpcCall(ctx, req);
+        if (!ok(resp.status)) {
+            cf.needsFsync.store(true, std::memory_order_release);
+            return -static_cast<int64_t>(resp.status);
+        }
+    } else {
+        cntFsyncsDeduped.inc();
+    }
+    return 0;
+}
 
-    // Persist: flush the host page cache's dirty granules (gfsync
-    // "synchronously writes back to the host"; host-side fsync makes
-    // it durable like CPU fsync).
-    rpc::RpcRequest req;
-    req.op = rpc::RpcOp::Fsync;
-    req.hostFd = e->cf.hostFd;
-    rpc::RpcResponse resp = rpcCall(ctx, req);
-    return resp.status;
+int64_t
+GpuFs::resolveOp(gpu::BlockCtx &ctx, AsyncIoOp &op)
+{
+    if (!ok(op.immediate))
+        return -static_cast<int64_t>(op.immediate);
+    switch (op.kind) {
+      case AsyncIoOp::Kind::Read:
+        return resolveRead(ctx, op);
+      case AsyncIoOp::Kind::Write:
+        return resolveWrite(ctx, op);
+      case AsyncIoOp::Kind::Fsync:
+        return resolveFsync(ctx, op);
+      case AsyncIoOp::Kind::None:
+        break;
+    }
+    return -static_cast<int64_t>(Status::Inval);
+}
+
+int64_t
+GpuFs::gwait(gpu::BlockCtx &ctx, IoToken token)
+{
+    AsyncIoOp *op = claimOp(ctx, token);
+    if (!op)
+        return -static_cast<int64_t>(Status::Inval);
+    // Collect the block's ENTIRE in-flight set before resolving:
+    // resolution takes fpage locks, and any of the block's own pending
+    // claims — this op's or a sibling token's — would self-deadlock.
+    harvestBlock(op->blockId);
+    int64_t r = resolveOp(ctx, *op);
+    ctx.charge(200);    // token retire bookkeeping
+    releaseOp(*op);
+    return r;
+}
+
+Status
+GpuFs::gwait_all(gpu::BlockCtx &ctx, int fd)
+{
+    std::vector<IoToken> toks;
+    {
+        std::lock_guard<std::mutex> lock(asyncMtx);
+        for (size_t i = 0; i < asyncOps_.size(); ++i) {
+            AsyncIoOp *op = asyncOps_[i].get();
+            if (op && op->active && op->blockId == ctx.blockId() &&
+                (fd < 0 || op->fd == fd)) {
+                toks.push_back(
+                    IoToken{static_cast<uint32_t>(i), op->gen});
+            }
+        }
+    }
+    Status agg = Status::Ok;
+    for (IoToken t : toks) {
+        int64_t r = gwait(ctx, t);
+        if (r < 0 && ok(agg))
+            agg = static_cast<Status>(-r);
+    }
+    return agg;
 }
 
 void *
 GpuFs::gmmap(gpu::BlockCtx &ctx, int fd, uint64_t offset, uint64_t len,
              uint64_t *mapped_len, Status *st_out)
 {
+    harvestBlock(ctx.blockId());
     Status st;
     OpenFile *e = entryOf(fd, &st);
     if (!e) {
@@ -396,6 +923,7 @@ GpuFs::gmunmap(gpu::BlockCtx &ctx, void *ptr)
 Status
 GpuFs::gmsync(gpu::BlockCtx &ctx, void *ptr)
 {
+    harvestBlock(ctx.blockId());
     uint32_t frame = bc_.arena().frameOf(ptr);
     if (frame == kNoFrame)
         return Status::Inval;
@@ -418,6 +946,7 @@ GpuFs::gunlink(gpu::BlockCtx &ctx, const std::string &path)
 {
     if (path.size() >= rpc::kMaxPath)
         return Status::Inval;
+    harvestBlock(ctx.blockId());
     {
         auto lock = lockTable();
         // "Files unlinked on the GPU have their local buffer space
@@ -457,6 +986,7 @@ GpuFs::gfstat(gpu::BlockCtx &ctx, int fd, GStat *out)
 Status
 GpuFs::gftruncate(gpu::BlockCtx &ctx, int fd, uint64_t new_size)
 {
+    harvestBlock(ctx.blockId());
     Status st;
     OpenFile *e = entryOf(fd, &st);
     if (!e)
@@ -486,6 +1016,9 @@ GpuFs::gftruncate(gpu::BlockCtx &ctx, int fd, uint64_t new_size)
         return resp.status;
     e->cf.size.store(new_size, std::memory_order_relaxed);
     e->cf.version.store(resp.version, std::memory_order_relaxed);
+    // The host-side length change is durability-relevant state a later
+    // gfsync must not dedup away.
+    e->cf.needsFsync.store(true, std::memory_order_release);
     return Status::Ok;
 }
 
@@ -534,18 +1067,30 @@ GpuFs::backgroundFlushPass(Time start_time)
             // the application's later gfsync. Only on the clean edge —
             // fsyncing every pass while a writer is still active would
             // burn the shared CPU/disk timelines re-flushing the same
+            // file — and only when needsFsync says our write-backs
+            // actually dirtied the host since the last fsync: the
+            // exchange is the per-file dedup that keeps one drain pass
+            // (and a racing gfsync burst) down to ONE Fsync RPC per
             // file. Fire-and-forget: the flusher does not advance its
             // clock to the (slow) disk completion — queuing its next
             // pass behind the disk would let its virtual clock run
             // ahead of the GPUs and manufacture contention the real
             // write-behind thread would never cause.
-            if (e.cf.hostFd >= 0 && e.cf.cache->dirtyCount() == 0) {
+            if (e.cf.hostFd >= 0 && e.cf.cache->dirtyCount() == 0 &&
+                e.cf.needsFsync.exchange(false,
+                                         std::memory_order_acq_rel)) {
                 rpc::RpcRequest req;
                 req.op = rpc::RpcOp::Fsync;
                 req.hostFd = e.cf.hostFd;
                 req.gpuId = dev.id();
                 req.issueTime = ctx.now();
-                queue.call(req);
+                rpc::RpcResponse resp = queue.call(req);
+                if (!ok(resp.status)) {
+                    // Leave durability to a later pass or an explicit
+                    // gfsync, which reports the error.
+                    e.cf.needsFsync.store(true,
+                                          std::memory_order_release);
+                }
             }
         }
         // A closed file whose last dirty page just went home can

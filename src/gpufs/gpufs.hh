@@ -25,6 +25,27 @@
  *  - O_GWRONCE write-once semantics: pages are implicitly
  *    zero-pristine, write-back diffs against zeros;
  *  - O_NOSYNC temp files are never written back to the host.
+ *
+ * Non-blocking I/O core. The Table-1 calls are thin submit+wait
+ * wrappers over an asynchronous request layer: gread_async /
+ * gwrite_async / gfsync_async submit work and return an IoToken
+ * immediately; gwait collects one token (and with it the operation's
+ * result), gwait_all drains every token the calling block holds. A
+ * block may therefore overlap its OWN compute with its OWN I/O —
+ * double-buffering a streaming scan (examples/double_buffer.cpp,
+ * bench/fig_async_overlap.cc) instead of relying on other blocks to
+ * hide host round-trips. Completions are delivered out of order:
+ * tokens may be waited in any order, but every token MUST eventually
+ * be waited by the block that submitted it (an unwaited token keeps
+ * its pages claimed, which stalls other blocks touching them).
+ * Vectored greadv/gwritev feed multi-extent requests straight into
+ * the batched ReadPages/WritePages RPCs.
+ *
+ * Error-return convention: calls that return a count (gopen, gread,
+ * gwrite, greadv, gwritev, gwait) encode failure as -(int)Status —
+ * decode with gstatus_of()/gok() below. Calls that return Status
+ * report it directly; gmmap, whose success value is a pointer, is the
+ * one exception and reports through a Status out-parameter.
  */
 
 #ifndef GPUFS_GPUFS_GPUFS_HH
@@ -45,6 +66,91 @@
 
 namespace gpufs {
 namespace core {
+
+/** Decode the negative-errno convention of count-returning calls:
+ *  Status::Ok for rc >= 0, the encoded Status otherwise. */
+constexpr Status
+gstatus_of(int64_t rc)
+{
+    return rc < 0 ? static_cast<Status>(-rc) : Status::Ok;
+}
+
+/** True iff a count-returning call (gopen/gread/gwrite/gwait/...)
+ *  succeeded. */
+constexpr bool
+gok(int64_t rc)
+{
+    return rc >= 0;
+}
+
+/**
+ * Opaque handle to one in-flight asynchronous request. Obtained from
+ * gread_async/gwrite_async/gfsync_async (and their vectored forms),
+ * redeemed exactly once by gwait — a second wait, a stale token, or a
+ * wait from a different block returns -Status::Inval. Submission-time
+ * failures (bad fd, wrong access mode, in-flight cap) still yield a
+ * valid token whose gwait reports the error, so the sync wrappers
+ * return exactly what the pre-async API did.
+ */
+struct IoToken {
+    static constexpr uint32_t kInvalidId = 0xFFFFFFFFu;
+    uint32_t id = kInvalidId;
+    uint32_t gen = 0;
+
+    bool valid() const { return id != kInvalidId; }
+};
+
+/** One extent of a vectored greadv/gwritev request: @p len bytes at
+ *  absolute file offset @p offset, read into / written from @p buf. */
+struct GIoVec {
+    uint64_t offset;
+    uint64_t len;
+    void *buf;
+};
+
+/**
+ * One slot of the in-flight request table (see gread_async). Owned by
+ * the submitting block between submit and wait: it records the
+ * request's segments (page-granular pieces of the user buffer), the
+ * split-phase fetches/flushes whose claims span submission→wait, and
+ * the clock charges (demand-fetched page count) the block pays when
+ * it collects.
+ */
+struct AsyncIoOp {
+    enum class Kind : uint8_t { None, Read, Write, Fsync };
+
+    Kind kind = Kind::None;
+    bool active = false;
+    uint32_t gen = 1;           ///< must match the redeeming token
+    unsigned blockId = 0;
+    int fd = -1;
+    OpenFile *entry = nullptr;  ///< stable: the table never deallocates
+    Status immediate = Status::Ok;  ///< submission-time failure
+    int64_t result = 0;             ///< bytes (precomputed for no-ops)
+
+    /** One page-granular piece of the request. */
+    struct Seg {
+        uint64_t pageIdx;
+        uint32_t inPage;    ///< first byte within the page
+        uint32_t n;         ///< bytes
+        uint8_t *buf;       ///< user-buffer cursor for this piece
+    };
+    std::vector<Seg> segs;
+    uint64_t endOff = 0;        ///< max extent end (write size growth)
+
+    /** Pages this op demand-fetched split-phase: the per-page map
+     *  overhead (charged by the sync path inside pinPage) is paid for
+     *  them at wait time. */
+    unsigned demandPages = 0;
+
+    uint64_t syncFirstPage = 0;     ///< Fsync range
+    uint64_t syncLastPage = 0;
+
+    std::vector<PendingFetch> fetches;
+    std::vector<PendingFlush> flushes;
+    Status flushStatus = Status::Ok;
+    Time flushDone = 0;
+};
 
 class GpuFs
 {
@@ -69,13 +175,72 @@ class GpuFs
     /** Close. Does NOT synchronize dirty data (decoupled, §3.2). */
     Status gclose(gpu::BlockCtx &ctx, int fd);
 
-    /** pread-style read. @return bytes read, or -(int)Status. */
+    /** pread-style read. @return bytes read, or -(int)Status.
+     *  (Submit+wait wrapper over the async core; preserves the
+     *  demand-paging RPC pattern page for page.) */
     int64_t gread(gpu::BlockCtx &ctx, int fd, uint64_t offset, uint64_t len,
                   void *dst);
 
-    /** pwrite-style write. @return bytes written, or -(int)Status. */
+    /** pwrite-style write. @return bytes written, or -(int)Status.
+     *  (Submit+wait wrapper over the async core.) */
     int64_t gwrite(gpu::BlockCtx &ctx, int fd, uint64_t offset, uint64_t len,
                    const void *src);
+
+    // ---- non-blocking I/O core ----
+
+    /**
+     * Submit a pread-style read and return immediately: missing pages
+     * are claimed and their fetch RPCs go to the daemon split-phase,
+     * so the block can compute while the DMA lands. The data is
+     * materialized into @p dst when the token is waited; @p dst must
+     * stay valid until then. gwait returns bytes read or -(int)Status.
+     */
+    IoToken gread_async(gpu::BlockCtx &ctx, int fd, uint64_t offset,
+                        uint64_t len, void *dst);
+
+    /**
+     * Submit a pwrite-style write. Partially-overwritten uncached
+     * pages start their read-modify-write fetch split-phase at submit;
+     * the bytes of @p src are copied into the cache (and become
+     * visible to gfsync and other blocks) when the token is waited.
+     * @p src must stay valid until then.
+     */
+    IoToken gwrite_async(gpu::BlockCtx &ctx, int fd, uint64_t offset,
+                         uint64_t len, const void *src);
+
+    /** Vectored forms: every extent of @p iov feeds one request whose
+     *  missing-page runs coalesce straight into batched ReadPages /
+     *  WritePages RPCs. gwait returns total bytes or -(int)Status. */
+    IoToken greadv_async(gpu::BlockCtx &ctx, int fd, const GIoVec *iov,
+                         unsigned iovcnt);
+    IoToken gwritev_async(gpu::BlockCtx &ctx, int fd, const GIoVec *iov,
+                          unsigned iovcnt);
+
+    /** Submit a full-file sync: the first rounds of WritePages batches
+     *  go to the daemon split-phase; the residual drain, the
+     *  durability barrier and the (deduplicated) host fsync run when
+     *  the token is waited. gwait returns 0 or -(int)Status. */
+    IoToken gfsync_async(gpu::BlockCtx &ctx, int fd);
+
+    /**
+     * Collect one token: completes the operation (waits out its RPCs,
+     * materializes read data, publishes write data, pays the clock
+     * charges) and retires it. @return the operation's result — bytes
+     * for reads/writes, 0 for syncs — or -(int)Status; a stale,
+     * reused, or foreign token returns -(int)Status::Inval.
+     */
+    int64_t gwait(gpu::BlockCtx &ctx, IoToken token);
+
+    /** Collect every outstanding token of the calling block — all of
+     *  them for @p fd < 0, else those on @p fd. @return first error. */
+    Status gwait_all(gpu::BlockCtx &ctx, int fd = -1);
+
+    /** Vectored synchronous wrappers (submit+wait). @return total
+     *  bytes, or -(int)Status. */
+    int64_t greadv(gpu::BlockCtx &ctx, int fd, const GIoVec *iov,
+                   unsigned iovcnt);
+    int64_t gwritev(gpu::BlockCtx &ctx, int fd, const GIoVec *iov,
+                    unsigned iovcnt);
 
     /** Synchronously write back all dirty pages of @p fd that are not
      *  mapped or concurrently accessed. */
@@ -154,6 +319,20 @@ class GpuFs
     FileTable table_;
     uint64_t closeCounter = 0;
 
+    /**
+     * The in-flight request table. Slots are allocated at submit and
+     * retired at wait under asyncMtx; between the two, a slot is owned
+     * exclusively by the submitting block's thread, so the operation
+     * itself (fetch completion, segment resolution) runs without the
+     * lock. The table grows on demand — params_.maxInflightIo caps a
+     * single BLOCK's outstanding ops (excess submissions fail with
+     * Status::Busy), not the table.
+     */
+    mutable std::mutex asyncMtx;
+    std::vector<std::unique_ptr<AsyncIoOp>> asyncOps_;
+    /** Active ops across all blocks (fast-path skip for harvesting). */
+    std::atomic<unsigned> asyncActive_{0};
+
     // Counters (registered once; fast paths use references).
     Counter &cntOpens;
     Counter &cntOpenRpcs;
@@ -164,6 +343,11 @@ class GpuFs
     Counter &cntFlusherPages;
     Counter &cntFlusherDrains;
     Counter &cntDrainedCollected;
+    Counter &cntAsyncReads;
+    Counter &cntAsyncWrites;
+    Counter &cntAsyncSyncs;
+    Counter &cntAsyncPeak;
+    Counter &cntFsyncsDeduped;
 
     /**
      * Take the table lock, asserting the paging lock is not already
@@ -208,6 +392,57 @@ class GpuFs
 
     /** Free slot, recycling the oldest closed entry if needed. */
     int allocEntryLocked(gpu::BlockCtx &ctx);
+
+    // ---- async request table internals ----
+
+    /** Allocate a request-table slot for @p ctx's block. Never fails:
+     *  when the block is over params_.maxInflightIo the slot carries
+     *  immediate = Status::Busy. @return the token; *out is the slot. */
+    IoToken allocOp(gpu::BlockCtx &ctx, AsyncIoOp **out);
+
+    /** Validate and claim the slot of @p token for resolution; nullptr
+     *  for stale/reused/foreign tokens. */
+    AsyncIoOp *claimOp(gpu::BlockCtx &ctx, IoToken token);
+
+    /** Retire a resolved slot: bump the generation (invalidating the
+     *  token), clear per-op state, free the slot. */
+    void releaseOp(AsyncIoOp &op);
+
+    /**
+     * Collect the in-flight RPCs (fetches and flushes) of EVERY active
+     * op of @p block_id, releasing their claimed fpage locks. Runs at
+     * the top of gwait and of every structural call (gopen, gclose,
+     * gmmap, gmsync, gftruncate, gunlink): a block's own pending claim
+     * must never sit under a code path that takes fpage locks, or the
+     * block would spin on itself. Results land in each op (flush
+     * status/completion; fetched pages become Ready for resolution).
+     */
+    void harvestBlock(unsigned block_id);
+
+    /** Collect one op's in-flight RPCs (see harvestBlock). */
+    void completePending(AsyncIoOp &op);
+
+    /** Map extents to page-granular segments; returns total bytes. */
+    static uint64_t buildSegs(AsyncIoOp &op, const GIoVec *iov,
+                              unsigned iovcnt, uint64_t page_size,
+                              bool clamp_to, uint64_t fsize);
+
+    /** Submission back ends (shared by the sync wrappers, the async
+     *  entry points, and the vectored calls). @p coalesce selects
+     *  multi-page ReadPages demand batches (vectored/async) over the
+     *  per-page demand pattern the sync wrappers preserve. */
+    IoToken submitRead(gpu::BlockCtx &ctx, int fd, const GIoVec *iov,
+                       unsigned iovcnt, bool coalesce);
+    IoToken submitWrite(gpu::BlockCtx &ctx, int fd, const GIoVec *iov,
+                        unsigned iovcnt);
+    IoToken submitFsync(gpu::BlockCtx &ctx, int fd, uint64_t first_page,
+                        uint64_t last_page);
+
+    /** Wait-side resolution of one claimed op. */
+    int64_t resolveOp(gpu::BlockCtx &ctx, AsyncIoOp &op);
+    int64_t resolveRead(gpu::BlockCtx &ctx, AsyncIoOp &op);
+    int64_t resolveWrite(gpu::BlockCtx &ctx, AsyncIoOp &op);
+    int64_t resolveFsync(gpu::BlockCtx &ctx, AsyncIoOp &op);
 };
 
 } // namespace core

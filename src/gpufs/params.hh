@@ -106,6 +106,16 @@ struct GpuFsParams {
 
     /** Wall-clock period between flusher drain passes, microseconds. */
     unsigned flusherIntervalUs = 200;
+
+    /**
+     * Non-blocking I/O core: maximum async requests a single block may
+     * have outstanding (gread_async/gwrite_async/gfsync_async tokens
+     * not yet collected by gwait). Submissions beyond the cap fail
+     * with Status::Busy — a block that double-buffers needs 2; the
+     * default leaves generous headroom without letting a runaway block
+     * monopolize the request-table slots or the RPC queue.
+     */
+    unsigned maxInflightIo = 64;
 };
 
 } // namespace core

@@ -106,7 +106,10 @@ class GpufsSystem
      * host thread that periodically runs every GpuFs instance's
      * backgroundFlushPass, persisting a per-GPU virtual clock across
      * passes so successive drains pipeline on the resource timelines.
-     * Stopped (and joined) before GpuFs/daemon teardown.
+     * Clean-edge host fsyncs are deduplicated per file through
+     * CacheFile::needsFsync, which is also what lets a later gfsync
+     * burst skip its Fsync RPCs when the flusher already made the
+     * file durable. Stopped (and joined) before GpuFs/daemon teardown.
      */
     void
     startFlusher(unsigned interval_us)

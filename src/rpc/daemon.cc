@@ -1,5 +1,6 @@
 #include "rpc/daemon.hh"
 
+#include <algorithm>
 #include <cstring>
 
 #include "base/logging.hh"
@@ -63,13 +64,27 @@ CpuDaemon::loop()
     uint64_t seen = doorbell.load(std::memory_order_acquire);
     while (running.load(std::memory_order_acquire)) {
         bool any = false;
-        // Event loop: sweep every GPU's queue, service what's ready.
+        // Event loop: sweep every GPU's queue, claim everything that
+        // is ready, and service the sweep's claims in issue-time order
+        // — with split-phase submission one block may have several
+        // slots outstanding, and servicing them in slot-array order
+        // would reserve the serialized CPU timeline acausally. Each
+        // slot still completes individually the moment it is serviced
+        // (out-of-order delivery relative to submission).
         for (unsigned i = 0; i < ports.size(); ++i) {
-            RpcSlot *slot;
-            while ((slot = ports[i].queue->poll()) != nullptr) {
-                RpcResponse resp = handle(i, slot->req);
-                RpcQueue::complete(*slot, resp);
-                requestsServed.inc();
+            RpcSlot *batch[kQueueSlots];
+            unsigned n;
+            while ((n = ports[i].queue->pollAll(batch, kQueueSlots))
+                   > 0) {
+                std::sort(batch, batch + n,
+                          [](const RpcSlot *a, const RpcSlot *b) {
+                              return a->req.issueTime < b->req.issueTime;
+                          });
+                for (unsigned s = 0; s < n; ++s) {
+                    RpcResponse resp = handle(i, batch[s]->req);
+                    RpcQueue::complete(*batch[s], resp);
+                    requestsServed.inc();
+                }
                 any = true;
             }
         }

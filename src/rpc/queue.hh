@@ -61,11 +61,15 @@ class RpcQueue
     RpcQueue &operator=(const RpcQueue &) = delete;
 
     /**
-     * Synchronous call from a GPU block: allocate a slot, publish the
-     * request, wait for completion. Returns the response by value.
+     * Split-phase submit: allocate a slot, publish the request, and
+     * return WITHOUT waiting. The caller owns the returned slot until
+     * it passes it to collect() — a block may hold several outstanding
+     * slots and collect them in any order (non-blocking I/O core); the
+     * daemon completes slots as it services them, so delivery order is
+     * independent of submission order.
      */
-    RpcResponse
-    call(const RpcRequest &req)
+    RpcSlot *
+    submit(const RpcRequest &req)
     {
         RpcSlot &slot = allocate();
         slot.req = req;
@@ -73,7 +77,44 @@ class RpcQueue
         slot.state.store(kSlotReady, std::memory_order_release);
         doorbell.fetch_add(1, std::memory_order_release);
         doorbell.notify_one();
+        return &slot;
+    }
 
+    /**
+     * Non-blocking submit: one sweep over the slot array; nullptr when
+     * every slot is in flight. Split-phase submitters MUST use this —
+     * they hold uncollected slots, and blocking in allocate() while
+     * holding the very resource other spinners wait for is a deadlock
+     * cycle (allocate() is only safe for callers that hold no slots,
+     * which the synchronous call() path guarantees).
+     */
+    RpcSlot *
+    trySubmit(const RpcRequest &req)
+    {
+        RpcSlot *slot = tryAllocate();
+        if (!slot)
+            return nullptr;
+        slot->req = req;
+        slot->state.store(kSlotReady, std::memory_order_release);
+        doorbell.fetch_add(1, std::memory_order_release);
+        doorbell.notify_one();
+        return slot;
+    }
+
+    /** Non-blocking completion probe for a submitted slot. */
+    bool
+    ready(const RpcSlot &slot) const
+    {
+        return slot.state.load(std::memory_order_acquire) == kSlotDone;
+    }
+
+    /**
+     * Collect a submitted slot: wait for the daemon's completion,
+     * free the slot, return the response by value.
+     */
+    RpcResponse
+    collect(RpcSlot &slot)
+    {
         // GPU side spins on its own slot (bounded spin, then park).
         uint32_t s;
         int spins = 0;
@@ -87,6 +128,15 @@ class RpcQueue
         slot.state.notify_all();
         inFlight_.fetch_sub(1, std::memory_order_relaxed);
         return resp;
+    }
+
+    /**
+     * Synchronous call from a GPU block: submit and immediately wait.
+     */
+    RpcResponse
+    call(const RpcRequest &req)
+    {
+        return collect(*submit(req));
     }
 
     /** High-water mark of concurrently in-flight slots. */
@@ -120,6 +170,28 @@ class RpcQueue
         return nullptr;
     }
 
+    /**
+     * Daemon side: claim EVERY currently-ready slot in one sweep.
+     * With split-phase submission a single block can have many slots
+     * outstanding, and slot-array order bears no relation to the
+     * virtual times the requests were issued at — the daemon sorts a
+     * sweep's claims by issueTime before servicing so its serialized
+     * CPU timeline reserves in causal order. @return slots claimed.
+     */
+    unsigned
+    pollAll(RpcSlot **out, unsigned max_out)
+    {
+        unsigned n = 0;
+        for (unsigned i = 0; i < kQueueSlots && n < max_out; ++i) {
+            uint32_t expect = kSlotReady;
+            if (slots[i].state.compare_exchange_strong(
+                    expect, kSlotBusy, std::memory_order_acq_rel)) {
+                out[n++] = &slots[i];
+            }
+        }
+        return n;
+    }
+
     /** Daemon side: publish the response and release the slot. */
     static void
     complete(RpcSlot &slot, const RpcResponse &resp)
@@ -130,33 +202,45 @@ class RpcQueue
     }
 
   private:
+    /** One claim sweep; nullptr when no slot is free. */
+    RpcSlot *
+    tryAllocate()
+    {
+        // Ticket-spread probing keeps concurrent blocks off each
+        // other's cache lines.
+        unsigned start = ticket.fetch_add(1, std::memory_order_relaxed);
+        for (unsigned i = 0; i < kQueueSlots; ++i) {
+            RpcSlot &slot = slots[(start + i) % kQueueSlots];
+            uint32_t expect = kSlotFree;
+            if (slot.state.compare_exchange_strong(
+                    expect, kSlotFilling, std::memory_order_acq_rel)) {
+                // Slot-pressure accounting (ROADMAP "RPC slot
+                // scaling") at the claim itself, so the high-water
+                // mark matches real occupancy (a queue that ever
+                // stalled full must have seen kQueueSlots here).
+                unsigned depth = inFlight_.fetch_add(
+                    1, std::memory_order_relaxed) + 1;
+                unsigned seen =
+                    maxInFlight_.load(std::memory_order_relaxed);
+                while (seen < depth &&
+                       !maxInFlight_.compare_exchange_weak(
+                           seen, depth, std::memory_order_relaxed)) {
+                }
+                return &slot;
+            }
+        }
+        return nullptr;
+    }
+
+    /** Blocking claim: waits for a free slot. Safe ONLY for callers
+     *  holding no uncollected slots (see trySubmit). */
     RpcSlot &
     allocate()
     {
-        // Ticket-spread probing keeps concurrent blocks off each
-        // other's cache lines; waits when all slots are in flight.
-        unsigned start = ticket.fetch_add(1, std::memory_order_relaxed);
         for (;;) {
-            for (unsigned i = 0; i < kQueueSlots; ++i) {
-                RpcSlot &slot = slots[(start + i) % kQueueSlots];
-                uint32_t expect = kSlotFree;
-                if (slot.state.compare_exchange_strong(
-                        expect, kSlotFilling, std::memory_order_acq_rel)) {
-                    // Slot-pressure accounting (ROADMAP "RPC slot
-                    // scaling") at the claim itself, so the high-water
-                    // mark matches real occupancy (a queue that ever
-                    // stalled full must have seen kQueueSlots here).
-                    unsigned depth = inFlight_.fetch_add(
-                        1, std::memory_order_relaxed) + 1;
-                    unsigned seen =
-                        maxInFlight_.load(std::memory_order_relaxed);
-                    while (seen < depth &&
-                           !maxInFlight_.compare_exchange_weak(
-                               seen, depth, std::memory_order_relaxed)) {
-                    }
-                    return slot;
-                }
-            }
+            RpcSlot *slot = tryAllocate();
+            if (slot)
+                return *slot;
             fullStalls_.fetch_add(1, std::memory_order_relaxed);
             std::this_thread::yield();
         }

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cstring>
+#include <tuple>
 
 #include "gpufs/system.hh"
 #include "tests/testutil.hh"
@@ -22,13 +23,19 @@ struct ModeParam {
     bool syncReachesHost;
 };
 
+/** Matrix axis 2: drive each cell through the synchronous Table-1
+ *  wrappers or the explicit async API (submit + gwait) — the two must
+ *  satisfy the identical contract. */
+using MatrixParam = std::tuple<ModeParam, bool>;
+
 std::string
-modeName(const ::testing::TestParamInfo<ModeParam> &info)
+modeName(const ::testing::TestParamInfo<MatrixParam> &info)
 {
-    return info.param.name;
+    return std::string(std::get<0>(info.param).name) +
+        (std::get<1>(info.param) ? "_async" : "_sync");
 }
 
-class OpenModeMatrix : public ::testing::TestWithParam<ModeParam>
+class OpenModeMatrix : public ::testing::TestWithParam<MatrixParam>
 {
   protected:
     OpenModeMatrix()
@@ -44,12 +51,31 @@ class OpenModeMatrix : public ::testing::TestWithParam<ModeParam>
 
 TEST_P(OpenModeMatrix, ContractHolds)
 {
-    const ModeParam &m = GetParam();
+    const ModeParam &m = std::get<0>(GetParam());
+    const bool use_async = std::get<1>(GetParam());
     if (m.fileExists)
         test::addRamp(sys->hostFs(), "/f", 8 * KiB);
     auto ctx = test::makeBlock(sys->device(0));
+    GpuFs &fs = sys->fs();
 
-    int fd = sys->fs().gopen(ctx, "/f", m.flags);
+    auto do_write = [&](int fd, uint64_t off, uint64_t len,
+                        const void *src) {
+        if (!use_async)
+            return fs.gwrite(ctx, fd, off, len, src);
+        return fs.gwait(ctx, fs.gwrite_async(ctx, fd, off, len, src));
+    };
+    auto do_read = [&](int fd, uint64_t off, uint64_t len, void *dst) {
+        if (!use_async)
+            return fs.gread(ctx, fd, off, len, dst);
+        return fs.gwait(ctx, fs.gread_async(ctx, fd, off, len, dst));
+    };
+    auto do_sync = [&](int fd) {
+        if (!use_async)
+            return fs.gfsync(ctx, fd);
+        return gstatus_of(fs.gwait(ctx, fs.gfsync_async(ctx, fd)));
+    };
+
+    int fd = fs.gopen(ctx, "/f", m.flags);
     if (!m.openOk) {
         EXPECT_LT(fd, 0) << statusName(Status(-fd));
         return;
@@ -57,14 +83,14 @@ TEST_P(OpenModeMatrix, ContractHolds)
     ASSERT_GE(fd, 0) << statusName(Status(-fd));
 
     uint8_t one = 0x5C;
-    int64_t wr = sys->fs().gwrite(ctx, fd, 100, 1, &one);
+    int64_t wr = do_write(fd, 100, 1, &one);
     if (m.writeOk)
         EXPECT_EQ(1, wr);
     else
         EXPECT_LT(wr, 0);
 
     uint8_t back = 0;
-    int64_t rd = sys->fs().gread(ctx, fd, 100, 1, &back);
+    int64_t rd = do_read(fd, 100, 1, &back);
     if (m.readOk) {
         EXPECT_EQ(1, rd);
         EXPECT_EQ(m.writeOk ? one : test::rampByte(100), back);
@@ -72,7 +98,7 @@ TEST_P(OpenModeMatrix, ContractHolds)
         EXPECT_LT(rd, 0);
     }
 
-    Status sync = sys->fs().gfsync(ctx, fd);
+    Status sync = do_sync(fd);
     EXPECT_EQ(Status::Ok, sync);
     sys->fs().gclose(ctx, fd);
 
@@ -96,25 +122,27 @@ TEST_P(OpenModeMatrix, ContractHolds)
 
 INSTANTIATE_TEST_SUITE_P(
     Modes, OpenModeMatrix,
-    ::testing::Values(
-        ModeParam{"rdonly_existing", G_RDONLY, true,
-                  true, true, false, false},
-        ModeParam{"rdonly_missing", G_RDONLY, false,
-                  false, false, false, false},
-        ModeParam{"rdwr_existing", G_RDWR, true,
-                  true, true, true, true},
-        ModeParam{"rdwr_creat_missing", G_RDWR | G_CREAT, false,
-                  true, true, true, true},
-        ModeParam{"wronly_existing", G_WRONLY, true,
-                  true, false, true, true},
-        ModeParam{"gwronce_missing", G_GWRONCE, false,
-                  true, false, true, true},
-        ModeParam{"gwronce_existing", G_GWRONCE, true,
-                  true, false, true, true},
-        ModeParam{"nosync_missing", G_RDWR | G_NOSYNC, false,
-                  true, true, true, false},
-        ModeParam{"trunc_existing", G_RDWR | G_TRUNC, true,
-                  true, true, true, true}),
+    ::testing::Combine(
+        ::testing::Values(
+            ModeParam{"rdonly_existing", G_RDONLY, true,
+                      true, true, false, false},
+            ModeParam{"rdonly_missing", G_RDONLY, false,
+                      false, false, false, false},
+            ModeParam{"rdwr_existing", G_RDWR, true,
+                      true, true, true, true},
+            ModeParam{"rdwr_creat_missing", G_RDWR | G_CREAT, false,
+                      true, true, true, true},
+            ModeParam{"wronly_existing", G_WRONLY, true,
+                      true, false, true, true},
+            ModeParam{"gwronce_missing", G_GWRONCE, false,
+                      true, false, true, true},
+            ModeParam{"gwronce_existing", G_GWRONCE, true,
+                      true, false, true, true},
+            ModeParam{"nosync_missing", G_RDWR | G_NOSYNC, false,
+                      true, true, true, false},
+            ModeParam{"trunc_existing", G_RDWR | G_TRUNC, true,
+                      true, true, true, true}),
+        ::testing::Bool()),
     modeName);
 
 // ---------------------------------------------------------------------

@@ -242,6 +242,115 @@ TEST_F(StressTest, PoisonedProviderDataIsContained)
     sys->fs().gclose(ctx, good);
 }
 
+TEST_F(StressTest, AsyncMixedOpsUnderPagingKeepDataIntact)
+{
+    // The async twin of MixedOpsUnderPagingKeepDataIntact, with the
+    // write-back flusher racing the split-phase submissions: blocks
+    // keep several read/write tokens in flight, wait them out of
+    // order, interleave sync wrappers (which harvest pending claims),
+    // and close files with tokens outstanding. TSan runs this in CI.
+    GpuFsParams p;
+    p.pageSize = 16 * KiB;
+    p.cacheBytes = 2 * MiB;         // heavy paging
+    p.maxOpenFiles = 128;
+    p.asyncWriteback = true;        // flusher races the async ops
+    p.flusherIntervalUs = 50;
+    sys = std::make_unique<GpufsSystem>(1, p);
+    constexpr unsigned kFiles = 8;
+    constexpr uint64_t kFileSize = 256 * KiB;
+    for (unsigned f = 0; f < kFiles; ++f)
+        test::addRamp(sys->hostFs(), "/ain" + std::to_string(f),
+                      kFileSize);
+
+    std::atomic<uint64_t> errors{0};
+    gpu::launch(sys->device(0), 56, 256, [&](gpu::BlockCtx &ctx) {
+        GpuFs &fs = sys->fs();
+        std::string out_path = "/aout" + std::to_string(ctx.blockId());
+        int ofd = fs.gopen(ctx, out_path, G_RDWR | G_CREAT);
+        if (ofd < 0) {
+            errors.fetch_add(1);
+            return;
+        }
+        constexpr uint64_t kChunk = 24 * KiB;
+        std::vector<uint8_t> rbuf[2] = {std::vector<uint8_t>(kChunk),
+                                        std::vector<uint8_t>(kChunk)};
+        std::vector<uint8_t> wbuf(512);
+        for (int iter = 0; iter < 20; ++iter) {
+            unsigned f = unsigned(ctx.rng().nextBelow(kFiles));
+            int fd = fs.gopen(ctx, "/ain" + std::to_string(f),
+                              G_RDONLY);
+            if (fd < 0) {
+                errors.fetch_add(1);
+                continue;
+            }
+            // Two overlapping-in-time reads, waited in reverse order.
+            uint64_t o0 = ctx.rng().nextBelow(kFileSize - kChunk);
+            uint64_t o1 = ctx.rng().nextBelow(kFileSize - kChunk);
+            IoToken t0 = fs.gread_async(ctx, fd, o0, kChunk,
+                                        rbuf[0].data());
+            IoToken t1 = fs.gread_async(ctx, fd, o1, kChunk,
+                                        rbuf[1].data());
+            // A write token into this block's own file rides along.
+            uint8_t stamp = uint8_t(ctx.blockId() ^ iter);
+            std::memset(wbuf.data(), stamp, wbuf.size());
+            IoToken tw = fs.gwrite_async(ctx, ofd,
+                                         uint64_t(iter) * wbuf.size(),
+                                         wbuf.size(), wbuf.data());
+            if (fs.gwait(ctx, t1) != int64_t(kChunk)) {
+                errors.fetch_add(1);
+            } else {
+                for (size_t i = 0; i < kChunk; i += 997) {
+                    if (rbuf[1][i] != test::rampByte(o1 + i))
+                        errors.fetch_add(1);
+                }
+            }
+            if (fs.gwait(ctx, t0) != int64_t(kChunk)) {
+                errors.fetch_add(1);
+            } else {
+                for (size_t i = 0; i < kChunk; i += 997) {
+                    if (rbuf[0][i] != test::rampByte(o0 + i))
+                        errors.fetch_add(1);
+                }
+            }
+            if (fs.gwait(ctx, tw) != int64_t(wbuf.size()))
+                errors.fetch_add(1);
+            // Every third iteration closes with a token outstanding
+            // (wait-after-close) and syncs through the async path.
+            if (iter % 3 == 0) {
+                IoToken late = fs.gread_async(ctx, fd, 0, 1 * KiB,
+                                              rbuf[0].data());
+                fs.gclose(ctx, fd);
+                if (fs.gwait(ctx, late) != int64_t(1 * KiB))
+                    errors.fetch_add(1);
+                if (!ok(gstatus_of(
+                        fs.gwait(ctx, fs.gfsync_async(ctx, ofd)))))
+                    errors.fetch_add(1);
+            } else {
+                fs.gclose(ctx, fd);
+            }
+        }
+        if (!ok(fs.gwait_all(ctx)))
+            errors.fetch_add(1);
+        if (!ok(fs.gfsync(ctx, ofd)))
+            errors.fetch_add(1);
+        fs.gclose(ctx, ofd);
+    });
+    ASSERT_EQ(0u, errors.load());
+
+    // Verify every block's output file on the host.
+    for (unsigned b = 0; b < 56; ++b) {
+        int fd = sys->hostFs().open("/aout" + std::to_string(b),
+                                    hostfs::O_RDONLY_F);
+        ASSERT_GE(fd, 0) << b;
+        uint8_t byte = 0;
+        for (int iter = 0; iter < 20; ++iter) {
+            sys->hostFs().pread(fd, &byte, 1, uint64_t(iter) * 512);
+            EXPECT_EQ(uint8_t(b ^ iter), byte) << "block " << b;
+        }
+        sys->hostFs().close(fd);
+    }
+}
+
 TEST_F(StressTest, ReadAheadPrefetchesSequentialPages)
 {
     GpuFsParams p;
