@@ -29,9 +29,12 @@ namespace bench {
 struct Options {
     double scale;
     unsigned repeats = 1;
+    /** Multi-GPU benches: cap the GPU-count sweep (0 = bench default).
+     *  CI smoke runs pass --gpus=2 to keep the multigpu label cheap. */
+    unsigned gpus = 0;
 };
 
-/** Parse --scale=F / --full / --help. */
+/** Parse --scale=F / --full / --gpus=N / --help. */
 inline Options
 parseOptions(int argc, char **argv, double default_scale,
              const char *description)
@@ -48,11 +51,18 @@ parseOptions(int argc, char **argv, double default_scale,
             }
         } else if (std::strcmp(a, "--full") == 0) {
             opt.scale = 1.0;
+        } else if (std::strncmp(a, "--gpus=", 7) == 0) {
+            opt.gpus = unsigned(std::atoi(a + 7));
+            if (opt.gpus < 1) {
+                std::fprintf(stderr, "bad --gpus\n");
+                std::exit(2);
+            }
         } else if (std::strcmp(a, "--help") == 0) {
             std::printf("%s\n\nOptions:\n"
                         "  --scale=F   scale workload sizes by F "
                         "(default %.3g)\n"
-                        "  --full      paper-scale run (--scale=1)\n",
+                        "  --full      paper-scale run (--scale=1)\n"
+                        "  --gpus=N    cap multi-GPU sweeps at N GPUs\n",
                         description, default_scale);
             std::exit(0);
         } else {
@@ -61,6 +71,65 @@ parseOptions(int argc, char **argv, double default_scale,
         }
     }
     return opt;
+}
+
+/**
+ * RPC slot pressure of one system run (ROADMAP "RPC slot scaling"):
+ * per-GPU request-queue high-water depth, full-queue stalls and total
+ * submissions. Every multi-GPU bench prints this next to its results;
+ * stalls above 1% of submissions earn a one-line warning — the
+ * doorbell-coalescing decision signal. The row form lets benches
+ * snapshot a system they are about to destroy and print later.
+ */
+struct SlotPressureRow {
+    unsigned maxInFlight = 0;
+    uint64_t fullStalls = 0;
+    uint64_t submissions = 0;
+};
+
+/** Snapshot every GPU queue's pressure counters. */
+inline std::vector<SlotPressureRow>
+snapshotSlotPressure(core::GpufsSystem &sys)
+{
+    std::vector<SlotPressureRow> rows(sys.numGpus());
+    for (unsigned g = 0; g < sys.numGpus(); ++g) {
+        rpc::RpcQueue &q = sys.rpcQueue(g);
+        rows[g] = {q.maxInFlightSlots(), q.fullQueueStalls(),
+                   q.submissions()};
+    }
+    return rows;
+}
+
+inline void
+reportSlotPressure(const std::vector<SlotPressureRow> &rows,
+                   const char *label = "")
+{
+    std::printf("#  %sslot pressure (max in-flight of %u slots / "
+                "full-queue stalls / submissions):",
+                label, rpc::kQueueSlots);
+    bool warn = false;
+    for (unsigned g = 0; g < rows.size(); ++g) {
+        std::printf("  gpu%u %u/%llu/%llu", g, rows[g].maxInFlight,
+                    static_cast<unsigned long long>(rows[g].fullStalls),
+                    static_cast<unsigned long long>(rows[g].submissions));
+        if (rows[g].fullStalls > 0 &&
+            rows[g].fullStalls * 100 > rows[g].submissions) {
+            warn = true;
+        }
+    }
+    std::printf("\n");
+    if (warn) {
+        std::printf("#  WARNING: full-queue stalls exceed 1%% of "
+                    "submissions — the %u-slot array (not the daemon) "
+                    "is the bottleneck; consider doorbell coalescing\n",
+                    rpc::kQueueSlots);
+    }
+}
+
+inline void
+reportSlotPressure(core::GpufsSystem &sys, const char *label = "")
+{
+    reportSlotPressure(snapshotSlotPressure(sys), label);
 }
 
 /** Install a cheap file whose content is all zeros (timing-only data:

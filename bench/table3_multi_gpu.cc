@@ -10,8 +10,22 @@
  * (3.6x — static partitioning scales worse on irregular input). Runs
  * are warmed ("preliminary warmup ... prefetch the data into the CPU
  * buffer cache"); the WRAPFS consistency daemon stays in the loop.
+ *
+ * Queries are split among GPUs INTERLEAVED (GPU g takes queries
+ * g, g+N, ...): a contiguous ceil(n/N) split hands the last GPU a
+ * short tail, and the "slowest GPU" span then misreads scaling.
+ *
+ * Beyond the paper: the database scan is a SHARED working set (every
+ * GPU reads every database), which is exactly where private per-GPU
+ * caches bottleneck on the single host I/O path. The sharded-cache
+ * section reruns the GPU rows with ShardPolicy::HashPageGroup —
+ * non-owner misses become PeerReadPages serviced from the owner GPU's
+ * resident frames over P2P channels — and reports per-GPU hit rate,
+ * host read-RPC count and P2P-forwarded pages against the Private
+ * baseline (which stays the default for the paper rows).
  */
 
+#include <algorithm>
 #include <thread>
 
 #include "bench/benchutil.hh"
@@ -25,22 +39,26 @@ namespace {
 
 constexpr char kQueryPath[] = "/data/queries.bin";
 
-/** RPC slot pressure observed during one run (ROADMAP "RPC slot
- *  scaling"): how deep the per-GPU request queue actually gets, and
- *  whether submitters ever found every slot busy. */
-struct SlotPressure {
-    unsigned maxInFlight = 0;
-    uint64_t fullStalls = 0;
+/** Per-run cache/RPC observability (tentpole reporting). */
+struct RunStats {
+    Time span = 0;
+    unsigned matches = 0;
+    double hitRate[8] = {};         ///< per-GPU cache hit rate
+    uint64_t hostPages = 0;         ///< pages fetched via host RPCs
+    uint64_t peerForwarded = 0;     ///< pages served GPU-to-GPU
+    uint64_t peerFallback = 0;      ///< non-owner misses host-served
+    std::vector<bench::SlotPressureRow> pressure;
 };
 
-Time
+RunStats
 runGpus(const std::vector<ImageDbSpec> &dbs, uint32_t num_queries,
         unsigned num_gpus, double threshold, double scale,
-        unsigned *matches_out, SlotPressure *pressure_out)
+        core::ShardPolicy policy, bool report_pressure)
 {
     core::GpuFsParams p;
     p.pageSize = 256 * KiB;
     p.cacheBytes = uint64_t(2.0 * scale * GiB);
+    p.shardPolicy = policy;
     core::GpufsSystem sys(num_gpus, p);
     for (const auto &db : dbs)
         addImageDb(sys.hostFs(), db, 42);
@@ -49,41 +67,45 @@ runGpus(const std::vector<ImageDbSpec> &dbs, uint32_t num_queries,
         bench::warmHostCache(sys.hostFs(), db.path);
     bench::warmHostCache(sys.hostFs(), kQueryPath);
 
-    // The query list is split equally among the GPUs (§5.2.1); each
-    // GPU runs its kernel concurrently (own host thread, shared
-    // daemon), and the job ends when the slowest GPU finishes.
+    // Interleaved query assignment (§5.2.1's static split, minus the
+    // remainder imbalance); each GPU runs its kernel concurrently (own
+    // host thread, shared daemon), and the job ends when the slowest
+    // GPU finishes.
     std::vector<std::thread> threads;
     std::vector<ImageSearchGpuResult> results(num_gpus);
-    uint32_t per = (num_queries + num_gpus - 1) / num_gpus;
     for (unsigned g = 0; g < num_gpus; ++g) {
         threads.emplace_back([&, g] {
-            uint32_t q0 = std::min(num_queries, g * per);
-            uint32_t q1 = std::min(num_queries, q0 + per);
             results[g] = gpuImageSearch(sys.fs(g), sys.device(g), dbs,
-                                        kQueryPath, q0, q1, threshold);
+                                        kQueryPath, g, num_queries,
+                                        threshold, 28, 512,
+                                        /*q_stride=*/num_gpus);
         });
     }
     for (auto &t : threads)
         t.join();
-    if (pressure_out) {
-        *pressure_out = SlotPressure{};
-        for (unsigned g = 0; g < num_gpus; ++g) {
-            pressure_out->maxInFlight = std::max(
-                pressure_out->maxInFlight,
-                sys.rpcQueue(g).maxInFlightSlots());
-            pressure_out->fullStalls += sys.rpcQueue(g).fullQueueStalls();
-        }
+
+    RunStats out;
+    for (unsigned g = 0; g < num_gpus && g < 8; ++g) {
+        StatSet &st = sys.fs(g).stats();
+        uint64_t hits = st.counter("cache_hits").get();
+        uint64_t misses = st.counter("cache_misses").get();
+        out.hitRate[g] = hits + misses
+            ? double(hits) / double(hits + misses) : 0.0;
+        // Pages, not RPCs: one batch RPC covers up to 16 pages, and
+        // the peer-fallback figure below is in pages too.
+        out.hostPages += st.counter("read_rpcs").get() +
+            st.counter("batch_read_pages").get();
+        out.peerForwarded += st.counter("peer_pages_forwarded").get();
+        out.peerFallback += st.counter("peer_pages_fallback").get();
     }
-    Time end = 0;
-    unsigned matches = 0;
+    if (report_pressure)
+        out.pressure = bench::snapshotSlotPressure(sys);
     for (const auto &r : results) {
-        end = std::max(end, r.elapsed);
+        out.span = std::max(out.span, r.elapsed);
         for (const auto &m : r.results)
-            matches += m.found() ? 1 : 0;
+            out.matches += m.found() ? 1 : 0;
     }
-    if (matches_out)
-        *matches_out = matches;
-    return end;
+    return out;
 }
 
 Time
@@ -105,38 +127,78 @@ runCpu(const std::vector<ImageDbSpec> &dbs, uint32_t num_queries,
 
 void
 runInput(const char *label, bool planted, uint32_t num_queries,
-         double scale)
+         double scale, unsigned max_gpus)
 {
     auto dbs = makePaperDbs(9, num_queries, planted, scale);
     double threshold = 1e-6;
     Time cpu = runCpu(dbs, num_queries, threshold);
     std::printf("%-12s CPUx8 %7.1fs |", label, toSeconds(cpu));
     Time one = 0;
-    SlotPressure pressure[5];
-    for (unsigned g = 1; g <= 4; ++g) {
-        unsigned matches = 0;
-        Time t = runGpus(dbs, num_queries, g, threshold, scale, &matches,
-                         &pressure[g]);
+    std::vector<bench::SlotPressureRow> pressure;
+    for (unsigned g = 1; g <= max_gpus; ++g) {
+        RunStats r = runGpus(dbs, num_queries, g, threshold, scale,
+                             core::ShardPolicy::Private,
+                             /*report_pressure=*/g == max_gpus);
         if (g == 1)
-            one = t;
-        std::printf("  %uGPU %6.1fs (%.1fx)", g, toSeconds(t),
-                    double(one) / double(t));
-        if (planted && matches != num_queries)
-            std::printf(" [!%u/%u matched]", matches, num_queries);
+            one = r.span;
+        if (g == max_gpus)
+            pressure = r.pressure;
+        std::printf("  %uGPU %6.1fs (%.1fx)", g, toSeconds(r.span),
+                    double(one) / double(r.span));
+        if (planted && r.matches != num_queries)
+            std::printf(" [!%u/%u matched]", r.matches, num_queries);
     }
     std::printf("\n");
-    // Slot pressure (ROADMAP "RPC slot scaling"): kQueueSlots=64 per
-    // GPU; if max in-flight approaches it or any submitter stalled on
-    // a full queue, the slot array is becoming the bottleneck.
-    std::printf("#  slot pressure (max in-flight of %u slots / "
-                "full-queue stalls):",
-                rpc::kQueueSlots);
-    for (unsigned g = 1; g <= 4; ++g) {
-        std::printf("  %uGPU %u/%llu", g, pressure[g].maxInFlight,
+    bench::reportSlotPressure(pressure);
+}
+
+/**
+ * Sharded-vs-private ablation on the shared database scan: same
+ * kernel, same inputs, ShardPolicy::HashPageGroup against the private
+ * baseline at each GPU count. Reported per row: span, per-GPU hit
+ * rate, host read RPCs, and the P2P forward fraction of non-owner
+ * misses.
+ */
+void
+runShardCompare(const char *label, bool planted, uint32_t num_queries,
+                double scale, unsigned max_gpus)
+{
+    auto dbs = makePaperDbs(9, num_queries, planted, scale);
+    double threshold = 1e-6;
+    for (unsigned g = 2; g <= max_gpus; ++g) {
+        RunStats pr = runGpus(dbs, num_queries, g, threshold, scale,
+                              core::ShardPolicy::Private, false);
+        RunStats sh = runGpus(dbs, num_queries, g, threshold, scale,
+                              core::ShardPolicy::HashPageGroup,
+                              /*report_pressure=*/g == max_gpus);
+        double fwd_frac = sh.peerForwarded + sh.peerFallback
+            ? double(sh.peerForwarded) /
+                  double(sh.peerForwarded + sh.peerFallback)
+            : 0.0;
+        // Host-served pages count BOTH plain host fetches and the
+        // pages of peer requests the owner could not serve (those
+        // fall back to a host pread inside the peer RPC).
+        std::printf("%-12s %uGPU  private %6.1fs | sharded %6.1fs "
+                    "(%.2fx)  host-served pages %llu -> %llu  "
+                    "p2p-forwarded %llu (%.0f%% of non-owner misses)\n",
+                    label, g, toSeconds(pr.span), toSeconds(sh.span),
+                    double(pr.span) / double(sh.span),
                     static_cast<unsigned long long>(
-                        pressure[g].fullStalls));
+                        pr.hostPages + pr.peerFallback),
+                    static_cast<unsigned long long>(
+                        sh.hostPages + sh.peerFallback),
+                    static_cast<unsigned long long>(sh.peerForwarded),
+                    100.0 * fwd_frac);
+        std::printf("#    per-GPU hit rate: private");
+        for (unsigned i = 0; i < g; ++i)
+            std::printf(" %.3f", pr.hitRate[i]);
+        std::printf(" | sharded");
+        for (unsigned i = 0; i < g; ++i)
+            std::printf(" %.3f", sh.hitRate[i]);
+        std::printf("\n");
+        if (g == max_gpus)
+            bench::reportSlotPressure(sh.pressure, "sharded ");
     }
-    std::printf("\n");
 }
 
 } // namespace
@@ -147,8 +209,10 @@ main(int argc, char **argv)
     bench::Options opt = bench::parseOptions(
         argc, argv, 0.25,
         "Table 3: image matching, CPUx8 vs 1-4 GPUs, no-match and "
-        "exact-match inputs");
+        "exact-match inputs; plus sharded-cache vs private ablation");
     const uint32_t num_queries = uint32_t(2016 * opt.scale);
+    // RunStats carries 8 per-GPU hit-rate slots; cap the sweep there.
+    const unsigned max_gpus = std::min(opt.gpus ? opt.gpus : 4u, 8u);
 
     bench::printTitle(
         "Table 3: approximate image matching scaling (speedups "
@@ -156,7 +220,14 @@ main(int argc, char **argv)
         "paper no-match: 119s CPU; 53/27/18/13s on 1-4 GPUs. "
         "exact-match: 100s CPU; 40/21/14/11s");
 
-    runInput("no_match", false, num_queries, opt.scale);
-    runInput("exact_match", true, num_queries, opt.scale);
+    runInput("no_match", false, num_queries, opt.scale, max_gpus);
+    runInput("exact_match", true, num_queries, opt.scale, max_gpus);
+
+    if (max_gpus >= 2) {
+        std::printf("## Sharded multi-GPU cache vs private "
+                    "(HashPageGroup; shared database working set)\n");
+        runShardCompare("no_match", false, num_queries, opt.scale,
+                        max_gpus);
+    }
     return 0;
 }

@@ -201,6 +201,14 @@ BufferCache::BufferCache(gpu::GpuDevice &device, rpc::RpcQueue &rpc_queue,
       cntWriteRpcs(stat_set.counter("writeback_rpcs")),
       cntBatchWriteRpcs(stat_set.counter("batch_write_rpcs")),
       cntBatchWritePages(stat_set.counter("batch_write_pages")),
+      // Sharded multi-GPU: non-owner misses that went to a peer, split
+      // into pages the owner served (P2P forward) vs host fallback —
+      // together these count every non-owner miss.
+      cntPeerReadRpcs(stat_set.counter("peer_read_rpcs")),
+      cntPeerPagesForwarded(stat_set.counter("peer_pages_forwarded")),
+      cntPeerPagesFallback(stat_set.counter("peer_pages_fallback")),
+      cntPeerWriteRpcs(stat_set.counter("peer_write_rpcs")),
+      cntPeerExtentsMirrored(stat_set.counter("peer_extents_mirrored")),
       cacheCounters_(cacheCounters(stat_set))
 {
     dev.allocDeviceMem(params_.cacheBytes);
@@ -306,17 +314,38 @@ BufferCache::fetchPage(gpu::BlockCtx &ctx, CacheFile &f, uint64_t page_idx,
         return Status::Ok;
     }
     rpc::RpcRequest req;
-    req.op = rpc::RpcOp::ReadPage;
     req.hostFd = f.hostFd;
     req.offset = page_idx * page_size;
     req.len = page_size;
-    req.data = data;
     req.gpuId = dev.id();
     req.issueTime = ctx.now();
+    unsigned owner = pageOwner(f, page_idx);
+    if (owner != dev.id()) {
+        // Non-owner miss: route the demand fetch to the owner GPU's
+        // cache (PeerReadPages, pageCount=1); the daemon falls back to
+        // the host for pages the owner does not hold.
+        req.op = rpc::RpcOp::PeerReadPages;
+        req.peerGpu = owner;
+        req.ino = f.ino;
+        req.version = f.version.load(std::memory_order_relaxed);
+        req.pageLen = page_size;
+        req.pageCount = 1;
+        req.batch[0] = data;
+    } else {
+        req.op = rpc::RpcOp::ReadPage;
+        req.data = data;
+    }
     rpc::RpcResponse resp = queue.call(req);
-    cntReadRpcs.inc();
+    if (owner != dev.id())
+        cntPeerReadRpcs.inc();
+    else
+        cntReadRpcs.inc();
     if (!ok(resp.status))
         return resp.status;
+    if (owner != dev.id()) {
+        cntPeerPagesForwarded.inc(resp.peerPages);
+        cntPeerPagesFallback.inc(resp.peerPages ? 0 : 1);
+    }
     if (resp.bytes < page_size)
         std::memset(data + resp.bytes, 0, page_size - resp.bytes);
     *valid = static_cast<uint32_t>(resp.bytes);
@@ -485,6 +514,134 @@ BufferCache::writeExtentsRpc(CacheFile &f, const WriteExtent *ext,
 }
 
 Status
+BufferCache::peerWriteExtentsRpc(CacheFile &f, unsigned owner_gpu,
+                                 const WriteExtent *ext, unsigned n,
+                                 uint64_t base_version, bool publish,
+                                 Time issue, Time *done_out)
+{
+    gpufs_assert(f.hostFd >= 0, "write-back without host fd");
+    gpufs_assert(n >= 1 && n <= rpc::kMaxBatchPages,
+                 "peer write batch size out of range");
+    rpc::RpcRequest req;
+    req.op = rpc::RpcOp::PeerWritePages;
+    req.hostFd = f.hostFd;
+    req.peerGpu = owner_gpu;
+    req.ino = f.ino;
+    // The version the OWNER is expected to sit at: the one from
+    // before this flush's first partition — a sibling partition's
+    // host write must not fail every later partition's mirror gate.
+    req.version = base_version;
+    req.peerPublish = publish;
+    req.pageLen = params_.pageSize;
+    req.gpuId = dev.id();
+    req.issueTime = issue;
+    req.pageCount = n;
+    uint64_t total = 0;
+    for (unsigned i = 0; i < n; ++i) {
+        req.batch[i] = const_cast<uint8_t *>(ext[i].data);
+        req.batchOff[i] = ext[i].off;
+        req.batchLen[i] = ext[i].len;
+        total += ext[i].len;
+    }
+    req.len = total;
+    rpc::RpcResponse resp = queue.call(req);
+    cntPeerWriteRpcs.inc();
+    if (done_out)
+        *done_out = std::max(*done_out, resp.done);
+    if (!ok(resp.status))
+        return resp.status;
+    cntPeerExtentsMirrored.inc(resp.peerPages);
+    if (resp.version != 0) {
+        // The host write-through bumped the version; track it so
+        // reopen does not mistake our own write for a remote one.
+        f.version.store(resp.version, std::memory_order_relaxed);
+    }
+    f.needsFsync.store(true, std::memory_order_release);
+    return Status::Ok;
+}
+
+Status
+BufferCache::writeBatchSharded(CacheFile &f, const DirtyExtent *ext,
+                               unsigned n, Time issue, Time *done_out,
+                               bool *ext_failed)
+{
+    if (ext_failed)
+        std::fill(ext_failed, ext_failed + n, false);
+    WriteExtent w[rpc::kMaxBatchPages];
+    for (unsigned i = 0; i < n; ++i) {
+        w[i] = {ext[i].pageIdx * params_.pageSize + ext[i].lo,
+                ext[i].hi - ext[i].lo,
+                arena_.data(ext[i].frame) + ext[i].lo};
+    }
+    if (!shardedFile(f)) {
+        Time done = issue;
+        Status st = writeExtentsRpc(f, w, n, f.wronce, issue, &done);
+        if (done_out)
+            *done_out = std::max(*done_out, done);
+        if (!ok(st) && ext_failed)
+            std::fill(ext_failed, ext_failed + n, true);
+        return st;
+    }
+
+    // Partition the taken batch by page owner: self-owned extents ride
+    // one plain WritePages; each peer owner's extents ride one
+    // PeerWritePages. Write-back thus stays owner-local without the
+    // PR-2 take/finish machinery above this call changing at all.
+    unsigned owner_of[rpc::kMaxBatchPages];
+    unsigned partitions = 0;
+    for (unsigned i = 0; i < n; ++i) {
+        owner_of[i] = pageOwner(f, ext[i].pageIdx);
+        bool seen = false;
+        for (unsigned j = 0; j < i; ++j)
+            seen = seen || owner_of[j] == owner_of[i];
+        partitions += seen ? 0 : 1;
+    }
+    // Version the whole flush gates on (see peerWriteExtentsRpc); the
+    // owner may have its post-write version published only when this
+    // flush has a single partition — with siblings, other pages of the
+    // file change in the same flush and a publish would validate the
+    // owner's possibly-stale copies of them.
+    const uint64_t base_version =
+        f.version.load(std::memory_order_relaxed);
+    const bool publish = partitions == 1;
+
+    Status agg = Status::Ok;
+    bool used[rpc::kMaxBatchPages] = {};
+    for (unsigned i = 0; i < n; ++i) {
+        if (used[i])
+            continue;
+        unsigned owner = owner_of[i];
+        WriteExtent grp[rpc::kMaxBatchPages];
+        unsigned members[rpc::kMaxBatchPages];
+        unsigned g = 0;
+        for (unsigned j = i; j < n; ++j) {
+            if (!used[j] && owner_of[j] == owner) {
+                members[g] = j;
+                grp[g++] = w[j];
+                used[j] = true;
+            }
+        }
+        Time done = issue;
+        Status one = owner == dev.id()
+            ? writeExtentsRpc(f, grp, g, /*zero_diff=*/false, issue,
+                              &done)
+            : peerWriteExtentsRpc(f, owner, grp, g, base_version,
+                                  publish, issue, &done);
+        if (done_out)
+            *done_out = std::max(*done_out, done);
+        if (!ok(one)) {
+            if (ext_failed) {
+                for (unsigned k = 0; k < g; ++k)
+                    ext_failed[members[k]] = true;
+            }
+            if (ok(agg))
+                agg = one;
+        }
+    }
+    return agg;
+}
+
+Status
 BufferCache::flushDirty(gpu::BlockCtx &ctx, CacheFile &f,
                         uint64_t first_page, uint64_t last_page,
                         unsigned *pages_out, uint64_t max_pages)
@@ -555,20 +712,31 @@ BufferCache::flushDirty(gpu::BlockCtx &ctx, CacheFile &f,
             agg = Status::BadFd;
             break;
         }
-        WriteExtent w[rpc::kMaxBatchPages];
-        for (unsigned i = 0; i < n; ++i) {
-            w[i] = {ext[i].pageIdx * params_.pageSize + ext[i].lo,
-                    ext[i].hi - ext[i].lo,
-                    arena_.data(ext[i].frame) + ext[i].lo};
-        }
         // All write-backs are issued at the current clock so their DMA
-        // and host I/O pipeline on the resource timelines.
+        // and host I/O pipeline on the resource timelines. Sharded
+        // files partition the batch by page owner (peer extents ride
+        // PeerWritePages, mirroring the owner's resident copy on the
+        // way to the host); private files take one WritePages.
         Time done = ctx.now();
-        Status one = writeExtentsRpc(f, w, n, f.wronce, ctx.now(), &done);
+        bool failed[rpc::kMaxBatchPages] = {};
+        Status one = writeBatchSharded(f, ext, n, ctx.now(), &done,
+                                       failed);
         if (!ok(one)) {
-            // Restore the extents so a later sync can retry; stop
+            // Restore ONLY the failed partitions' extents so a later
+            // sync retries exactly them (a sharded batch may have
+            // landed sibling partitions on the host already); stop
             // rather than re-take the same failing pages.
-            f.cache->finishDirtyBatch(ext, n, /*restore=*/true);
+            DirtyExtent good[rpc::kMaxBatchPages];
+            DirtyExtent bad[rpc::kMaxBatchPages];
+            unsigned ng = 0, nb = 0;
+            for (unsigned i = 0; i < n; ++i)
+                (failed[i] ? bad[nb++] : good[ng++]) = ext[i];
+            if (ng > 0) {
+                f.cache->finishDirtyBatch(good, ng, /*restore=*/false);
+                if (pages_out)
+                    *pages_out += ng;
+            }
+            f.cache->finishDirtyBatch(bad, nb, /*restore=*/true);
             agg = one;
             break;
         }
@@ -627,6 +795,13 @@ BufferCache::submitFlush(gpu::BlockCtx &ctx, CacheFile &f,
     // Diff-and-merge extents must diff against GPU-side pristine
     // copies page by page — they stay on the synchronous path.
     if (params_.enableDiffMerge && f.write && !f.wronce)
+        return 0;
+    // Sharded files stay on the synchronous drain too: the wait-time
+    // flushDirty partitions each taken batch by page owner so
+    // non-owner extents ride PeerWritePages (owner mirror + host
+    // write-through) — a split-phase take here would strip them of
+    // that routing.
+    if (shardedFile(f))
         return 0;
     const uint64_t page_size = params_.pageSize;
     unsigned nb = 0;
@@ -913,7 +1088,21 @@ BufferCache::submitClaimedFetch(gpu::BlockCtx &ctx, CacheFile &f,
     req.offset = pf.startIdx * page_size;
     req.gpuId = dev.id();
     req.issueTime = ctx.now();
-    if (pf.single) {
+    // Shard-group clipping upstream guarantees one owner per batch, so
+    // the whole run routes to that owner (or to the host when self).
+    unsigned owner = pageOwner(f, pf.startIdx);
+    pf.peer = owner != dev.id();
+    if (pf.peer) {
+        req.op = rpc::RpcOp::PeerReadPages;
+        req.peerGpu = owner;
+        req.ino = f.ino;
+        req.version = f.version.load(std::memory_order_relaxed);
+        req.len = uint64_t(pf.n) * page_size;
+        req.pageLen = page_size;
+        req.pageCount = pf.n;
+        for (unsigned i = 0; i < pf.n; ++i)
+            req.batch[i] = arena_.data(pf.slots[i].frame);
+    } else if (pf.single) {
         req.op = rpc::RpcOp::ReadPage;
         req.len = page_size;
         req.data = arena_.data(pf.slots[0].frame);
@@ -946,10 +1135,17 @@ BufferCache::completeFetch(CacheFile &f, PendingFetch &pf)
         return Status::Ok;
     rpc::RpcResponse resp = queue.collect(*pf.rpcSlot);
     pf.rpcSlot = nullptr;
-    if (pf.single)
+    if (pf.peer)
+        cntPeerReadRpcs.inc();
+    else if (pf.single)
         cntReadRpcs.inc();
     else
         cntBatchReadRpcs.inc();
+    if (ok(resp.status) && pf.peer) {
+        cntPeerPagesForwarded.inc(resp.peerPages);
+        cntPeerPagesFallback.inc(pf.n - std::min<uint32_t>(pf.n,
+                                                           resp.peerPages));
+    }
     if (!ok(resp.status)) {
         f.cache->abortInitBatch(pf.slots, pf.n);
         f.fetchInFlight.fetch_sub(1);
@@ -973,7 +1169,7 @@ BufferCache::completeFetch(CacheFile &f, PendingFetch &pf)
         // Demand fetch: a page access that held the fpage lock, like
         // the slow path it replaces (Table 2 accounting parity).
         cntLocked.inc();
-    } else {
+    } else if (!pf.peer) {
         cntBatchPages.inc(pf.n);
     }
     f.fetchInFlight.fetch_sub(1);
@@ -1043,6 +1239,8 @@ BufferCache::submitBatchFetch(gpu::BlockCtx &ctx, CacheFile &f,
     if (params_.enableDiffMerge && f.write && !f.wronce && !f.noSync)
         return 0;   // pristine snapshot needed: stay on the sync path
     max_n = std::min(max_n, rpc::kMaxBatchPages);
+    // One owner per batch: clip the run at its shard-group boundary.
+    max_n = shardRunCap(f, start_idx, max_n);
     // Claim reserve (see submitPageFetch): shrink the run to what the
     // arena can give without starving synchronous pins. As there, no
     // reclaim attempt — submission must never block on an RPC.
@@ -1079,6 +1277,9 @@ BufferCache::submitReadAhead(gpu::BlockCtx &ctx, CacheFile &f,
     while (idx < end && fetches < max_fetches) {
         unsigned max_n = static_cast<unsigned>(
             std::min<uint64_t>(end - idx, rpc::kMaxBatchPages));
+        // One owner per batch: clip the run at its shard-group
+        // boundary (the next iteration re-evaluates the next group).
+        max_n = shardRunCap(f, idx, max_n);
         // Claim reserve (see submitPageFetch): prefetch never takes
         // the frames synchronous pins would need to reclaim.
         uint32_t free_frames = arena_.freeCount();
@@ -1117,6 +1318,94 @@ BufferCache::submitReadAhead(gpu::BlockCtx &ctx, CacheFile &f,
     return fetches;
 }
 
+bool
+BufferCache::peerCopyResident(CacheFile &f, uint64_t page_idx,
+                              uint8_t *dst, uint32_t *valid_out,
+                              Time *ready_out)
+{
+    if (!f.cache)
+        return false;
+    FileCache &c = *f.cache;
+    FPage *p = c.findPage(page_idx);
+    if (!p)
+        return false;
+    uint32_t frame;
+    if (!c.tryPinReady(*p, page_idx, &frame))
+        return false;
+    PFrame &pf = arena_.frame(frame);
+    // Serve only pages whose bytes provably match the host copy:
+    // clean, and holding exactly the valid count the file size
+    // implies. Locally-written pages track their content through the
+    // dirty extent, not validBytes — for those the host copy is the
+    // authoritative one and the requester falls back to it.
+    const uint64_t page_size = params_.pageSize;
+    const uint64_t fsize = f.size.load(std::memory_order_relaxed);
+    const uint64_t off = page_idx * page_size;
+    const uint32_t expect = off >= fsize
+        ? 0
+        : static_cast<uint32_t>(
+              std::min<uint64_t>(page_size, fsize - off));
+    const uint32_t valid = pf.validBytes.load(std::memory_order_acquire);
+    if (expect == 0 || valid != expect || pf.isDirty()) {
+        c.unpin(*p);
+        return false;
+    }
+    // The pin (refs > 0) keeps owner-side eviction off the frame for
+    // the duration of the copy — the owner-side analogue of the
+    // requester's fetchInFlight claim on the destination frames.
+    std::memcpy(dst, arena_.data(frame), page_size);
+    *valid_out = valid;
+    if (ready_out) {
+        *ready_out = std::max<Time>(
+            *ready_out, pf.readyTime.load(std::memory_order_acquire));
+    }
+    c.unpin(*p);
+    return true;
+}
+
+bool
+BufferCache::peerMirrorResident(CacheFile &f, uint64_t page_idx,
+                                uint32_t in_page, const uint8_t *src,
+                                uint32_t len)
+{
+    if (!f.cache || uint64_t(in_page) + len > params_.pageSize)
+        return false;
+    FileCache &c = *f.cache;
+    FPage *p = c.findPage(page_idx);
+    if (!p)
+        return false;
+    uint32_t frame;
+    if (!c.tryPinReady(*p, page_idx, &frame))
+        return false;
+    PFrame &pf = arena_.frame(frame);
+    if (pf.isDirty()) {
+        // The owner holds its own uncommitted bytes for this page:
+        // never clobber them — the requester's extent still reaches
+        // the host, and the version gate keeps stale serves out.
+        // (This check cannot race a concurrent owner WRITER into a
+        // lost update: a mirror implies a remote plain writer, and the
+        // consistency layer admits only ONE plain writer per file
+        // across GPUs — mergeable multi-writer files, GWRONCE and
+        // diff-merge, are excluded from sharding altogether.)
+        c.unpin(*p);
+        return false;
+    }
+    if (uint64_t(in_page) + len > pf.validBytes.load(
+            std::memory_order_acquire)) {
+        // File-extending write: mirroring the bytes would not extend
+        // validBytes (or the owner's notion of the file size), so a
+        // later peer read would serve a TRUNCATED page as
+        // authoritative. Decline — the batch then isn't fully
+        // mirrored, no version is published, and the gate routes
+        // readers of the grown file to the host.
+        c.unpin(*p);
+        return false;
+    }
+    std::memcpy(arena_.data(frame) + in_page, src, len);
+    c.unpin(*p);
+    return true;
+}
+
 void
 BufferCache::readAheadFrom(gpu::BlockCtx &ctx, CacheFile &f,
                            uint64_t page_idx)
@@ -1134,6 +1423,8 @@ BufferCache::readAheadFrom(gpu::BlockCtx &ctx, CacheFile &f,
     while (idx < end) {
         unsigned max_n = static_cast<unsigned>(
             std::min<uint64_t>(end - idx, rpc::kMaxBatchPages));
+        // One owner per batch (shard-group clipping, no-op private).
+        max_n = shardRunCap(f, idx, max_n);
         BatchSlot slots[rpc::kMaxBatchPages];
         unsigned n = c.beginInitBatch(idx, max_n, slots);
         if (n == 0) {

@@ -15,8 +15,13 @@
  * BufferCache never looks at file descriptors, paths, or flag words —
  * which is what makes it constructible and testable without a GpuFs
  * instance. The async write-back flusher (GpufsSystem's thread,
- * GpuFs::backgroundFlushPass) is one client of this seam; multi-GPU
- * cache sharding is the next.
+ * GpuFs::backgroundFlushPass) is one client of this seam; the sharded
+ * multi-GPU cache is another — an installed ShardMap turns non-owner
+ * misses into PeerReadPages RPCs (and batched write-back of non-owner
+ * pages into PeerWritePages) through the same claim protocols, while
+ * peerCopyResident/peerMirrorResident are the daemon-side window into
+ * THIS cache when this GPU is the owner (see ARCHITECTURE.md
+ * "Sharded multi-GPU cache").
  */
 
 #ifndef GPUFS_GPUFS_BUFFER_CACHE_HH
@@ -36,6 +41,7 @@
 #include "gpufs/frame.hh"
 #include "gpufs/params.hh"
 #include "gpufs/radix.hh"
+#include "gpufs/shard.hh"
 #include "rpc/queue.hh"
 
 namespace gpufs {
@@ -54,6 +60,11 @@ struct CacheFile {
 
     /** Host fd write-back RPCs target; -1 when released. */
     int hostFd = -1;
+
+    /** Host inode; 0 until the first open. Shard-map lookups key on it
+     *  (host fds are per-GPU, inodes are machine-wide), and peer RPCs
+     *  carry it so the daemon can find the file in the OWNER's table. */
+    uint64_t ino = 0;
 
     /** File size as the cache layer may read it (first-open size plus
      *  local writes; read-ahead stops at this bound). */
@@ -101,6 +112,14 @@ struct CacheFile {
      *  which is what coalesces the per-block gfsync bursts (and the
      *  flusher's repeat passes) on a shared file into one host fsync. */
     std::atomic<bool> needsFsync{false};
+
+    /** Async gfsync tokens whose submit-time WritePages rounds did NOT
+     *  cover the whole dirty set (gfsync_async submits at most 4
+     *  batches split-phase). While nonzero, the background flusher
+     *  lifts its per-pass drain cap for this file — adopting the
+     *  token's residual dirty range so a huge dirty set drains in the
+     *  background instead of synchronously at gwait. */
+    std::atomic<uint32_t> fsyncPending{0};
 
     /** Async request-table ops submitted against this file and not yet
      *  retired by gwait. Wait-after-close is legal, and resolution may
@@ -171,6 +190,9 @@ struct PendingFetch {
     uint64_t startIdx = 0;
     unsigned n = 0;                          ///< claimed pages
     bool single = false;                     ///< ReadPage vs ReadPages
+    /** Sharded multi-GPU: the RPC went out as PeerReadPages naming a
+     *  non-self owner (counter attribution at collection). */
+    bool peer = false;
     BatchSlot slots[rpc::kMaxBatchPages];
 };
 
@@ -368,10 +390,65 @@ class BufferCache
      *  consistency claim) once its cache holds no dirty data. */
     void maybeReleaseClosedFd(gpu::BlockCtx &ctx, CacheFile &f);
 
+    // ---- sharded multi-GPU cache ----
+
+    /**
+     * Install the machine-wide shard map (GpufsSystem wiring; null =
+     * private caching, the default for standalone instances). After
+     * this, a miss on a page another GPU owns goes out as a
+     * PeerReadPages RPC and batched write-back of such pages as
+     * PeerWritePages — both through the SAME claim protocols
+     * (beginInitBatch / takeDirtyBatch spanning submission→wait) as
+     * the host ops they shadow.
+     */
+    void setShardMap(const ShardMap *map) { shards_ = map; }
+    const ShardMap *shardMap() const { return shards_; }
+
+    /** True when @p f participates in sharding: an active map and a
+     *  plainly host-backed file (wronce pages are zero-pristine and
+     *  never fetched, NOSYNC temps are GPU-local, diff-merge pages
+     *  must diff against GPU-side pristine copies). */
+    bool
+    shardedFile(const CacheFile &f) const
+    {
+        return shards_ && shards_->active() && !f.wronce && !f.noSync &&
+            !(params_.enableDiffMerge && f.write);
+    }
+
+    /** Owner GPU of (f, page_idx); self when not sharded. */
+    unsigned
+    pageOwner(const CacheFile &f, uint64_t page_idx) const
+    {
+        return shardedFile(f) ? shards_->ownerOf(f.ino, page_idx)
+                              : selfGpu();
+    }
+
+    /**
+     * Daemon-side peer probe: copy page @p page_idx of @p f into
+     * @p dst iff it is resident, Ready and CLEAN (dirty pages differ
+     * from the host; declining is the baseline behavior). The frame is
+     * pinned across the copy so owner-side eviction cannot recycle it
+     * mid-transfer; *ready_out maxes with the frame's DMA-ready time.
+     * Declines pages whose valid byte count does not match the file
+     * size (locally-written pages track content through the dirty
+     * extent, not validBytes — the host copy is authoritative).
+     */
+    bool peerCopyResident(CacheFile &f, uint64_t page_idx, uint8_t *dst,
+                          uint32_t *valid_out, Time *ready_out);
+
+    /** Daemon-side mirror of a written extent into a resident, Ready
+     *  page (see RpcOp::PeerWritePages). Does NOT mark the page dirty:
+     *  the same bytes land on the host through the enclosing RPC, so
+     *  the mirrored copy matches the post-write host content. */
+    bool peerMirrorResident(CacheFile &f, uint64_t page_idx,
+                            uint32_t in_page, const uint8_t *src,
+                            uint32_t len);
+
     // ---- introspection ----
     FrameArena &arena() { return arena_; }
     EvictionPolicy &policy() { return *policy_; }
     const GpuFsParams &params() const { return params_; }
+    unsigned selfGpu() const { return dev.id(); }
 
     /** True iff the calling thread holds the paging lock. The API
      *  layer asserts this is false before taking its table lock, which
@@ -390,6 +467,8 @@ class BufferCache
     GpuFsParams params_;
     FrameArena arena_;
     std::unique_ptr<EvictionPolicy> policy_;
+    /** Machine-wide page -> owner-GPU map; null = private caching. */
+    const ShardMap *shards_ = nullptr;
 
     /** Guards the attached set and serializes reclamation passes; also
      *  excludes FileCache creation/destruction against a concurrent
@@ -430,6 +509,11 @@ class BufferCache
     Counter &cntWriteRpcs;
     Counter &cntBatchWriteRpcs;
     Counter &cntBatchWritePages;
+    Counter &cntPeerReadRpcs;
+    Counter &cntPeerPagesForwarded;
+    Counter &cntPeerPagesFallback;
+    Counter &cntPeerWriteRpcs;
+    Counter &cntPeerExtentsMirrored;
     CacheCounters cacheCounters_;
 
     static CacheCounters cacheCounters(StatSet &stat_set);
@@ -449,6 +533,41 @@ class BufferCache
             1, std::min<uint32_t>(params_.reclaimBatch,
                                   arena_.numFrames() / 4));
     }
+
+    /** Clip a batch run starting at @p start_idx to its shard group so
+     *  one batched RPC never spans two owners (no-op when private). */
+    unsigned
+    shardRunCap(const CacheFile &f, uint64_t start_idx,
+                unsigned max_n) const
+    {
+        if (!shardedFile(f))
+            return max_n;
+        uint64_t end = shards_->groupEnd(start_idx);
+        return static_cast<unsigned>(
+            std::min<uint64_t>(max_n, end - start_idx));
+    }
+
+    /** Issue one PeerWritePages RPC carrying @p n gathered extents of
+     *  @p f toward @p owner_gpu (host write-through + owner mirror;
+     *  see the op's contract). @p base_version gates the owner-side
+     *  mirror; @p publish permits the post-write version publish
+     *  (single-partition flushes only). Updates f.version /
+     *  needsFsync like writeExtentsRpc. */
+    Status peerWriteExtentsRpc(CacheFile &f, unsigned owner_gpu,
+                               const WriteExtent *ext, unsigned n,
+                               uint64_t base_version, bool publish,
+                               Time issue, Time *done_out);
+
+    /** Batched write-back dispatch: partition @p n taken extents by
+     *  page owner and issue one WritePages (self/host) or
+     *  PeerWritePages (each peer owner) RPC per partition.
+     *  @p ext_failed (size n, may be null) marks the extents of
+     *  partitions whose RPC failed, so the caller restores exactly
+     *  those — already-durable siblings must not be re-marked dirty.
+     *  @return first failure. */
+    Status writeBatchSharded(CacheFile &f, const DirtyExtent *ext,
+                             unsigned n, Time issue, Time *done_out,
+                             bool *ext_failed = nullptr);
 
     /** Sequential read-ahead from a miss at @p page_idx: coalesces runs
      *  of missing pages into batched ReadPages RPCs. */

@@ -43,6 +43,18 @@ FileTable::findClosedByIno(uint64_t ino)
     return -1;
 }
 
+OpenFile *
+FileTable::findAnyByIno(uint64_t ino)
+{
+    for (auto &e : entries_) {
+        if (e->state != OpenFile::EState::Free && e->ino == ino &&
+            e->cf.cache) {
+            return e.get();
+        }
+    }
+    return nullptr;
+}
+
 int
 FileTable::findFree()
 {

@@ -119,6 +119,7 @@ struct OpenFile {
         ino = 0;
         flags = 0;
         refs.store(0, std::memory_order_relaxed);
+        cf.ino = 0;
         cf.version.store(0, std::memory_order_relaxed);
         cf.size.store(0, std::memory_order_relaxed);
         cf.closed = false;
@@ -147,6 +148,12 @@ class FileTable
 
     /** Index of the Closed entry caching inode @p ino, or -1. */
     int findClosedByIno(uint64_t ino);
+
+    /** The Open OR Closed entry for inode @p ino with a live cache, or
+     *  null. The daemon's peer-cache probes use this: a parked entry's
+     *  retained cache serves peer reads exactly like an open one
+     *  (wait-after-close across GPUs). */
+    OpenFile *findAnyByIno(uint64_t ino);
 
     /** Index of the first Free entry, or -1. */
     int findFree();

@@ -67,6 +67,7 @@ GpuFs::GpuFs(gpu::GpuDevice &device, rpc::RpcQueue &rpc_queue,
       cntBytesRead(stats_.counter("bytes_read")),
       cntBytesWritten(stats_.counter("bytes_written")),
       cntFlusherPages(stats_.counter("flusher_pages")),
+      cntFlusherAdoptedPages(stats_.counter("flusher_adopted_pages")),
       cntFlusherDrains(stats_.counter("flusher_drains")),
       cntDrainedCollected(stats_.counter("drained_caches_collected")),
       cntAsyncReads(stats_.counter("async_reads")),
@@ -79,15 +80,23 @@ GpuFs::GpuFs(gpu::GpuDevice &device, rpc::RpcQueue &rpc_queue,
         bc_.attach(e->cf);
 }
 
-GpuFs::~GpuFs()
+void
+GpuFs::quiesce()
 {
-    // Collect never-waited async submissions first: their RPCs may
-    // still be in the queue, and the daemon's DMA targets frames the
-    // cache teardown below is about to free.
+    // Collect never-waited async submissions: their RPCs may still be
+    // in the queue, and the daemon's DMA targets frames cache teardown
+    // is about to free. With sharding those RPCs may also target a
+    // PEER's cache, which is why GpufsSystem quiesces every instance
+    // before destroying any.
     for (auto &op : asyncOps_) {
         if (op && op->active)
             completePending(*op);
     }
+}
+
+GpuFs::~GpuFs()
+{
+    quiesce();
     // Tear down caches; entries with host fds cannot RPC here (the
     // daemon may already be gone), so host fds are abandoned — tests
     // that care close everything first.
@@ -204,6 +213,7 @@ GpuFs::gopen(gpu::BlockCtx &ctx, const std::string &path, uint32_t flags)
             e.path = path;
             e.flags = flags;
             e.refs.store(1, std::memory_order_relaxed);
+            e.cf.ino = resp.ino;
             e.cf.size.store(resp.size, std::memory_order_relaxed);
             e.syncCacheFlags();
             if (old_fd >= 0) {
@@ -236,6 +246,7 @@ GpuFs::gopen(gpu::BlockCtx &ctx, const std::string &path, uint32_t flags)
     e.flags = flags;
     e.refs.store(1, std::memory_order_relaxed);
     e.cf.hostFd = resp.hostFd;
+    e.cf.ino = resp.ino;
     e.cf.version.store(resp.version, std::memory_order_relaxed);
     e.cf.size.store(resp.size, std::memory_order_relaxed);
     e.cf.closed = false;
@@ -426,6 +437,7 @@ GpuFs::allocOp(gpu::BlockCtx &ctx, AsyncIoOp **out)
     op.result = 0;
     op.endOff = 0;
     op.demandPages = 0;
+    op.fsyncAdopt = false;
     op.flushStatus = Status::Ok;
     op.flushDone = 0;
     unsigned active = asyncActive_.fetch_add(1,
@@ -458,6 +470,9 @@ GpuFs::releaseOp(AsyncIoOp &op)
     op.segs.clear();
     op.fetches.clear();
     op.flushes.clear();
+    if (op.fsyncAdopt && op.entry)
+        op.entry->cf.fsyncPending.fetch_sub(1, std::memory_order_acq_rel);
+    op.fsyncAdopt = false;
     if (op.entry)
         op.entry->cf.opInFlight.fetch_sub(1);
     op.entry = nullptr;
@@ -702,6 +717,16 @@ GpuFs::submitFsync(gpu::BlockCtx &ctx, int fd, uint64_t first_page,
                                  pending, 4);
     for (unsigned i = 0; i < n; ++i)
         op->flushes.push_back(pending[i]);
+    // Residual adoption: when the submit-time rounds did not cover the
+    // whole dirty set, raise the file's fsyncPending so the background
+    // flusher lifts its per-pass drain cap and takes over the residual
+    // range — by gwait time there is usually little left to drain
+    // synchronously (ROADMAP "async write-back through the request
+    // table"). Cleared when the token retires (releaseOp).
+    if (e->cf.cache && e->cf.cache->dirtyCount() > 0) {
+        op->fsyncAdopt = true;
+        e->cf.fsyncPending.fetch_add(1, std::memory_order_acq_rel);
+    }
     return tok;
 }
 
@@ -1047,10 +1072,21 @@ GpuFs::backgroundFlushPass(Time start_time)
         // round-trip, and an entry with a huge dirty set must not turn
         // this hold into a long gopen/gclose stall — the remainder is
         // picked up by the next pass (the interval is short).
+        // EXCEPTION: an outstanding gfsync_async token has adopted
+        // this file (fsyncPending): the flusher owns its residual
+        // dirty range now, so drain it whole — every page it takes
+        // here is one less page the token's gwait drains on the
+        // application block. (UINT64_MAX - 1 keeps the bounded-drain
+        // semantics: the durability barrier stays with gwait.)
         constexpr uint64_t kDrainChunkPages = 4 * rpc::kMaxBatchPages;
+        const bool adopted =
+            e.cf.fsyncPending.load(std::memory_order_acquire) > 0;
         unsigned pages = 0;
         Status st = bc_.flushDirty(ctx, e.cf, 0, UINT64_MAX, &pages,
-                                   kDrainChunkPages);
+                                   adopted ? UINT64_MAX - 1
+                                           : kDrainChunkPages);
+        if (adopted && pages > 0)
+            cntFlusherAdoptedPages.inc(pages);
         if (!ok(st)) {
             // The failed pages' extents were restored; leave them for
             // a later pass or an explicit gfsync, which reports the
@@ -1121,6 +1157,71 @@ GpuFs::hostFdsHeld() const
 {
     auto lock = lockTable();
     return table_.countHostFds();
+}
+
+// ---------------------------------------------------------------------
+// rpc::PeerPageSource: the daemon's view of this GPU's cache
+// ---------------------------------------------------------------------
+//
+// All three run on the DAEMON thread while this GPU's blocks keep
+// running. The table lock is TRY-taken only: a block of this GPU may
+// hold tableMtx across a synchronous RPC the daemon is queued to
+// service (gopen does exactly that), so blocking here is a deadlock
+// cycle — on contention the daemon simply falls back to the host path.
+// Holding tableMtx across the cache access pins the entry/cache object
+// (destroyEntryLocked runs under it); frame-level safety is the pin
+// peerCopyResident/peerMirrorResident take.
+
+bool
+GpuFs::peerCopyPage(uint64_t ino, uint64_t page_idx, uint64_t version,
+                    uint8_t *dst, uint32_t *valid_out, Time *ready_out)
+{
+    std::unique_lock<std::mutex> lock(tableMtx, std::try_to_lock);
+    if (!lock.owns_lock())
+        return false;
+    OpenFile *e = table_.findAnyByIno(ino);
+    if (!e)
+        return false;
+    // Version gate: serve only when this cache reflects exactly the
+    // host content the requester expects — the peer path then provides
+    // the same close-to-open consistency as the host path.
+    if (e->cf.version.load(std::memory_order_acquire) != version)
+        return false;
+    return bc_.peerCopyResident(e->cf, page_idx, dst, valid_out,
+                                ready_out);
+}
+
+bool
+GpuFs::peerMirrorExtent(uint64_t ino, uint64_t page_idx, uint64_t version,
+                        uint32_t in_page, const uint8_t *src, uint32_t len)
+{
+    std::unique_lock<std::mutex> lock(tableMtx, std::try_to_lock);
+    if (!lock.owns_lock())
+        return false;
+    OpenFile *e = table_.findAnyByIno(ino);
+    if (!e)
+        return false;
+    if (e->cf.version.load(std::memory_order_acquire) != version)
+        return false;
+    return bc_.peerMirrorResident(e->cf, page_idx, in_page, src, len);
+}
+
+void
+GpuFs::peerPublishVersion(uint64_t ino, uint64_t old_version,
+                          uint64_t new_version)
+{
+    std::unique_lock<std::mutex> lock(tableMtx, std::try_to_lock);
+    if (!lock.owns_lock())
+        return;     // next peer read just falls back (conservative)
+    OpenFile *e = table_.findAnyByIno(ino);
+    if (!e)
+        return;
+    // CAS from the pre-write version: if anything else moved the
+    // version meanwhile, the mirrored bytes' provenance is unclear and
+    // staying stale (-> host fallback) is the safe outcome.
+    uint64_t expect = old_version;
+    e->cf.version.compare_exchange_strong(expect, new_version,
+                                          std::memory_order_acq_rel);
 }
 
 } // namespace core

@@ -62,6 +62,7 @@
 #include "gpufs/buffer_cache.hh"
 #include "gpufs/file_table.hh"
 #include "gpufs/params.hh"
+#include "rpc/peer.hh"
 #include "rpc/queue.hh"
 
 namespace gpufs {
@@ -145,6 +146,10 @@ struct AsyncIoOp {
 
     uint64_t syncFirstPage = 0;     ///< Fsync range
     uint64_t syncLastPage = 0;
+    /** Fsync whose submit-time batches left a residual dirty range:
+     *  the file's fsyncPending stays elevated (flusher adoption) until
+     *  this op retires. */
+    bool fsyncAdopt = false;
 
     std::vector<PendingFetch> fetches;
     std::vector<PendingFlush> flushes;
@@ -152,7 +157,7 @@ struct AsyncIoOp {
     Time flushDone = 0;
 };
 
-class GpuFs
+class GpuFs : public rpc::PeerPageSource
 {
   public:
     /**
@@ -166,6 +171,35 @@ class GpuFs
 
     GpuFs(const GpuFs &) = delete;
     GpuFs &operator=(const GpuFs &) = delete;
+
+    // ---- sharded multi-GPU cache ----
+
+    /** Install the machine-wide shard map (GpufsSystem wiring). */
+    void setShardMap(const ShardMap *map) { bc_.setShardMap(map); }
+
+    /**
+     * Collect every never-waited async submission's in-flight RPCs.
+     * GpufsSystem runs this on EVERY instance before destroying ANY of
+     * them: an uncollected PeerReadPages of one GPU targets frames (and
+     * a peer source) of another, so teardown must quiesce the whole
+     * topology first. Callers guarantee no GPU blocks are running.
+     */
+    void quiesce();
+
+    /**
+     * rpc::PeerPageSource — the daemon's window into this GPU's cache
+     * for servicing peer ops named at this GPU. Daemon-thread context:
+     * all three use try-locks only and decline on any contention or
+     * version mismatch (the host path is the always-correct fallback).
+     */
+    bool peerCopyPage(uint64_t ino, uint64_t page_idx, uint64_t version,
+                      uint8_t *dst, uint32_t *valid_out,
+                      Time *ready_out) override;
+    bool peerMirrorExtent(uint64_t ino, uint64_t page_idx,
+                          uint64_t version, uint32_t in_page,
+                          const uint8_t *src, uint32_t len) override;
+    void peerPublishVersion(uint64_t ino, uint64_t old_version,
+                            uint64_t new_version) override;
 
     // ---- API (Table 1) ----
 
@@ -341,6 +375,7 @@ class GpuFs
     Counter &cntBytesRead;
     Counter &cntBytesWritten;
     Counter &cntFlusherPages;
+    Counter &cntFlusherAdoptedPages;
     Counter &cntFlusherDrains;
     Counter &cntDrainedCollected;
     Counter &cntAsyncReads;

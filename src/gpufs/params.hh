@@ -30,6 +30,31 @@ enum class EvictionPolicyKind : uint8_t {
     Random,
 };
 
+/**
+ * Multi-GPU cache-sharding policies (core::ShardMap variants).
+ *
+ * The paper's multi-GPU runs (§5.2.1, Table 3) keep a private buffer
+ * cache per GPU, so every GPU re-fetches shared data through the host
+ * and the single CPU I/O path becomes the bottleneck exactly when the
+ * working set is shared. Sharding assigns every (file, page-group) an
+ * owner GPU; a non-owner miss becomes a PeerReadPages RPC the daemon
+ * resolves from the owner's resident frames over a simulated P2P DMA
+ * channel, falling back to the normal host path when the owner does
+ * not hold the page.
+ */
+enum class ShardPolicy : uint8_t {
+    /** Paper baseline: every GPU caches privately, no peer traffic.
+     *  Also the effective policy whenever the system has one GPU. */
+    Private,
+    /** Page groups of GpuFsParams::shardPagesPerGroup pages hash to
+     *  owners, spreading each file across all GPUs (the default for
+     *  striped shared working sets). */
+    HashPageGroup,
+    /** Whole files hash to owners (cheap map, good when the working
+     *  set is many files of similar heat). */
+    FileAffinity,
+};
+
 struct GpuFsParams {
     /**
      * Buffer-cache page size. "Performance considerations typically
@@ -106,6 +131,18 @@ struct GpuFsParams {
 
     /** Wall-clock period between flusher drain passes, microseconds. */
     unsigned flusherIntervalUs = 200;
+
+    /**
+     * Multi-GPU cache sharding (see ShardPolicy). Applied by
+     * GpufsSystem, which owns the machine-wide ShardMap; a GpuFs
+     * constructed standalone (tests) stays private regardless.
+     */
+    ShardPolicy shardPolicy = ShardPolicy::Private;
+
+    /** HashPageGroup granularity: pages per ownership group. Larger
+     *  groups keep batched fetches whole; smaller groups spread a
+     *  single hot file more evenly. */
+    unsigned shardPagesPerGroup = 16;
 
     /**
      * Non-blocking I/O core: maximum async requests a single block may

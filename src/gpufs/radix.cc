@@ -129,6 +129,23 @@ FileCache::getPage(uint64_t page_idx)
     return p;
 }
 
+FPage *
+FileCache::findPage(uint64_t page_idx)
+{
+    if (page_idx > maxPageIndex())
+        return nullptr;
+    RadixNode *node = &root;
+    while (node->level > 0) {
+        RadixNode *child =
+            node->children[slotOf(page_idx, node->level)].load(
+                std::memory_order_acquire);
+        if (!child)
+            return nullptr;
+        node = child;
+    }
+    return &node->pages[slotOf(page_idx, 0)];
+}
+
 bool
 FileCache::tryPinReady(FPage &p, uint64_t page_idx, uint32_t *frame_out)
 {

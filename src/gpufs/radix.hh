@@ -151,6 +151,16 @@ class FileCache
     FPage *getPage(uint64_t page_idx);
 
     /**
+     * Lookup-only probe: the fpage for @p page_idx if its radix path
+     * already exists, nullptr otherwise — never allocates nodes. Used
+     * by the daemon's peer-cache probes, which must not grow the
+     * OWNER's tree for pages it may never cache (and must never
+     * block: child pointers are set-once null -> node, so plain
+     * acquire loads suffice without the seqlock dance).
+     */
+    FPage *findPage(uint64_t page_idx);
+
+    /**
      * Fast-path pin: succeeds iff the page is Ready and identity-
      * verified. On success the page is pinned and *frame_out is valid.
      */

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * ShardMap: the machine-wide page-range -> owner-GPU map behind the
+ * sharded multi-GPU buffer cache.
+ *
+ * One instance per GpufsSystem, shared read-only by every GpuFs /
+ * BufferCache after construction. The map is pure arithmetic (no
+ * state, no locks): ownership of a page is a hash of (inode, page
+ * group), so every GPU computes the same owner without communication —
+ * the property that lets a non-owner miss turn directly into a
+ * PeerReadPages RPC naming the owner.
+ *
+ * Ownership is constant within a shard group (HashPageGroup) or a
+ * whole file (FileAffinity), so batched fetches clipped at group
+ * boundaries always have a single owner.
+ */
+
+#ifndef GPUFS_GPUFS_SHARD_HH
+#define GPUFS_GPUFS_SHARD_HH
+
+#include <cstdint>
+
+#include "base/logging.hh"
+#include "gpufs/params.hh"
+
+namespace gpufs {
+namespace core {
+
+class ShardMap
+{
+  public:
+    /**
+     * @param policy    partitioning policy (Private disables sharding)
+     * @param num_gpus  GPUs in the system; 1 forces Private behavior
+     * @param pages_per_group HashPageGroup ownership granularity
+     */
+    ShardMap(ShardPolicy policy, unsigned num_gpus,
+             unsigned pages_per_group)
+        : policy_(policy), numGpus_(num_gpus),
+          pagesPerGroup_(pages_per_group ? pages_per_group : 1)
+    {
+    }
+
+    ShardPolicy policy() const { return policy_; }
+    unsigned numGpus() const { return numGpus_; }
+    unsigned pagesPerGroup() const { return pagesPerGroup_; }
+
+    /** True when lookups can name a non-self owner: sharding is
+     *  meaningless for one GPU, and Private is the ablation baseline. */
+    bool
+    active() const
+    {
+        return policy_ != ShardPolicy::Private && numGpus_ > 1;
+    }
+
+    /** Owner GPU of (file @p ino, page @p page_idx). Valid only while
+     *  active(); callers treat an inactive map as owner == self. */
+    unsigned
+    ownerOf(uint64_t ino, uint64_t page_idx) const
+    {
+        gpufs_assert(numGpus_ > 0, "shard map with no GPUs");
+        uint64_t key;
+        switch (policy_) {
+          case ShardPolicy::FileAffinity:
+            key = mix(ino);
+            break;
+          case ShardPolicy::HashPageGroup:
+          default:
+            key = mix(ino * 0x9E3779B97F4A7C15ull +
+                      page_idx / pagesPerGroup_);
+            break;
+        }
+        return static_cast<unsigned>(key % numGpus_);
+    }
+
+    /**
+     * First page index past the ownership group containing
+     * @p page_idx: batched fetches clip their runs here so one batch
+     * never spans two owners. FileAffinity (and Private) groups are
+     * unbounded.
+     */
+    uint64_t
+    groupEnd(uint64_t page_idx) const
+    {
+        if (policy_ != ShardPolicy::HashPageGroup)
+            return UINT64_MAX;
+        return (page_idx / pagesPerGroup_ + 1) * pagesPerGroup_;
+    }
+
+  private:
+    /** SplitMix64 finalizer: full-avalanche mix so consecutive groups
+     *  land on de-correlated owners. */
+    static uint64_t
+    mix(uint64_t x)
+    {
+        x ^= x >> 30;
+        x *= 0xBF58476D1CE4E5B9ull;
+        x ^= x >> 27;
+        x *= 0x94D049BB133111EBull;
+        x ^= x >> 31;
+        return x;
+    }
+
+    ShardPolicy policy_;
+    unsigned numGpus_;
+    unsigned pagesPerGroup_;
+};
+
+} // namespace core
+} // namespace gpufs
+
+#endif // GPUFS_GPUFS_SHARD_HH

@@ -25,6 +25,7 @@
 #include "consistency/wrapfs.hh"
 #include "gpu/device.hh"
 #include "gpufs/gpufs.hh"
+#include "gpufs/shard.hh"
 #include "hostfs/hostfs.hh"
 #include "rpc/daemon.hh"
 
@@ -43,7 +44,9 @@ class GpufsSystem
                          const GpuFsParams &fs_params = GpuFsParams{},
                          const sim::HwParams &hw = sim::HwParams{})
         : sim_(hw), hostFs_(sim_), wrapFs_(hostFs_, consistency_),
-          daemon_(hostFs_, consistency_)
+          daemon_(hostFs_, consistency_),
+          shardMap_(fs_params.shardPolicy, num_gpus,
+                    fs_params.shardPagesPerGroup)
     {
         for (unsigned i = 0; i < num_gpus; ++i)
             devices_.push_back(std::make_unique<gpu::GpuDevice>(sim_, i));
@@ -55,6 +58,15 @@ class GpufsSystem
                                                      *queues_[i],
                                                      fs_params));
         }
+        // Sharded multi-GPU topology: every GpuFs consults the shared
+        // shard map on a miss, and the daemon reaches each GPU's cache
+        // through its peer source to service PeerReadPages /
+        // PeerWritePages. Private policy (or one GPU) wires the same
+        // way but the map never names a non-self owner.
+        for (unsigned i = 0; i < num_gpus; ++i) {
+            gpufs_[i]->setShardMap(&shardMap_);
+            daemon_.setPeerSource(i, gpufs_[i].get());
+        }
         if (fs_params.asyncWriteback)
             startFlusher(fs_params.flusherIntervalUs);
     }
@@ -62,6 +74,14 @@ class GpufsSystem
     ~GpufsSystem()
     {
         stopFlusher();      // flusher references gpufs_ and the daemon
+        // Quiesce the WHOLE topology before destroying any instance:
+        // one GPU's uncollected split-phase RPC may target another
+        // GPU's frames (peer forwarding), so per-instance teardown
+        // alone would let the daemon DMA into freed memory.
+        for (auto &fs : gpufs_)
+            fs->quiesce();
+        for (unsigned i = 0; i < gpufs_.size(); ++i)
+            daemon_.setPeerSource(i, nullptr);
         gpufs_.clear();     // GpuFs teardown precedes daemon shutdown
         daemon_.stop();
     }
@@ -79,6 +99,7 @@ class GpufsSystem
     gpu::GpuDevice &device(unsigned i) { return *devices_.at(i); }
     GpuFs &fs(unsigned i = 0) { return *gpufs_.at(i); }
     rpc::RpcQueue &rpcQueue(unsigned i = 0) { return *queues_.at(i); }
+    const ShardMap &shardMap() const { return shardMap_; }
 
     /** True while the async write-back flusher thread is running. */
     bool flusherRunning() const { return flusher_.joinable(); }
@@ -160,6 +181,8 @@ class GpufsSystem
     consistency::ConsistencyMgr consistency_;
     consistency::WrapFs wrapFs_;
     rpc::CpuDaemon daemon_;
+    /** Machine-wide page -> owner-GPU map (sharded multi-GPU cache). */
+    ShardMap shardMap_;
     std::vector<std::unique_ptr<gpu::GpuDevice>> devices_;
     std::vector<rpc::RpcQueue *> queues_;
     std::vector<std::unique_ptr<GpuFs>> gpufs_;

@@ -13,7 +13,13 @@ CpuDaemon::CpuDaemon(hostfs::HostFs &host_fs,
     : fs(host_fs), consistency(mgr), stats_("cpu_daemon"),
       requestsServed(stats_.counter("requests_served")),
       bytesToGpu(stats_.counter("bytes_to_gpu")),
-      bytesFromGpu(stats_.counter("bytes_from_gpu"))
+      bytesFromGpu(stats_.counter("bytes_from_gpu")),
+      bytesPeer(stats_.counter("bytes_peer_to_peer")),
+      peerReadRpcs(stats_.counter("peer_read_rpcs")),
+      peerPagesForwarded(stats_.counter("peer_pages_forwarded")),
+      peerPagesHost(stats_.counter("peer_pages_host_fallback")),
+      peerWriteRpcs(stats_.counter("peer_write_rpcs")),
+      peerExtentsMirrored(stats_.counter("peer_extents_mirrored"))
 {
 }
 
@@ -26,8 +32,18 @@ RpcQueue &
 CpuDaemon::attachGpu(gpu::GpuDevice &dev)
 {
     gpufs_assert(!running.load(), "attachGpu after start");
-    ports.push_back(GpuPort{&dev, std::make_unique<RpcQueue>(doorbell)});
-    return *ports.back().queue;
+    auto port = std::make_unique<GpuPort>();
+    port->dev = &dev;
+    port->queue = std::make_unique<RpcQueue>(doorbell);
+    ports.push_back(std::move(port));
+    return *ports.back()->queue;
+}
+
+void
+CpuDaemon::setPeerSource(unsigned gpu_id, PeerPageSource *src)
+{
+    if (gpu_id < ports.size())
+        ports[gpu_id]->peerSource.store(src, std::memory_order_release);
 }
 
 void
@@ -51,10 +67,23 @@ CpuDaemon::stop()
     // StatSet so post-run reports see them next to the service counts.
     for (unsigned i = 0; i < ports.size(); ++i) {
         const std::string prefix = "gpu" + std::to_string(i);
+        uint64_t stalls = ports[i]->queue->fullQueueStalls();
+        uint64_t subs = ports[i]->queue->submissions();
         stats_.counter(prefix + "_max_inflight_slots")
-            .maxWith(ports[i].queue->maxInFlightSlots());
-        stats_.counter(prefix + "_full_queue_stalls")
-            .maxWith(ports[i].queue->fullQueueStalls());
+            .maxWith(ports[i]->queue->maxInFlightSlots());
+        stats_.counter(prefix + "_full_queue_stalls").maxWith(stalls);
+        stats_.counter(prefix + "_submissions").maxWith(subs);
+        // Doorbell-coalescing decision signal (ROADMAP "RPC slot
+        // scaling"): submitters stalling on a full slot array more
+        // than ~1% of the time means kQueueSlots, not the daemon, is
+        // the bottleneck.
+        if (stalls * 100 > subs && stalls > 0) {
+            gpufs_warn("gpu%u RPC queue: %llu full-queue stalls over "
+                       "%llu submissions (>1%%) — consider doorbell "
+                       "coalescing / more slots",
+                       i, static_cast<unsigned long long>(stalls),
+                       static_cast<unsigned long long>(subs));
+        }
     }
 }
 
@@ -74,7 +103,7 @@ CpuDaemon::loop()
         for (unsigned i = 0; i < ports.size(); ++i) {
             RpcSlot *batch[kQueueSlots];
             unsigned n;
-            while ((n = ports[i].queue->pollAll(batch, kQueueSlots))
+            while ((n = ports[i]->queue->pollAll(batch, kQueueSlots))
                    > 0) {
                 std::sort(batch, batch + n,
                           [](const RpcSlot *a, const RpcSlot *b) {
@@ -100,7 +129,7 @@ CpuDaemon::loop()
     // block is left waiting forever.
     for (auto &port : ports) {
         RpcSlot *slot;
-        while ((slot = port.queue->poll()) != nullptr) {
+        while ((slot = port->queue->poll()) != nullptr) {
             RpcResponse resp;
             resp.status = Status::IoError;
             resp.done = slot->req.issueTime;
@@ -112,7 +141,7 @@ CpuDaemon::loop()
 RpcResponse
 CpuDaemon::handle(unsigned port_idx, const RpcRequest &req)
 {
-    gpu::GpuDevice &dev = *ports[port_idx].dev;
+    gpu::GpuDevice &dev = *ports[port_idx]->dev;
     auto &sim = dev.simContext();
     const auto &p = sim.params;
 
@@ -153,6 +182,18 @@ CpuDaemon::handle(unsigned port_idx, const RpcRequest &req)
         RpcRequest timed = req;
         timed.issueTime = t0;
         resp = handleWritePages(dev, timed);
+        break;
+      }
+      case RpcOp::PeerReadPages: {
+        RpcRequest timed = req;
+        timed.issueTime = t0;
+        resp = handlePeerReadPages(dev, timed);
+        break;
+      }
+      case RpcOp::PeerWritePages: {
+        RpcRequest timed = req;
+        timed.issueTime = t0;
+        resp = handlePeerWritePages(dev, timed);
         break;
       }
       case RpcOp::Fsync: {
@@ -306,6 +347,217 @@ CpuDaemon::handleReadPages(gpu::GpuDevice &dev, const RpcRequest &req)
     resp.status = r.status;
     resp.bytes = r.bytes;
     resp.done = chargeH2dDma(dev, r.bytes, r.done);
+    return resp;
+}
+
+PeerPageSource *
+CpuDaemon::peerSourceOf(const RpcRequest &req)
+{
+    if (req.peerGpu >= ports.size())
+        return nullptr;
+    return ports[req.peerGpu]->peerSource.load(std::memory_order_acquire);
+}
+
+Time
+CpuDaemon::chargeP2pDma(gpu::GpuDevice &dev, unsigned src, unsigned dst,
+                        uint64_t bytes, Time ready)
+{
+    auto &sim = dev.simContext();
+    const auto &p = sim.params;
+    bytesPeer.inc(bytes);
+    if (bytes == 0 || !p.chargeDma)
+        return ready;
+    Time dur = p.p2pDmaSetup + transferTime(bytes, p.pcieP2PBwMBps);
+    // One reservation per request on the pair's own channel: peer
+    // transfers of different GPU pairs overlap instead of serializing
+    // on the daemon's cpuIo path or the host PCIe links.
+    return sim.p2p(src, dst).reserve(ready, dur).end;
+}
+
+RpcResponse
+CpuDaemon::handlePeerReadPages(gpu::GpuDevice &dev, const RpcRequest &req)
+{
+    auto &sim = dev.simContext();
+    RpcResponse resp;
+    if (req.pageCount == 0 || req.pageCount > kMaxBatchPages ||
+        req.pageLen == 0) {
+        resp.status = Status::Inval;
+        resp.done = req.issueTime;
+        return resp;
+    }
+    peerReadRpcs.inc();
+    PeerPageSource *src = peerSourceOf(req);
+    const uint64_t plen = req.pageLen;
+    const Time t0 = req.issueTime;
+
+    // First pass: serve what the owner holds. The copy itself is
+    // functional (the provider pins the owner frame for its duration);
+    // the virtual cost is one P2P DMA reservation covering the served
+    // bytes, ready no earlier than the latest source frame's own
+    // DMA-completion time.
+    bool served[kMaxBatchPages] = {};
+    uint32_t valid[kMaxBatchPages] = {};
+    uint64_t p2p_bytes = 0;
+    Time p2p_ready = t0;
+    unsigned forwarded = 0;
+    for (unsigned i = 0; i < req.pageCount; ++i) {
+        uint64_t idx = req.offset / plen + i;
+        if (src && src->peerCopyPage(req.ino, idx, req.version,
+                                     req.batch[i], &valid[i],
+                                     &p2p_ready)) {
+            served[i] = true;
+            p2p_bytes += plen;
+            ++forwarded;
+        }
+    }
+
+    // Second pass: host fallback for the runs the owner could not
+    // serve — each contiguous run is one vectored pread on the
+    // daemon's serialized I/O path, exactly the ReadPages charge.
+    Time host_done = t0;
+    uint64_t host_bytes = 0;
+    unsigned i = 0;
+    while (i < req.pageCount) {
+        if (served[i]) {
+            ++i;
+            continue;
+        }
+        unsigned run = i;
+        while (run < req.pageCount && !served[run])
+            ++run;
+        hostfs::IoResult r = fs.preadPages(
+            req.hostFd, &req.batch[i], run - i, plen,
+            req.offset + uint64_t(i) * plen, t0, &sim.cpuIo);
+        if (!ok(r.status)) {
+            resp.status = r.status;
+            resp.done = host_done;
+            return resp;
+        }
+        for (unsigned j = i; j < run; ++j) {
+            uint64_t base = uint64_t(j - i) * plen;
+            valid[j] = static_cast<uint32_t>(
+                r.bytes > base ? std::min<uint64_t>(plen, r.bytes - base)
+                               : 0);
+        }
+        host_bytes += r.bytes;
+        host_done = std::max(host_done, r.done);
+        i = run;
+    }
+    peerPagesForwarded.inc(forwarded);
+    peerPagesHost.inc(req.pageCount - forwarded);
+
+    Time done = t0;
+    if (host_bytes > 0)
+        done = std::max(done, chargeH2dDma(dev, host_bytes, host_done));
+    if (p2p_bytes > 0) {
+        done = std::max(done, chargeP2pDma(dev, req.peerGpu, req.gpuId,
+                                           p2p_bytes, p2p_ready));
+    }
+
+    // Valid bytes are contiguous from the batch start (short pages
+    // only at EOF — the provider declines anything else), so a single
+    // total preserves the ReadPages response contract.
+    uint64_t total_valid = 0;
+    for (unsigned j = 0; j < req.pageCount; ++j)
+        total_valid += valid[j];
+    resp.status = Status::Ok;
+    resp.bytes = total_valid;
+    resp.peerPages = forwarded;
+    resp.done = done;
+    return resp;
+}
+
+RpcResponse
+CpuDaemon::handlePeerWritePages(gpu::GpuDevice &dev, const RpcRequest &req)
+{
+    auto &sim = dev.simContext();
+    RpcResponse resp;
+    if (req.pageCount == 0 || req.pageCount > kMaxBatchPages ||
+        req.pageLen == 0) {
+        resp.status = Status::Inval;
+        resp.done = req.issueTime;
+        return resp;
+    }
+    peerWriteRpcs.inc();
+    PeerPageSource *src = peerSourceOf(req);
+    const uint64_t plen = req.pageLen;
+
+    // Host write-through FIRST: the whole batch rides ONE D2H DMA and
+    // lands as ONE gathered pwritev — identical durability and version
+    // semantics to plain WritePages (the PR-2 machinery above this op
+    // is untouched). Mirroring happens only after the bytes are
+    // durable: a failed host write must not leave the owner's cache
+    // holding never-durable bytes at a still-matching version.
+    uint64_t total = 0;
+    for (unsigned i = 0; i < req.pageCount; ++i)
+        total += req.batchLen[i];
+    Time t = chargeD2hDma(dev, total, req.issueTime);
+
+    std::vector<hostfs::WriteRun> runs;
+    runs.reserve(req.pageCount);
+    for (unsigned i = 0; i < req.pageCount; ++i) {
+        if (req.batchLen[i] == 0)
+            continue;
+        runs.push_back({req.batchOff[i], req.batchLen[i], req.batch[i]});
+    }
+    resp.status = Status::Ok;
+    resp.done = t;
+    uint64_t new_version = 0;
+    if (!runs.empty()) {
+        hostfs::IoResult w = fs.pwritev(req.hostFd, runs.data(),
+                                        static_cast<unsigned>(runs.size()),
+                                        t, &sim.cpuIo);
+        if (!ok(w.status)) {
+            resp.status = w.status;
+            return resp;
+        }
+        resp.bytes = w.bytes;
+        resp.version = w.version;
+        resp.done = w.done;
+        new_version = w.version;
+    }
+
+    // Mirror the now-durable extents into the owner's resident pages
+    // (the requester's takeDirtyBatch holds the source fpage locks, so
+    // the bytes are stable): the owner's copy then matches the
+    // post-write host content, and later peer reads keep serving
+    // current data instead of failing their version gate. The mirror
+    // bytes ride the pair's P2P channel.
+    unsigned mirrored = 0;
+    unsigned nonzero = 0;
+    uint64_t p2p_bytes = 0;
+    for (unsigned i = 0; i < req.pageCount; ++i) {
+        if (req.batchLen[i] == 0)
+            continue;
+        ++nonzero;
+        uint64_t idx = req.batchOff[i] / plen;
+        uint32_t in_page = static_cast<uint32_t>(req.batchOff[i] % plen);
+        if (src && src->peerMirrorExtent(req.ino, idx, req.version,
+                                         in_page, req.batch[i],
+                                         req.batchLen[i])) {
+            ++mirrored;
+            p2p_bytes += req.batchLen[i];
+        }
+    }
+    if (p2p_bytes > 0) {
+        resp.done = std::max(resp.done,
+                             chargeP2pDma(dev, req.gpuId, req.peerGpu,
+                                          p2p_bytes, req.issueTime));
+    }
+    // A fully-mirrored batch leaves the owner's cache equal to the
+    // post-write host content, so the owner's version advances with
+    // the write instead of going stale — but only when the requester
+    // marked this RPC as its write's ONLY partition (peerPublish):
+    // when sibling partitions changed other pages of the same file in
+    // the same flush, the owner may cache those pages too and a
+    // publish would wrongly validate them.
+    if (src && req.peerPublish && new_version != 0 &&
+        mirrored == nonzero && nonzero > 0) {
+        src->peerPublishVersion(req.ino, req.version, new_version);
+    }
+    peerExtentsMirrored.inc(mirrored);
+    bytesFromGpu.inc(total);
+    resp.peerPages = mirrored;
     return resp;
 }
 

@@ -24,6 +24,7 @@
 #include "consistency/consistency.hh"
 #include "gpu/device.hh"
 #include "hostfs/hostfs.hh"
+#include "rpc/peer.hh"
 #include "rpc/queue.hh"
 
 namespace gpufs {
@@ -53,6 +54,16 @@ class CpuDaemon
     /** Stop and join the daemon thread. Idempotent. */
     void stop();
 
+    /**
+     * Install (or clear, with nullptr) the peer-cache view of GPU
+     * @p gpu_id used to service PeerReadPages / PeerWritePages.
+     * Callable while the daemon runs — the owner publishes the source
+     * after the GpuFs exists and clears it before teardown, and the
+     * handler tolerates a null source by falling back to the host
+     * path.
+     */
+    void setPeerSource(unsigned gpu_id, PeerPageSource *src);
+
     StatSet &stats() { return stats_; }
     hostfs::HostFs &hostFs() { return fs; }
     consistency::ConsistencyMgr &consistencyMgr() { return consistency; }
@@ -61,11 +72,16 @@ class CpuDaemon
     struct GpuPort {
         gpu::GpuDevice *dev;
         std::unique_ptr<RpcQueue> queue;
+        /** Peer-cache view for sharded multi-GPU forwarding; null
+         *  until the owning GpuFs registers (host fallback applies). */
+        std::atomic<PeerPageSource *> peerSource{nullptr};
     };
 
     hostfs::HostFs &fs;
     consistency::ConsistencyMgr &consistency;
-    std::vector<GpuPort> ports;
+    /** unique_ptr: GpuPort carries an atomic (non-movable) and handler
+     *  threads hold references across attachGpu calls. */
+    std::vector<std::unique_ptr<GpuPort>> ports;
     std::atomic<uint64_t> doorbell{0};
     std::atomic<bool> running{false};
     std::thread worker;
@@ -74,6 +90,13 @@ class CpuDaemon
     Counter &requestsServed;
     Counter &bytesToGpu;
     Counter &bytesFromGpu;
+    /** Bytes moved GPU-to-GPU over the P2P channels (peer forwards). */
+    Counter &bytesPeer;
+    Counter &peerReadRpcs;
+    Counter &peerPagesForwarded;
+    Counter &peerPagesHost;
+    Counter &peerWriteRpcs;
+    Counter &peerExtentsMirrored;
 
     void loop();
     RpcResponse handle(unsigned port_idx, const RpcRequest &req);
@@ -89,6 +112,22 @@ class CpuDaemon
     RpcResponse handleReadPages(gpu::GpuDevice &dev, const RpcRequest &req);
     RpcResponse handleWriteBack(gpu::GpuDevice &dev, const RpcRequest &req);
     RpcResponse handleWritePages(gpu::GpuDevice &dev, const RpcRequest &req);
+
+    // ---- sharded multi-GPU peer forwarding ----
+
+    /** The owner GPU's cache view for @p req.peerGpu, or nullptr
+     *  (host fallback) when out of range or not registered. */
+    PeerPageSource *peerSourceOf(const RpcRequest &req);
+
+    /** Charge one P2P DMA of @p bytes from GPU @p src to GPU @p dst on
+     *  their pair channel, ready at @p ready. */
+    Time chargeP2pDma(gpu::GpuDevice &dev, unsigned src, unsigned dst,
+                      uint64_t bytes, Time ready);
+
+    RpcResponse handlePeerReadPages(gpu::GpuDevice &dev,
+                                    const RpcRequest &req);
+    RpcResponse handlePeerWritePages(gpu::GpuDevice &dev,
+                                     const RpcRequest &req);
 
     /** Charge one D2H DMA for @p bytes ready at @p ready. Shared by the
      *  single-extent and batched write-back paths so the two charge

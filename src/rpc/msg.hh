@@ -28,6 +28,17 @@ enum class RpcOp : uint32_t {
     ReadPages,   ///< batched: one contiguous extent -> many pages
     WriteBack,   ///< GPU page -> host file (D2H DMA), optional zero-diff
     WritePages,  ///< batched: many page extents -> one gathered pwritev
+    /** Sharded multi-GPU: like ReadPages, but the daemon first tries
+     *  to serve each page from the OWNER GPU's resident frames over
+     *  the peer P2P DMA channel, reading from the host only for pages
+     *  the owner does not hold (request names the owner in peerGpu). */
+    PeerReadPages,
+    /** Sharded multi-GPU write twin: the gathered extents always land
+     *  on the host as one pwritev (durability unchanged), and extents
+     *  whose page is resident in the owner's cache are additionally
+     *  mirrored into the owner's frames over the P2P channel so the
+     *  owner keeps serving current bytes to later peer reads. */
+    PeerWritePages,
     Fsync,       ///< flush host dirty pages of fd to disk
     Truncate,
     Unlink,
@@ -59,6 +70,25 @@ struct RpcRequest {
     bool mergeableWriter = false;
     bool nosync = false;        ///< Open: O_NOSYNC temp file
 
+    // ---- Peer ops (sharded multi-GPU) ----
+    /** Owner GPU whose resident frames service PeerRead/WritePages. */
+    uint32_t peerGpu = 0;
+    /** Inode identifying the file in the owner's table (host fds are
+     *  per-GPU, inodes are machine-wide). */
+    uint64_t ino = 0;
+    /** Requester's cached file version: the owner's copy is used only
+     *  when its version matches (close-to-open consistency holds
+     *  across the peer path exactly as across the host path). For
+     *  PeerWritePages this is the version BEFORE the flush's first
+     *  partition, so mirrors keep applying when a sibling partition
+     *  already bumped the host. */
+    uint64_t version = 0;
+    /** PeerWritePages: this RPC is the ONLY partition of its flush
+     *  batch, so a fully-mirrored owner may have the post-write
+     *  version published (sibling partitions changing other pages of
+     *  the file would make that publish validate stale copies). */
+    bool peerPublish = false;
+
     int hostFd = -1;            ///< Close/ReadPage(s)/WriteBack/Fsync/Truncate
     uint64_t offset = 0;        ///< ReadPage(s)/WriteBack/Truncate(new size)
     uint64_t len = 0;           ///< ReadPage/WriteBack; Read/WritePages: total
@@ -89,6 +119,10 @@ struct RpcResponse {
     uint64_t size = 0;
     uint64_t version = 0;
     uint64_t bytes = 0;         ///< bytes actually moved
+    /** PeerReadPages: pages served from the owner's resident frames;
+     *  PeerWritePages: extents mirrored into the owner's frames. The
+     *  remainder fell back to the normal host path. */
+    uint32_t peerPages = 0;
     Time done = 0;              ///< virtual completion time
 };
 

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * PeerPageSource: the daemon's window into one GPU's buffer cache for
+ * servicing PeerReadPages / PeerWritePages (sharded multi-GPU cache).
+ *
+ * The interface lives in the rpc layer so CpuDaemon does not depend on
+ * the GPU-side cache types; GpuFs implements it and GpufsSystem wires
+ * one source per attached GPU. Every method runs on the DAEMON thread
+ * against the OWNER GPU's state while that GPU's blocks keep running,
+ * so implementations must obey two hard rules:
+ *
+ *  - NEVER block: a GPU block may hold its table lock across a
+ *    synchronous RPC the daemon is about to service — any blocking
+ *    acquisition here is a deadlock cycle. Implementations use
+ *    try-locks and report "not served" on contention; the daemon then
+ *    falls back to the host path, which is always correct.
+ *  - Version-gate every access: serve (or mirror into) the owner's
+ *    copy only when the owner's cached file version matches the
+ *    requester's, so the peer path is exactly as consistent as the
+ *    host path under close-to-open semantics.
+ */
+
+#ifndef GPUFS_RPC_PEER_HH
+#define GPUFS_RPC_PEER_HH
+
+#include <cstdint>
+
+#include "base/units.hh"
+
+namespace gpufs {
+namespace rpc {
+
+class PeerPageSource
+{
+  public:
+    virtual ~PeerPageSource() = default;
+
+    /**
+     * Copy page @p page_idx of file @p ino out of this GPU's resident
+     * frames into @p dst (a frame of the REQUESTING GPU, claimed and
+     * lock-held by its split-phase fetch). Served only when the page
+     * is Ready, clean, identity-verified, and the owner's file version
+     * equals @p version; the frame is pinned for the duration of the
+     * copy so owner-side eviction cannot recycle it mid-transfer.
+     *
+     * @param valid_out  bytes of real file content in the page
+     * @param ready_out  maxed with the owner frame's DMA-ready time so
+     *                   the peer transfer cannot begin, in virtual
+     *                   time, before the content existed
+     * @return true iff the page was served.
+     */
+    virtual bool peerCopyPage(uint64_t ino, uint64_t page_idx,
+                              uint64_t version, uint8_t *dst,
+                              uint32_t *valid_out, Time *ready_out) = 0;
+
+    /**
+     * Mirror a written extent (@p len bytes at @p in_page within page
+     * @p page_idx) into this GPU's resident copy, keeping it current
+     * while the same extent lands on the host through the enclosing
+     * PeerWritePages' gathered pwritev. Mirrors only resident pages of
+     * a cache whose file version equals @p version (the requester's
+     * pre-write version — anything else and the mirrored page's
+     * provenance would be unclear). @return true iff mirrored.
+     */
+    virtual bool peerMirrorExtent(uint64_t ino, uint64_t page_idx,
+                                  uint64_t version, uint32_t in_page,
+                                  const uint8_t *src, uint32_t len) = 0;
+
+    /**
+     * Advance this GPU's cached version of @p ino from @p old_version
+     * to @p new_version. Called after a PeerWritePages whose extents
+     * were ALL mirrored: the owner's copy then matches the post-write
+     * host content byte for byte, so bumping the version keeps the
+     * owner serving peer reads instead of failing their version gate
+     * (and keeps its own reopen from discarding a current cache).
+     */
+    virtual void peerPublishVersion(uint64_t ino, uint64_t old_version,
+                                    uint64_t new_version) = 0;
+};
+
+} // namespace rpc
+} // namespace gpufs
+
+#endif // GPUFS_RPC_PEER_HH

@@ -153,6 +153,16 @@ class RpcQueue
         return fullStalls_.load(std::memory_order_relaxed);
     }
 
+    /** Total slots successfully claimed (submission count). Together
+     *  with fullQueueStalls this is the doorbell-coalescing decision
+     *  signal: stalls above ~1% of submissions mean the slot array —
+     *  not the daemon — is what submitters are waiting on. */
+    uint64_t
+    submissions() const
+    {
+        return submitted_.load(std::memory_order_relaxed);
+    }
+
     /**
      * Daemon side: scan for a ready slot and claim it.
      * @return the claimed slot, or nullptr if none ready.
@@ -218,6 +228,7 @@ class RpcQueue
                 // scaling") at the claim itself, so the high-water
                 // mark matches real occupancy (a queue that ever
                 // stalled full must have seen kQueueSlots here).
+                submitted_.fetch_add(1, std::memory_order_relaxed);
                 unsigned depth = inFlight_.fetch_add(
                     1, std::memory_order_relaxed) + 1;
                 unsigned seen =
@@ -253,6 +264,7 @@ class RpcQueue
     std::atomic<unsigned> inFlight_{0};
     std::atomic<unsigned> maxInFlight_{0};
     std::atomic<uint64_t> fullStalls_{0};
+    std::atomic<uint64_t> submitted_{0};
 };
 
 } // namespace rpc

@@ -9,6 +9,11 @@
 #ifndef GPUFS_SIM_CONTEXT_HH
 #define GPUFS_SIM_CONTEXT_HH
 
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
 #include "sim/hw_params.hh"
 #include "sim/resource.hh"
 
@@ -37,13 +42,41 @@ class SimContext
     /** The disk behind the host page cache. */
     Resource disk;
 
+    /**
+     * The P2P DMA channel from GPU @p src to GPU @p dst (multi-GPU
+     * cache sharding): one timeline per ordered pair, created lazily
+     * so single-GPU systems pay nothing. Peer page forwards reserve
+     * here instead of on cpuIo + the PCIe host links, which is what
+     * lets transfers of different GPU pairs overlap.
+     */
+    Resource &
+    p2p(unsigned src, unsigned dst)
+    {
+        std::lock_guard<std::mutex> lock(p2pMtx_);
+        uint64_t key = (uint64_t(src) << 32) | dst;
+        auto &slot = p2p_[key];
+        if (!slot) {
+            slot = std::make_unique<Resource>(
+                "p2p_" + std::to_string(src) + "_" + std::to_string(dst));
+        }
+        return *slot;
+    }
+
     /** Clear all reservations (between benchmark phases). */
     void
     reset()
     {
         cpuIo.reset();
         disk.reset();
+        std::lock_guard<std::mutex> lock(p2pMtx_);
+        for (auto &kv : p2p_)
+            kv.second->reset();
     }
+
+  private:
+    /** Lazily-created per-ordered-pair P2P channels (guarded). */
+    mutable std::mutex p2pMtx_;
+    std::map<uint64_t, std::unique_ptr<Resource>> p2p_;
 };
 
 } // namespace sim

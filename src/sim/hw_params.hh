@@ -40,6 +40,21 @@ struct HwParams {
     /** Fixed setup cost of one DMA transaction. */
     Time dmaSetup = 8 * kMicrosecond;
 
+    // ---- Peer-to-peer DMA (GPU <-> GPU over PCIe) ----
+    /**
+     * Effective GPU-to-GPU PCIe P2P bandwidth (MB/s). Fermi-era
+     * peer-to-peer copies between devices under one PCIe 2.0 switch
+     * measure ~6 GB/s — slightly above the host-path effective rate
+     * because the transfer is a single hop that skips the host staging
+     * copy. Each ordered GPU pair gets its own timeline
+     * (SimContext::p2p), so peer fetches of different pairs overlap
+     * instead of serializing on the daemon's cpuIo path — the whole
+     * point of servicing a shared working set from peer caches.
+     */
+    double pcieP2PBwMBps = 6000.0;
+    /** Fixed setup cost of one P2P DMA transaction. */
+    Time p2pDmaSetup = 8 * kMicrosecond;
+
     // ---- Host memory / file I/O ----
     /** Effective pread() bandwidth from a warm host page cache (MB/s). */
     double hostCacheReadMBps = 3300.0;

@@ -50,10 +50,14 @@ gpuImageSearch(GpuFs &fs, gpu::GpuDevice &dev,
                const std::vector<ImageDbSpec> &dbs,
                const std::string &query_path, uint32_t q_begin,
                uint32_t q_end, double threshold, unsigned num_blocks,
-               unsigned threads)
+               unsigned threads, uint32_t q_stride)
 {
-    gpufs_assert(q_end >= q_begin, "bad query range");
-    const uint32_t num_q = q_end - q_begin;
+    gpufs_assert(q_stride >= 1, "bad query stride");
+    // This GPU owns the strided set {q_begin, q_begin+q_stride, ...}.
+    // An empty range is legal: interleaved multi-GPU drivers pass
+    // q_begin = gpu, and a GPU index can exceed a tiny query count.
+    const uint32_t num_q = q_begin >= q_end
+        ? 0 : (q_end - q_begin + q_stride - 1) / q_stride;
     ImageSearchGpuResult out;
     out.results.assign(num_q, MatchResult{});
     if (num_q == 0) {
@@ -96,7 +100,8 @@ gpuImageSearch(GpuFs &fs, gpu::GpuDevice &dev,
             for (size_t i = 0; i < bn; ++i) {
                 int64_t n = fs.gread(
                     ctx, qfd,
-                    uint64_t(q_begin + mine[b0 + i]) * image_bytes,
+                    (uint64_t(q_begin) + uint64_t(mine[b0 + i]) * q_stride)
+                        * image_bytes,
                     image_bytes, qdata.data() + i * dim);
                 gpufs_assert(n == int64_t(image_bytes),
                              "query gread short");

@@ -36,16 +36,20 @@ struct ImageSearchGpuResult {
 
 /**
  * Run the approximate-image-matching kernel on one GPU. Queries
- * [q_begin, q_end) are statically split across threadblocks; each
- * block greads database images into its scratchpad and matches them
- * against its unmatched queries, scanning databases in priority order.
+ * {q_begin, q_begin + q_stride, ...} < q_end are statically split
+ * across threadblocks; each block greads database images into its
+ * scratchpad and matches them against its unmatched queries, scanning
+ * databases in priority order. Multi-GPU drivers pass q_begin = gpu,
+ * q_stride = num_gpus: interleaved assignment keeps every GPU's share
+ * within one of each other (a contiguous split gives the last GPU a
+ * short tail, and the "slowest GPU" span then misreads scaling).
  */
 ImageSearchGpuResult
 gpuImageSearch(core::GpuFs &fs, gpu::GpuDevice &dev,
                const std::vector<ImageDbSpec> &dbs,
                const std::string &query_path, uint32_t q_begin,
                uint32_t q_end, double threshold, unsigned num_blocks = 28,
-               unsigned threads = 512);
+               unsigned threads = 512, uint32_t q_stride = 1);
 
 // ---- grep (§5.2.2) ----
 
