@@ -46,6 +46,11 @@ runScan(uint64_t file_bytes, unsigned blocks, Time compute_per_chunk,
     core::GpuFsParams p;
     p.pageSize = kChunk;
     p.cacheBytes = ((file_bytes / kChunk) + 32) * kChunk;
+    // This figure isolates the async CORE's overlap win, so read-ahead
+    // stays off: adaptive read-ahead (the default) gives the sync loop
+    // most of the same overlap for free on this sequential scan —
+    // bench/ablate_readahead measures that effect on its own.
+    p.readAheadPolicy = core::ReadAheadPolicy::Static;
     core::GpufsSystem sys(1, p);
     bench::addZerosFile(sys.hostFs(), kPath, file_bytes);
     // Cold host cache: the interesting regime is fetch latency far

@@ -209,6 +209,11 @@ BufferCache::BufferCache(gpu::GpuDevice &device, rpc::RpcQueue &rpc_queue,
       cntPeerPagesFallback(stat_set.counter("peer_pages_fallback")),
       cntPeerWriteRpcs(stat_set.counter("peer_write_rpcs")),
       cntPeerExtentsMirrored(stat_set.counter("peer_extents_mirrored")),
+      // Adaptive read-ahead feedback: every ra_issued page is counted
+      // exactly once more as ra_hit (first pin promoted it) or
+      // ra_wasted (evicted/dropped never pinned).
+      cntRaIssued(stat_set.counter("ra_issued")),
+      cntRaGhostHits(stat_set.counter("ra_ghost_hits")),
       cacheCounters_(cacheCounters(stat_set))
 {
     dev.allocDeviceMem(params_.cacheBytes);
@@ -227,7 +232,9 @@ BufferCache::cacheCounters(StatSet &stat_set)   // static
     // nodes are never deleted; page pins do lock under paging).
     return CacheCounters{stat_set.counter("radix_lockfree_walks"),
                          stat_set.counter("radix_locked_walks"),
-                         stat_set.counter("pages_reclaimed")};
+                         stat_set.counter("pages_reclaimed"),
+                         stat_set.counter("ra_hit"),
+                         stat_set.counter("ra_wasted")};
 }
 
 void
@@ -243,6 +250,9 @@ BufferCache::setupFile(CacheFile &f)
     PagingGuard lock(*this);
     f.cache = std::make_unique<FileCache>(arena_, cacheCounters_,
                                           params_.forceLockedTraversal);
+    // Eviction-side prefetch feedback (noteWasted) reaches the file's
+    // tracker through the cache; wired before any page can publish.
+    f.cache->setTracker(&f.ra);
 }
 
 int
@@ -671,9 +681,7 @@ BufferCache::flushDirty(gpu::BlockCtx &ctx, CacheFile &f,
     // Diff-and-merge pages must diff against their GPU-side pristine
     // copies, so they go through writebackExtent per page (each page's
     // changed runs still batch into WritePages there).
-    const bool diff_merge = params_.enableDiffMerge && f.write &&
-        !f.wronce && !f.noSync;
-    if (!params_.batchWriteback || diff_merge) {
+    if (!params_.batchWriteback || diffMergeActive(f)) {
         Status st = flushDirtyPerPage(ctx, f, first_page, last_page,
                                       pages_out, max_pages);
         if (ok(st) && durability)
@@ -794,7 +802,7 @@ BufferCache::submitFlush(gpu::BlockCtx &ctx, CacheFile &f,
         return 0;
     // Diff-and-merge extents must diff against GPU-side pristine
     // copies page by page — they stay on the synchronous path.
-    if (params_.enableDiffMerge && f.write && !f.wronce)
+    if (diffMergeActive(f))
         return 0;
     // Sharded files stay on the synchronous drain too: the wait-time
     // flushDirty partitions each taken batch by page owner so
@@ -980,6 +988,52 @@ BufferCache::maybeReleaseClosedFdLocked(gpu::BlockCtx &ctx, CacheFile &f)
     }
 }
 
+namespace {
+
+/**
+ * Prefetch-feedback promotion: the first APPLICATION pin of a
+ * speculatively-fetched page proves the prefetch right. Runs on every
+ * successful pinPage (the one place all application access paths —
+ * sync gread resolution, async resolution, gmmap, RMW writes —
+ * converge); daemon-side peer probes and read-ahead's own step-over
+ * pins deliberately do not promote.
+ */
+void
+promoteIfSpeculative(FrameArena &arena, CacheCounters &counters,
+                     CacheFile &f, uint32_t frame)
+{
+    PFrame &pf = arena.frame(frame);
+    if (pf.speculative.load(std::memory_order_relaxed) &&
+        pf.speculative.exchange(false, std::memory_order_acq_rel)) {
+        counters.raHits.inc();
+        f.ra.noteHit();
+    }
+}
+
+/**
+ * The prefetch stepping rule, shared by every read-ahead loop (sync
+ * and split-phase, contiguous and strided): a page that is resident
+ * or in flight (another block's fetch holds its lock) is hopped over
+ * — under concurrent sequential readers most windows start on a
+ * neighbour's in-flight page. @return false for anything else
+ * (contended Empty page, arena exhausted), which ends the window —
+ * prefetch must never page out on its own behalf.
+ */
+bool
+prefetchStepOver(FileCache &c, uint64_t idx)
+{
+    FPage *p = c.getPage(idx);
+    uint32_t fr;
+    if (c.tryPinReady(*p, idx, &fr)) {
+        c.unpin(*p);
+        return true;
+    }
+    uint32_t s = p->state.load(std::memory_order_acquire);
+    return s == kPageInit || s == kPageReady;
+}
+
+} // namespace
+
 Status
 BufferCache::pinPage(gpu::BlockCtx &ctx, CacheFile &f, uint64_t page_idx,
                      uint32_t *frame_out, FPage **fpage_out,
@@ -990,8 +1044,7 @@ BufferCache::pinPage(gpu::BlockCtx &ctx, CacheFile &f, uint64_t page_idx,
     // Diff-and-merge pages must snapshot the true host content as
     // their pristine copy, so the whole-page-overwrite fetch skip does
     // not apply to them.
-    const bool diff_merge = params_.enableDiffMerge && f.write &&
-        !f.wronce && !f.noSync;
+    const bool diff_merge = diffMergeActive(f);
     if (diff_merge)
         skip_fetch = false;
     FileCache &c = *f.cache;
@@ -1001,6 +1054,7 @@ BufferCache::pinPage(gpu::BlockCtx &ctx, CacheFile &f, uint64_t page_idx,
     if (c.tryPinReady(*p, page_idx, &frame)) {
         cntCacheHits.inc();
         cntLockfree.inc();
+        promoteIfSpeculative(arena_, cacheCounters_, f, frame);
         ctx.charge(dev.simContext().params.cacheHitOverhead);
         ctx.waitUntil(arena_.frame(frame).readyTime.load(
             std::memory_order_acquire));
@@ -1064,12 +1118,12 @@ BufferCache::pinPage(gpu::BlockCtx &ctx, CacheFile &f, uint64_t page_idx,
         } else {
             cntCacheHits.inc();
             ctx.charge(dev.simContext().params.cacheHitOverhead);
+            promoteIfSpeculative(arena_, cacheCounters_, f, frame);
         }
         ctx.waitUntil(pf.readyTime.load(std::memory_order_acquire));
         *frame_out = frame;
         *fpage_out = p;
-        if (did_init && params_.readAheadPages > 0 && !skip_fetch &&
-            !f.wronce) {
+        if (did_init && readAheadEnabled() && !skip_fetch && !f.wronce) {
             readAheadFrom(ctx, f, page_idx);
         }
         return Status::Ok;
@@ -1088,6 +1142,7 @@ BufferCache::submitClaimedFetch(gpu::BlockCtx &ctx, CacheFile &f,
     req.offset = pf.startIdx * page_size;
     req.gpuId = dev.id();
     req.issueTime = ctx.now();
+    req.speculative = pf.spec;
     // Shard-group clipping upstream guarantees one owner per batch, so
     // the whole run routes to that owner (or to the host when self).
     unsigned owner = pageOwner(f, pf.startIdx);
@@ -1163,8 +1218,14 @@ BufferCache::completeFetch(CacheFile &f, PendingFetch &pf)
                         page_size - got);
         }
     }
-    f.cache->finishInitBatch(pf.slots, pf.n, valid, resp.done);
+    f.cache->finishInitBatch(pf.slots, pf.n, valid, resp.done, pf.spec);
     cntCacheMisses.inc(pf.n);
+    if (pf.spec) {
+        // Prefetch feedback: the pages are published and tagged — each
+        // will retire as exactly one ra_hit or ra_wasted.
+        cntRaIssued.inc(pf.n);
+        f.ra.notePublished(pf.n);
+    }
     if (pf.single) {
         // Demand fetch: a page access that held the fpage lock, like
         // the slow path it replaces (Table 2 accounting parity).
@@ -1179,12 +1240,13 @@ BufferCache::completeFetch(CacheFile &f, PendingFetch &pf)
 bool
 BufferCache::fetchBatch(gpu::BlockCtx &ctx, CacheFile &f,
                         uint64_t start_idx, const BatchSlot *slots,
-                        unsigned n)
+                        unsigned n, bool spec)
 {
     PendingFetch pf;
     pf.startIdx = start_idx;
     pf.n = n;
     pf.single = false;
+    pf.spec = spec;
     std::copy(slots, slots + n, pf.slots);
     // The synchronous path holds no uncollected slots, so blocking for
     // a queue slot is safe here (and is the pre-async behavior).
@@ -1203,7 +1265,7 @@ BufferCache::submitPageFetch(gpu::BlockCtx &ctx, CacheFile &f,
     // Diff-and-merge pages must snapshot a pristine copy under the
     // fetching pin (pinPage's slow path does that); a split-phase
     // publish without one would turn merges into clobbering writes.
-    if (params_.enableDiffMerge && f.write && !f.wronce && !f.noSync)
+    if (diffMergeActive(f))
         return false;
     // Claim reserve: split-phase claims are unreclaimable until their
     // collector runs, so a wave of submitters must not eat the arena's
@@ -1222,6 +1284,7 @@ BufferCache::submitPageFetch(gpu::BlockCtx &ctx, CacheFile &f,
         out->startIdx = page_idx;
         out->n = 1;
         out->single = true;
+        out->spec = false;
         return submitClaimedFetch(ctx, f, *out, /*blocking=*/false);
     }
     return false;
@@ -1236,7 +1299,7 @@ BufferCache::submitBatchFetch(gpu::BlockCtx &ctx, CacheFile &f,
         start_idx > FileCache::maxPageIndex()) {
         return 0;
     }
-    if (params_.enableDiffMerge && f.write && !f.wronce && !f.noSync)
+    if (diffMergeActive(f))
         return 0;   // pristine snapshot needed: stay on the sync path
     max_n = std::min(max_n, rpc::kMaxBatchPages);
     // One owner per batch: clip the run at its shard-group boundary.
@@ -1255,25 +1318,101 @@ BufferCache::submitBatchFetch(gpu::BlockCtx &ctx, CacheFile &f,
     out->startIdx = start_idx;
     out->n = n;
     out->single = false;
+    out->spec = false;
     return submitClaimedFetch(ctx, f, *out, /*blocking=*/false) ? n : 0;
+}
+
+ReadAheadTracker::Decision
+BufferCache::planReadAhead(CacheFile &f, uint64_t run_first,
+                           uint64_t run_last)
+{
+    ReadAheadTracker::Decision d;
+    if (params_.readAheadPages > 0) {
+        // Static override: the fixed window on every miss, no tracker
+        // involvement (existing sweeps keep their exact RPC patterns).
+        d.window = params_.readAheadPages;
+        d.stride = 1;
+        return d;
+    }
+    if (!adaptiveReadAhead())
+        return d;       // read-ahead off: window 0
+    d = f.ra.onMiss(run_first, run_last, params_.maxReadAheadPages);
+    if (d.ghost)
+        cntRaGhostHits.inc();
+    return d;
 }
 
 unsigned
 BufferCache::submitReadAhead(gpu::BlockCtx &ctx, CacheFile &f,
-                             uint64_t page_idx, PendingFetch *out,
-                             unsigned max_fetches)
+                             uint64_t run_first, uint64_t run_last,
+                             PendingFetch *out, unsigned max_fetches)
 {
     FileCache &c = *f.cache;
     const uint64_t page_size = params_.pageSize;
     const uint64_t fsize = f.size.load(std::memory_order_relaxed);
     if (fsize == 0 || f.hostFd < 0 || f.wronce || max_fetches == 0)
         return 0;
+    // Diff-and-merge pages must snapshot their pristine copy under the
+    // fetching pin (pinPage's slow path does that); a batch-published
+    // page has none, and its write-back would clobber other writers'
+    // merges — same exclusion as the split-phase demand paths.
+    if (diffMergeActive(f))
+        return 0;
+    // One policy decision per demand miss — the tracker records the
+    // miss even when the granted window is 0 (that is how it detects
+    // the run that re-opens the window).
+    ReadAheadTracker::Decision plan = planReadAhead(f, run_first,
+                                                    run_last);
+    if (plan.window == 0)
+        return 0;
     const uint64_t eof_page = (fsize + page_size - 1) / page_size;
-    const uint64_t end = std::min<uint64_t>(
-        page_idx + 1 + params_.readAheadPages, eof_page);
-
     unsigned fetches = 0;
-    uint64_t idx = page_idx + 1;
+
+    if (plan.stride != 1) {
+        // Strided pattern: prefetch the pages the stride predicts, one
+        // page per RPC — fetching the gaps is exactly the waste
+        // adaptive read-ahead exists to avoid.
+        uint64_t covered = run_last;
+        for (unsigned k = 1;
+             k <= plan.window && fetches < max_fetches; ++k) {
+            int64_t sidx = static_cast<int64_t>(run_last) +
+                static_cast<int64_t>(k) * plan.stride;
+            if (sidx < 0)
+                break;      // backward scan reached the file head
+            uint64_t idx = static_cast<uint64_t>(sidx);
+            if (idx >= eof_page || idx > FileCache::maxPageIndex())
+                break;
+            if (arena_.freeCount() <= claimReserve())
+                break;
+            PendingFetch &pf = out[fetches];
+            if (c.beginInitBatch(idx, 1, pf.slots) == 0) {
+                if (prefetchStepOver(c, idx)) {
+                    covered = idx;
+                    continue;
+                }
+                break;
+            }
+            pf.startIdx = idx;
+            pf.n = 1;
+            pf.single = false;
+            pf.spec = true;
+            if (!submitClaimedFetch(ctx, f, pf, /*blocking=*/false))
+                break;
+            ++fetches;
+            covered = idx;
+        }
+        if (adaptiveReadAhead() && covered != run_last)
+            f.ra.advance(covered);
+        return fetches;
+    }
+
+    // Clamp at radix capacity as well as EOF: getPage asserts on
+    // indices past maxPageIndex, and a huge file's tail window could
+    // otherwise step beyond it.
+    const uint64_t end = std::min<uint64_t>(
+        std::min<uint64_t>(run_last + 1 + plan.window, eof_page),
+        FileCache::maxPageIndex() + 1);
+    uint64_t idx = run_last + 1;
     while (idx < end && fetches < max_fetches) {
         unsigned max_n = static_cast<unsigned>(
             std::min<uint64_t>(end - idx, rpc::kMaxBatchPages));
@@ -1290,18 +1429,7 @@ BufferCache::submitReadAhead(gpu::BlockCtx &ctx, CacheFile &f,
         PendingFetch &pf = out[fetches];
         unsigned n = c.beginInitBatch(idx, max_n, pf.slots);
         if (n == 0) {
-            // Same stepping rule as readAheadFrom: hop over resident
-            // and in-flight pages, stop on anything else — prefetch
-            // must never page out on its own behalf.
-            FPage *p = c.getPage(idx);
-            uint32_t fr;
-            if (c.tryPinReady(*p, idx, &fr)) {
-                c.unpin(*p);
-                ++idx;
-                continue;
-            }
-            uint32_t s = p->state.load(std::memory_order_acquire);
-            if (s == kPageInit || s == kPageReady) {
+            if (prefetchStepOver(c, idx)) {
                 ++idx;
                 continue;
             }
@@ -1310,11 +1438,17 @@ BufferCache::submitReadAhead(gpu::BlockCtx &ctx, CacheFile &f,
         pf.startIdx = idx;
         pf.n = n;
         pf.single = false;
+        pf.spec = true;
         if (!submitClaimedFetch(ctx, f, pf, /*blocking=*/false))
             break;      // queue full: claim rolled back, stop prefetch
         ++fetches;
         idx += n;
     }
+    // Advance the tracker past the covered span (prefetched or already
+    // resident): the next sequential miss lands one past the window
+    // and must read as a continuation, not a jump.
+    if (adaptiveReadAhead() && idx > run_last + 1)
+        f.ra.advance(idx - 1);
     return fetches;
 }
 
@@ -1415,44 +1549,83 @@ BufferCache::readAheadFrom(gpu::BlockCtx &ctx, CacheFile &f,
     const uint64_t fsize = f.size.load(std::memory_order_relaxed);
     if (fsize == 0 || f.hostFd < 0)
         return;
+    // Diff-and-merge exclusion (see submitReadAhead): batch-published
+    // pages carry no pristine snapshot, which merges depend on.
+    if (diffMergeActive(f))
+        return;
+    // One policy decision per miss (tracker-fed even at window 0).
+    ReadAheadTracker::Decision plan = planReadAhead(f, page_idx,
+                                                    page_idx);
+    if (plan.window == 0)
+        return;
     const uint64_t eof_page = (fsize + page_size - 1) / page_size;
-    const uint64_t end = std::min<uint64_t>(
-        page_idx + 1 + params_.readAheadPages, eof_page);
 
+    if (plan.stride != 1) {
+        // Strided pattern (adaptive only): one page per RPC along the
+        // stride — never the gaps (see submitReadAhead).
+        uint64_t covered = page_idx;
+        for (unsigned k = 1; k <= plan.window; ++k) {
+            int64_t sidx = static_cast<int64_t>(page_idx) +
+                static_cast<int64_t>(k) * plan.stride;
+            if (sidx < 0)
+                break;
+            uint64_t idx = static_cast<uint64_t>(sidx);
+            if (idx >= eof_page || idx > FileCache::maxPageIndex())
+                break;
+            if (arena_.freeCount() <= claimReserve())
+                break;
+            BatchSlot slot;
+            if (c.beginInitBatch(idx, 1, &slot) == 0) {
+                if (prefetchStepOver(c, idx)) {
+                    covered = idx;
+                    continue;
+                }
+                break;
+            }
+            if (!fetchBatch(ctx, f, idx, &slot, 1, /*spec=*/true))
+                break;
+            covered = idx;
+        }
+        if (adaptiveReadAhead() && covered != page_idx)
+            f.ra.advance(covered);
+        return;
+    }
+
+    // Clamp at radix capacity as well as EOF (see submitReadAhead).
+    const uint64_t end = std::min<uint64_t>(
+        std::min<uint64_t>(page_idx + 1 + plan.window, eof_page),
+        FileCache::maxPageIndex() + 1);
     uint64_t idx = page_idx + 1;
     while (idx < end) {
         unsigned max_n = static_cast<unsigned>(
             std::min<uint64_t>(end - idx, rpc::kMaxBatchPages));
         // One owner per batch (shard-group clipping, no-op private).
         max_n = shardRunCap(f, idx, max_n);
+        // Claim reserve: prefetch never takes the frames synchronous
+        // pins would need to reclaim (it must never page out on its
+        // own behalf, and it must not starve demand pins either).
+        uint32_t free_frames = arena_.freeCount();
+        uint32_t reserve = claimReserve();
+        if (free_frames <= reserve)
+            break;
+        max_n = std::min(max_n, free_frames - reserve);
         BatchSlot slots[rpc::kMaxBatchPages];
         unsigned n = c.beginInitBatch(idx, max_n, slots);
         if (n == 0) {
-            // The head of the window is resident or in flight (another
-            // block's fetch holds its lock): step over it and keep
-            // coalescing from the next gap — under concurrent
-            // sequential readers most windows start on a neighbour's
-            // in-flight page. Anything else (contended Empty page,
-            // arena exhausted) ends read-ahead — it must never page
-            // out on its own behalf.
-            FPage *p = c.getPage(idx);
-            uint32_t fr;
-            if (c.tryPinReady(*p, idx, &fr)) {
-                c.unpin(*p);
-                ++idx;
-                continue;
-            }
-            uint32_t s = p->state.load(std::memory_order_acquire);
-            if (s == kPageInit || s == kPageReady) {
+            if (prefetchStepOver(c, idx)) {
                 ++idx;
                 continue;
             }
             break;
         }
-        if (!fetchBatch(ctx, f, idx, slots, n))
+        if (!fetchBatch(ctx, f, idx, slots, n, /*spec=*/true))
             break;
         idx += n;
     }
+    // Next sequential miss lands one past the covered span; advance so
+    // the tracker reads it as a continuation.
+    if (adaptiveReadAhead() && idx > page_idx + 1)
+        f.ra.advance(idx - 1);
 }
 
 } // namespace core

@@ -41,6 +41,7 @@
 #include "gpufs/frame.hh"
 #include "gpufs/params.hh"
 #include "gpufs/radix.hh"
+#include "gpufs/readahead.hh"
 #include "gpufs/shard.hh"
 #include "rpc/queue.hh"
 
@@ -55,11 +56,29 @@ namespace core {
  * depend on API-level flag encodings.
  */
 struct CacheFile {
+    /** Adaptive read-ahead: this file's access-pattern tracker and
+     *  prefetch-feedback state (see readahead.hh). Consulted at the
+     *  decision points (readAheadFrom / submitReadAhead) under no
+     *  other lock; fed back from promotion (pinPage) and eviction
+     *  (FileCache::retireSpeculative). Reset when the table slot is
+     *  recycled for a different file. Declared BEFORE the cache: the
+     *  FileCache holds a pointer to this tracker and its destructor
+     *  (dropAll of never-pinned speculative frames) may call back
+     *  into it, so the tracker must outlive the cache under member
+     *  destruction order. */
+    ReadAheadTracker ra;
+
     /** The radix-tree page cache; null until setupFile(). */
     std::unique_ptr<FileCache> cache;
 
-    /** Host fd write-back RPCs target; -1 when released. */
-    int hostFd = -1;
+    /** Host fd write-back RPCs target; -1 when released. Atomic for
+     *  the same reason as the policy booleans below: the API layer
+     *  rewrites it on (re)open/park under its locks while lock-free
+     *  miss paths (read-ahead decision points, split-phase submission)
+     *  only probe "is there an fd at all" — a momentarily stale value
+     *  is tolerated there (the RPC layer validates fds), but the
+     *  access must not be a data race. */
+    std::atomic<int> hostFd{-1};
 
     /** Host inode; 0 until the first open. Shard-map lookups key on it
      *  (host fds are per-GPU, inodes are machine-wide), and peer RPCs
@@ -128,6 +147,7 @@ struct CacheFile {
      *  destruction (drained collection, entry recycling) must treat a
      *  nonzero count like dirty data: keep the fd, keep the cache. */
     std::atomic<uint32_t> opInFlight{0};
+
 };
 
 /**
@@ -193,6 +213,9 @@ struct PendingFetch {
     /** Sharded multi-GPU: the RPC went out as PeerReadPages naming a
      *  non-self owner (counter attribution at collection). */
     bool peer = false;
+    /** Read-ahead batch: pages publish with the speculative tag and
+     *  count into ra_issued at collection (prefetch feedback). */
+    bool spec = false;
     BatchSlot slots[rpc::kMaxBatchPages];
 };
 
@@ -336,15 +359,21 @@ class BufferCache
                               PendingFetch *out);
 
     /**
-     * Split-phase read-ahead from a miss at @p page_idx: claims runs
-     * of missing pages in the window and submits their ReadPages RPCs,
-     * appending up to @p max_fetches entries to @p out. Unlike
-     * readAheadFrom the RPCs stay in flight — the async request table
-     * collects them at gwait. @return fetches submitted.
+     * Split-phase read-ahead from a demand miss covering pages
+     * [run_first, run_last] (one page for the per-page path, the whole
+     * run for vectored demand batches — the tracker needs the run head
+     * to judge sequential continuation): consults the read-ahead
+     * policy (static window, or the file's adaptive tracker), claims
+     * runs of missing pages in the granted window and submits their
+     * ReadPages RPCs, appending up to @p max_fetches entries to
+     * @p out. Unlike readAheadFrom the RPCs stay in flight — the async
+     * request table collects them at gwait. Non-unit strides prefetch
+     * one page per RPC (the gaps must not be fetched). @return fetches
+     * submitted.
      */
     unsigned submitReadAhead(gpu::BlockCtx &ctx, CacheFile &f,
-                             uint64_t page_idx, PendingFetch *out,
-                             unsigned max_fetches);
+                             uint64_t run_first, uint64_t run_last,
+                             PendingFetch *out, unsigned max_fetches);
 
     /**
      * Collect one split-phase fetch: wait out the RPC, publish the
@@ -404,6 +433,17 @@ class BufferCache
     void setShardMap(const ShardMap *map) { shards_ = map; }
     const ShardMap *shardMap() const { return shards_; }
 
+    /** True when @p f's pages carry diff-and-merge semantics: they
+     *  must snapshot a pristine copy under the fetching pin, which
+     *  excludes them from every batch-published path (split-phase
+     *  demand, read-ahead) and from the batched write-back. */
+    bool
+    diffMergeActive(const CacheFile &f) const
+    {
+        return params_.enableDiffMerge && f.write && !f.wronce &&
+            !f.noSync;
+    }
+
     /** True when @p f participates in sharding: an active map and a
      *  plainly host-backed file (wronce pages are zero-pristine and
      *  never fetched, NOSYNC temps are GPU-local, diff-merge pages
@@ -443,6 +483,39 @@ class BufferCache
     bool peerMirrorResident(CacheFile &f, uint64_t page_idx,
                             uint32_t in_page, const uint8_t *src,
                             uint32_t len);
+
+    // ---- read-ahead policy ----
+
+    /** True when the adaptive tracker drives the window: Adaptive
+     *  policy with no static override (readAheadPages == 0). */
+    bool
+    adaptiveReadAhead() const
+    {
+        return params_.readAheadPages == 0 &&
+            params_.readAheadPolicy == ReadAheadPolicy::Adaptive;
+    }
+
+    /** True when any read-ahead can be issued at all (miss paths gate
+     *  their readAheadFrom / submitReadAhead calls on this). */
+    bool
+    readAheadEnabled() const
+    {
+        return params_.readAheadPages > 0 || adaptiveReadAhead();
+    }
+
+    /** Frames split-phase submission (and read-ahead) must leave free
+     *  or reclaimable for synchronous pins: claims are unreclaimable
+     *  until collected, so a claim storm must not exhaust the arena.
+     *  Scales down for small arenas where reclaimBatch would forbid
+     *  claiming at all. Public: benches/tests assert the speculative
+     *  occupancy cap against it. */
+    uint32_t
+    claimReserve() const
+    {
+        return std::max<uint32_t>(
+            1, std::min<uint32_t>(params_.reclaimBatch,
+                                  arena_.numFrames() / 4));
+    }
 
     // ---- introspection ----
     FrameArena &arena() { return arena_; }
@@ -514,6 +587,11 @@ class BufferCache
     Counter &cntPeerPagesFallback;
     Counter &cntPeerWriteRpcs;
     Counter &cntPeerExtentsMirrored;
+    // Adaptive read-ahead feedback: pages published speculatively,
+    // ghost-ring hits (ra_hit / ra_wasted live in cacheCounters_ —
+    // promotion and eviction run inside the radix layer).
+    Counter &cntRaIssued;
+    Counter &cntRaGhostHits;
     CacheCounters cacheCounters_;
 
     static CacheCounters cacheCounters(StatSet &stat_set);
@@ -522,17 +600,16 @@ class BufferCache
     Status fetchPage(gpu::BlockCtx &ctx, CacheFile &f, uint64_t page_idx,
                      uint8_t *data, uint32_t *valid, Time *done);
 
-    /** Frames split-phase submission must leave free (or reclaimable)
-     *  for synchronous pins: claims are unreclaimable until collected,
-     *  so a claim storm must not exhaust the arena. Scales down for
-     *  small arenas where reclaimBatch would forbid claiming at all. */
-    uint32_t
-    claimReserve() const
-    {
-        return std::max<uint32_t>(
-            1, std::min<uint32_t>(params_.reclaimBatch,
-                                  arena_.numFrames() / 4));
-    }
+    /**
+     * Resolve the read-ahead window for a demand miss on pages
+     * [run_first, run_last] of @p f: the static window when
+     * readAheadPages is set, the file's adaptive tracker otherwise
+     * (which this call advances — exactly one plan per miss). A
+     * window of 0 means no prefetch.
+     */
+    ReadAheadTracker::Decision planReadAhead(CacheFile &f,
+                                             uint64_t run_first,
+                                             uint64_t run_last);
 
     /** Clip a batch run starting at @p start_idx to its shard group so
      *  one batched RPC never spans two owners (no-op when private). */
@@ -569,15 +646,17 @@ class BufferCache
                              unsigned n, Time issue, Time *done_out,
                              bool *ext_failed = nullptr);
 
-    /** Sequential read-ahead from a miss at @p page_idx: coalesces runs
-     *  of missing pages into batched ReadPages RPCs. */
+    /** Read-ahead from a miss at @p page_idx (policy-decided window,
+     *  see planReadAhead): coalesces runs of missing pages into
+     *  batched ReadPages RPCs, published speculative. */
     void readAheadFrom(gpu::BlockCtx &ctx, CacheFile &f, uint64_t page_idx);
 
     /** Issue one batched fetch for @p n already-claimed slots starting
-     *  at @p start_idx and wait it out. @return false on RPC failure
+     *  at @p start_idx and wait it out; @p spec marks a read-ahead
+     *  batch (speculative publish). @return false on RPC failure
      *  (slots aborted). */
     bool fetchBatch(gpu::BlockCtx &ctx, CacheFile &f, uint64_t start_idx,
-                    const BatchSlot *slots, unsigned n);
+                    const BatchSlot *slots, unsigned n, bool spec);
 
     /**
      * Build and submit the RPC for a PendingFetch whose slots are

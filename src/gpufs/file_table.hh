@@ -126,6 +126,10 @@ struct OpenFile {
         // Recycled slots must not inherit the fsync-dedup arming from
         // the previous tenant (a spurious host fsync per reuse).
         cf.needsFsync.store(false, std::memory_order_relaxed);
+        // Nor the previous tenant's access pattern: a recycled slot's
+        // read-ahead window, throttle and ghost ring describe a file
+        // that is gone.
+        cf.ra.reset();
         syncCacheFlags();
     }
 };

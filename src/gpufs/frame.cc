@@ -43,6 +43,8 @@ FrameArena::free(uint32_t f)
     gpufs_assert(pf.pristineFrame.load(std::memory_order_relaxed)
                      == kNoFrame,
                  "frame freed while still holding a pristine copy");
+    gpufs_assert(!pf.speculative.load(std::memory_order_relaxed),
+                 "frame freed with its speculative tag unaccounted");
     pf.fileUid.store(0, std::memory_order_release);
     pf.validBytes.store(0, std::memory_order_relaxed);
     pf.clearDirty();

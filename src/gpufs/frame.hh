@@ -72,6 +72,12 @@ struct PFrame {
      *  or kNoFrame. Pristine frames have no fpage owner of their own
      *  and are freed together with the working frame. */
     std::atomic<uint32_t> pristineFrame{kNoFrame};
+    /** Prefetch-feedback tag (adaptive read-ahead): set when a
+     *  read-ahead batch publishes this page, cleared by the first
+     *  application pin (promotion -> ra_hit) or by eviction/drop of
+     *  the never-pinned frame (-> ra_wasted). Set under the fpage lock
+     *  at publish so a racing pinner always sees it. */
+    std::atomic<bool> speculative{false};
 
     bool
     isDirty() const

@@ -564,11 +564,12 @@ GpuFs::submitRead(gpu::BlockCtx &ctx, int fd, const GIoVec *iov,
         return kMaxFetchesPerOp -
             static_cast<unsigned>(op->fetches.size());
     };
-    auto submit_ra = [&](uint64_t from_idx) {
-        if (params_.readAheadPages == 0 || budget() == 0)
+    auto submit_ra = [&](uint64_t run_first, uint64_t run_last) {
+        if (!bc_.readAheadEnabled() || budget() == 0)
             return;
         PendingFetch ra[kMaxFetchesPerOp];
-        unsigned m = bc_.submitReadAhead(ctx, cf, from_idx, ra, budget());
+        unsigned m = bc_.submitReadAhead(ctx, cf, run_first, run_last,
+                                         ra, budget());
         for (unsigned i = 0; i < m; ++i)
             op->fetches.push_back(ra[i]);
     };
@@ -587,13 +588,15 @@ GpuFs::submitRead(gpu::BlockCtx &ctx, int fd, const GIoVec *iov,
             if (bc_.submitPageFetch(ctx, cf, seg.pageIdx, &pf)) {
                 op->fetches.push_back(pf);
                 ++op->demandPages;
-                submit_ra(seg.pageIdx);
+                submit_ra(seg.pageIdx, seg.pageIdx);
             }
         }
     } else {
         // Vectored/async pattern: runs of missing pages coalesce into
         // ReadPages batches per extent.
         const uint64_t page_size = params_.pageSize;
+        uint64_t first_demand = UINT64_MAX;
+        uint64_t last_demand = 0;
         for (unsigned v = 0; v < iovcnt && budget() > 0; ++v) {
             if (iov[v].len == 0 || iov[v].offset >= fsize)
                 continue;
@@ -612,11 +615,18 @@ GpuFs::submitRead(gpu::BlockCtx &ctx, int fd, const GIoVec *iov,
                 }
                 op->fetches.push_back(pf);
                 op->demandPages += n;
+                first_demand = std::min(first_demand, pf.startIdx);
+                last_demand = std::max(last_demand,
+                                       pf.startIdx + n - 1);
                 idx += n;
             }
         }
-        if (op->demandPages > 0)
-            submit_ra(op->segs.back().pageIdx);
+        if (op->demandPages > 0) {
+            // The whole demand run feeds the tracker as one miss (its
+            // head judges sequential continuation, prefetch extends
+            // from its tail).
+            submit_ra(first_demand, last_demand);
+        }
     }
     return tok;
 }
@@ -671,11 +681,11 @@ GpuFs::submitWrite(gpu::BlockCtx &ctx, int fd, const GIoVec *iov,
         if (bc_.submitPageFetch(ctx, cf, seg.pageIdx, &pf)) {
             op->fetches.push_back(pf);
             ++op->demandPages;
-            if (params_.readAheadPages > 0 &&
+            if (bc_.readAheadEnabled() &&
                 op->fetches.size() < kMaxFetchesPerOp) {
                 PendingFetch ra[kMaxFetchesPerOp];
                 unsigned m = bc_.submitReadAhead(
-                    ctx, cf, seg.pageIdx, ra,
+                    ctx, cf, seg.pageIdx, seg.pageIdx, ra,
                     kMaxFetchesPerOp -
                         static_cast<unsigned>(op->fetches.size()));
                 for (unsigned i = 0; i < m; ++i)
@@ -1157,6 +1167,14 @@ GpuFs::hostFdsHeld() const
 {
     auto lock = lockTable();
     return table_.countHostFds();
+}
+
+const ReadAheadTracker *
+GpuFs::readAheadTracker(int fd)
+{
+    auto lock = lockTable();
+    OpenFile *e = table_.openEntry(fd);
+    return e ? &e->cf.ra : nullptr;
 }
 
 // ---------------------------------------------------------------------

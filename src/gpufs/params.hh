@@ -42,6 +42,26 @@ enum class EvictionPolicyKind : uint8_t {
  * channel, falling back to the normal host path when the owner does
  * not hold the page.
  */
+/**
+ * Read-ahead policies (the window BufferCache prefetches past a miss).
+ *
+ * Static is the paper's shape: a fixed `readAheadPages` window on
+ * every miss (0 = off, the prototype's behavior). Adaptive scales the
+ * window per file from the observed access pattern: a per-CacheFile
+ * tracker (readahead.hh) ramps the window multiplicatively on
+ * confirmed sequential (or small-stride) runs up to maxReadAheadPages,
+ * collapses it to zero on random access, and throttles files whose
+ * prefetched pages keep getting evicted unused (with ghost-hit
+ * detection so a wrongly-throttled window re-grows). Sequential scans
+ * keep Figure 4's batched-RPC win; random workloads (Figure 6) pay
+ * nothing — bench/ablate_readahead sweeps both against the static
+ * windows and fails if Adaptive ever loses by more than 5%.
+ */
+enum class ReadAheadPolicy : uint8_t {
+    Static,
+    Adaptive,
+};
+
 enum class ShardPolicy : uint8_t {
     /** Paper baseline: every GPU caches privately, no peer traffic.
      *  Also the effective policy whenever the system has one GPU. */
@@ -79,13 +99,24 @@ struct GpuFsParams {
     EvictionPolicyKind evictPolicy = EvictionPolicyKind::PaperTiered;
 
     /**
-     * Extension (off by default, matching the prototype): number of
-     * pages of sequential read-ahead issued on a buffer-cache miss.
-     * Runs of missing pages are coalesced into batched ReadPages RPCs
-     * of up to rpc::kMaxBatchPages each, so the per-request CPU and
-     * DMA-setup overheads are paid once per run instead of per page.
+     * STATIC read-ahead window: pages prefetched past every
+     * buffer-cache miss. Runs of missing pages are coalesced into
+     * batched ReadPages RPCs of up to rpc::kMaxBatchPages each, so the
+     * per-request CPU and DMA-setup overheads are paid once per run
+     * instead of per page. Setting this nonzero pins the policy to
+     * Static regardless of readAheadPolicy (existing sweeps and tests
+     * keep their exact RPC patterns); 0 defers to readAheadPolicy.
      */
     unsigned readAheadPages = 0;
+
+    /** Window policy when readAheadPages is 0 (see ReadAheadPolicy).
+     *  Adaptive is the default: off for random access, ramping to
+     *  maxReadAheadPages on confirmed sequential runs. Static + 0
+     *  disables read-ahead entirely (the seed behavior). */
+    ReadAheadPolicy readAheadPolicy = ReadAheadPolicy::Adaptive;
+
+    /** Ceiling of the Adaptive ramp, pages (2 ReadPages batches). */
+    unsigned maxReadAheadPages = 32;
 
     /**
      * Extension (off by default): the diff-and-merge protocol of §3.1

@@ -204,11 +204,17 @@ FileCache::beginInitBatch(uint64_t start_idx, unsigned max_n,
 
 void
 FileCache::finishInitBatch(const BatchSlot *slots, unsigned n,
-                           const uint32_t *valid, Time ready)
+                           const uint32_t *valid, Time ready,
+                           bool speculative)
 {
     for (unsigned i = 0; i < n; ++i) {
         PFrame &pf = arena.frame(slots[i].frame);
         pf.validBytes.store(valid[i], std::memory_order_relaxed);
+        // Tagged before the state flips to Ready (still under the
+        // fpage lock): the first pinner must either see the tag and
+        // promote, or not see the page at all.
+        if (speculative)
+            pf.speculative.store(true, std::memory_order_release);
         // The prefetching block does not wait: readyTime gates whoever
         // pins the page first.
         pf.readyTime.store(ready, std::memory_order_release);
@@ -340,6 +346,9 @@ FileCache::dropAll()
                 kNoFrame, std::memory_order_acq_rel);
             if (pristine != kNoFrame)
                 arena.free(pristine);
+            // A dropped never-pinned prefetch is as wasted as an
+            // evicted one (invalidation/truncate/unlink paths).
+            retireSpeculative(pf, n->baseIdx + i);
             p.frame.store(kNoFrame, std::memory_order_relaxed);
             arena.free(f);
             p.state.store(kPageEmpty, std::memory_order_release);

@@ -39,6 +39,7 @@
 #include "base/stats.hh"
 #include "base/status.hh"
 #include "gpufs/frame.hh"
+#include "gpufs/readahead.hh"
 #include "gpufs/spinlock.hh"
 
 namespace gpufs {
@@ -94,6 +95,11 @@ struct CacheCounters {
     Counter &lockfreeAccesses;
     Counter &lockedAccesses;
     Counter &pagesReclaimed;
+    /** Prefetch feedback: speculative pages promoted by a first pin
+     *  vs evicted/dropped never pinned (every published read-ahead
+     *  page ends up in exactly one of the two). */
+    Counter &raHits;
+    Counter &raWasted;
 };
 
 /** One page claimed by beginInitBatch: the fpage (held locked) and the
@@ -135,6 +141,13 @@ class FileCache
 
     /** Unique tree id stamped into owned pframes. Never reused. */
     uint64_t uid() const { return uid_; }
+
+    /** Wire the owning CacheFile's read-ahead tracker so eviction-side
+     *  feedback (noteWasted) reaches the policy. Set once at
+     *  setupFile, before any page is published; null (standalone
+     *  FileCache tests) skips per-file feedback but never the StatSet
+     *  counters. */
+    void setTracker(ReadAheadTracker *t) { tracker_ = t; }
 
     /** Largest page index addressable by the fixed-height tree. */
     static constexpr uint64_t
@@ -249,9 +262,14 @@ class FileCache
 
     /** Publish a filled batch: per-page valid byte counts, a shared
      *  DMA-completion time gating first use, pages become Ready and
-     *  unlocked. Batch pages are NOT pinned (prefetch semantics). */
+     *  unlocked. Batch pages are NOT pinned (prefetch semantics).
+     *  @p speculative tags each page's frame for prefetch-feedback
+     *  accounting (read-ahead batches; demand batches pass false) —
+     *  set under the fpage lock so a racing first pin always observes
+     *  it. */
     void finishInitBatch(const BatchSlot *slots, unsigned n,
-                         const uint32_t *valid, Time ready);
+                         const uint32_t *valid, Time ready,
+                         bool speculative);
 
     /** Roll a failed batch back to Empty, freeing the frames. */
     void abortInitBatch(const BatchSlot *slots, unsigned n);
@@ -452,6 +470,8 @@ class FileCache
     CacheCounters counters;
     const bool forceLocked;
     const uint64_t uid_;
+    /** Owning CacheFile's adaptive read-ahead tracker (may be null). */
+    ReadAheadTracker *tracker_ = nullptr;
 
     RadixNode root;
     std::mutex allocMtx;
@@ -520,12 +540,26 @@ class FileCache
             kNoFrame, std::memory_order_acq_rel);
         if (pristine != kNoFrame)
             arena.free(pristine);
+        retireSpeculative(pf, page_idx);
         p.frame.store(kNoFrame, std::memory_order_relaxed);
         arena.free(f);
         p.state.store(kPageEmpty, std::memory_order_release);
         p.lock.unlock();
         counters.pagesReclaimed.inc();
         return 1;
+    }
+
+    /** Prefetch feedback on the frame-free path: a still-speculative
+     *  frame is dying without ever being pinned — count it wasted and
+     *  feed the page index to the tracker's ghost ring. */
+    void
+    retireSpeculative(PFrame &pf, uint64_t page_idx)
+    {
+        if (pf.speculative.exchange(false, std::memory_order_acq_rel)) {
+            counters.raWasted.inc();
+            if (tracker_)
+                tracker_->noteWasted(page_idx);
+        }
     }
 };
 

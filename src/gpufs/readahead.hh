@@ -1,0 +1,305 @@
+/**
+ * @file
+ * Adaptive per-file read-ahead: the access-pattern tracker behind
+ * GpuFsParams::ReadAheadPolicy::Adaptive.
+ *
+ * The paper hand-tunes a single static `readAheadPages` constant — the
+ * window that makes Figure 4's sequential scan fast is exactly the one
+ * that wastes arena frames and PCIe bandwidth on Figure 6's random
+ * workload. Production readahead (Linux's on-demand readahead, the
+ * prefetch-feedback literature) instead scales the window per file
+ * from the observed pattern. This tracker does the same for GPUfs:
+ *
+ *  - a last-offset / run-length sequential detector with stride
+ *    recognition (any stride in [-8, 8] except 0, page units) feeds
+ *    a window that ramps multiplicatively on confirmed runs (2, 4,
+ *    8, ... up to GpuFsParams::maxReadAheadPages) and collapses to
+ *    zero the moment the pattern breaks;
+ *  - prefetch-feedback accounting closes the loop: every page a
+ *    read-ahead batch publishes is tagged speculative
+ *    (PFrame::speculative); the first application pin promotes it
+ *    (ra_hit), eviction of a never-pinned speculative frame counts it
+ *    wasted (ra_wasted). A streak of cold deaths with no promotion
+ *    throttles the file's window to zero;
+ *  - ghost-hit detection lets a throttled (or too-small) window
+ *    re-grow: the indices of recently wasted pages sit in a small
+ *    ring, and a later miss on one of them is proof the prefetch was
+ *    right and only died early — the throttle lifts and the ramp
+ *    restarts.
+ *
+ * One tracker per CacheFile, embedded next to the radix cache it
+ * describes. All pattern state lives under a private spinlock: the
+ * decision points (BufferCache::readAheadFrom / submitReadAhead) run
+ * on application block threads, promotion runs on whichever block pins
+ * first, and waste accounting runs under the paging lock — the lock
+ * here is always innermost and never held across a call out.
+ *
+ * The tracker keys on the FILE, not on a (file, block) stream: N
+ * blocks scanning one file sequentially interleave into a pattern the
+ * detector reads as random, which degrades to no prefetch — the
+ * "never hurts" floor, not a regression (per-stream tracking is the
+ * ROADMAP follow-on).
+ */
+
+#ifndef GPUFS_GPUFS_READAHEAD_HH
+#define GPUFS_GPUFS_READAHEAD_HH
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+
+#include "gpufs/spinlock.hh"
+
+namespace gpufs {
+namespace core {
+
+class ReadAheadTracker
+{
+  public:
+    /** Misses needed at a constant stride before the window opens. */
+    static constexpr unsigned kSeqRunThreshold = 2;
+    /** First window granted when a run confirms; doubles per miss. */
+    static constexpr unsigned kInitWindow = 2;
+    /** Largest |stride| (pages) recognized as a pattern; larger jumps
+     *  read as random and collapse the window. */
+    static constexpr int64_t kMaxStrideMag = 8;
+    /** Non-unit strides prefetch one page per RPC (the gaps must not
+     *  be fetched), so their window is capped lower. */
+    static constexpr unsigned kStridedWindowCap = 8;
+    /** Speculative pages dying cold (evicted unpinned) with no
+     *  intervening promotion before the file is throttled. */
+    static constexpr unsigned kThrottleStreak = 8;
+    /** Recently-wasted page indices kept for ghost-hit detection. */
+    static constexpr unsigned kGhostSlots = 16;
+    /** A fresh run this long un-throttles even without a ghost hit
+     *  (the old waste may predate a phase change). */
+    static constexpr unsigned kRethrottleRun = 16;
+
+    static constexpr uint64_t kNoIdx = UINT64_MAX;
+
+    /** What the decision point should do about one miss. */
+    struct Decision {
+        unsigned window = 0;    ///< pages to prefetch (0 = none)
+        int64_t stride = 1;     ///< page step of the prefetch
+        bool ghost = false;     ///< this miss hit the ghost ring
+    };
+
+    /**
+     * Record a demand miss covering pages [first_idx, last_idx] (a
+     * single page for the per-page path, the whole run for vectored
+     * demand batches) and decide the prefetch window to issue from
+     * @p last_idx. @p max_window is GpuFsParams::maxReadAheadPages.
+     */
+    Decision
+    onMiss(uint64_t first_idx, uint64_t last_idx, unsigned max_window)
+    {
+        SpinGuard guard(lock_);
+        Decision d;
+        // Ghost check first: a miss on a page we prefetched and then
+        // evicted unused is evidence the window was RIGHT (it died
+        // early, or the throttle was too hard) — lift the throttle and
+        // resume ramping instead of reading the jump as random.
+        for (unsigned i = 0; i < kGhostSlots; ++i) {
+            if (ghosts_[i] == first_idx) {
+                ghosts_[i] = kNoIdx;
+                ghostHits_.fetch_add(1, std::memory_order_relaxed);
+                throttled_ = false;
+                wastedStreak_ = 0;
+                runLen_ = kSeqRunThreshold;
+                if (stride_ == 0)
+                    stride_ = 1;
+                d.ghost = true;
+                break;
+            }
+        }
+        if (!d.ghost && lastIdx_ != kNoIdx) {
+            int64_t delta = static_cast<int64_t>(first_idx) -
+                static_cast<int64_t>(lastIdx_);
+            if (delta != 0 && delta == stride_) {
+                ++runLen_;
+            } else if (delta != 0 && std::llabs(delta) <= kMaxStrideMag) {
+                // New candidate pattern: remember the stride, but the
+                // old window is dead until the run re-confirms.
+                stride_ = delta;
+                runLen_ = 1;
+                window_ = 0;
+            } else {
+                // Random jump (or a re-read of the same page racing
+                // another block): collapse.
+                stride_ = 0;
+                runLen_ = 0;
+                window_ = 0;
+            }
+        }
+        lastIdx_ = last_idx;
+        if (throttled_ && runLen_ >= kRethrottleRun) {
+            throttled_ = false;
+            wastedStreak_ = 0;
+        }
+        if (runLen_ >= kSeqRunThreshold && !throttled_) {
+            window_ = window_ == 0
+                ? kInitWindow
+                : std::min<uint32_t>(window_ * 2, max_window);
+            if (window_ > max_window)
+                window_ = max_window;
+        }
+        d.window = throttled_ ? 0 : window_;
+        d.stride = stride_ == 0 ? 1 : stride_;
+        if (d.stride != 1 && d.window > kStridedWindowCap)
+            d.window = kStridedWindowCap;
+        return d;
+    }
+
+    /**
+     * Advance the last-seen cursor past a span the decision point just
+     * covered (prefetched, or stepped over because resident): the next
+     * sequential miss lands one stride past the window's end, and
+     * without this advance the detector would read it as a jump.
+     */
+    void
+    advance(uint64_t covered_to)
+    {
+        SpinGuard guard(lock_);
+        lastIdx_ = covered_to;
+    }
+
+    /** A read-ahead batch published @p n speculative pages. */
+    void
+    notePublished(unsigned n)
+    {
+        issued_.fetch_add(n, std::memory_order_relaxed);
+        int32_t now = specResident_.fetch_add(
+                          static_cast<int32_t>(n),
+                          std::memory_order_relaxed) +
+            static_cast<int32_t>(n);
+        int32_t peak = specPeak_.load(std::memory_order_relaxed);
+        while (now > peak &&
+               !specPeak_.compare_exchange_weak(
+                   peak, now, std::memory_order_relaxed)) {
+        }
+    }
+
+    /** A speculative page was pinned by the application (promotion). */
+    void
+    noteHit()
+    {
+        hits_.fetch_add(1, std::memory_order_relaxed);
+        specResident_.fetch_sub(1, std::memory_order_relaxed);
+        SpinGuard guard(lock_);
+        wastedStreak_ = 0;      // prefetch proved useful
+    }
+
+    /** A speculative page was evicted (or dropped) never pinned. */
+    void
+    noteWasted(uint64_t page_idx)
+    {
+        wasted_.fetch_add(1, std::memory_order_relaxed);
+        specResident_.fetch_sub(1, std::memory_order_relaxed);
+        SpinGuard guard(lock_);
+        ghosts_[ghostPos_] = page_idx;
+        ghostPos_ = (ghostPos_ + 1) % kGhostSlots;
+        if (++wastedStreak_ >= kThrottleStreak && !throttled_) {
+            throttled_ = true;
+            window_ = 0;
+        }
+    }
+
+    /** Forget everything (file-table slot recycled for a new file). */
+    void
+    reset()
+    {
+        SpinGuard guard(lock_);
+        lastIdx_ = kNoIdx;
+        stride_ = 0;
+        runLen_ = 0;
+        window_ = 0;
+        throttled_ = false;
+        wastedStreak_ = 0;
+        ghostPos_ = 0;
+        for (auto &g : ghosts_)
+            g = kNoIdx;
+        issued_.store(0, std::memory_order_relaxed);
+        hits_.store(0, std::memory_order_relaxed);
+        wasted_.store(0, std::memory_order_relaxed);
+        ghostHits_.store(0, std::memory_order_relaxed);
+        specResident_.store(0, std::memory_order_relaxed);
+        specPeak_.store(0, std::memory_order_relaxed);
+    }
+
+    // ---- introspection (tests, benches) ----
+
+    unsigned
+    window() const
+    {
+        SpinGuard guard(lock_);
+        return throttled_ ? 0 : window_;
+    }
+
+    int64_t
+    stride() const
+    {
+        SpinGuard guard(lock_);
+        return stride_;
+    }
+
+    bool
+    throttled() const
+    {
+        SpinGuard guard(lock_);
+        return throttled_;
+    }
+
+    uint64_t issued() const
+    {
+        return issued_.load(std::memory_order_relaxed);
+    }
+    uint64_t hits() const
+    {
+        return hits_.load(std::memory_order_relaxed);
+    }
+    uint64_t wasted() const
+    {
+        return wasted_.load(std::memory_order_relaxed);
+    }
+    uint64_t ghostHits() const
+    {
+        return ghostHits_.load(std::memory_order_relaxed);
+    }
+    /** Published speculative pages currently resident (not yet
+     *  promoted or evicted), and the high-water mark. */
+    int32_t specResident() const
+    {
+        return specResident_.load(std::memory_order_relaxed);
+    }
+    int32_t specPeak() const
+    {
+        return specPeak_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    mutable SpinLock lock_;
+    uint64_t lastIdx_ = kNoIdx;
+    int64_t stride_ = 0;
+    uint32_t runLen_ = 0;
+    uint32_t window_ = 0;
+    bool throttled_ = false;
+    uint32_t wastedStreak_ = 0;
+    uint64_t ghosts_[kGhostSlots] = {
+        kNoIdx, kNoIdx, kNoIdx, kNoIdx, kNoIdx, kNoIdx, kNoIdx, kNoIdx,
+        kNoIdx, kNoIdx, kNoIdx, kNoIdx, kNoIdx, kNoIdx, kNoIdx, kNoIdx};
+    unsigned ghostPos_ = 0;
+
+    // Feedback counters (atomic: promotion and eviction run on other
+    // threads than the decision point).
+    std::atomic<uint64_t> issued_{0};
+    std::atomic<uint64_t> hits_{0};
+    std::atomic<uint64_t> wasted_{0};
+    std::atomic<uint64_t> ghostHits_{0};
+    std::atomic<int32_t> specResident_{0};
+    std::atomic<int32_t> specPeak_{0};
+};
+
+} // namespace core
+} // namespace gpufs
+
+#endif // GPUFS_GPUFS_READAHEAD_HH

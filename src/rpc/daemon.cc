@@ -19,7 +19,8 @@ CpuDaemon::CpuDaemon(hostfs::HostFs &host_fs,
       peerPagesForwarded(stats_.counter("peer_pages_forwarded")),
       peerPagesHost(stats_.counter("peer_pages_host_fallback")),
       peerWriteRpcs(stats_.counter("peer_write_rpcs")),
-      peerExtentsMirrored(stats_.counter("peer_extents_mirrored"))
+      peerExtentsMirrored(stats_.counter("peer_extents_mirrored")),
+      raPagesFetched(stats_.counter("ra_pages_fetched"))
 {
 }
 
@@ -341,6 +342,8 @@ CpuDaemon::handleReadPages(gpu::GpuDevice &dev, const RpcRequest &req)
     // charged once per batch by handle(), which is the point of
     // batching (amortizing GPU->CPU request costs). The batch then
     // rides ONE DMA reservation (a single setup cost).
+    if (req.speculative)
+        raPagesFetched.inc(req.pageCount);
     hostfs::IoResult r = fs.preadPages(req.hostFd, req.batch, req.pageCount,
                                        req.pageLen, req.offset,
                                        req.issueTime, &sim.cpuIo);
@@ -386,6 +389,8 @@ CpuDaemon::handlePeerReadPages(gpu::GpuDevice &dev, const RpcRequest &req)
         return resp;
     }
     peerReadRpcs.inc();
+    if (req.speculative)
+        raPagesFetched.inc(req.pageCount);
     PeerPageSource *src = peerSourceOf(req);
     const uint64_t plen = req.pageLen;
     const Time t0 = req.issueTime;

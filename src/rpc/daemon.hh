@@ -97,6 +97,9 @@ class CpuDaemon
     Counter &peerPagesHost;
     Counter &peerWriteRpcs;
     Counter &peerExtentsMirrored;
+    /** Pages served to read-ahead (speculative) batches, as opposed to
+     *  demand fetches — the host-side view of prefetch traffic. */
+    Counter &raPagesFetched;
 
     void loop();
     RpcResponse handle(unsigned port_idx, const RpcRequest &req);

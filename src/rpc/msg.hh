@@ -89,6 +89,12 @@ struct RpcRequest {
      *  the file would make that publish validate stale copies). */
     bool peerPublish = false;
 
+    /** ReadPages/PeerReadPages: this batch is read-ahead, not demand —
+     *  the daemon attributes the fetched pages to its ra_pages_fetched
+     *  counter so host-side reports can tell prefetch traffic from
+     *  demand traffic without reaching into per-GPU StatSets. */
+    bool speculative = false;
+
     int hostFd = -1;            ///< Close/ReadPage(s)/WriteBack/Fsync/Truncate
     uint64_t offset = 0;        ///< ReadPage(s)/WriteBack/Truncate(new size)
     uint64_t len = 0;           ///< ReadPage/WriteBack; Read/WritePages: total

@@ -277,6 +277,10 @@ TEST(AsyncIoTest, DoubleBufferOverlapsComputeWithFetch)
         GpuFsParams p;
         p.pageSize = kChunk;    // one page per chunk
         p.cacheBytes = (kChunks + 4) * kChunk;
+        // Isolate the async core's overlap: adaptive read-ahead (the
+        // default) would hide the sync loop's fetches too and erase
+        // the contrast this test pins (readahead_test covers that).
+        p.readAheadPolicy = ReadAheadPolicy::Static;
         GpufsSystem sys(1, p);
         test::addRamp(sys.hostFs(), "/stream", kChunks * kChunk);
         auto ctx = test::makeBlock(sys.device(0));

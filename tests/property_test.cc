@@ -238,6 +238,79 @@ INSTANTIATE_TEST_SUITE_P(Pages, MmapSweep,
                                            2 * MiB));
 
 // ---------------------------------------------------------------------
+// Property: for ANY access sequence under the adaptive read-ahead
+// policy, the prefetch-feedback accounting stays conserved
+// (ra_wasted <= ra_issued; every issued page is resident, promoted, or
+// wasted — never lost) and speculative frames never breach the
+// claim-reserve occupancy cap (no claim-storm regression of PR 3's
+// reserve: prefetch must always leave synchronous pins reclaimable
+// headroom).
+// ---------------------------------------------------------------------
+
+class ReadAheadTrace : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(ReadAheadTrace, FeedbackStaysConservedAndCapped)
+{
+    constexpr uint64_t kPage = 16 * KiB;
+    constexpr uint64_t kPages = 128;
+    GpuFsParams p;
+    p.pageSize = kPage;
+    p.cacheBytes = 48 * kPage;      // 48 frames: constant eviction
+    // Defaults: adaptive read-ahead drives the window.
+    GpufsSystem sys(1, p);
+    test::addRamp(sys.hostFs(), "/trace", kPages * kPage);
+    auto ctx = test::makeBlock(sys.device(0));
+    int fd = sys.fs().gopen(ctx, "/trace", G_RDONLY);
+    ASSERT_GE(fd, 0);
+
+    BufferCache &bc = sys.fs().bufferCache();
+    const uint32_t frames = bc.arena().numFrames();
+    const uint32_t reserve = bc.claimReserve();
+    const ReadAheadTracker *t = sys.fs().readAheadTracker(fd);
+    ASSERT_NE(nullptr, t);
+
+    auto issued = [&] {
+        return sys.fs().stats().counter("ra_issued").get();
+    };
+    auto hit = [&] { return sys.fs().stats().counter("ra_hit").get(); };
+    auto wasted = [&] {
+        return sys.fs().stats().counter("ra_wasted").get();
+    };
+
+    SplitMix64 rng(GetParam() * 0x9E3779B9u + 1);
+    std::vector<uint8_t> buf(kPage);
+    uint64_t pos = 0;
+    for (int op = 0; op < 300; ++op) {
+        if (rng.nextBelow(4) == 0) {
+            pos = rng.nextBelow(kPages);        // random jump
+        } else {
+            pos = (pos + 1) % kPages;           // sequential step
+        }
+        ASSERT_EQ(int64_t(kPage),
+                  sys.fs().gread(ctx, fd, pos * kPage, kPage,
+                                 buf.data()));
+        for (size_t i = 0; i < buf.size(); i += 4093)
+            ASSERT_EQ(test::rampByte(pos * kPage + i), buf[i]);
+        // Invariants hold at EVERY step, not just at the end.
+        ASSERT_LE(wasted(), issued()) << "op " << op;
+        ASSERT_EQ(issued(), hit() + wasted() + uint64_t(t->specResident()))
+            << "op " << op;
+        ASSERT_LE(uint64_t(t->specPeak()), uint64_t(frames - reserve))
+            << "op " << op;
+    }
+    // Drain everything: the conservation closes with no residue.
+    sys.fs().bufferCache().reclaimFrames(ctx, frames);
+    EXPECT_EQ(issued(), hit() + wasted());
+    EXPECT_EQ(0, t->specResident());
+    sys.fs().gclose(ctx, fd);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ReadAheadTrace,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+// ---------------------------------------------------------------------
 // Property: the resource timeline never double-books, for arbitrary
 // ready/duration sequences.
 // ---------------------------------------------------------------------

@@ -22,7 +22,8 @@ class RadixTest : public ::testing::Test
     RadixTest()
         : arena(64 * 64 * KiB, 64 * KiB),       // 64 frames of 64 KiB
           counters{stats.counter("lockfree"), stats.counter("locked"),
-                   stats.counter("reclaimed")},
+                   stats.counter("reclaimed"), stats.counter("ra_hit"),
+                   stats.counter("ra_wasted")},
           cache(arena, counters, false)
     {
     }

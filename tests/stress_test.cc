@@ -351,6 +351,88 @@ TEST_F(StressTest, AsyncMixedOpsUnderPagingKeepDataIntact)
     }
 }
 
+TEST_F(StressTest, AdaptiveReadAheadThreadedMixedPhases)
+{
+    // Adaptive read-ahead (the default policy) under real threading:
+    // 32 blocks alternate sequential sweeps over a private file
+    // (clean per-file streams: trackers ramp, prefetch flows) with
+    // random reads of a shared file (interleaved misses: the shared
+    // tracker collapses), under a cache small enough that speculative
+    // frames die cold and the throttle/ghost machinery runs. The
+    // tracker and speculative-tag state is hammered from app blocks,
+    // split-phase collection, and eviction concurrently — the TSan CI
+    // job runs this plus readahead_test.
+    GpuFsParams p;
+    p.pageSize = 16 * KiB;
+    p.cacheBytes = 3 * MiB;         // 192 frames vs ~9 MiB working set
+    p.maxOpenFiles = 64;
+    sys = std::make_unique<GpufsSystem>(1, p);
+    constexpr unsigned kBlocks = 32;
+    constexpr uint64_t kFileSize = 256 * KiB;   // 16 pages each
+    for (unsigned b = 0; b < kBlocks; ++b) {
+        test::addRamp(sys->hostFs(), "/seq" + std::to_string(b),
+                      kFileSize);
+    }
+    test::addRamp(sys->hostFs(), "/shared", 1 * MiB);
+
+    std::atomic<uint64_t> errors{0};
+    gpu::launch(sys->device(0), kBlocks, 256, [&](gpu::BlockCtx &ctx) {
+        GpuFs &fs = sys->fs();
+        std::vector<uint8_t> buf(16 * KiB);
+        std::string mine = "/seq" + std::to_string(ctx.blockId());
+        for (int round = 0; round < 6; ++round) {
+            // Sequential phase: full sweep of the private file.
+            int fd = fs.gopen(ctx, mine, G_RDONLY);
+            if (fd < 0) {
+                errors.fetch_add(1);
+                continue;
+            }
+            for (uint64_t off = 0; off < kFileSize; off += buf.size()) {
+                if (fs.gread(ctx, fd, off, buf.size(), buf.data()) !=
+                    int64_t(buf.size())) {
+                    errors.fetch_add(1);
+                    continue;
+                }
+                for (size_t i = 0; i < buf.size(); i += 997) {
+                    if (buf[i] != test::rampByte(off + i))
+                        errors.fetch_add(1);
+                }
+            }
+            fs.gclose(ctx, fd);
+            // Random phase: shared file, interleaved across blocks.
+            int sfd = fs.gopen(ctx, "/shared", G_RDONLY);
+            if (sfd < 0) {
+                errors.fetch_add(1);
+                continue;
+            }
+            for (int i = 0; i < 8; ++i) {
+                uint64_t off =
+                    ctx.rng().nextBelow(1 * MiB - buf.size());
+                int64_t n = fs.gread(ctx, sfd, off, buf.size(),
+                                     buf.data());
+                if (n != int64_t(buf.size())) {
+                    errors.fetch_add(1);
+                } else {
+                    for (size_t i2 = 0; i2 < buf.size(); i2 += 1021) {
+                        if (buf[i2] != test::rampByte(off + i2))
+                            errors.fetch_add(1);
+                    }
+                }
+            }
+            fs.gclose(ctx, sfd);
+        }
+    });
+    ASSERT_EQ(0u, errors.load());
+    // Feedback accounting survived the races: nothing over-counted.
+    uint64_t issued = sys->fs().stats().counter("ra_issued").get();
+    uint64_t hit = sys->fs().stats().counter("ra_hit").get();
+    uint64_t wasted = sys->fs().stats().counter("ra_wasted").get();
+    EXPECT_LE(wasted, issued);
+    EXPECT_LE(hit, issued);
+    EXPECT_GT(issued, 0u);      // the private sweeps did prefetch
+    EXPECT_GT(sys->fs().stats().counter("pages_reclaimed").get(), 0u);
+}
+
 TEST_F(StressTest, ReadAheadPrefetchesSequentialPages)
 {
     GpuFsParams p;
@@ -388,6 +470,9 @@ TEST_F(StressTest, ReadAheadReducesVirtualTimeOfSequentialScan)
         p.pageSize = 64 * KiB;
         p.cacheBytes = 32 * MiB;
         p.readAheadPages = ra_pages;
+        // The ra_pages=0 baseline must stay read-ahead-free (adaptive,
+        // the default, would prefetch this sequential scan itself).
+        p.readAheadPolicy = ReadAheadPolicy::Static;
         GpufsSystem s(1, p);
         test::addRamp(s.hostFs(), "/seq", 16 * MiB);
         // Warm the host page cache: the read-ahead win is the per-map
