@@ -85,6 +85,10 @@ struct SlotPressureRow {
     unsigned maxInFlight = 0;
     uint64_t fullStalls = 0;
     uint64_t submissions = 0;
+    /** Doorbell rings elided by burst coalescing: high values mean
+     *  submission bursts reached the daemon as single pollAll sweeps
+     *  (the cross-slot aggregation feedstock). */
+    uint64_t ringsSuppressed = 0;
 };
 
 /** Snapshot every GPU queue's pressure counters. */
@@ -95,7 +99,7 @@ snapshotSlotPressure(core::GpufsSystem &sys)
     for (unsigned g = 0; g < sys.numGpus(); ++g) {
         rpc::RpcQueue &q = sys.rpcQueue(g);
         rows[g] = {q.maxInFlightSlots(), q.fullQueueStalls(),
-                   q.submissions()};
+                   q.submissions(), q.doorbellRingsSuppressed()};
     }
     return rows;
 }
@@ -105,13 +109,15 @@ reportSlotPressure(const std::vector<SlotPressureRow> &rows,
                    const char *label = "")
 {
     std::printf("#  %sslot pressure (max in-flight of %u slots / "
-                "full-queue stalls / submissions):",
+                "full-queue stalls / submissions / rings suppressed):",
                 label, rpc::kQueueSlots);
     bool warn = false;
     for (unsigned g = 0; g < rows.size(); ++g) {
-        std::printf("  gpu%u %u/%llu/%llu", g, rows[g].maxInFlight,
+        std::printf("  gpu%u %u/%llu/%llu/%llu", g, rows[g].maxInFlight,
                     static_cast<unsigned long long>(rows[g].fullStalls),
-                    static_cast<unsigned long long>(rows[g].submissions));
+                    static_cast<unsigned long long>(rows[g].submissions),
+                    static_cast<unsigned long long>(
+                        rows[g].ringsSuppressed));
         if (rows[g].fullStalls > 0 &&
             rows[g].fullStalls * 100 > rows[g].submissions) {
             warn = true;
@@ -121,7 +127,7 @@ reportSlotPressure(const std::vector<SlotPressureRow> &rows,
     if (warn) {
         std::printf("#  WARNING: full-queue stalls exceed 1%% of "
                     "submissions — the %u-slot array (not the daemon) "
-                    "is the bottleneck; consider doorbell coalescing\n",
+                    "is the bottleneck; consider more slots\n",
                     rpc::kQueueSlots);
     }
 }

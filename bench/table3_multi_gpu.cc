@@ -47,6 +47,10 @@ struct RunStats {
     uint64_t hostPages = 0;         ///< pages fetched via host RPCs
     uint64_t peerForwarded = 0;     ///< pages served GPU-to-GPU
     uint64_t peerFallback = 0;      ///< non-owner misses host-served
+    uint64_t raStreamsActive = 0;   ///< max live read-ahead streams
+    uint64_t raStreamRecycles = 0;  ///< stream-table LRU recycles
+    uint64_t coalescedRpcs = 0;     ///< ReadPages riding a gathered read
+    uint64_t hostReadCalls = 0;     ///< host read syscalls issued
     std::vector<bench::SlotPressureRow> pressure;
 };
 
@@ -97,7 +101,12 @@ runGpus(const std::vector<ImageDbSpec> &dbs, uint32_t num_queries,
             st.counter("batch_read_pages").get();
         out.peerForwarded += st.counter("peer_pages_forwarded").get();
         out.peerFallback += st.counter("peer_pages_fallback").get();
+        out.raStreamsActive = std::max(
+            out.raStreamsActive, st.counter("ra_streams_active").get());
+        out.raStreamRecycles += st.counter("ra_stream_recycles").get();
     }
+    out.coalescedRpcs = sys.daemon().stats().counter("coalesced_rpcs").get();
+    out.hostReadCalls = sys.daemon().stats().counter("host_read_calls").get();
     if (report_pressure)
         out.pressure = bench::snapshotSlotPressure(sys);
     for (const auto &r : results) {
@@ -106,6 +115,18 @@ runGpus(const std::vector<ImageDbSpec> &dbs, uint32_t num_queries,
             out.matches += m.found() ? 1 : 0;
     }
     return out;
+}
+
+void
+reportIoScaling(const RunStats &r, const char *label)
+{
+    std::printf("#  %sio scaling: ra streams active(max) %llu, "
+                "stream recycles %llu, coalesced rpcs %llu, "
+                "host read calls %llu\n", label,
+                static_cast<unsigned long long>(r.raStreamsActive),
+                static_cast<unsigned long long>(r.raStreamRecycles),
+                static_cast<unsigned long long>(r.coalescedRpcs),
+                static_cast<unsigned long long>(r.hostReadCalls));
 }
 
 Time
@@ -134,7 +155,7 @@ runInput(const char *label, bool planted, uint32_t num_queries,
     Time cpu = runCpu(dbs, num_queries, threshold);
     std::printf("%-12s CPUx8 %7.1fs |", label, toSeconds(cpu));
     Time one = 0;
-    std::vector<bench::SlotPressureRow> pressure;
+    RunStats last;
     for (unsigned g = 1; g <= max_gpus; ++g) {
         RunStats r = runGpus(dbs, num_queries, g, threshold, scale,
                              core::ShardPolicy::Private,
@@ -142,14 +163,15 @@ runInput(const char *label, bool planted, uint32_t num_queries,
         if (g == 1)
             one = r.span;
         if (g == max_gpus)
-            pressure = r.pressure;
+            last = r;
         std::printf("  %uGPU %6.1fs (%.1fx)", g, toSeconds(r.span),
                     double(one) / double(r.span));
         if (planted && r.matches != num_queries)
             std::printf(" [!%u/%u matched]", r.matches, num_queries);
     }
     std::printf("\n");
-    bench::reportSlotPressure(pressure);
+    bench::reportSlotPressure(last.pressure);
+    reportIoScaling(last, "");
 }
 
 /**
@@ -196,8 +218,10 @@ runShardCompare(const char *label, bool planted, uint32_t num_queries,
         for (unsigned i = 0; i < g; ++i)
             std::printf(" %.3f", sh.hitRate[i]);
         std::printf("\n");
-        if (g == max_gpus)
+        if (g == max_gpus) {
             bench::reportSlotPressure(sh.pressure, "sharded ");
+            reportIoScaling(sh, "sharded ");
+        }
     }
 }
 

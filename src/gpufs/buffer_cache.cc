@@ -214,6 +214,10 @@ BufferCache::BufferCache(gpu::GpuDevice &device, rpc::RpcQueue &rpc_queue,
       // ra_wasted (evicted/dropped never pinned).
       cntRaIssued(stat_set.counter("ra_issued")),
       cntRaGhostHits(stat_set.counter("ra_ghost_hits")),
+      // Per-stream read-ahead: stream-table occupancy high-water and
+      // live-slot recycles (cross-block scan health signals).
+      cntRaStreamsActive(stat_set.counter("ra_streams_active")),
+      cntRaStreamRecycles(stat_set.counter("ra_stream_recycles")),
       cacheCounters_(cacheCounters(stat_set))
 {
     dev.allocDeviceMem(params_.cacheBytes);
@@ -1006,7 +1010,10 @@ promoteIfSpeculative(FrameArena &arena, CacheCounters &counters,
     if (pf.speculative.load(std::memory_order_relaxed) &&
         pf.speculative.exchange(false, std::memory_order_acq_rel)) {
         counters.raHits.inc();
-        f.ra.noteHit();
+        // The stream tag is stable once the exchange is won (stored
+        // with the tag under the publish-time fpage lock): the hit
+        // credits the stream whose window fetched the page.
+        f.ra.noteHit(pf.raStream.load(std::memory_order_relaxed));
     }
 }
 
@@ -1218,13 +1225,15 @@ BufferCache::completeFetch(CacheFile &f, PendingFetch &pf)
                         page_size - got);
         }
     }
-    f.cache->finishInitBatch(pf.slots, pf.n, valid, resp.done, pf.spec);
+    f.cache->finishInitBatch(pf.slots, pf.n, valid, resp.done, pf.spec,
+                             pf.specStream);
     cntCacheMisses.inc(pf.n);
     if (pf.spec) {
         // Prefetch feedback: the pages are published and tagged — each
-        // will retire as exactly one ra_hit or ra_wasted.
+        // will retire as exactly one ra_hit or ra_wasted, credited to
+        // the stream that planned the batch.
         cntRaIssued.inc(pf.n);
-        f.ra.notePublished(pf.n);
+        f.ra.notePublished(pf.specStream, pf.n);
     }
     if (pf.single) {
         // Demand fetch: a page access that held the fpage lock, like
@@ -1240,13 +1249,14 @@ BufferCache::completeFetch(CacheFile &f, PendingFetch &pf)
 bool
 BufferCache::fetchBatch(gpu::BlockCtx &ctx, CacheFile &f,
                         uint64_t start_idx, const BatchSlot *slots,
-                        unsigned n, bool spec)
+                        unsigned n, bool spec, uint8_t stream)
 {
     PendingFetch pf;
     pf.startIdx = start_idx;
     pf.n = n;
     pf.single = false;
     pf.spec = spec;
+    pf.specStream = stream;
     std::copy(slots, slots + n, pf.slots);
     // The synchronous path holds no uncollected slots, so blocking for
     // a queue slot is safe here (and is the pre-async behavior).
@@ -1322,23 +1332,30 @@ BufferCache::submitBatchFetch(gpu::BlockCtx &ctx, CacheFile &f,
     return submitClaimedFetch(ctx, f, *out, /*blocking=*/false) ? n : 0;
 }
 
-ReadAheadTracker::Decision
-BufferCache::planReadAhead(CacheFile &f, uint64_t run_first,
-                           uint64_t run_last)
+ReadAheadStreams::Decision
+BufferCache::planReadAhead(CacheFile &f, uint64_t stream_key,
+                           uint64_t run_first, uint64_t run_last)
 {
-    ReadAheadTracker::Decision d;
+    ReadAheadStreams::Decision d;
     if (params_.readAheadPages > 0) {
         // Static override: the fixed window on every miss, no tracker
         // involvement (existing sweeps keep their exact RPC patterns).
+        // The batch publishes with kNoStream — feedback then updates
+        // the file's aggregates only, so conservation holds for the
+        // static policy too.
         d.window = params_.readAheadPages;
         d.stride = 1;
         return d;
     }
     if (!adaptiveReadAhead())
         return d;       // read-ahead off: window 0
-    d = f.ra.onMiss(run_first, run_last, params_.maxReadAheadPages);
+    d = f.ra.onMiss(stream_key, run_first, run_last,
+                    params_.maxReadAheadPages);
     if (d.ghost)
         cntRaGhostHits.inc();
+    if (d.recycled)
+        cntRaStreamRecycles.inc();
+    cntRaStreamsActive.maxWith(f.ra.streamsActive());
     return d;
 }
 
@@ -1358,11 +1375,11 @@ BufferCache::submitReadAhead(gpu::BlockCtx &ctx, CacheFile &f,
     // merges — same exclusion as the split-phase demand paths.
     if (diffMergeActive(f))
         return 0;
-    // One policy decision per demand miss — the tracker records the
-    // miss even when the granted window is 0 (that is how it detects
-    // the run that re-opens the window).
-    ReadAheadTracker::Decision plan = planReadAhead(f, run_first,
-                                                    run_last);
+    // One policy decision per demand miss — the requesting block's
+    // stream records the miss even when the granted window is 0 (that
+    // is how it detects the run that re-opens the window).
+    ReadAheadStreams::Decision plan = planReadAhead(
+        f, ctx.blockId(), run_first, run_last);
     if (plan.window == 0)
         return 0;
     const uint64_t eof_page = (fsize + page_size - 1) / page_size;
@@ -1396,13 +1413,14 @@ BufferCache::submitReadAhead(gpu::BlockCtx &ctx, CacheFile &f,
             pf.n = 1;
             pf.single = false;
             pf.spec = true;
+            pf.specStream = plan.stream;
             if (!submitClaimedFetch(ctx, f, pf, /*blocking=*/false))
                 break;
             ++fetches;
             covered = idx;
         }
         if (adaptiveReadAhead() && covered != run_last)
-            f.ra.advance(covered);
+            f.ra.advance(plan.stream, covered);
         return fetches;
     }
 
@@ -1439,16 +1457,17 @@ BufferCache::submitReadAhead(gpu::BlockCtx &ctx, CacheFile &f,
         pf.n = n;
         pf.single = false;
         pf.spec = true;
+        pf.specStream = plan.stream;
         if (!submitClaimedFetch(ctx, f, pf, /*blocking=*/false))
             break;      // queue full: claim rolled back, stop prefetch
         ++fetches;
         idx += n;
     }
-    // Advance the tracker past the covered span (prefetched or already
+    // Advance the stream past the covered span (prefetched or already
     // resident): the next sequential miss lands one past the window
     // and must read as a continuation, not a jump.
     if (adaptiveReadAhead() && idx > run_last + 1)
-        f.ra.advance(idx - 1);
+        f.ra.advance(plan.stream, idx - 1);
     return fetches;
 }
 
@@ -1553,9 +1572,9 @@ BufferCache::readAheadFrom(gpu::BlockCtx &ctx, CacheFile &f,
     // pages carry no pristine snapshot, which merges depend on.
     if (diffMergeActive(f))
         return;
-    // One policy decision per miss (tracker-fed even at window 0).
-    ReadAheadTracker::Decision plan = planReadAhead(f, page_idx,
-                                                    page_idx);
+    // One policy decision per miss (stream-fed even at window 0).
+    ReadAheadStreams::Decision plan = planReadAhead(
+        f, ctx.blockId(), page_idx, page_idx);
     if (plan.window == 0)
         return;
     const uint64_t eof_page = (fsize + page_size - 1) / page_size;
@@ -1582,12 +1601,13 @@ BufferCache::readAheadFrom(gpu::BlockCtx &ctx, CacheFile &f,
                 }
                 break;
             }
-            if (!fetchBatch(ctx, f, idx, &slot, 1, /*spec=*/true))
+            if (!fetchBatch(ctx, f, idx, &slot, 1, /*spec=*/true,
+                            plan.stream))
                 break;
             covered = idx;
         }
         if (adaptiveReadAhead() && covered != page_idx)
-            f.ra.advance(covered);
+            f.ra.advance(plan.stream, covered);
         return;
     }
 
@@ -1618,14 +1638,15 @@ BufferCache::readAheadFrom(gpu::BlockCtx &ctx, CacheFile &f,
             }
             break;
         }
-        if (!fetchBatch(ctx, f, idx, slots, n, /*spec=*/true))
+        if (!fetchBatch(ctx, f, idx, slots, n, /*spec=*/true,
+                        plan.stream))
             break;
         idx += n;
     }
     // Next sequential miss lands one past the covered span; advance so
-    // the tracker reads it as a continuation.
+    // the stream reads it as a continuation.
     if (adaptiveReadAhead() && idx > page_idx + 1)
-        f.ra.advance(idx - 1);
+        f.ra.advance(plan.stream, idx - 1);
 }
 
 } // namespace core

@@ -56,17 +56,18 @@ namespace core {
  * depend on API-level flag encodings.
  */
 struct CacheFile {
-    /** Adaptive read-ahead: this file's access-pattern tracker and
-     *  prefetch-feedback state (see readahead.hh). Consulted at the
-     *  decision points (readAheadFrom / submitReadAhead) under no
-     *  other lock; fed back from promotion (pinPage) and eviction
-     *  (FileCache::retireSpeculative). Reset when the table slot is
-     *  recycled for a different file. Declared BEFORE the cache: the
-     *  FileCache holds a pointer to this tracker and its destructor
-     *  (dropAll of never-pinned speculative frames) may call back
-     *  into it, so the tracker must outlive the cache under member
-     *  destruction order. */
-    ReadAheadTracker ra;
+    /** Adaptive read-ahead: this file's per-stream access-pattern
+     *  table and prefetch-feedback state (see readahead.hh). Consulted
+     *  at the decision points (readAheadFrom / submitReadAhead) under
+     *  no other lock — each consult resolves the requesting block's
+     *  stream slot; fed back from promotion (pinPage) and eviction
+     *  (FileCache::retireSpeculative) through the stream tag published
+     *  frames carry. Reset when the table slot is recycled for a
+     *  different file. Declared BEFORE the cache: the FileCache holds
+     *  a pointer to this table and its destructor (dropAll of
+     *  never-pinned speculative frames) may call back into it, so the
+     *  table must outlive the cache under member destruction order. */
+    ReadAheadStreams ra;
 
     /** The radix-tree page cache; null until setupFile(). */
     std::unique_ptr<FileCache> cache;
@@ -216,6 +217,11 @@ struct PendingFetch {
     /** Read-ahead batch: pages publish with the speculative tag and
      *  count into ra_issued at collection (prefetch feedback). */
     bool spec = false;
+    /** Stream slot the read-ahead plan resolved (kNoStream for demand
+     *  and static-policy batches): stamped into the published frames
+     *  and fed to notePublished at collection, so the whole feedback
+     *  loop stays per-stream across the split-phase gap. */
+    uint8_t specStream = ReadAheadStreams::kNoStream;
     BatchSlot slots[rpc::kMaxBatchPages];
 };
 
@@ -592,6 +598,11 @@ class BufferCache
     // promotion and eviction run inside the radix layer).
     Counter &cntRaIssued;
     Counter &cntRaGhostHits;
+    /** Per-stream read-ahead signals: high-water of any one file's
+     *  concurrently-active streams, and live-slot LRU recycles summed
+     *  across files (both updated at the decision points). */
+    Counter &cntRaStreamsActive;
+    Counter &cntRaStreamRecycles;
     CacheCounters cacheCounters_;
 
     static CacheCounters cacheCounters(StatSet &stat_set);
@@ -603,11 +614,15 @@ class BufferCache
     /**
      * Resolve the read-ahead window for a demand miss on pages
      * [run_first, run_last] of @p f: the static window when
-     * readAheadPages is set, the file's adaptive tracker otherwise
-     * (which this call advances — exactly one plan per miss). A
-     * window of 0 means no prefetch.
+     * readAheadPages is set, the requesting block's stream in the
+     * file's adaptive table otherwise (which this call advances —
+     * exactly one plan per miss; @p stream_key is the block id the
+     * stream resolution keys on). A window of 0 means no prefetch.
+     * The returned Decision carries the resolved stream slot for the
+     * batch's feedback tags.
      */
-    ReadAheadTracker::Decision planReadAhead(CacheFile &f,
+    ReadAheadStreams::Decision planReadAhead(CacheFile &f,
+                                             uint64_t stream_key,
                                              uint64_t run_first,
                                              uint64_t run_last);
 
@@ -653,10 +668,11 @@ class BufferCache
 
     /** Issue one batched fetch for @p n already-claimed slots starting
      *  at @p start_idx and wait it out; @p spec marks a read-ahead
-     *  batch (speculative publish). @return false on RPC failure
-     *  (slots aborted). */
+     *  batch (speculative publish, tagged with @p stream). @return
+     *  false on RPC failure (slots aborted). */
     bool fetchBatch(gpu::BlockCtx &ctx, CacheFile &f, uint64_t start_idx,
-                    const BatchSlot *slots, unsigned n, bool spec);
+                    const BatchSlot *slots, unsigned n, bool spec,
+                    uint8_t stream = ReadAheadStreams::kNoStream);
 
     /**
      * Build and submit the RPC for a PendingFetch whose slots are

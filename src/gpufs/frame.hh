@@ -78,6 +78,13 @@ struct PFrame {
      *  the never-pinned frame (-> ra_wasted). Set under the fpage lock
      *  at publish so a racing pinner always sees it. */
     std::atomic<bool> speculative{false};
+    /** Stream slot (ReadAheadStreams index) the publishing read-ahead
+     *  batch resolved, or ReadAheadStreams::kNoStream — routes the
+     *  frame's promotion/waste feedback back to the stream that
+     *  prefetched it. Written under the fpage lock at publish,
+     *  together with (and read only after winning) the speculative
+     *  tag, so it is stable for whoever clears that tag. */
+    std::atomic<uint8_t> raStream{0xFF};
 
     bool
     isDirty() const

@@ -266,6 +266,12 @@ GpuFs::gclose(gpu::BlockCtx &ctx, int fd)
         return st;
     cntCloses.inc();
     ctx.charge(1 * kMicrosecond);
+    // This block is done with the file: hand its read-ahead stream
+    // slot back (see ReadAheadStreams::release) so blocks launching
+    // behind it claim a free slot instead of LRU-evicting a live
+    // stream mid-scan. Every closer releases its own stream — the
+    // entry itself parks only on the last reference.
+    e->cf.ra.release(ctx.blockId());
     if (e->refs.fetch_sub(1, std::memory_order_relaxed) > 1)
         return Status::Ok;
 
@@ -1169,7 +1175,7 @@ GpuFs::hostFdsHeld() const
     return table_.countHostFds();
 }
 
-const ReadAheadTracker *
+const ReadAheadStreams *
 GpuFs::readAheadTracker(int fd)
 {
     auto lock = lockTable();

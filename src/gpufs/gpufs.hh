@@ -336,11 +336,12 @@ class GpuFs : public rpc::PeerPageSource
     const GpuFsParams &params() const { return params_; }
     StatSet &stats() { return stats_; }
 
-    /** The adaptive read-ahead tracker of @p fd's file (tests and
-     *  benches inspect the window, throttle state and feedback
-     *  counters), or null for a bad fd. The tracker object is stable
-     *  for the entry's lifetime; reads are racy-by-design telemetry. */
-    const ReadAheadTracker *readAheadTracker(int fd);
+    /** The adaptive read-ahead stream table of @p fd's file (tests
+     *  and benches inspect the MRU window, throttle state, per-stream
+     *  trackers and aggregate feedback counters), or null for a bad
+     *  fd. The table object is stable for the entry's lifetime; reads
+     *  are racy-by-design telemetry. */
+    const ReadAheadStreams *readAheadTracker(int fd);
 
     gpu::GpuDevice &device() { return dev; }
     BufferCache &bufferCache() { return bc_; }

@@ -205,14 +205,19 @@ FileCache::beginInitBatch(uint64_t start_idx, unsigned max_n,
 void
 FileCache::finishInitBatch(const BatchSlot *slots, unsigned n,
                            const uint32_t *valid, Time ready,
-                           bool speculative)
+                           bool speculative, uint8_t stream)
 {
     for (unsigned i = 0; i < n; ++i) {
         PFrame &pf = arena.frame(slots[i].frame);
         pf.validBytes.store(valid[i], std::memory_order_relaxed);
         // Tagged before the state flips to Ready (still under the
         // fpage lock): the first pinner must either see the tag and
-        // promote, or not see the page at all.
+        // promote, or not see the page at all. The stream slot rides
+        // along (stored first: whoever wins the speculative exchange
+        // reads it afterwards) so feedback routes to the issuer.
+        pf.raStream.store(speculative ? stream
+                                      : ReadAheadStreams::kNoStream,
+                          std::memory_order_relaxed);
         if (speculative)
             pf.speculative.store(true, std::memory_order_release);
         // The prefetching block does not wait: readyTime gates whoever

@@ -142,12 +142,12 @@ class FileCache
     /** Unique tree id stamped into owned pframes. Never reused. */
     uint64_t uid() const { return uid_; }
 
-    /** Wire the owning CacheFile's read-ahead tracker so eviction-side
-     *  feedback (noteWasted) reaches the policy. Set once at
-     *  setupFile, before any page is published; null (standalone
-     *  FileCache tests) skips per-file feedback but never the StatSet
-     *  counters. */
-    void setTracker(ReadAheadTracker *t) { tracker_ = t; }
+    /** Wire the owning CacheFile's read-ahead stream table so
+     *  eviction-side feedback (noteWasted) reaches the policy. Set
+     *  once at setupFile, before any page is published; null
+     *  (standalone FileCache tests) skips per-file feedback but never
+     *  the StatSet counters. */
+    void setTracker(ReadAheadStreams *t) { tracker_ = t; }
 
     /** Largest page index addressable by the fixed-height tree. */
     static constexpr uint64_t
@@ -266,10 +266,13 @@ class FileCache
      *  @p speculative tags each page's frame for prefetch-feedback
      *  accounting (read-ahead batches; demand batches pass false) —
      *  set under the fpage lock so a racing first pin always observes
-     *  it. */
+     *  it. @p stream is the ReadAheadStreams slot the batch resolved
+     *  (kNoStream for demand and static-policy batches), stamped into
+     *  each frame so promotion/waste route to the issuing stream. */
     void finishInitBatch(const BatchSlot *slots, unsigned n,
                          const uint32_t *valid, Time ready,
-                         bool speculative);
+                         bool speculative,
+                         uint8_t stream = ReadAheadStreams::kNoStream);
 
     /** Roll a failed batch back to Empty, freeing the frames. */
     void abortInitBatch(const BatchSlot *slots, unsigned n);
@@ -470,8 +473,8 @@ class FileCache
     CacheCounters counters;
     const bool forceLocked;
     const uint64_t uid_;
-    /** Owning CacheFile's adaptive read-ahead tracker (may be null). */
-    ReadAheadTracker *tracker_ = nullptr;
+    /** Owning CacheFile's read-ahead stream table (may be null). */
+    ReadAheadStreams *tracker_ = nullptr;
 
     RadixNode root;
     std::mutex allocMtx;
@@ -551,14 +554,19 @@ class FileCache
 
     /** Prefetch feedback on the frame-free path: a still-speculative
      *  frame is dying without ever being pinned — count it wasted and
-     *  feed the page index to the tracker's ghost ring. */
+     *  feed the page index to the issuing stream's ghost ring (the
+     *  slot tag is stable once the exchange is won: it was stored
+     *  together with the tag under the publish-time fpage lock). */
     void
     retireSpeculative(PFrame &pf, uint64_t page_idx)
     {
         if (pf.speculative.exchange(false, std::memory_order_acq_rel)) {
             counters.raWasted.inc();
-            if (tracker_)
-                tracker_->noteWasted(page_idx);
+            if (tracker_) {
+                tracker_->noteWasted(
+                    pf.raStream.load(std::memory_order_relaxed),
+                    page_idx);
+            }
         }
     }
 };

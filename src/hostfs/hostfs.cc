@@ -152,6 +152,49 @@ HostFs::preadPages(int fd, uint8_t *const *dsts, unsigned n_pages,
 }
 
 IoResult
+HostFs::preadRuns(int fd, ReadRun *runs, unsigned n, Time ready,
+                  sim::Resource *io_path)
+{
+    uint32_t flags;
+    auto node = lookupFd(fd, &flags);
+    if (!node)
+        return {Status::BadFd, 0, ready};
+    uint64_t size;
+    uint64_t ino;
+    {
+        std::lock_guard<std::mutex> lock(mtx);
+        size = node->size;
+        ino = node->ino;
+    }
+    uint64_t total = 0;
+    std::vector<IoSpan> spans(n);
+    for (unsigned r = 0; r < n; ++r) {
+        ReadRun &run = runs[r];
+        run.bytes = 0;
+        if (run.offset < size) {
+            uint64_t want = uint64_t(run.nPages) * run.pageLen;
+            run.bytes = std::min(want, size - run.offset);
+            for (unsigned i = 0; i < run.nPages; ++i) {
+                uint64_t base = uint64_t(i) * run.pageLen;
+                if (base >= run.bytes)
+                    break;
+                node->content->readAt(run.offset + base,
+                                      std::min(run.pageLen,
+                                               run.bytes - base),
+                                      run.dsts[i]);
+            }
+        }
+        total += run.bytes;
+        spans[r] = {run.offset, run.bytes};
+    }
+    if (total == 0)
+        return {Status::Ok, 0, ready};
+    // All runs, one gathered preadv charge.
+    Time done = pageCache.chargeReadv(ino, spans.data(), n, ready, io_path);
+    return {Status::Ok, total, done};
+}
+
+IoResult
 HostFs::pwritev(int fd, const WriteRun *runs, unsigned n, Time ready,
                 sim::Resource *io_path)
 {

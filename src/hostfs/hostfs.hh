@@ -64,6 +64,18 @@ struct WriteRun {
     const uint8_t *data;
 };
 
+/** One run of a gathered scatter-read (preadRuns): a contiguous file
+ *  extent at @p offset landing in @p nPages page buffers, one
+ *  originating RPC slot's worth. @p bytes returns the EOF-clamped
+ *  byte count actually read for that run. */
+struct ReadRun {
+    uint64_t offset;
+    uint8_t *const *dsts;
+    unsigned nPages;
+    uint64_t pageLen;
+    uint64_t bytes = 0;
+};
+
 /**
  * The host file system. All methods are thread safe. Methods that move
  * data take the caller's virtual ready time and return a completion
@@ -103,6 +115,17 @@ class HostFs
     IoResult preadPages(int fd, uint8_t *const *dsts, unsigned n_pages,
                         uint64_t page_len, uint64_t offset, Time ready = 0,
                         sim::Resource *io_path = nullptr);
+
+    /**
+     * Gathered scatter-read: every run's extent lands in its page
+     * buffers, charged as ONE preadv syscall over all runs (per-run
+     * miss/disk accounting, one copy overhead) — the daemon's
+     * cross-slot aggregated ReadPages path. Per-run byte counts (EOF
+     * clamped; runs entirely past EOF read 0 bytes) return in
+     * runs[i].bytes; IoResult.bytes is their sum.
+     */
+    IoResult preadRuns(int fd, ReadRun *runs, unsigned n, Time ready = 0,
+                       sim::Resource *io_path = nullptr);
 
     /**
      * Gathered write: all runs land atomically as ONE pwritev — a

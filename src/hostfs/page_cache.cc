@@ -217,6 +217,73 @@ HostPageCache::chargeWritev(uint64_t ino, const IoSpan *runs, unsigned n,
 }
 
 Time
+HostPageCache::chargeReadv(uint64_t ino, const IoSpan *spans, unsigned n,
+                           Time ready, sim::Resource *io_path)
+{
+    const auto &p = sim.params;
+    uint64_t g = granuleSize();
+    uint64_t total = 0;
+    uint64_t miss_bytes = 0;
+    uint64_t miss_extents = 0;
+    uint64_t writeback_bytes = 0;
+    {
+        std::lock_guard<std::mutex> lock(mtx);
+        for (unsigned r = 0; r < n; ++r) {
+            if (spans[r].len == 0)
+                continue;
+            total += spans[r].len;
+            uint64_t first = spans[r].offset / g;
+            uint64_t last = (spans[r].offset + spans[r].len - 1) / g;
+            // Miss runs don't fuse across spans: the spans belong to
+            // different requesting blocks and need not be adjacent on
+            // disk, so each span seeks on its own.
+            bool in_miss_run = false;
+            for (uint64_t gi = first; gi <= last; ++gi) {
+                bool resident;
+                writeback_bytes += touchLocked({ino, gi}, false, resident);
+                if (!resident) {
+                    miss_bytes += g;
+                    if (!in_miss_run)
+                        ++miss_extents;
+                    in_miss_run = true;
+                } else {
+                    in_miss_run = false;
+                }
+            }
+        }
+    }
+    hitBytes.inc(total > miss_bytes ? total - miss_bytes : 0);
+    missBytes.inc(std::min(miss_bytes, total));
+
+    if (total == 0 || !p.chargeHostIo)
+        return ready;
+
+    Time t = ready;
+    if (miss_bytes > 0 || writeback_bytes > 0) {
+        Time disk_dur = miss_extents * p.diskAccessLat
+            + transferTime(miss_bytes, p.diskReadMBps)
+            + transferTime(writeback_bytes, p.diskWriteMBps);
+        double pinned_frac;
+        {
+            std::lock_guard<std::mutex> lock(mtx);
+            pinned_frac = p.hostCacheBytes
+                ? double(pinnedBytes) / double(p.hostCacheBytes) : 0.0;
+        }
+        disk_dur = Time(double(disk_dur) *
+                        (1.0 + p.pinnedReclaimPenalty * pinned_frac));
+        t = sim.disk.reserve(t, disk_dur).end;
+    }
+    // One gathered syscall for every span.
+    Time copy_dur = p.preadOverhead + transferTime(total,
+                                                   p.hostCacheReadMBps);
+    if (io_path)
+        t = io_path->reserve(t, copy_dur).end;
+    else
+        t += copy_dur;
+    return t;
+}
+
+Time
 HostPageCache::chargeSync(uint64_t ino, Time ready)
 {
     uint64_t dirty_bytes = 0;

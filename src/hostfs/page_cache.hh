@@ -70,6 +70,16 @@ class HostPageCache
     Time chargeWritev(uint64_t ino, const IoSpan *runs, unsigned n,
                       Time ready, sim::Resource *io_path);
 
+    /**
+     * Vectored chargeRead: miss/disk accounting runs per span exactly
+     * as n chargeRead calls would, but the copy out of the cache pays
+     * ONE syscall overhead plus the spans' total bytes — a single
+     * gathered preadv, which is how the daemon serves a cross-slot
+     * aggregated ReadPages group.
+     */
+    Time chargeReadv(uint64_t ino, const IoSpan *spans, unsigned n,
+                     Time ready, sim::Resource *io_path);
+
     /** Write back dirty granules of @p ino to disk. ~fsync. */
     Time chargeSync(uint64_t ino, Time ready);
 

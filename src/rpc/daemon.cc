@@ -20,7 +20,9 @@ CpuDaemon::CpuDaemon(hostfs::HostFs &host_fs,
       peerPagesHost(stats_.counter("peer_pages_host_fallback")),
       peerWriteRpcs(stats_.counter("peer_write_rpcs")),
       peerExtentsMirrored(stats_.counter("peer_extents_mirrored")),
-      raPagesFetched(stats_.counter("ra_pages_fetched"))
+      raPagesFetched(stats_.counter("ra_pages_fetched")),
+      coalescedRpcs(stats_.counter("coalesced_rpcs")),
+      hostReadCalls(stats_.counter("host_read_calls"))
 {
 }
 
@@ -74,17 +76,28 @@ CpuDaemon::stop()
             .maxWith(ports[i]->queue->maxInFlightSlots());
         stats_.counter(prefix + "_full_queue_stalls").maxWith(stalls);
         stats_.counter(prefix + "_submissions").maxWith(subs);
+        stats_.counter(prefix + "_doorbell_rings_suppressed")
+            .maxWith(ports[i]->queue->doorbellRingsSuppressed());
         // Doorbell-coalescing decision signal (ROADMAP "RPC slot
         // scaling"): submitters stalling on a full slot array more
         // than ~1% of the time means kQueueSlots, not the daemon, is
-        // the bottleneck.
-        if (stalls * 100 > subs && stalls > 0) {
+        // the bottleneck. Judge THIS report interval's delta — the
+        // queue counters are cumulative across start/stop cycles, and
+        // re-judging history would re-warn forever on one bad early
+        // interval — and warn only on the rising edge of a crossing.
+        uint64_t d_stalls = stalls - ports[i]->lastStalls;
+        uint64_t d_subs = subs - ports[i]->lastSubs;
+        ports[i]->lastStalls = stalls;
+        ports[i]->lastSubs = subs;
+        bool stalled = d_stalls > 0 && d_stalls * 100 > d_subs;
+        if (stalled && !ports[i]->stallWarned) {
             gpufs_warn("gpu%u RPC queue: %llu full-queue stalls over "
-                       "%llu submissions (>1%%) — consider doorbell "
-                       "coalescing / more slots",
-                       i, static_cast<unsigned long long>(stalls),
-                       static_cast<unsigned long long>(subs));
+                       "%llu submissions this interval (>1%%) — "
+                       "consider more slots",
+                       i, static_cast<unsigned long long>(d_stalls),
+                       static_cast<unsigned long long>(d_subs));
         }
+        ports[i]->stallWarned = stalled;
     }
 }
 
@@ -106,15 +119,7 @@ CpuDaemon::loop()
             unsigned n;
             while ((n = ports[i]->queue->pollAll(batch, kQueueSlots))
                    > 0) {
-                std::sort(batch, batch + n,
-                          [](const RpcSlot *a, const RpcSlot *b) {
-                              return a->req.issueTime < b->req.issueTime;
-                          });
-                for (unsigned s = 0; s < n; ++s) {
-                    RpcResponse resp = handle(i, batch[s]->req);
-                    RpcQueue::complete(*batch[s], resp);
-                    requestsServed.inc();
-                }
+                serviceSweep(i, batch, n);
                 any = true;
             }
         }
@@ -136,6 +141,105 @@ CpuDaemon::loop()
             resp.done = slot->req.issueTime;
             RpcQueue::complete(*slot, resp);
         }
+    }
+}
+
+void
+CpuDaemon::serviceSweep(unsigned port_idx, RpcSlot **batch, unsigned n)
+{
+    std::sort(batch, batch + n,
+              [](const RpcSlot *a, const RpcSlot *b) {
+                  return a->req.issueTime < b->req.issueTime;
+              });
+    // Cross-block RPC aggregation: the burst a coalesced doorbell
+    // delivered as one sweep usually carries many blocks' ReadPages
+    // on the SAME file (a shared scan) — gather each same-file set
+    // into one host read instead of k. Groups are serviced at their
+    // first member's place in the issue-time order; everything else
+    // keeps the plain per-slot path.
+    bool taken[kQueueSlots] = {};
+    for (unsigned s = 0; s < n; ++s) {
+        if (taken[s])
+            continue;
+        RpcSlot *group[kQueueSlots];
+        unsigned k = 0;
+        const RpcRequest &req = batch[s]->req;
+        if (req.op == RpcOp::ReadPages && req.pageCount > 0 &&
+            req.pageCount <= kMaxBatchPages) {
+            group[k++] = batch[s];
+            for (unsigned t = s + 1; t < n; ++t) {
+                if (taken[t])
+                    continue;
+                const RpcRequest &r2 = batch[t]->req;
+                if (r2.op == RpcOp::ReadPages &&
+                    r2.hostFd == req.hostFd &&
+                    r2.pageCount > 0 && r2.pageCount <= kMaxBatchPages) {
+                    group[k++] = batch[t];
+                    taken[t] = true;
+                }
+            }
+        }
+        if (k >= 2) {
+            handleReadPagesGroup(port_idx, group, k);
+            requestsServed.inc(k);
+        } else {
+            RpcResponse resp = handle(port_idx, req);
+            RpcQueue::complete(*batch[s], resp);
+            requestsServed.inc();
+        }
+    }
+}
+
+void
+CpuDaemon::handleReadPagesGroup(unsigned port_idx, RpcSlot **group,
+                                unsigned k)
+{
+    gpu::GpuDevice &dev = *ports[port_idx]->dev;
+    auto &sim = dev.simContext();
+    const auto &p = sim.params;
+
+    // One daemon action for the whole group: the sweep claimed every
+    // member together, so the shared CPU-overhead reservation starts
+    // once the LAST member's request has crossed the queue — k
+    // requests, ONE rpcCpuOverhead instead of k.
+    Time ready = 0;
+    for (unsigned m = 0; m < k; ++m)
+        ready = std::max(ready, group[m]->req.issueTime);
+    ready += p.rpcSubmitLat;
+    Time t0 = sim.cpuIo.reserve(ready, p.rpcCpuOverhead).end;
+
+    std::vector<hostfs::ReadRun> runs(k);
+    for (unsigned m = 0; m < k; ++m) {
+        const RpcRequest &req = group[m]->req;
+        runs[m] = {req.offset, req.batch, req.pageCount, req.pageLen};
+    }
+    hostfs::IoResult r = fs.preadRuns(group[0]->req.hostFd, runs.data(), k,
+                                      t0, &sim.cpuIo);
+    if (!ok(r.status)) {
+        // Gathered read refused (stale fd raced a close): fall back to
+        // serving each member alone so per-slot status stays exact.
+        for (unsigned m = 0; m < k; ++m) {
+            RpcResponse resp = handle(port_idx, group[m]->req);
+            RpcQueue::complete(*group[m], resp);
+        }
+        return;
+    }
+    hostReadCalls.inc();
+    coalescedRpcs.inc(k - 1);
+    for (unsigned m = 0; m < k; ++m) {
+        if (group[m]->req.speculative)
+            raPagesFetched.inc(group[m]->req.pageCount);
+    }
+
+    // The gathered bytes ride ONE H2D DMA reservation (one setup cost);
+    // every member's completion fans back out with its own byte count.
+    Time done = chargeH2dDma(dev, r.bytes, r.done);
+    for (unsigned m = 0; m < k; ++m) {
+        RpcResponse resp;
+        resp.status = Status::Ok;
+        resp.bytes = runs[m].bytes;
+        resp.done = done;
+        RpcQueue::complete(*group[m], resp);
     }
 }
 
@@ -320,6 +424,7 @@ CpuDaemon::handleReadPage(gpu::GpuDevice &dev, const RpcRequest &req)
     // Host file -> staging: the daemon's pread, serialized on cpuIo.
     hostfs::IoResult r = fs.pread(req.hostFd, req.data, req.len, req.offset,
                                   req.issueTime, &sim.cpuIo);
+    hostReadCalls.inc();
     resp.status = r.status;
     resp.bytes = r.bytes;
     resp.done = chargeH2dDma(dev, r.bytes, r.done);
@@ -347,6 +452,7 @@ CpuDaemon::handleReadPages(gpu::GpuDevice &dev, const RpcRequest &req)
     hostfs::IoResult r = fs.preadPages(req.hostFd, req.batch, req.pageCount,
                                        req.pageLen, req.offset,
                                        req.issueTime, &sim.cpuIo);
+    hostReadCalls.inc();
     resp.status = r.status;
     resp.bytes = r.bytes;
     resp.done = chargeH2dDma(dev, r.bytes, r.done);

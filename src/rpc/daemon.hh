@@ -75,6 +75,14 @@ class CpuDaemon
         /** Peer-cache view for sharded multi-GPU forwarding; null
          *  until the owning GpuFs registers (host fallback applies). */
         std::atomic<PeerPageSource *> peerSource{nullptr};
+        /** Slot-pressure snapshot at the last stats report, so the
+         *  >1%-stall check runs on the interval's DELTA rather than
+         *  re-judging the whole cumulative history every pass. */
+        uint64_t lastStalls = 0;
+        uint64_t lastSubs = 0;
+        /** Latched while the stall rate sits above threshold: warn on
+         *  the crossing, not on every report that follows it. */
+        bool stallWarned = false;
     };
 
     hostfs::HostFs &fs;
@@ -100,9 +108,35 @@ class CpuDaemon
     /** Pages served to read-ahead (speculative) batches, as opposed to
      *  demand fetches — the host-side view of prefetch traffic. */
     Counter &raPagesFetched;
+    /** Cross-slot aggregation: ReadPages requests that rode a
+     *  same-sweep same-file group instead of their own host read
+     *  (k-grouped sweeps add k-1), and the host read calls actually
+     *  issued for ReadPage/ReadPages service — aggregation shows as
+     *  host_read_calls falling below the served request count. */
+    Counter &coalescedRpcs;
+    Counter &hostReadCalls;
 
     void loop();
     RpcResponse handle(unsigned port_idx, const RpcRequest &req);
+
+    /**
+     * Service one pollAll sweep of @p port_idx in issue-time order,
+     * coalescing different slots' concurrent ReadPages on the same
+     * host file into one gathered host read (cross-block RPC
+     * aggregation); everything else routes through handle() exactly
+     * as before. Completes every slot and counts requestsServed.
+     */
+    void serviceSweep(unsigned port_idx, RpcSlot **batch, unsigned n);
+
+    /**
+     * Service @p k same-file ReadPages slots from one sweep as a
+     * group: one CPU-overhead reservation, one gathered
+     * HostFs::preadRuns, one H2D DMA of the total bytes — completions
+     * fan back to each slot with its own byte count. Falls back to
+     * per-slot handle() when the gathered read fails.
+     */
+    void handleReadPagesGroup(unsigned port_idx, RpcSlot **group,
+                              unsigned k);
 
     /** Charge one H2D DMA for @p bytes ready at @p ready; counts the
      *  bytes. Shared by the single-page and batched read paths so the

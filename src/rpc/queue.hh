@@ -75,8 +75,7 @@ class RpcQueue
         slot.req = req;
         // Publish: the state store is the fence making req visible.
         slot.state.store(kSlotReady, std::memory_order_release);
-        doorbell.fetch_add(1, std::memory_order_release);
-        doorbell.notify_one();
+        ringDoorbell();
         return &slot;
     }
 
@@ -96,8 +95,7 @@ class RpcQueue
             return nullptr;
         slot->req = req;
         slot->state.store(kSlotReady, std::memory_order_release);
-        doorbell.fetch_add(1, std::memory_order_release);
-        doorbell.notify_one();
+        ringDoorbell();
         return slot;
     }
 
@@ -163,6 +161,16 @@ class RpcQueue
         return submitted_.load(std::memory_order_relaxed);
     }
 
+    /** Doorbell rings elided because the daemon already had ready,
+     *  unclaimed slots to wake for (burst coalescing): bursts wake the
+     *  daemon once and arrive as one pollAll sweep, which is what
+     *  gives cross-slot aggregation something to aggregate. */
+    uint64_t
+    doorbellRingsSuppressed() const
+    {
+        return ringsSuppressed_.load(std::memory_order_relaxed);
+    }
+
     /**
      * Daemon side: scan for a ready slot and claim it.
      * @return the claimed slot, or nullptr if none ready.
@@ -174,6 +182,7 @@ class RpcQueue
             uint32_t expect = kSlotReady;
             if (slots[i].state.compare_exchange_strong(
                     expect, kSlotBusy, std::memory_order_acq_rel)) {
+                readyPending_.fetch_sub(1, std::memory_order_acq_rel);
                 return &slots[i];
             }
         }
@@ -199,6 +208,10 @@ class RpcQueue
                 out[n++] = &slots[i];
             }
         }
+        if (n > 0) {
+            readyPending_.fetch_sub(static_cast<int64_t>(n),
+                                    std::memory_order_acq_rel);
+        }
         return n;
     }
 
@@ -212,6 +225,32 @@ class RpcQueue
     }
 
   private:
+    /**
+     * Doorbell coalescing: ring only on the quiet->busy edge. The
+     * ready-but-unclaimed census readyPending_ goes up here (AFTER the
+     * slot's kSlotReady store) and down at each daemon claim; a
+     * submitter observing prior pending slots knows a ring for them is
+     * still in flight — the daemon cannot have parked without first
+     * claiming them in its final sweep (it re-sweeps until quiet, and
+     * the claim CAS + this RMW chain give it the latest count) — so
+     * its own ring would be redundant and is elided. The counter can
+     * transiently read negative (a claim's decrement landing between a
+     * submitter's state store and its increment), which only makes
+     * that submitter ring conservatively. Suppression bursts therefore
+     * wake the daemon once per burst, and the whole burst arrives as
+     * ONE pollAll sweep — the daemon-side aggregation's feedstock.
+     */
+    void
+    ringDoorbell()
+    {
+        if (readyPending_.fetch_add(1, std::memory_order_acq_rel) <= 0) {
+            doorbell.fetch_add(1, std::memory_order_release);
+            doorbell.notify_one();
+        } else {
+            ringsSuppressed_.fetch_add(1, std::memory_order_relaxed);
+        }
+    }
+
     /** One claim sweep; nullptr when no slot is free. */
     RpcSlot *
     tryAllocate()
@@ -265,6 +304,10 @@ class RpcQueue
     std::atomic<unsigned> maxInFlight_{0};
     std::atomic<uint64_t> fullStalls_{0};
     std::atomic<uint64_t> submitted_{0};
+
+    /** Ready-but-unclaimed census (signed: see ringDoorbell). */
+    std::atomic<int64_t> readyPending_{0};
+    std::atomic<uint64_t> ringsSuppressed_{0};
 };
 
 } // namespace rpc

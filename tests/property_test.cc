@@ -268,7 +268,7 @@ TEST_P(ReadAheadTrace, FeedbackStaysConservedAndCapped)
     BufferCache &bc = sys.fs().bufferCache();
     const uint32_t frames = bc.arena().numFrames();
     const uint32_t reserve = bc.claimReserve();
-    const ReadAheadTracker *t = sys.fs().readAheadTracker(fd);
+    const ReadAheadStreams *t = sys.fs().readAheadTracker(fd);
     ASSERT_NE(nullptr, t);
 
     auto issued = [&] {
@@ -309,6 +309,92 @@ TEST_P(ReadAheadTrace, FeedbackStaysConservedAndCapped)
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ReadAheadTrace,
                          ::testing::Values(1, 2, 3, 4, 5, 6));
+
+// ---------------------------------------------------------------------
+// Same conservation property under MULTI-BLOCK interleavings on one
+// file: every op picks a random block, each block mostly steps its own
+// sequential scan through its own region. The per-(file, stream) table
+// resolves each block to its own tracker slot, streams recycle under
+// table pressure, and frames outlive their stream's tenancy — none of
+// which may leak a page from the aggregate accounting or let
+// speculation eat the claim reserve.
+// ---------------------------------------------------------------------
+
+class ReadAheadMultiStreamTrace : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(ReadAheadMultiStreamTrace, FeedbackStaysConservedAndCapped)
+{
+    constexpr uint64_t kPage = 16 * KiB;
+    constexpr unsigned kBlocks = 6;
+    constexpr uint64_t kPagesPerBlock = 64;
+    constexpr uint64_t kPages = kBlocks * kPagesPerBlock;
+    GpuFsParams p;
+    p.pageSize = kPage;
+    p.cacheBytes = 48 * kPage;      // 48 frames: constant eviction
+    GpufsSystem sys(1, p);
+    test::addRamp(sys.hostFs(), "/mtrace", kPages * kPage);
+
+    std::vector<gpu::BlockCtx> ctxs;
+    ctxs.reserve(kBlocks);
+    for (unsigned b = 0; b < kBlocks; ++b)
+        ctxs.push_back(test::makeBlock(sys.device(0), b));
+    int fd = sys.fs().gopen(ctxs[0], "/mtrace", G_RDONLY);
+    ASSERT_GE(fd, 0);
+    for (unsigned b = 1; b < kBlocks; ++b)
+        ASSERT_EQ(fd, sys.fs().gopen(ctxs[b], "/mtrace", G_RDONLY));
+
+    BufferCache &bc = sys.fs().bufferCache();
+    const uint32_t frames = bc.arena().numFrames();
+    const uint32_t reserve = bc.claimReserve();
+    const ReadAheadStreams *t = sys.fs().readAheadTracker(fd);
+    ASSERT_NE(nullptr, t);
+
+    auto issued = [&] {
+        return sys.fs().stats().counter("ra_issued").get();
+    };
+    auto hit = [&] { return sys.fs().stats().counter("ra_hit").get(); };
+    auto wasted = [&] {
+        return sys.fs().stats().counter("ra_wasted").get();
+    };
+
+    SplitMix64 rng(GetParam() * 0x9E3779B9u + 17);
+    std::vector<uint8_t> buf(kPage);
+    uint64_t pos[kBlocks] = {};
+    for (unsigned b = 0; b < kBlocks; ++b)
+        pos[b] = b * kPagesPerBlock;
+    for (int op = 0; op < 400; ++op) {
+        unsigned b = unsigned(rng.nextBelow(kBlocks));
+        const uint64_t lo = b * kPagesPerBlock;
+        if (rng.nextBelow(5) == 0) {
+            pos[b] = lo + rng.nextBelow(kPagesPerBlock);    // jump
+        } else {
+            pos[b] = lo + (pos[b] - lo + 1) % kPagesPerBlock;
+        }
+        ASSERT_EQ(int64_t(kPage),
+                  sys.fs().gread(ctxs[b], fd, pos[b] * kPage, kPage,
+                                 buf.data()));
+        for (size_t i = 0; i < buf.size(); i += 4093)
+            ASSERT_EQ(test::rampByte(pos[b] * kPage + i), buf[i]);
+        ASSERT_LE(wasted(), issued()) << "op " << op;
+        ASSERT_EQ(issued(), hit() + wasted() + uint64_t(t->specResident()))
+            << "op " << op;
+        ASSERT_LE(uint64_t(t->specPeak()), uint64_t(frames - reserve))
+            << "op " << op;
+    }
+    // The blocks really did resolve to distinct live streams.
+    EXPECT_GT(t->streamsActive(), 1u);
+    // Drain everything: the conservation closes with no residue.
+    sys.fs().bufferCache().reclaimFrames(ctxs[0], frames);
+    EXPECT_EQ(issued(), hit() + wasted());
+    EXPECT_EQ(0, t->specResident());
+    for (unsigned b = 0; b < kBlocks; ++b)
+        sys.fs().gclose(ctxs[b], fd);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ReadAheadMultiStreamTrace,
+                         ::testing::Values(1, 2, 3, 4));
 
 // ---------------------------------------------------------------------
 // Property: the resource timeline never double-books, for arbitrary

@@ -207,7 +207,7 @@ TEST(ReadAheadE2eTest, SequentialScanRampsAndNeverWastes)
     EXPECT_LE(rpcs * 2, kPages);
     // The window ramped to the ceiling and nothing was wasted: every
     // speculative page was promoted by the scan behind it.
-    const ReadAheadTracker *t = sys->fs().readAheadTracker(fd);
+    const ReadAheadStreams *t = sys->fs().readAheadTracker(fd);
     ASSERT_NE(nullptr, t);
     EXPECT_EQ(32u, t->window());
     EXPECT_GT(counterOf(sys->fs(), "ra_issued"), 0u);
@@ -236,7 +236,7 @@ TEST(ReadAheadE2eTest, RandomAccessCollapsesToZeroWithinFewMisses)
                   sys->fs().gread(ctx, fd, pg * kPage, kPage, buf.data()));
         ++unique;
     }
-    const ReadAheadTracker *t = sys->fs().readAheadTracker(fd);
+    const ReadAheadStreams *t = sys->fs().readAheadTracker(fd);
     ASSERT_NE(nullptr, t);
     EXPECT_EQ(0u, t->window());
     EXPECT_EQ(0u, counterOf(sys->fs(), "ra_issued"));
@@ -261,7 +261,7 @@ TEST(ReadAheadE2eTest, StrideTwoScanFetchesOnlyTouchedPages)
         for (size_t i = 0; i < buf.size(); i += 997)
             ASSERT_EQ(test::rampByte(pg * kPage + i), buf[i]);
     }
-    const ReadAheadTracker *t = sys->fs().readAheadTracker(fd);
+    const ReadAheadStreams *t = sys->fs().readAheadTracker(fd);
     ASSERT_NE(nullptr, t);
     EXPECT_EQ(2, t->stride());
     EXPECT_GT(t->window(), 0u);
@@ -299,7 +299,7 @@ TEST(ReadAheadE2eTest, GhostHitRegrowsThrottledWindow)
     sys->fs().bufferCache().reclaimFrames(ctx, 1024);
     EXPECT_EQ(uint64_t(ReadAheadTracker::kThrottleStreak),
               counterOf(sys->fs(), "ra_wasted"));
-    const ReadAheadTracker *t = sys->fs().readAheadTracker(fd);
+    const ReadAheadStreams *t = sys->fs().readAheadTracker(fd);
     ASSERT_NE(nullptr, t);
     EXPECT_TRUE(t->throttled());
     EXPECT_EQ(0u, t->window());
@@ -347,7 +347,7 @@ TEST(ReadAheadE2eTest, WastedCounterMatchesEvictedUnusedExactly)
                           counterOf(sys->fs(), "ra_wasted"));
     EXPECT_EQ(issued - hit, counterOf(sys->fs(), "ra_wasted"));
     // The per-file tracker agrees with the StatSet.
-    const ReadAheadTracker *t = sys->fs().readAheadTracker(fd);
+    const ReadAheadStreams *t = sys->fs().readAheadTracker(fd);
     ASSERT_NE(nullptr, t);
     EXPECT_EQ(t->issued(), t->hits() + t->wasted());
     EXPECT_EQ(0, t->specResident());
@@ -441,6 +441,192 @@ TEST(ReadAheadE2eTest, AdaptiveMatchesTunedStaticOn256PageScan)
 }
 
 // ---------------------------------------------------------------------
+// The per-(file, stream) table: interleaved block streams must ramp
+// independently where a single per-file tracker read them as random.
+// ---------------------------------------------------------------------
+
+TEST(ReadAheadStreamsTest, TwoInterleavedStreamsRampIndependently)
+{
+    ReadAheadStreams rs;
+    // Blocks 7 and 12 scan disjoint regions, misses interleaved
+    // round-robin — the access pattern a per-file tracker sees as
+    // alternating +/-10000 jumps and never opens a window for.
+    ReadAheadStreams::Decision a, b;
+    for (uint64_t i = 0; i <= 6; ++i) {
+        a = rs.onMiss(7, i, i, kMaxWin);
+        b = rs.onMiss(12, 10000 + i, 10000 + i, kMaxWin);
+    }
+    EXPECT_EQ(32u, a.window);
+    EXPECT_EQ(32u, b.window);
+    EXPECT_NE(a.stream, b.stream);
+    EXPECT_EQ(2u, rs.streamsActive());
+    EXPECT_EQ(0u, rs.streamRecycles());
+    // Per-key introspection agrees.
+    ASSERT_NE(nullptr, rs.stream(7));
+    ASSERT_NE(nullptr, rs.stream(12));
+    EXPECT_EQ(32u, rs.stream(7)->window());
+    EXPECT_EQ(32u, rs.stream(12)->window());
+    EXPECT_EQ(nullptr, rs.stream(99));
+}
+
+TEST(ReadAheadStreamsTest, EightWayRoundRobinAllReachFullWindow)
+{
+    ReadAheadStreams rs;
+    constexpr unsigned kStreams = 8;
+    ReadAheadStreams::Decision d[kStreams];
+    for (uint64_t i = 0; i <= 6; ++i) {
+        for (unsigned s = 0; s < kStreams; ++s)
+            d[s] = rs.onMiss(s, s * 100000 + i, s * 100000 + i, kMaxWin);
+    }
+    for (unsigned s = 0; s < kStreams; ++s)
+        EXPECT_EQ(32u, d[s].window) << "stream " << s;
+    EXPECT_EQ(kStreams, rs.streamsActive());
+    EXPECT_EQ(0u, rs.streamRecycles());
+}
+
+TEST(ReadAheadStreamsTest, TableOverflowRecyclesLruSlot)
+{
+    ReadAheadStreams rs;
+    // Fill every slot; key k's last use is ordered by k.
+    for (uint64_t k = 0; k < ReadAheadStreams::kStreamSlots; ++k)
+        rs.onMiss(k, k * 1000, k * 1000, kMaxWin);
+    EXPECT_EQ(ReadAheadStreams::kStreamSlots, rs.streamsActive());
+
+    // A brand-new key must evict key 0 — the LRU — and report it.
+    ReadAheadStreams::Decision d =
+        rs.onMiss(500, 777, 777, kMaxWin);
+    EXPECT_TRUE(d.recycled);
+    EXPECT_EQ(1u, rs.streamRecycles());
+    EXPECT_EQ(ReadAheadStreams::kStreamSlots, rs.streamsActive());
+    EXPECT_EQ(nullptr, rs.stream(0));
+    ASSERT_NE(nullptr, rs.stream(500));
+    // The recycled slot starts from scratch: no inherited ramp.
+    EXPECT_EQ(0u, rs.stream(500)->window());
+
+    // Key 0 coming back claims another victim (key 1 now) and also
+    // restarts cold — stale state never leaks across tenants.
+    d = rs.onMiss(0, 3, 3, kMaxWin);
+    EXPECT_TRUE(d.recycled);
+    EXPECT_EQ(0u, d.window);
+    EXPECT_EQ(nullptr, rs.stream(1));
+}
+
+TEST(ReadAheadStreamsTest, ThrottleIsolatedToOneStream)
+{
+    ReadAheadStreams rs;
+    // Both streams ramp, then every speculative page attributed to
+    // stream A dies cold while B keeps promoting.
+    ReadAheadStreams::Decision a, b;
+    for (uint64_t i = 0; i <= 4; ++i) {
+        a = rs.onMiss(1, i, i, kMaxWin);
+        b = rs.onMiss(2, 50000 + i, 50000 + i, kMaxWin);
+    }
+    rs.notePublished(a.stream, 8);
+    rs.notePublished(b.stream, 8);
+    for (unsigned k = 0; k < ReadAheadTracker::kThrottleStreak; ++k)
+        rs.noteWasted(a.stream, 5 + k);
+    for (unsigned k = 0; k < 8; ++k)
+        rs.noteHit(b.stream);
+
+    EXPECT_TRUE(rs.stream(1)->throttled());
+    EXPECT_FALSE(rs.stream(2)->throttled());
+    // A's window is gone; B's next miss still gets a full window.
+    EXPECT_EQ(0u, rs.onMiss(1, 100, 100, kMaxWin).window);
+    EXPECT_EQ(16u, rs.onMiss(2, 50005, 50005, kMaxWin).window);
+
+    // Aggregates stay conservation-exact across both streams:
+    // 16 issued = 8 hits + 8 wasted, nothing resident.
+    EXPECT_EQ(16u, rs.issued());
+    EXPECT_EQ(8u, rs.hits());
+    EXPECT_EQ(8u, rs.wasted());
+    EXPECT_EQ(0, rs.specResident());
+}
+
+TEST(ReadAheadStreamsTest, StaleStreamFeedbackKeepsAggregatesExact)
+{
+    ReadAheadStreams rs;
+    ReadAheadStreams::Decision d = rs.onMiss(3, 0, 0, kMaxWin);
+    rs.notePublished(d.stream, 4);
+    // Evict key 3 by overflowing the table; frames tagged with its
+    // slot are still in flight.
+    for (uint64_t k = 100; k < 100 + ReadAheadStreams::kStreamSlots;
+         ++k) {
+        rs.onMiss(k, k, k, kMaxWin);
+    }
+    EXPECT_EQ(nullptr, rs.stream(3));
+    // Their feedback routes to the slot's NEW tenant (bounded
+    // heuristic error) but the aggregates never drift.
+    rs.noteHit(d.stream);
+    rs.noteWasted(d.stream, 1);
+    rs.noteWasted(d.stream, 2);
+    rs.noteWasted(d.stream, 3);
+    EXPECT_EQ(4u, rs.issued());
+    EXPECT_EQ(1u, rs.hits());
+    EXPECT_EQ(3u, rs.wasted());
+    EXPECT_EQ(0, rs.specResident());
+    // kNoStream feedback (static policy / fully stale tags) is
+    // aggregate-only and equally exact.
+    rs.notePublished(ReadAheadStreams::kNoStream, 2);
+    rs.noteHit(ReadAheadStreams::kNoStream);
+    rs.noteWasted(ReadAheadStreams::kNoStream, 9);
+    EXPECT_EQ(6u, rs.issued());
+    EXPECT_EQ(2u, rs.hits());
+    EXPECT_EQ(4u, rs.wasted());
+    EXPECT_EQ(0, rs.specResident());
+}
+
+// ---------------------------------------------------------------------
+// End-to-end: two blocks interleaving region scans of ONE file both
+// ramp — the cross-block scaling property the stream table exists for.
+// ---------------------------------------------------------------------
+
+TEST(ReadAheadE2eTest, TwoBlockSharedFileScanRampsBothStreams)
+{
+    constexpr uint64_t kPage = 16 * KiB;
+    constexpr uint64_t kPagesPerBlock = 64;
+    auto sys = adaptiveSystem(4 * 16 * MiB);
+    test::addRamp(sys->hostFs(), "/shared",
+                  2 * kPagesPerBlock * kPage);
+    auto ctx0 = test::makeBlock(sys->device(0), 0);
+    auto ctx1 = test::makeBlock(sys->device(0), 1);
+    int fd = sys->fs().gopen(ctx0, "/shared", G_RDONLY);
+    ASSERT_GE(fd, 0);
+    ASSERT_EQ(fd, sys->fs().gopen(ctx1, "/shared", G_RDONLY));
+    std::vector<uint8_t> buf(kPage);
+    // Strictly alternating page reads from disjoint halves — the
+    // interleaving that collapses a single per-file tracker.
+    for (uint64_t pg = 0; pg < kPagesPerBlock; ++pg) {
+        ASSERT_EQ(int64_t(kPage),
+                  sys->fs().gread(ctx0, fd, pg * kPage, kPage,
+                                  buf.data()));
+        ASSERT_EQ(int64_t(kPage),
+                  sys->fs().gread(ctx1, fd,
+                                  (kPagesPerBlock + pg) * kPage, kPage,
+                                  buf.data()));
+    }
+    const ReadAheadStreams *t = sys->fs().readAheadTracker(fd);
+    ASSERT_NE(nullptr, t);
+    // Both block streams ramped to the ceiling...
+    ASSERT_NE(nullptr, t->stream(0));
+    ASSERT_NE(nullptr, t->stream(1));
+    EXPECT_EQ(32u, t->stream(0)->window());
+    EXPECT_EQ(32u, t->stream(1)->window());
+    EXPECT_EQ(2u, t->streamsActive());
+    // ...and prefetch was perfect: every page fetched once, every
+    // speculative page promoted by the scan behind it.
+    EXPECT_EQ(2 * kPagesPerBlock,
+              counterOf(sys->fs(), "cache_misses"));
+    EXPECT_GT(counterOf(sys->fs(), "ra_issued"), 0u);
+    EXPECT_EQ(counterOf(sys->fs(), "ra_issued"),
+              counterOf(sys->fs(), "ra_hit"));
+    EXPECT_EQ(0u, counterOf(sys->fs(), "ra_wasted"));
+    EXPECT_EQ(2u,
+              sys->fs().stats().counter("ra_streams_active").get());
+    sys->fs().gclose(ctx0, fd);
+    sys->fs().gclose(ctx1, fd);
+}
+
+// ---------------------------------------------------------------------
 // Sharded files: the window is clipped at shard-group boundaries so
 // one prefetch RPC never spans two owners (PR 4's demand-batch rule).
 // ---------------------------------------------------------------------
@@ -486,10 +672,11 @@ TEST(ReadAheadShardTest, WindowClipsAtShardGroupBoundaries)
         bc.attach(cf);
         bc.setupFile(cf);
 
-        // Prime the tracker to a full 32-page window; submitReadAhead
+        // Prime the tracker to a full 32-page window (stream key 0 =
+        // the block id submitReadAhead will resolve); submitReadAhead
         // itself records the miss at 40 (the next in the run).
         for (uint64_t i = 33; i <= 39; ++i)
-            cf.ra.onMiss(i, i, 32);
+            cf.ra.onMiss(0, i, i, 32);
         ASSERT_EQ(32u, cf.ra.window());
 
         auto ctx = test::makeBlock(dev);

@@ -395,6 +395,116 @@ TEST_F(RpcTest, PipelinedRequestsOverlapDiskAndDma)
     EXPECT_LT(std::max(ra.done, rb.done), serial_sum);
 }
 
+TEST(DoorbellCoalescing, BurstRingsOnceThenQuietEdgeRingsAgain)
+{
+    // Standalone queue, no daemon: the test IS the daemon side, so the
+    // ring/suppress edges are deterministic.
+    std::atomic<uint64_t> doorbell{0};
+    RpcQueue q(doorbell);
+    RpcRequest req;
+    req.op = RpcOp::Nop;
+
+    RpcSlot *held[8];
+    for (int i = 0; i < 8; ++i) {
+        held[i] = q.trySubmit(req);
+        ASSERT_NE(nullptr, held[i]);
+    }
+    // One quiet->busy edge: the burst rang once, seven rings elided.
+    EXPECT_EQ(1u, doorbell.load());
+    EXPECT_EQ(7u, q.doorbellRingsSuppressed());
+
+    // The whole burst arrives as ONE sweep (aggregation's feedstock).
+    RpcSlot *batch[kQueueSlots];
+    unsigned n = q.pollAll(batch, kQueueSlots);
+    EXPECT_EQ(8u, n);
+    RpcResponse resp;
+    resp.status = Status::Ok;
+    for (unsigned i = 0; i < n; ++i)
+        RpcQueue::complete(*batch[i], resp);
+    for (int i = 0; i < 8; ++i)
+        EXPECT_EQ(Status::Ok, q.collect(*held[i]).status);
+
+    // Quiet again: the next submit is a new busy edge and must ring —
+    // suppression never strands a request behind a parked daemon.
+    RpcSlot *s = q.trySubmit(req);
+    ASSERT_NE(nullptr, s);
+    EXPECT_EQ(2u, doorbell.load());
+    EXPECT_EQ(7u, q.doorbellRingsSuppressed());
+    ASSERT_EQ(1u, q.pollAll(batch, kQueueSlots));
+    RpcQueue::complete(*batch[0], resp);
+    EXPECT_EQ(Status::Ok, q.collect(*s).status);
+}
+
+TEST(RpcAggregation, CrossSlotReadPagesShareOneHostRead)
+{
+    sim::SimContext sim;
+    hostfs::HostFs fs{sim};
+    consistency::ConsistencyMgr mgr;
+    gpu::GpuDevice dev{sim, 0};
+    CpuDaemon daemon{fs, mgr};
+    RpcQueue &q = daemon.attachGpu(dev);
+
+    constexpr uint64_t kPage = 16 * KiB;
+    test::addRamp(fs, "/agg", 16 * kPage);
+    int host_fd = fs.open("/agg", hostfs::O_RDONLY_F);
+    ASSERT_GE(host_fd, 0);
+
+    // Four concurrent prefetch batches from different slots on the
+    // same file, submitted split-phase BEFORE the daemon starts: they
+    // all land in its first pollAll sweep — the aggregation window.
+    // The last batch straddles EOF to pin per-member byte fan-out.
+    constexpr unsigned kReqs = 4, kPagesEach = 2;
+    const uint64_t offsets[kReqs] = {0, 4 * kPage, 8 * kPage, 15 * kPage};
+    std::vector<std::vector<uint8_t>> pages(
+        kReqs * kPagesEach, std::vector<uint8_t>(kPage, 0xEE));
+    RpcSlot *held[kReqs];
+    for (unsigned r = 0; r < kReqs; ++r) {
+        RpcRequest req;
+        req.op = RpcOp::ReadPages;
+        req.hostFd = host_fd;
+        req.offset = offsets[r];
+        req.len = kPagesEach * kPage;
+        req.pageLen = kPage;
+        req.pageCount = kPagesEach;
+        req.issueTime = 10 * r;
+        for (unsigned i = 0; i < kPagesEach; ++i)
+            req.batch[i] = pages[r * kPagesEach + i].data();
+        held[r] = q.trySubmit(req);
+        ASSERT_NE(nullptr, held[r]);
+    }
+    daemon.start();
+    for (unsigned r = 0; r < kReqs; ++r) {
+        RpcResponse resp = q.collect(*held[r]);
+        ASSERT_EQ(Status::Ok, resp.status);
+        // Per-member completion: full batches get all their bytes, the
+        // EOF straddler exactly the one resident page.
+        uint64_t expect = r == 3 ? kPage : kPagesEach * kPage;
+        EXPECT_EQ(expect, resp.bytes) << "req " << r;
+    }
+    for (unsigned r = 0; r < kReqs; ++r) {
+        for (unsigned i = 0; i < kPagesEach; ++i) {
+            if (offsets[r] + i * kPage >= 16 * kPage) {
+                EXPECT_EQ(0xEE, pages[r * kPagesEach + i][0]);  // past EOF
+                continue;
+            }
+            for (uint64_t off = 0; off < kPage; off += 1021) {
+                ASSERT_EQ(test::rampByte(offsets[r] + i * kPage + off),
+                          pages[r * kPagesEach + i][off])
+                    << "req " << r << " page " << i;
+            }
+        }
+    }
+
+    // The four RPCs rode ONE gathered host read: three coalesced away.
+    EXPECT_EQ(uint64_t(kReqs) - 1,
+              daemon.stats().counter("coalesced_rpcs").get());
+    EXPECT_EQ(1u, daemon.stats().counter("host_read_calls").get());
+    EXPECT_EQ(uint64_t(kReqs),
+              daemon.stats().counter("requests_served").get());
+    daemon.stop();
+    fs.close(host_fd);
+}
+
 } // namespace
 } // namespace rpc
 } // namespace gpufs

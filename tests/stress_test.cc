@@ -433,6 +433,62 @@ TEST_F(StressTest, AdaptiveReadAheadThreadedMixedPhases)
     EXPECT_GT(sys->fs().stats().counter("pages_reclaimed").get(), 0u);
 }
 
+TEST_F(StressTest, SharedFileRegionScansRampPerStreamConcurrently)
+{
+    // The cross-block scaling workload under real threading: a full
+    // wave of blocks scans disjoint regions of ONE file with adaptive
+    // read-ahead. Every miss races the per-(file, stream) table's slot
+    // resolution, every completion races the speculative-tag feedback
+    // routing, and the tight cache keeps eviction (waste attribution)
+    // in the mix. TSan runs this in CI; the assertions check that the
+    // table actually kept concurrent streams apart and that the
+    // aggregate accounting never leaked a page.
+    GpuFsParams p;
+    p.pageSize = 16 * KiB;
+    p.cacheBytes = 3 * MiB;         // 192 frames vs 12 MiB of file
+    sys = std::make_unique<GpufsSystem>(1, p);
+    constexpr unsigned kBlocks = 48;        // > kStreamSlots: recycles
+    constexpr uint64_t kRegionPages = 16;
+    constexpr uint64_t kRegion = kRegionPages * 16 * KiB;
+    test::addRamp(sys->hostFs(), "/wide", kBlocks * kRegion);
+
+    std::atomic<uint64_t> errors{0};
+    gpu::launch(sys->device(0), kBlocks, 256, [&](gpu::BlockCtx &ctx) {
+        GpuFs &fs = sys->fs();
+        std::vector<uint8_t> buf(16 * KiB);
+        int fd = fs.gopen(ctx, "/wide", G_RDONLY);
+        if (fd < 0) {
+            errors.fetch_add(1);
+            return;
+        }
+        for (int round = 0; round < 3; ++round) {
+            const uint64_t base = ctx.blockId() * kRegion;
+            for (uint64_t off = base; off < base + kRegion;
+                 off += buf.size()) {
+                if (fs.gread(ctx, fd, off, buf.size(), buf.data()) !=
+                    int64_t(buf.size())) {
+                    errors.fetch_add(1);
+                    continue;
+                }
+                for (size_t i = 0; i < buf.size(); i += 997) {
+                    if (buf[i] != test::rampByte(off + i))
+                        errors.fetch_add(1);
+                }
+            }
+        }
+        fs.gclose(ctx, fd);
+    });
+    ASSERT_EQ(0u, errors.load());
+    uint64_t issued = sys->fs().stats().counter("ra_issued").get();
+    uint64_t hit = sys->fs().stats().counter("ra_hit").get();
+    uint64_t wasted = sys->fs().stats().counter("ra_wasted").get();
+    EXPECT_LE(wasted, issued);
+    EXPECT_LE(hit, issued);
+    EXPECT_GT(issued, 0u);      // the region scans did prefetch
+    // The table resolved many concurrent streams, not one smeared one.
+    EXPECT_GT(sys->fs().stats().counter("ra_streams_active").get(), 1u);
+}
+
 TEST_F(StressTest, ReadAheadPrefetchesSequentialPages)
 {
     GpuFsParams p;
