@@ -64,25 +64,33 @@ struct SeqResult {
     uint64_t writeRpcs;      ///< WriteBack + WritePages requests
     uint64_t pagesWritten;   ///< page extents written back
     uint64_t flusherPages;   ///< of which the async flusher drained
+    uint64_t journalCommits; ///< write-ahead txns committed (journal on)
 };
 
 /** Sequential write: each block fills a disjoint span of the file,
- *  models a compute phase, then gfsyncs its range. */
+ *  models a compute phase, then gfsyncs its range. @p journal enables
+ *  the daemon's write-ahead journal; @p durable opens G_GDURABLE so
+ *  write-backs actually ride it. */
 SeqResult
-runSeq(const Mode &m, unsigned blocks, unsigned pages_per_block)
+runSeq(const Mode &m, unsigned blocks, unsigned pages_per_block,
+       bool journal = false, bool durable = false)
 {
     const uint64_t span = uint64_t(pages_per_block) * kPage;
     const uint64_t file_bytes = uint64_t(blocks) * span;
-    core::GpufsSystem sys(1, makeParams(m, file_bytes + 64 * kPage));
+    core::GpuFsParams params = makeParams(m, file_bytes + 64 * kPage);
+    params.journalWriteback = journal;
+    core::GpufsSystem sys(1, params);
     bench::addZerosFile(sys.hostFs(), kPath, file_bytes,
                         /*writable=*/true);
     bench::warmHostCache(sys.hostFs(), kPath);
 
+    const uint32_t oflags =
+        core::G_RDWR | (durable ? core::G_GDURABLE : 0u);
     std::atomic<uint64_t> sync_total{0};
     gpu::KernelStats ks = gpu::launch(
         sys.device(0), blocks, 512, [&](gpu::BlockCtx &ctx) {
             core::GpuFs &fs = sys.fs();
-            int fd = fs.gopen(ctx, kPath, core::G_RDWR);
+            int fd = fs.gopen(ctx, kPath, oflags);
             gpufs_assert(fd >= 0, "gopen failed");
             std::vector<uint8_t> buf(kPage, uint8_t(ctx.blockId() + 1));
             uint64_t base = uint64_t(ctx.blockId()) * span;
@@ -116,6 +124,7 @@ runSeq(const Mode &m, unsigned blocks, unsigned pages_per_block)
     r.pagesWritten = st.counter("writeback_rpcs").get() +
         st.counter("batch_write_pages").get();
     r.flusherPages = st.counter("flusher_pages").get();
+    r.journalCommits = sys.daemon().stats().counter("journal_commits").get();
     return r;
 }
 
@@ -213,5 +222,66 @@ main(int argc, char **argv)
             std::printf(" %9.2f", runLatency(m, n));
         std::printf("\n");
     }
-    return 0;
+
+    // ---- write-ahead journal cost (crash consistency) ----
+    // Two gates, both fatal (nonzero exit wired into ctest/CI):
+    //  - with the journal ENABLED but no G_GDURABLE file, nothing may
+    //    deviate from the no-journal baseline AT ALL. A multi-block
+    //    kernel jitters ~1% from real-thread races on the serialized
+    //    daemon, so this exactness gate runs the single-block shape,
+    //    which is fully deterministic — identical to the nanosecond;
+    //  - G_GDURABLE journaling (append + commit + journal fsync before
+    //    every in-place write-back) must cost <= 15% span on the
+    //    contended batched write-back workload, judged against the
+    //    same run's baseline.
+    const Mode &batched_sync = kModes[1];
+    bool fail = false;
+
+    const unsigned solo_pages = 4 * pages_per_block;
+    SeqResult sbase = runSeq(batched_sync, 1, solo_pages);
+    SeqResult sjoff = runSeq(batched_sync, 1, solo_pages,
+                             /*journal=*/true, /*durable=*/false);
+    std::printf("\n#  journal-off identity (single block x %u pages, "
+                "deterministic): base %.3f ms, journal-on+non-durable "
+                "%.3f ms\n",
+                solo_pages, toMillis(sbase.virt), toMillis(sjoff.virt));
+    if (sjoff.virt != sbase.virt || sjoff.writeRpcs != sbase.writeRpcs ||
+        sjoff.pagesWritten != sbase.pagesWritten ||
+        sjoff.journalCommits != 0) {
+        std::printf("#  FAIL: an enabled-but-unused journal perturbs "
+                    "the non-durable path (must be byte-identical)\n");
+        fail = true;
+    }
+
+    SeqResult base = runSeq(batched_sync, blocks, pages_per_block);
+    SeqResult jdur = runSeq(batched_sync, blocks, pages_per_block,
+                            /*journal=*/true, /*durable=*/true);
+    std::printf("\n#  write-ahead journal cost (batched+sync, %u blocks "
+                "x %u pages):\n",
+                blocks, pages_per_block);
+    std::printf("%-24s %12s %10s %12s %10s\n", "config", "kernel_ms",
+                "vs_base", "write_rpcs", "jrnl_txns");
+    auto row = [&](const char *name, const SeqResult &r) {
+        std::printf("%-24s %12.1f %9.1f%% %12llu %10llu\n", name,
+                    toMillis(r.virt),
+                    100.0 * double(r.virt) / double(base.virt) - 100.0,
+                    static_cast<unsigned long long>(r.writeRpcs),
+                    static_cast<unsigned long long>(r.journalCommits));
+    };
+    row("journal_off", base);
+    row("journal_on+G_GDURABLE", jdur);
+    double overhead = double(jdur.virt) / double(base.virt);
+    std::printf("#  G_GDURABLE span overhead: %.1f%% (budget 15%%)\n",
+                (overhead - 1.0) * 100.0);
+    if (overhead > 1.15) {
+        std::printf("#  FAIL: journaling costs more than 15%% span on "
+                    "the batched write-back workload\n");
+        fail = true;
+    }
+    if (jdur.journalCommits == 0) {
+        std::printf("#  FAIL: durable run committed no journal txns — "
+                    "gate measured nothing\n");
+        fail = true;
+    }
+    return fail ? 1 : 0;
 }

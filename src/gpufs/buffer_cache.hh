@@ -103,6 +103,9 @@ struct CacheFile {
     std::atomic<bool> write{false};   ///< opened with write intent
     std::atomic<bool> wronce{false};  ///< O_GWRONCE: zero pristine (§3.1)
     std::atomic<bool> noSync{false};  ///< O_NOSYNC: never written back
+    /** G_GDURABLE: durability means the journal commit record, so
+     *  fsync never dedups away the barrier (gmsync contract). */
+    std::atomic<bool> durable{false};
 
     /** Parked (closed-table) entry: first eviction tier when clean. */
     std::atomic<bool> closed{false};

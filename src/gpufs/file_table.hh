@@ -52,6 +52,12 @@ enum GOpenFlags : uint32_t {
     G_GWRONCE = 0x10000,
     /** GPU-local temporary: never synchronized to the host. */
     G_NOSYNC = 0x20000,
+    /** Durable file (crash consistency): write-backs are journaled by
+     *  the daemon when GpuFsParams::journalWriteback is on, and
+     *  gfsync/gmsync completion means the journal commit record — not
+     *  merely the host page cache — holds the data. Per-file, after
+     *  the cuda-durable-allocator design. */
+    G_GDURABLE = 0x40000,
 };
 
 /** Result of gfstat. */
@@ -89,6 +95,7 @@ struct OpenFile {
     }
     bool gwronce() const { return flags & G_GWRONCE; }
     bool nosync() const { return flags & G_NOSYNC; }
+    bool gdurable() const { return flags & G_GDURABLE; }
 
     /** True when the background flusher should drain this entry: a
      *  live cache holding dirty pages whose contents are host-synced
@@ -107,6 +114,7 @@ struct OpenFile {
         cf.write = wantsWrite();
         cf.wronce = gwronce();
         cf.noSync = nosync();
+        cf.durable.store(gdurable(), std::memory_order_relaxed);
     }
 
     /** Return the entry to the Free state (cache already destroyed and

@@ -49,6 +49,8 @@ hostOpenFlags(uint32_t gflags)
         host |= hostfs::O_CREAT_F;
     if (gflags & G_TRUNC)
         host |= hostfs::O_TRUNC_F;
+    if (gflags & G_GDURABLE)
+        host |= hostfs::O_GDURABLE_F;
     return host;
 }
 
@@ -352,6 +354,17 @@ GpuFs::gwritev_async(gpu::BlockCtx &ctx, int fd, const GIoVec *iov,
 IoToken
 GpuFs::gfsync_async(gpu::BlockCtx &ctx, int fd)
 {
+    return submitFsync(ctx, fd, 0, UINT64_MAX);
+}
+
+IoToken
+GpuFs::gmsync_async(gpu::BlockCtx &ctx, int fd)
+{
+    // The durability barrier shares the fsync machinery: flush the
+    // whole dirty range, then persist. What makes it a BARRIER is the
+    // resolve path — for G_GDURABLE files the final Fsync RPC is never
+    // deduped and completes only once the journal commit record (or,
+    // without a journal, a real host fsync) is durable.
     return submitFsync(ctx, fd, 0, UINT64_MAX);
 }
 
@@ -829,14 +842,27 @@ GpuFs::resolveFsync(gpu::BlockCtx &ctx, AsyncIoOp &op)
     // fsync. Skipping otherwise is what coalesces per-block gfsync
     // bursts on a shared file (and gfsync-after-flusher-drain) into
     // one Fsync RPC instead of one per block.
+    //
+    // G_GDURABLE files never dedup: their durability point is the
+    // journal commit record (or a real host fsync when journaling is
+    // off), and needsFsync only says the HOST PAGE CACHE is clean — a
+    // crash between write-back and host fsync would still lose the
+    // data, so a skipped barrier here would acknowledge bytes that do
+    // not survive. With the journal on, the barrier RPC is answered
+    // from the last commit record's completion time (no extra disk
+    // work), so the non-dedup is cheap exactly when it fires most.
+    const bool durable = cf.durable.load(std::memory_order_relaxed);
     if (cf.hostFd >= 0 &&
-        cf.needsFsync.exchange(false, std::memory_order_acq_rel)) {
+        (durable ||
+         cf.needsFsync.exchange(false, std::memory_order_acq_rel))) {
         rpc::RpcRequest req;
         req.op = rpc::RpcOp::Fsync;
         req.hostFd = cf.hostFd;
+        req.durableBarrier = durable;
         rpc::RpcResponse resp = rpcCall(ctx, req);
         if (!ok(resp.status)) {
-            cf.needsFsync.store(true, std::memory_order_release);
+            if (!durable)
+                cf.needsFsync.store(true, std::memory_order_release);
             return -static_cast<int64_t>(resp.status);
         }
     } else {
@@ -1128,7 +1154,16 @@ GpuFs::backgroundFlushPass(Time start_time)
             // pass behind the disk would let its virtual clock run
             // ahead of the GPUs and manufacture contention the real
             // write-behind thread would never cause.
-            if (e.cf.hostFd >= 0 && e.cf.cache->dirtyCount() == 0 &&
+            // G_GDURABLE + journal: every write-back above already
+            // carried a durable commit record, so the clean-edge data
+            // fsync would re-flush bytes the journal made safe — skip
+            // it (the gmsync/gfsync barrier answers from the commit
+            // record, not needsFsync).
+            const bool journaled_durable =
+                e.cf.durable.load(std::memory_order_relaxed) &&
+                params_.journalWriteback;
+            if (e.cf.hostFd >= 0 && !journaled_durable &&
+                e.cf.cache->dirtyCount() == 0 &&
                 e.cf.needsFsync.exchange(false,
                                          std::memory_order_acq_rel)) {
                 rpc::RpcRequest req;

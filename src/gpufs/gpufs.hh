@@ -305,6 +305,26 @@ class GpuFs : public rpc::PeerPageSource
      *  application must coordinate with updates by other blocks. */
     Status gmsync(gpu::BlockCtx &ctx, void *ptr);
 
+    /**
+     * Durability barrier on @p fd (whole file): returns only once every
+     * prior write of this file is durable — on a G_GDURABLE file with
+     * journaling on, once the journal COMMIT RECORD covering them is on
+     * stable media (a crash after gmsync returns can never lose or tear
+     * the acknowledged bytes; recovery replays them). Without the
+     * journal it degrades to gfsync + host fsync. Note the overload:
+     * gmsync(ctx, ptr) is Table 1's per-mapping sync; this is the
+     * fd-typed barrier (pass an int, not a pointer).
+     */
+    Status
+    gmsync(gpu::BlockCtx &ctx, int fd)
+    {
+        return gstatus_of(gwait(ctx, gmsync_async(ctx, fd)));
+    }
+
+    /** Async form of the durability barrier: submit the write-back
+     *  rounds now, redeem the commit-record barrier at gwait. */
+    IoToken gmsync_async(gpu::BlockCtx &ctx, int fd);
+
     /** Remove a file; local buffer space is reclaimed immediately. */
     Status gunlink(gpu::BlockCtx &ctx, const std::string &path);
 

@@ -176,6 +176,17 @@ struct GpuFsParams {
     unsigned shardPagesPerGroup = 16;
 
     /**
+     * Write-ahead journal in the daemon (crash consistency). When on,
+     * write-backs of files opened G_GDURABLE append checksummed extent
+     * records plus a commit record to the journal and fsync it BEFORE
+     * the in-place write; daemon restart replays committed-but-
+     * unapplied records and discards torn tails, so multi-page updates
+     * are never torn and gmsync-acknowledged bytes always survive.
+     * Off (the default) leaves every existing path byte-identical.
+     */
+    bool journalWriteback = false;
+
+    /**
      * Non-blocking I/O core: maximum async requests a single block may
      * have outstanding (gread_async/gwrite_async/gfsync_async tokens
      * not yet collected by gwait). Submissions beyond the cap fail

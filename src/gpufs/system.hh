@@ -52,6 +52,8 @@ class GpufsSystem
             devices_.push_back(std::make_unique<gpu::GpuDevice>(sim_, i));
         for (auto &dev : devices_)
             queues_.push_back(&daemon_.attachGpu(*dev));
+        if (fs_params.journalWriteback)
+            daemon_.enableJournal();
         daemon_.start();
         for (unsigned i = 0; i < num_gpus; ++i) {
             gpufs_.push_back(std::make_unique<GpuFs>(*devices_[i],
@@ -103,6 +105,23 @@ class GpufsSystem
 
     /** True while the async write-back flusher thread is running. */
     bool flusherRunning() const { return flusher_.joinable(); }
+
+    /**
+     * Crash-recovery restart: stop the daemon thread (as a crash or
+     * power loss would), clear the fault plan's crashed latch, and
+     * start a fresh daemon — which replays the write-ahead journal
+     * before accepting RPCs (CpuDaemon::start). The host FS contents
+     * at this point are exactly what the crash left durable; GPU-side
+     * caches are NOT touched (tests reopen files, which revalidates
+     * against the host version numbers).
+     */
+    void
+    restartDaemon()
+    {
+        daemon_.stop();
+        sim_.faults.reboot();
+        daemon_.start();
+    }
 
     /** Reset all virtual-time state (between benchmark phases). */
     void

@@ -105,6 +105,8 @@ HostFs::pread(int fd, uint8_t *dst, uint64_t len, uint64_t offset,
     auto node = lookupFd(fd, &flags);
     if (!node)
         return {Status::BadFd, 0, ready};
+    if (sim.faults.crashed() || sim.faults.takeFault(sim::FaultOp::HostRead))
+        return {Status::IoError, 0, ready};
     uint64_t size;
     uint64_t ino;
     {
@@ -129,6 +131,8 @@ HostFs::preadPages(int fd, uint8_t *const *dsts, unsigned n_pages,
     auto node = lookupFd(fd, &flags);
     if (!node)
         return {Status::BadFd, 0, ready};
+    if (sim.faults.crashed() || sim.faults.takeFault(sim::FaultOp::HostRead))
+        return {Status::IoError, 0, ready};
     uint64_t size;
     uint64_t ino;
     {
@@ -159,6 +163,8 @@ HostFs::preadRuns(int fd, ReadRun *runs, unsigned n, Time ready,
     auto node = lookupFd(fd, &flags);
     if (!node)
         return {Status::BadFd, 0, ready};
+    if (sim.faults.crashed() || sim.faults.takeFault(sim::FaultOp::HostRead))
+        return {Status::IoError, 0, ready};
     uint64_t size;
     uint64_t ino;
     {
@@ -204,14 +210,34 @@ HostFs::pwritev(int fd, const WriteRun *runs, unsigned n, Time ready,
         return {Status::BadFd, 0, ready};
     if ((flags & O_ACCMODE_F) == O_RDONLY_F)
         return {Status::ReadOnlyFile, 0, ready};
+    if (sim.faults.crashed() || sim.faults.takeFault(sim::FaultOp::HostWrite))
+        return {Status::IoError, 0, ready};
+    if (n && sim.faults.takeShortWrite()) {
+        // Transient short write: only a prefix lands (the first run,
+        // or half of a single run). The caller sees IoError with the
+        // partial byte count and retries the whole vector.
+        uint64_t len0 = n > 1 ? runs[0].len : runs[0].len / 2;
+        if (len0) {
+            capturePreImage(node, runs[0].offset, len0);
+            node->content->writeAt(runs[0].offset, len0, runs[0].data);
+            std::lock_guard<std::mutex> lock(mtx);
+            node->size = std::max(node->size, runs[0].offset + len0);
+            node->version++;
+        }
+        return {Status::IoError, len0, ready};
+    }
     uint64_t total = 0;
     uint64_t max_end = 0;
     std::vector<IoSpan> spans(n);
     for (unsigned r = 0; r < n; ++r) {
-        if (runs[r].len &&
-            !node->content->writeAt(runs[r].offset, runs[r].len,
-                                    runs[r].data)) {
-            return {Status::ReadOnlyFile, total, ready};
+        if (sim.faults.hitCrashPoint(sim::CrashPoint::MidPwritev))
+            return tornWrite(node, runs, r, ready);
+        if (runs[r].len) {
+            capturePreImage(node, runs[r].offset, runs[r].len);
+            if (!node->content->writeAt(runs[r].offset, runs[r].len,
+                                        runs[r].data)) {
+                return {Status::ReadOnlyFile, total, ready};
+            }
         }
         total += runs[r].len;
         max_end = std::max(max_end, runs[r].offset + runs[r].len);
@@ -228,8 +254,46 @@ HostFs::pwritev(int fd, const WriteRun *runs, unsigned n, Time ready,
         ino = node->ino;
         ver = node->version;
     }
+    if (sim.faults.hitCrashPoint(sim::CrashPoint::AfterWriteback)) {
+        // Write-back landed in the (volatile) page cache; power died
+        // before any fsync. The whole call's pre-images revert.
+        powerLoss();
+        return {Status::IoError, total, ready};
+    }
     Time done = pageCache.chargeWritev(ino, spans.data(), n, ready, io_path);
     return {Status::Ok, total, done, ver};
+}
+
+/** Crash point "mid-pwritev after k of n runs": runs [0, r) of this
+ *  call made it to stable media, run r itself tears in half, and every
+ *  write not covered by an fsync — including this call's later runs —
+ *  is lost. The torn state the journal exists to make unobservable. */
+IoResult
+HostFs::tornWrite(const std::shared_ptr<Inode> &node, const WriteRun *runs,
+                  unsigned r, Time ready)
+{
+    std::vector<IoSpan> durable(r);
+    uint64_t landed = 0;
+    uint64_t end = 0;
+    for (unsigned i = 0; i < r; ++i) {
+        durable[i] = {runs[i].offset, runs[i].len};
+        landed += runs[i].len;
+        end = std::max(end, runs[i].offset + runs[i].len);
+    }
+    if (r)
+        markDurable(node->ino, durable.data(), r);
+    powerLoss();
+    uint64_t half = runs[r].len / 2;
+    if (half) {
+        node->content->writeAt(runs[r].offset, half, runs[r].data);
+        end = std::max(end, runs[r].offset + half);
+    }
+    if (end) {
+        std::lock_guard<std::mutex> lock(mtx);
+        node->size = std::max(node->size, end);
+        node->version++;
+    }
+    return {Status::IoError, landed + half, ready};
 }
 
 IoResult
@@ -242,6 +306,11 @@ HostFs::pwrite(int fd, const uint8_t *src, uint64_t len, uint64_t offset,
         return {Status::BadFd, 0, ready};
     if ((flags & O_ACCMODE_F) == O_RDONLY_F)
         return {Status::ReadOnlyFile, 0, ready};
+    if (sim.faults.crashed() || sim.faults.takeFault(sim::FaultOp::HostWrite))
+        return {Status::IoError, 0, ready};
+    // No crash points here: pwrite is also the journal-append path,
+    // whose own torn states are modeled by MidJournalAppend.
+    capturePreImage(node, offset, len);
     if (!node->content->writeAt(offset, len, src))
         return {Status::ReadOnlyFile, 0, ready};
     uint64_t ino;
@@ -263,11 +332,15 @@ HostFs::fsync(int fd, Time ready)
     auto node = lookupFd(fd, nullptr);
     if (!node)
         return {Status::BadFd, 0, ready};
+    if (sim.faults.crashed() || sim.faults.takeFault(sim::FaultOp::HostFsync))
+        return {Status::IoError, 0, ready};
     uint64_t ino;
     {
         std::lock_guard<std::mutex> lock(mtx);
         ino = node->ino;
     }
+    if (sim.faults.active())
+        markDurable(ino, nullptr, 0);   // everything on this ino is durable
     return {Status::Ok, 0, pageCache.chargeSync(ino, ready)};
 }
 
@@ -333,6 +406,125 @@ HostFs::openCount() const
 {
     std::lock_guard<std::mutex> lock(mtx);
     return fds.size();
+}
+
+// ---- fault injection / crash simulation ----
+
+std::shared_ptr<HostFs::Inode>
+HostFs::lookupIno(uint64_t ino)
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    for (auto &kv : names)
+        if (kv.second->ino == ino)
+            return kv.second;
+    return nullptr;
+}
+
+void
+HostFs::capturePreImage(const std::shared_ptr<Inode> &node, uint64_t offset,
+                        uint64_t len)
+{
+    if (!sim.faults.crashArmed() || len == 0)
+        return;
+    VolatileWrite v;
+    v.node = node;
+    v.offset = offset;
+    v.oldData.assign(len, 0);
+    {
+        std::lock_guard<std::mutex> lock(mtx);
+        v.ino = node->ino;
+        v.prevSize = node->size;
+        v.prevVersion = node->version;
+    }
+    // Bytes past the old EOF restore as zeros (InMemoryContent grows
+    // zero-filled), so a reverted extending write leaves no residue.
+    uint64_t readable =
+        v.prevSize > offset ? std::min(len, v.prevSize - offset) : 0;
+    if (readable)
+        node->content->readAt(offset, readable, v.oldData.data());
+    std::lock_guard<std::mutex> lk(vlogMtx);
+    vlog.push_back(std::move(v));
+}
+
+void
+HostFs::markDurable(uint64_t ino, const IoSpan *spans, unsigned n)
+{
+    std::lock_guard<std::mutex> lk(vlogMtx);
+    auto covered = [&](const VolatileWrite &v) {
+        if (v.ino != ino)
+            return false;
+        if (!spans)
+            return true;    // fsync: everything on this inode
+        for (unsigned i = 0; i < n; ++i) {
+            // Any overlap promotes the whole record: one captured
+            // write run is the flush unit (slight over-durability on
+            // partial overlap, never under-durability).
+            uint64_t a0 = v.offset, a1 = v.offset + v.oldData.size();
+            uint64_t b0 = spans[i].offset, b1 = b0 + spans[i].len;
+            if (a0 < b1 && b0 < a1)
+                return true;
+        }
+        return false;
+    };
+    vlog.erase(std::remove_if(vlog.begin(), vlog.end(), covered), vlog.end());
+}
+
+bool
+HostFs::maybeCrash(sim::CrashPoint cp, uint64_t ino,
+                   const IoSpan *durable_spans, unsigned n)
+{
+    if (!sim.faults.hitCrashPoint(cp))
+        return false;
+    if (n)
+        markDurable(ino, durable_spans, n);
+    powerLoss();
+    return true;
+}
+
+void
+HostFs::powerLoss()
+{
+    std::vector<VolatileWrite> lost;
+    {
+        std::lock_guard<std::mutex> lk(vlogMtx);
+        lost.swap(vlog);
+    }
+    // Revert newest first so overlapping writes unwind to the oldest
+    // durable state; sizes and versions roll back with the earliest
+    // record per inode (applied last).
+    for (auto it = lost.rbegin(); it != lost.rend(); ++it) {
+        it->node->content->writeAt(it->offset, it->oldData.size(),
+                                   it->oldData.data());
+        std::lock_guard<std::mutex> lock(mtx);
+        it->node->size = it->prevSize;
+        it->node->version = it->prevVersion;
+    }
+    pageCache.dropAll();
+}
+
+// ---- recovery (journal replay after a crash) ----
+
+Status
+HostFs::replayExtent(uint64_t ino, uint64_t offset, const uint8_t *data,
+                     uint64_t len)
+{
+    auto node = lookupIno(ino);
+    if (!node)
+        return Status::NoEnt;
+    if (len && !node->content->writeAt(offset, len, data))
+        return Status::ReadOnlyFile;
+    std::lock_guard<std::mutex> lock(mtx);
+    node->size = std::max(node->size, offset + len);
+    node->version++;
+    return Status::Ok;
+}
+
+Time
+HostFs::fsyncIno(uint64_t ino, Time ready)
+{
+    if (sim.faults.active())
+        markDurable(ino, nullptr, 0);
+    return pageCache.chargeSync(ino, ready);
 }
 
 } // namespace hostfs

@@ -37,6 +37,11 @@ enum OpenFlags : uint32_t {
     O_CREAT_F  = 0x40,
     O_TRUNC_F  = 0x200,
     O_ACCMODE_F = 0x3,
+    /** GPUfs durability flag: write-backs to this file go through the
+     *  daemon's write-ahead journal (when enabled), and fsync/gmsync
+     *  completion is tied to the journal commit record. Per-file, per
+     *  the cuda-durable-allocator design, rather than a global mode. */
+    O_GDURABLE_F = 0x10000,
 };
 
 /** Result of stat(). */
@@ -146,6 +151,42 @@ class HostFs
     /** Flush the simulated OS page cache (cold-run experiments). */
     void dropCaches() { pageCache.dropAll(); }
 
+    // ---- fault injection / crash simulation ----
+
+    /** True once an armed crash point fired and until faults.reboot();
+     *  every data operation fails with Status::IoError while set. */
+    bool crashed() const { return sim.faults.crashed(); }
+
+    /**
+     * Consult the fault plan at a named crash point. When the armed
+     * point fires: the given spans of @p ino (bytes the OS happened to
+     * flush before dying — e.g. journal extent records for a torn-tail
+     * scenario) are promoted durable, then powerLoss() applies. Returns
+     * true when the crash fired; the caller must fail its operation.
+     */
+    bool maybeCrash(sim::CrashPoint cp, uint64_t ino = 0,
+                    const IoSpan *durable_spans = nullptr, unsigned n = 0);
+
+    /**
+     * Simulated power loss: every write that was never covered by an
+     * fsync is reverted to its pre-image (newest first), file sizes and
+     * versions roll back with them, and the host page cache drops.
+     * Pre-images are only captured while a crash point is armed, so
+     * fault-free runs pay nothing.
+     */
+    void powerLoss();
+
+    // ---- recovery (journal replay after a crash) ----
+
+    /** Re-apply one committed journal extent to the file data. Bumps
+     *  the inode version once per call. NoEnt if no inode has @p ino. */
+    Status replayExtent(uint64_t ino, uint64_t offset, const uint8_t *data,
+                        uint64_t len);
+
+    /** fsync by inode number (recovery flushes replayed files without
+     *  an fd). Also marks the ino's outstanding writes durable. */
+    Time fsyncIno(uint64_t ino, Time ready);
+
     HostPageCache &cache() { return pageCache; }
     sim::SimContext &simContext() { return sim; }
 
@@ -166,6 +207,18 @@ class HostFs
         uint32_t flags;
     };
 
+    /** Pre-image of one not-yet-durable write, captured only while a
+     *  crash point is armed; reverted (newest first) on power loss,
+     *  dropped when an fsync covers the inode. */
+    struct VolatileWrite {
+        std::shared_ptr<Inode> node;
+        uint64_t ino;
+        uint64_t offset;
+        std::vector<uint8_t> oldData;
+        uint64_t prevSize;
+        uint64_t prevVersion;
+    };
+
     sim::SimContext &sim;
     HostPageCache pageCache;
     mutable std::mutex mtx;
@@ -174,7 +227,18 @@ class HostFs
     uint64_t nextIno;
     int nextFd;
 
+    /** Volatile-write log (fault injection only). Own mutex: capture
+     *  happens outside `mtx` on the write paths. */
+    std::mutex vlogMtx;
+    std::vector<VolatileWrite> vlog;
+
     std::shared_ptr<Inode> lookupFd(int fd, uint32_t *flags_out);
+    std::shared_ptr<Inode> lookupIno(uint64_t ino);
+    void capturePreImage(const std::shared_ptr<Inode> &node, uint64_t offset,
+                         uint64_t len);
+    void markDurable(uint64_t ino, const IoSpan *spans, unsigned n);
+    IoResult tornWrite(const std::shared_ptr<Inode> &node,
+                       const WriteRun *runs, unsigned r, Time ready);
 };
 
 } // namespace hostfs

@@ -22,8 +22,87 @@ CpuDaemon::CpuDaemon(hostfs::HostFs &host_fs,
       peerExtentsMirrored(stats_.counter("peer_extents_mirrored")),
       raPagesFetched(stats_.counter("ra_pages_fetched")),
       coalescedRpcs(stats_.counter("coalesced_rpcs")),
-      hostReadCalls(stats_.counter("host_read_calls"))
+      hostReadCalls(stats_.counter("host_read_calls")),
+      ioRetries(stats_.counter("io_retries")),
+      ioRetryGiveups(stats_.counter("io_retry_giveups")),
+      journalCommits(stats_.counter("journal_commits")),
+      journalCommitBarriers(stats_.counter("journal_commit_barriers")),
+      journalTxnsReplayed(stats_.counter("journal_txns_replayed")),
+      journalTornRecords(stats_.counter("journal_torn_records"))
 {
+}
+
+namespace {
+
+/** Bounded retry with exponential backoff for transient host-I/O
+ *  faults (injected EIO, short writes): re-issue with the virtual
+ *  clock pushed back 40/80/160us before giving up and letting the
+ *  error IoResult complete the RPC. Never retries once the host has
+ *  crashed — a dead backing store is not transient. */
+constexpr unsigned kMaxIoRetries = 3;
+constexpr Time kIoRetryBackoff = 20000;  // 20us, doubling per attempt
+
+template <typename Fn>
+hostfs::IoResult
+retryTransient(hostfs::HostFs &fs, Counter &retries, Counter &giveups,
+               Fn &&fn)
+{
+    hostfs::IoResult r = fn(Time(0));
+    for (unsigned attempt = 1; r.status == Status::IoError &&
+         attempt <= kMaxIoRetries && !fs.crashed(); ++attempt) {
+        retries.inc();
+        r = fn(kIoRetryBackoff << attempt);
+    }
+    if (r.status == Status::IoError)
+        giveups.inc();
+    return r;
+}
+
+} // namespace
+
+void
+CpuDaemon::enableJournal()
+{
+    gpufs_assert(!running.load(), "enableJournal after start");
+    if (!journal_)
+        journal_ = std::make_unique<hostfs::WriteJournal>(fs);
+}
+
+bool
+CpuDaemon::durableFd(int fd, uint64_t *ino_out)
+{
+    std::lock_guard<std::mutex> lock(claimMtx);
+    auto it = fdClaims.find(fd);
+    if (it == fdClaims.end())
+        return false;
+    if (ino_out)
+        *ino_out = it->second.ino;
+    return it->second.durable;
+}
+
+Status
+CpuDaemon::maybeJournal(int fd, const hostfs::WriteRun *runs, unsigned n,
+                        Time &t, sim::Resource *io)
+{
+    if (!journal_)
+        return Status::Ok;
+    uint64_t ino = 0;
+    if (!durableFd(fd, &ino))
+        return Status::Ok;
+    const Time base = t;
+    hostfs::IoResult j = retryTransient(
+        fs, ioRetries, ioRetryGiveups, [&](Time backoff) {
+            return journal_->logWrite(ino, runs, n, base + backoff, io);
+        });
+    if (!ok(j.status))
+        return j.status;
+    journalCommits.inc();
+    t = j.done;
+    // Crash point "commit durable, in-place write never ran": exactly
+    // the window recovery's replay exists for.
+    if (fs.maybeCrash(sim::CrashPoint::AfterJournalCommit))
+        return Status::IoError;
+    return Status::Ok;
 }
 
 CpuDaemon::~CpuDaemon()
@@ -53,6 +132,13 @@ void
 CpuDaemon::start()
 {
     gpufs_assert(!running.load(), "daemon already running");
+    if (journal_) {
+        // Crash recovery: replay committed-but-possibly-unapplied
+        // write-back txns, discard the torn tail, truncate the journal.
+        hostfs::RecoveryStats rs = journal_->recover(0);
+        journalTxnsReplayed.inc(rs.txnsReplayed);
+        journalTornRecords.inc(rs.tornRecords);
+    }
     running.store(true);
     worker = std::thread([this] { loop(); });
 }
@@ -213,11 +299,17 @@ CpuDaemon::handleReadPagesGroup(unsigned port_idx, RpcSlot **group,
         const RpcRequest &req = group[m]->req;
         runs[m] = {req.offset, req.batch, req.pageCount, req.pageLen};
     }
-    hostfs::IoResult r = fs.preadRuns(group[0]->req.hostFd, runs.data(), k,
-                                      t0, &sim.cpuIo);
+    hostfs::IoResult r = retryTransient(
+        fs, ioRetries, ioRetryGiveups, [&](Time backoff) {
+            return fs.preadRuns(group[0]->req.hostFd, runs.data(), k,
+                                t0 + backoff, &sim.cpuIo);
+        });
     if (!ok(r.status)) {
-        // Gathered read refused (stale fd raced a close): fall back to
-        // serving each member alone so per-slot status stays exact.
+        // Gathered read refused (stale fd raced a close, or a host
+        // fault outlived the retry budget): fall back to serving each
+        // member alone so per-slot status stays exact — a member that
+        // still fails completes with its error IoResult and the
+        // requesting GPU restores the frames it claimed.
         for (unsigned m = 0; m < k; ++m) {
             RpcResponse resp = handle(port_idx, group[m]->req);
             RpcQueue::complete(*group[m], resp);
@@ -302,9 +394,22 @@ CpuDaemon::handle(unsigned port_idx, const RpcRequest &req)
         break;
       }
       case RpcOp::Fsync: {
-        hostfs::IoResult r = fs.fsync(req.hostFd, t0);
-        resp.status = r.status;
-        resp.done = r.done;
+        uint64_t ino = 0;
+        if (req.durableBarrier && journal_ && durableFd(req.hostFd, &ino)) {
+            // gmsync barrier on a journaled file: the commit record IS
+            // the durability point — every acknowledged write-back
+            // already fsynced the journal, so no data-file fsync.
+            journalCommitBarriers.inc();
+            resp.status = Status::Ok;
+            resp.done = std::max(t0, journal_->lastCommitDone(ino));
+        } else {
+            hostfs::IoResult r = retryTransient(
+                fs, ioRetries, ioRetryGiveups,
+                [&](Time backoff) { return fs.fsync(req.hostFd,
+                                                    t0 + backoff); });
+            resp.status = r.status;
+            resp.done = r.done;
+        }
         break;
       }
       case RpcOp::Truncate: {
@@ -367,7 +472,8 @@ CpuDaemon::handleOpen(gpu::GpuDevice &dev, const RpcRequest &req)
     }
     {
         std::lock_guard<std::mutex> lock(claimMtx);
-        fdClaims[fd] = {info.ino, req.wantsWrite};
+        fdClaims[fd] = {info.ino, req.wantsWrite,
+                        (req.flags & hostfs::O_GDURABLE_F) != 0};
     }
     resp.status = Status::Ok;
     resp.hostFd = fd;
@@ -381,7 +487,7 @@ RpcResponse
 CpuDaemon::handleClose(gpu::GpuDevice &dev, const RpcRequest &req)
 {
     RpcResponse resp;
-    FdClaim claim{0, false};
+    FdClaim claim{0, false, false};
     bool have_claim = false;
     {
         std::lock_guard<std::mutex> lock(claimMtx);
@@ -422,8 +528,11 @@ CpuDaemon::handleReadPage(gpu::GpuDevice &dev, const RpcRequest &req)
     RpcResponse resp;
 
     // Host file -> staging: the daemon's pread, serialized on cpuIo.
-    hostfs::IoResult r = fs.pread(req.hostFd, req.data, req.len, req.offset,
-                                  req.issueTime, &sim.cpuIo);
+    hostfs::IoResult r = retryTransient(
+        fs, ioRetries, ioRetryGiveups, [&](Time backoff) {
+            return fs.pread(req.hostFd, req.data, req.len, req.offset,
+                            req.issueTime + backoff, &sim.cpuIo);
+        });
     hostReadCalls.inc();
     resp.status = r.status;
     resp.bytes = r.bytes;
@@ -449,9 +558,12 @@ CpuDaemon::handleReadPages(gpu::GpuDevice &dev, const RpcRequest &req)
     // rides ONE DMA reservation (a single setup cost).
     if (req.speculative)
         raPagesFetched.inc(req.pageCount);
-    hostfs::IoResult r = fs.preadPages(req.hostFd, req.batch, req.pageCount,
-                                       req.pageLen, req.offset,
-                                       req.issueTime, &sim.cpuIo);
+    hostfs::IoResult r = retryTransient(
+        fs, ioRetries, ioRetryGiveups, [&](Time backoff) {
+            return fs.preadPages(req.hostFd, req.batch, req.pageCount,
+                                 req.pageLen, req.offset,
+                                 req.issueTime + backoff, &sim.cpuIo);
+        });
     hostReadCalls.inc();
     resp.status = r.status;
     resp.bytes = r.bytes;
@@ -536,9 +648,12 @@ CpuDaemon::handlePeerReadPages(gpu::GpuDevice &dev, const RpcRequest &req)
         unsigned run = i;
         while (run < req.pageCount && !served[run])
             ++run;
-        hostfs::IoResult r = fs.preadPages(
-            req.hostFd, &req.batch[i], run - i, plen,
-            req.offset + uint64_t(i) * plen, t0, &sim.cpuIo);
+        hostfs::IoResult r = retryTransient(
+            fs, ioRetries, ioRetryGiveups, [&](Time backoff) {
+                return fs.preadPages(req.hostFd, &req.batch[i], run - i,
+                                     plen, req.offset + uint64_t(i) * plen,
+                                     t0 + backoff, &sim.cpuIo);
+            });
         if (!ok(r.status)) {
             resp.status = r.status;
             resp.done = host_done;
@@ -615,9 +730,20 @@ CpuDaemon::handlePeerWritePages(gpu::GpuDevice &dev, const RpcRequest &req)
     resp.done = t;
     uint64_t new_version = 0;
     if (!runs.empty()) {
-        hostfs::IoResult w = fs.pwritev(req.hostFd, runs.data(),
-                                        static_cast<unsigned>(runs.size()),
-                                        t, &sim.cpuIo);
+        Status js = maybeJournal(req.hostFd, runs.data(),
+                                 static_cast<unsigned>(runs.size()), t,
+                                 &sim.cpuIo);
+        if (!ok(js)) {
+            resp.status = js;
+            resp.done = t;
+            return resp;
+        }
+        hostfs::IoResult w = retryTransient(
+            fs, ioRetries, ioRetryGiveups, [&](Time backoff) {
+                return fs.pwritev(req.hostFd, runs.data(),
+                                  static_cast<unsigned>(runs.size()),
+                                  t + backoff, &sim.cpuIo);
+            });
         if (!ok(w.status)) {
             resp.status = w.status;
             return resp;
@@ -731,9 +857,20 @@ CpuDaemon::handleWriteBack(gpu::GpuDevice &dev, const RpcRequest &req)
         std::vector<hostfs::WriteRun> runs;
         appendZeroDiffRuns(runs, req.offset, req.data, req.len);
         if (!runs.empty()) {
-            hostfs::IoResult w = fs.pwritev(
-                req.hostFd, runs.data(),
-                static_cast<unsigned>(runs.size()), t, &sim.cpuIo);
+            Status js = maybeJournal(req.hostFd, runs.data(),
+                                     static_cast<unsigned>(runs.size()), t,
+                                     &sim.cpuIo);
+            if (!ok(js)) {
+                resp.status = js;
+                resp.done = t;
+                return resp;
+            }
+            hostfs::IoResult w = retryTransient(
+                fs, ioRetries, ioRetryGiveups, [&](Time backoff) {
+                    return fs.pwritev(req.hostFd, runs.data(),
+                                      static_cast<unsigned>(runs.size()),
+                                      t + backoff, &sim.cpuIo);
+                });
             if (!ok(w.status)) {
                 resp.status = w.status;
                 resp.done = t;
@@ -744,8 +881,18 @@ CpuDaemon::handleWriteBack(gpu::GpuDevice &dev, const RpcRequest &req)
             t = w.done;
         }
     } else {
-        hostfs::IoResult w = fs.pwrite(req.hostFd, req.data, req.len,
-                                       req.offset, t, &sim.cpuIo);
+        hostfs::WriteRun run{req.offset, req.len, req.data};
+        Status js = maybeJournal(req.hostFd, &run, 1, t, &sim.cpuIo);
+        if (!ok(js)) {
+            resp.status = js;
+            resp.done = t;
+            return resp;
+        }
+        hostfs::IoResult w = retryTransient(
+            fs, ioRetries, ioRetryGiveups, [&](Time backoff) {
+                return fs.pwrite(req.hostFd, req.data, req.len, req.offset,
+                                 t + backoff, &sim.cpuIo);
+            });
         if (!ok(w.status)) {
             resp.status = w.status;
             resp.done = w.done;
@@ -804,9 +951,20 @@ CpuDaemon::handleWritePages(gpu::GpuDevice &dev, const RpcRequest &req)
     resp.status = Status::Ok;
     resp.done = t;
     if (!runs.empty()) {
-        hostfs::IoResult w = fs.pwritev(req.hostFd, runs.data(),
-                                        static_cast<unsigned>(runs.size()),
-                                        t, &sim.cpuIo);
+        Status js = maybeJournal(req.hostFd, runs.data(),
+                                 static_cast<unsigned>(runs.size()), t,
+                                 &sim.cpuIo);
+        if (!ok(js)) {
+            resp.status = js;
+            resp.done = t;
+            return resp;
+        }
+        hostfs::IoResult w = retryTransient(
+            fs, ioRetries, ioRetryGiveups, [&](Time backoff) {
+                return fs.pwritev(req.hostFd, runs.data(),
+                                  static_cast<unsigned>(runs.size()),
+                                  t + backoff, &sim.cpuIo);
+            });
         if (!ok(w.status)) {
             resp.status = w.status;
             return resp;

@@ -24,6 +24,7 @@
 #include "consistency/consistency.hh"
 #include "gpu/device.hh"
 #include "hostfs/hostfs.hh"
+#include "hostfs/journal.hh"
 #include "rpc/peer.hh"
 #include "rpc/queue.hh"
 
@@ -49,10 +50,24 @@ class CpuDaemon
      */
     RpcQueue &attachGpu(gpu::GpuDevice &dev);
 
-    /** Start the daemon thread. */
+    /** Start the daemon thread. Runs journal recovery first when the
+     *  journal is enabled (replay committed txns, discard torn tail),
+     *  so a stop()/start() cycle is a full crash-recovery restart. */
     void start();
     /** Stop and join the daemon thread. Idempotent. */
     void stop();
+
+    /**
+     * Create the write-ahead journal (GpuFsParams::journalWriteback).
+     * Must be called before the first start(). Write-backs to fds
+     * opened with O_GDURABLE_F then commit to the journal before the
+     * in-place write, and their fsync barrier is answered from the
+     * commit record.
+     */
+    void enableJournal();
+
+    /** The journal, or nullptr when journaling is off (tests). */
+    hostfs::WriteJournal *journal() { return journal_.get(); }
 
     /**
      * Install (or clear, with nullptr) the peer-cache view of GPU
@@ -115,6 +130,20 @@ class CpuDaemon
      *  host_read_calls falling below the served request count. */
     Counter &coalescedRpcs;
     Counter &hostReadCalls;
+    /** Transient host-I/O faults absorbed by bounded retry+backoff,
+     *  and operations that exhausted the retry budget (the RPC then
+     *  completes with an error IoResult — graceful degradation). */
+    Counter &ioRetries;
+    Counter &ioRetryGiveups;
+    /** Journal activity: committed write-back txns, fsyncs answered
+     *  from the commit record (gmsync barrier), and recovery work. */
+    Counter &journalCommits;
+    Counter &journalCommitBarriers;
+    Counter &journalTxnsReplayed;
+    Counter &journalTornRecords;
+
+    /** Write-ahead journal (null unless enableJournal() was called). */
+    std::unique_ptr<hostfs::WriteJournal> journal_;
 
     void loop();
     RpcResponse handle(unsigned port_idx, const RpcRequest &req);
@@ -171,10 +200,24 @@ class CpuDaemon
      *  identically (one setup cost per request either way). */
     Time chargeD2hDma(gpu::GpuDevice &dev, uint64_t bytes, Time ready);
 
-    /** Track (fd -> ino, write, gwronce) for consistency release. */
-    struct FdClaim { uint64_t ino; bool write; };
+    /** Track (fd -> ino, write, durable) for consistency release and
+     *  the journal's per-file gate. */
+    struct FdClaim { uint64_t ino; bool write; bool durable; };
     std::mutex claimMtx;
     std::unordered_map<int, FdClaim> fdClaims;
+
+    /** True when @p fd was opened O_GDURABLE_F; its ino out-param
+     *  feeds the journal. */
+    bool durableFd(int fd, uint64_t *ino_out = nullptr);
+
+    /**
+     * Journal-first ordering for the write-back handlers: when the
+     * journal is on and @p fd is durable, append + commit + fsync the
+     * extent records and advance @p t to the commit-durable time
+     * before the caller's in-place write. No-op (Ok) otherwise.
+     */
+    Status maybeJournal(int fd, const hostfs::WriteRun *runs, unsigned n,
+                        Time &t, sim::Resource *io);
 };
 
 } // namespace rpc

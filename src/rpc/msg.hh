@@ -95,6 +95,12 @@ struct RpcRequest {
      *  demand traffic without reaching into per-GPU StatSets. */
     bool speculative = false;
 
+    /** Fsync: the file was opened O_GDURABLE and the caller only needs
+     *  the journal commit record durable (gmsync/gfsync barrier) — the
+     *  daemon answers from WriteJournal::lastCommitDone instead of
+     *  fsyncing the data file, when journaling is enabled. */
+    bool durableBarrier = false;
+
     int hostFd = -1;            ///< Close/ReadPage(s)/WriteBack/Fsync/Truncate
     uint64_t offset = 0;        ///< ReadPage(s)/WriteBack/Truncate(new size)
     uint64_t len = 0;           ///< ReadPage/WriteBack; Read/WritePages: total

@@ -14,6 +14,7 @@
 #include <mutex>
 #include <string>
 
+#include "sim/fault.hh"
 #include "sim/hw_params.hh"
 #include "sim/resource.hh"
 
@@ -41,6 +42,13 @@ class SimContext
 
     /** The disk behind the host page cache. */
     Resource disk;
+
+    /**
+     * Fault-injection plan (crash points, power loss, transient EIO).
+     * Idle by default; HostFs consults it behind a single relaxed
+     * atomic load so fault-free runs stay byte-identical.
+     */
+    FaultPlan faults;
 
     /**
      * The P2P DMA channel from GPU @p src to GPU @p dst (multi-GPU

@@ -1,0 +1,137 @@
+#include "sim/fault.hh"
+
+namespace gpufs::sim {
+
+const char *
+crashPointName(CrashPoint cp)
+{
+    switch (cp) {
+    case CrashPoint::MidPwritev: return "mid_pwritev";
+    case CrashPoint::AfterWriteback: return "after_writeback";
+    case CrashPoint::MidJournalAppend: return "mid_journal_append";
+    case CrashPoint::AfterJournalCommit: return "after_journal_commit";
+    }
+    return "?";
+}
+
+void
+FaultPlan::refreshActiveLocked()
+{
+    bool any = crashed_.load(std::memory_order_relaxed);
+    for (size_t i = 0; i < kPoints; ++i)
+        any = any || armed_[i];
+    for (uint64_t n : eio_)
+        any = any || n > 0;
+    any = any || shortWrites_ > 0;
+    active_.store(any, std::memory_order_relaxed);
+}
+
+void
+FaultPlan::armCrash(CrashPoint cp, uint64_t countdown)
+{
+    std::lock_guard<std::mutex> lk(mtx_);
+    armed_[size_t(cp)] = true;
+    countdown_[size_t(cp)] = countdown;
+    refreshActiveLocked();
+}
+
+bool
+FaultPlan::hitCrashPoint(CrashPoint cp)
+{
+    if (!active())
+        return false;
+    std::lock_guard<std::mutex> lk(mtx_);
+    if (!armed_[size_t(cp)])
+        return false;
+    if (countdown_[size_t(cp)] > 0) {
+        --countdown_[size_t(cp)];
+        return false;
+    }
+    armed_[size_t(cp)] = false;
+    crashed_.store(true, std::memory_order_release);
+    refreshActiveLocked();
+    return true;
+}
+
+bool
+FaultPlan::crashArmed() const
+{
+    if (!active())
+        return false;
+    std::lock_guard<std::mutex> lk(mtx_);
+    for (size_t i = 0; i < kPoints; ++i)
+        if (armed_[i])
+            return true;
+    return false;
+}
+
+void
+FaultPlan::reboot()
+{
+    std::lock_guard<std::mutex> lk(mtx_);
+    crashed_.store(false, std::memory_order_release);
+    for (size_t i = 0; i < kPoints; ++i) {
+        armed_[i] = false;
+        countdown_[i] = 0;
+    }
+    refreshActiveLocked();
+}
+
+void
+FaultPlan::injectIoError(FaultOp op, uint64_t count)
+{
+    std::lock_guard<std::mutex> lk(mtx_);
+    eio_[size_t(op)] = count;
+    refreshActiveLocked();
+}
+
+bool
+FaultPlan::takeFault(FaultOp op)
+{
+    if (!active())
+        return false;
+    std::lock_guard<std::mutex> lk(mtx_);
+    if (eio_[size_t(op)] == 0)
+        return false;
+    --eio_[size_t(op)];
+    refreshActiveLocked();
+    return true;
+}
+
+void
+FaultPlan::injectShortWrite(uint64_t count)
+{
+    std::lock_guard<std::mutex> lk(mtx_);
+    shortWrites_ = count;
+    refreshActiveLocked();
+}
+
+bool
+FaultPlan::takeShortWrite()
+{
+    if (!active())
+        return false;
+    std::lock_guard<std::mutex> lk(mtx_);
+    if (shortWrites_ == 0)
+        return false;
+    --shortWrites_;
+    refreshActiveLocked();
+    return true;
+}
+
+void
+FaultPlan::reset()
+{
+    std::lock_guard<std::mutex> lk(mtx_);
+    crashed_.store(false, std::memory_order_release);
+    for (size_t i = 0; i < kPoints; ++i) {
+        armed_[i] = false;
+        countdown_[i] = 0;
+    }
+    for (uint64_t &n : eio_)
+        n = 0;
+    shortWrites_ = 0;
+    refreshActiveLocked();
+}
+
+} // namespace gpufs::sim

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Fault-injection plan for the simulated host: named crash points,
+ * simulated power loss, and transient I/O faults.
+ *
+ * A FaultPlan lives on the SimContext and is consulted by HostFs (and
+ * the daemon's journal) at well-known points in the I/O paths. With
+ * nothing armed, `active()` is a single relaxed atomic load — the
+ * fault-free paths stay byte-identical in both behavior and timing.
+ *
+ * Crash semantics: a crash point that fires marks the host "crashed".
+ * Every subsequent HostFs data operation fails with Status::IoError
+ * until `reboot()` — mirroring a daemon whose backing store went away
+ * mid-flight. Power loss (applied by HostFs::powerLoss) additionally
+ * reverts all writes that were never covered by an fsync, so recovery
+ * tests observe genuinely torn state.
+ */
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+
+namespace gpufs::sim {
+
+/** Named crash points, in the order they appear on the write path. */
+enum class CrashPoint : uint8_t {
+    MidPwritev,        ///< after k of n runs of a gathered pwritev landed
+    AfterWriteback,    ///< in-place write-back complete, fsync never ran
+    MidJournalAppend,  ///< extent records appended, commit record absent
+    AfterJournalCommit ///< commit durable, in-place write-back never ran
+};
+
+constexpr CrashPoint kAllCrashPoints[] = {
+    CrashPoint::MidPwritev,
+    CrashPoint::AfterWriteback,
+    CrashPoint::MidJournalAppend,
+    CrashPoint::AfterJournalCommit,
+};
+
+const char *crashPointName(CrashPoint cp);
+
+/** Which host I/O operation a transient fault applies to. */
+enum class FaultOp : uint8_t { HostRead, HostWrite, HostFsync };
+
+/**
+ * Thread-safe fault plan. Armed from test/bench code; consumed from
+ * the daemon thread inside HostFs.
+ */
+class FaultPlan {
+  public:
+    // ---- crash points ----
+
+    /** Arm a crash at `cp`; the first `countdown` hits are skipped
+     *  (so "crash on the k-th write-back" is expressible). Re-arming
+     *  replaces any previous plan for the same point. */
+    void armCrash(CrashPoint cp, uint64_t countdown = 0);
+
+    /** Called by HostFs at the named point. Returns true exactly once
+     *  when the armed countdown reaches zero; sets crashed(). */
+    bool hitCrashPoint(CrashPoint cp);
+
+    /** True if any crash point is armed (cheap gate for pre-image
+     *  capture: HostFs only logs volatile writes while this holds). */
+    bool crashArmed() const;
+
+    /** True once a crash point fired and until reboot(). */
+    bool crashed() const { return crashed_.load(std::memory_order_acquire); }
+
+    /** Clear the crashed flag and disarm all crash points. Transient
+     *  fault counters survive a reboot; call reset() to clear all. */
+    void reboot();
+
+    // ---- transient faults ----
+
+    /** Make the next `count` host ops of kind `op` fail with EIO. */
+    void injectIoError(FaultOp op, uint64_t count);
+
+    /** Consume one injected EIO for `op`; true when the op must fail. */
+    bool takeFault(FaultOp op);
+
+    /** Make the next `count` pwritev calls land only a prefix of their
+     *  runs (short write), returning IoError with partial bytes. */
+    void injectShortWrite(uint64_t count);
+
+    /** Consume one injected short write. */
+    bool takeShortWrite();
+
+    // ---- lifecycle ----
+
+    /** Anything armed at all? Single relaxed load; false on the hot
+     *  path keeps fault-free runs byte-identical. */
+    bool active() const { return active_.load(std::memory_order_relaxed); }
+
+    /** Disarm everything, clear crashed. */
+    void reset();
+
+  private:
+    void refreshActiveLocked();
+
+    mutable std::mutex mtx_;
+    std::atomic<bool> active_{false};
+    std::atomic<bool> crashed_{false};
+    static constexpr size_t kPoints =
+        sizeof(kAllCrashPoints) / sizeof(kAllCrashPoints[0]);
+    bool armed_[kPoints] = {};
+    uint64_t countdown_[kPoints] = {};
+    uint64_t eio_[3] = {};  ///< indexed by FaultOp
+    uint64_t shortWrites_ = 0;
+};
+
+} // namespace gpufs::sim
