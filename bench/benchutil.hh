@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "gpufs/system.hh"
+#include "storage/kind.hh"
 
 namespace gpufs {
 namespace bench {
@@ -32,9 +33,12 @@ struct Options {
     /** Multi-GPU benches: cap the GPU-count sweep (0 = bench default).
      *  CI smoke runs pass --gpus=2 to keep the multigpu label cheap. */
     unsigned gpus = 0;
+    /** Storage backend the daemon's miss/write-back path runs on
+     *  (--backend=buffered|direct|gds|remote). */
+    storage::BackendKind backend = storage::BackendKind::Buffered;
 };
 
-/** Parse --scale=F / --full / --gpus=N / --help. */
+/** Parse --scale=F / --full / --gpus=N / --backend=K / --help. */
 inline Options
 parseOptions(int argc, char **argv, double default_scale,
              const char *description)
@@ -57,12 +61,20 @@ parseOptions(int argc, char **argv, double default_scale,
                 std::fprintf(stderr, "bad --gpus\n");
                 std::exit(2);
             }
+        } else if (std::strncmp(a, "--backend=", 10) == 0) {
+            if (!storage::parseBackendKind(a + 10, &opt.backend)) {
+                std::fprintf(stderr, "bad --backend '%s' (want "
+                             "buffered|direct|gds|remote)\n", a + 10);
+                std::exit(2);
+            }
         } else if (std::strcmp(a, "--help") == 0) {
             std::printf("%s\n\nOptions:\n"
-                        "  --scale=F   scale workload sizes by F "
+                        "  --scale=F    scale workload sizes by F "
                         "(default %.3g)\n"
-                        "  --full      paper-scale run (--scale=1)\n"
-                        "  --gpus=N    cap multi-GPU sweeps at N GPUs\n",
+                        "  --full       paper-scale run (--scale=1)\n"
+                        "  --gpus=N     cap multi-GPU sweeps at N GPUs\n"
+                        "  --backend=K  storage backend "
+                        "(buffered|direct|gds|remote)\n",
                         description, default_scale);
             std::exit(0);
         } else {

@@ -19,6 +19,9 @@ namespace {
 
 constexpr char kPath[] = "/data/rand.bin";
 
+/** --backend= selection for every run in this binary. */
+storage::BackendKind gBackend = storage::BackendKind::Buffered;
+
 struct RandomReadResult {
     Time elapsed;
     uint64_t uniquePages;
@@ -37,6 +40,7 @@ runRandomRead(uint64_t file_bytes, uint64_t page_size, unsigned blocks,
     p.cacheBytes = 2 * GiB;     // paper GPU: 6 GB; never the bottleneck
     p.readAheadPages = ra_pages;
     p.readAheadPolicy = policy;
+    p.storageBackend = gBackend;
     core::GpufsSystem sys(1, p);
     bench::addZerosFile(sys.hostFs(), kPath, file_bytes);
     bench::warmHostCache(sys.hostFs(), kPath);
@@ -74,6 +78,7 @@ main(int argc, char **argv)
 {
     bench::Options opt = bench::parseOptions(
         argc, argv, 1.0, "Figure 6: random 32KB reads vs page size");
+    gBackend = opt.backend;
     const uint64_t file_bytes = uint64_t(1e9 * opt.scale);
     const unsigned blocks = 112;
     const unsigned reads = 32;
@@ -81,7 +86,8 @@ main(int argc, char **argv)
 
     bench::printTitle(
         "Figure 6: random reads (112 blocks x 32 x 32KB from a " +
-            std::to_string(file_bytes / 1000000) + " MB file)",
+            std::to_string(file_bytes / 1000000) + " MB file, backend: " +
+            storage::backendName(gBackend) + ")",
         "paper: both very small and very large pages hurt; 64K is "
         "best; effective bandwidth = data used / elapsed");
 

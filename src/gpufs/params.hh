@@ -9,6 +9,7 @@
 #include <cstdint>
 
 #include "base/units.hh"
+#include "storage/kind.hh"
 
 namespace gpufs {
 namespace core {
@@ -185,6 +186,15 @@ struct GpuFsParams {
      * Off (the default) leaves every existing path byte-identical.
      */
     bool journalWriteback = false;
+
+    /**
+     * Storage backend the daemon routes every miss read and write-back
+     * through (see storage::BackendKind). Buffered is the paper's
+     * buffered-pread shape and stays byte-identical; the others model
+     * O_DIRECT, GPUDirect zero-copy, and an NVMe-oF remote flash tier
+     * (bench/ablate_backend maps the crossovers).
+     */
+    storage::BackendKind storageBackend = storage::BackendKind::Buffered;
 
     /**
      * Non-blocking I/O core: maximum async requests a single block may

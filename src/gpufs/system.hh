@@ -54,6 +54,7 @@ class GpufsSystem
             queues_.push_back(&daemon_.attachGpu(*dev));
         if (fs_params.journalWriteback)
             daemon_.enableJournal();
+        daemon_.setStorageBackend(fs_params.storageBackend);
         daemon_.start();
         for (unsigned i = 0; i < num_gpus; ++i) {
             gpufs_.push_back(std::make_unique<GpuFs>(*devices_[i],

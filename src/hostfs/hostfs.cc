@@ -101,6 +101,20 @@ IoResult
 HostFs::pread(int fd, uint8_t *dst, uint64_t len, uint64_t offset,
               Time ready, sim::Resource *io_path)
 {
+    return preadImpl(fd, dst, len, offset, ready, io_path, true);
+}
+
+IoResult
+HostFs::preadUncached(int fd, uint8_t *dst, uint64_t len, uint64_t offset,
+                      Time ready)
+{
+    return preadImpl(fd, dst, len, offset, ready, nullptr, false);
+}
+
+IoResult
+HostFs::preadImpl(int fd, uint8_t *dst, uint64_t len, uint64_t offset,
+                  Time ready, sim::Resource *io_path, bool charge)
+{
     uint32_t flags;
     auto node = lookupFd(fd, &flags);
     if (!node)
@@ -118,7 +132,9 @@ HostFs::pread(int fd, uint8_t *dst, uint64_t len, uint64_t offset,
         return {Status::Ok, 0, ready};
     uint64_t n = std::min(len, size - offset);
     node->content->readAt(offset, n, dst);
-    Time done = pageCache.chargeRead(ino, offset, n, ready, io_path);
+    Time done =
+        charge ? pageCache.chargeRead(ino, offset, n, ready, io_path)
+               : ready;
     return {Status::Ok, n, done};
 }
 
@@ -126,6 +142,23 @@ IoResult
 HostFs::preadPages(int fd, uint8_t *const *dsts, unsigned n_pages,
                    uint64_t page_len, uint64_t offset, Time ready,
                    sim::Resource *io_path)
+{
+    return preadPagesImpl(fd, dsts, n_pages, page_len, offset, ready,
+                          io_path, true);
+}
+
+IoResult
+HostFs::preadPagesUncached(int fd, uint8_t *const *dsts, unsigned n_pages,
+                           uint64_t page_len, uint64_t offset, Time ready)
+{
+    return preadPagesImpl(fd, dsts, n_pages, page_len, offset, ready,
+                          nullptr, false);
+}
+
+IoResult
+HostFs::preadPagesImpl(int fd, uint8_t *const *dsts, unsigned n_pages,
+                       uint64_t page_len, uint64_t offset, Time ready,
+                       sim::Resource *io_path, bool charge)
 {
     uint32_t flags;
     auto node = lookupFd(fd, &flags);
@@ -151,13 +184,28 @@ HostFs::preadPages(int fd, uint8_t *const *dsts, unsigned n_pages,
                               dsts[i]);
     }
     // One contiguous extent, one preadv charge.
-    Time done = pageCache.chargeRead(ino, offset, n, ready, io_path);
+    Time done =
+        charge ? pageCache.chargeRead(ino, offset, n, ready, io_path)
+               : ready;
     return {Status::Ok, n, done};
 }
 
 IoResult
 HostFs::preadRuns(int fd, ReadRun *runs, unsigned n, Time ready,
                   sim::Resource *io_path)
+{
+    return preadRunsImpl(fd, runs, n, ready, io_path, true);
+}
+
+IoResult
+HostFs::preadRunsUncached(int fd, ReadRun *runs, unsigned n, Time ready)
+{
+    return preadRunsImpl(fd, runs, n, ready, nullptr, false);
+}
+
+IoResult
+HostFs::preadRunsImpl(int fd, ReadRun *runs, unsigned n, Time ready,
+                      sim::Resource *io_path, bool charge)
 {
     uint32_t flags;
     auto node = lookupFd(fd, &flags);
@@ -196,13 +244,29 @@ HostFs::preadRuns(int fd, ReadRun *runs, unsigned n, Time ready,
     if (total == 0)
         return {Status::Ok, 0, ready};
     // All runs, one gathered preadv charge.
-    Time done = pageCache.chargeReadv(ino, spans.data(), n, ready, io_path);
+    Time done =
+        charge ? pageCache.chargeReadv(ino, spans.data(), n, ready, io_path)
+               : ready;
     return {Status::Ok, total, done};
 }
 
 IoResult
 HostFs::pwritev(int fd, const WriteRun *runs, unsigned n, Time ready,
                 sim::Resource *io_path)
+{
+    return pwritevImpl(fd, runs, n, ready, io_path, true);
+}
+
+IoResult
+HostFs::pwritevUncached(int fd, const WriteRun *runs, unsigned n,
+                        Time ready)
+{
+    return pwritevImpl(fd, runs, n, ready, nullptr, false);
+}
+
+IoResult
+HostFs::pwritevImpl(int fd, const WriteRun *runs, unsigned n, Time ready,
+                    sim::Resource *io_path, bool charge)
 {
     uint32_t flags;
     auto node = lookupFd(fd, &flags);
@@ -260,7 +324,10 @@ HostFs::pwritev(int fd, const WriteRun *runs, unsigned n, Time ready,
         powerLoss();
         return {Status::IoError, total, ready};
     }
-    Time done = pageCache.chargeWritev(ino, spans.data(), n, ready, io_path);
+    Time done =
+        charge ? pageCache.chargeWritev(ino, spans.data(), n, ready,
+                                        io_path)
+               : ready;
     return {Status::Ok, total, done, ver};
 }
 
@@ -300,6 +367,20 @@ IoResult
 HostFs::pwrite(int fd, const uint8_t *src, uint64_t len, uint64_t offset,
                Time ready, sim::Resource *io_path)
 {
+    return pwriteImpl(fd, src, len, offset, ready, io_path, true);
+}
+
+IoResult
+HostFs::pwriteUncached(int fd, const uint8_t *src, uint64_t len,
+                       uint64_t offset, Time ready)
+{
+    return pwriteImpl(fd, src, len, offset, ready, nullptr, false);
+}
+
+IoResult
+HostFs::pwriteImpl(int fd, const uint8_t *src, uint64_t len, uint64_t offset,
+                   Time ready, sim::Resource *io_path, bool charge)
+{
     uint32_t flags;
     auto node = lookupFd(fd, &flags);
     if (!node)
@@ -322,12 +403,26 @@ HostFs::pwrite(int fd, const uint8_t *src, uint64_t len, uint64_t offset,
         ino = node->ino;
         ver = node->version;
     }
-    Time done = pageCache.chargeWrite(ino, offset, len, ready, io_path);
+    Time done =
+        charge ? pageCache.chargeWrite(ino, offset, len, ready, io_path)
+               : ready;
     return {Status::Ok, len, done, ver};
 }
 
 IoResult
 HostFs::fsync(int fd, Time ready)
+{
+    return fsyncImpl(fd, ready, true);
+}
+
+IoResult
+HostFs::fsyncUncached(int fd, Time ready)
+{
+    return fsyncImpl(fd, ready, false);
+}
+
+IoResult
+HostFs::fsyncImpl(int fd, Time ready, bool charge)
 {
     auto node = lookupFd(fd, nullptr);
     if (!node)
@@ -341,7 +436,7 @@ HostFs::fsync(int fd, Time ready)
     }
     if (sim.faults.active())
         markDurable(ino, nullptr, 0);   // everything on this ino is durable
-    return {Status::Ok, 0, pageCache.chargeSync(ino, ready)};
+    return {Status::Ok, 0, charge ? pageCache.chargeSync(ino, ready) : ready};
 }
 
 Status

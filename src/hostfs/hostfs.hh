@@ -143,6 +143,34 @@ class HostFs
     /** fsync: flush dirty page-cache granules to disk. */
     IoResult fsync(int fd, Time ready = 0);
 
+    // ---- uncached variants (storage backends) ----
+    //
+    // Functionally identical to their charged twins — same fault
+    // checks, crash points, pre-image capture, short-write injection,
+    // EOF clamping and version bumps — but they skip HostPageCache
+    // entirely: no residency/dirty tracking and NO virtual-time charge
+    // (.done == the passed ready). The O_DIRECT / GPUDirect / remote
+    // backends call these and put their own device, DMA-engine, and
+    // fabric reservations on top (src/storage/*).
+
+    IoResult preadUncached(int fd, uint8_t *dst, uint64_t len,
+                           uint64_t offset, Time ready = 0);
+    IoResult preadPagesUncached(int fd, uint8_t *const *dsts,
+                                unsigned n_pages, uint64_t page_len,
+                                uint64_t offset, Time ready = 0);
+    IoResult preadRunsUncached(int fd, ReadRun *runs, unsigned n,
+                               Time ready = 0);
+    IoResult pwriteUncached(int fd, const uint8_t *src, uint64_t len,
+                            uint64_t offset, Time ready = 0);
+    IoResult pwritevUncached(int fd, const WriteRun *runs, unsigned n,
+                             Time ready = 0);
+
+    /** Uncached fsync: the backend's device-flush semantics — marks
+     *  the inode's outstanding writes durable (fault injection) but
+     *  charges nothing; there are no dirty page-cache granules to
+     *  flush because the uncached writes never touched the cache. */
+    IoResult fsyncUncached(int fd, Time ready = 0);
+
     Status ftruncate(int fd, uint64_t new_size);
     Status unlink(const std::string &path);
     Status stat(const std::string &path, FileInfo *out);
@@ -234,6 +262,22 @@ class HostFs
 
     std::shared_ptr<Inode> lookupFd(int fd, uint32_t *flags_out);
     std::shared_ptr<Inode> lookupIno(uint64_t ino);
+
+    /** Shared bodies of the charged/uncached pairs: @p charge false
+     *  skips the HostPageCache charge (done stays @p ready). */
+    IoResult preadImpl(int fd, uint8_t *dst, uint64_t len, uint64_t offset,
+                       Time ready, sim::Resource *io_path, bool charge);
+    IoResult preadPagesImpl(int fd, uint8_t *const *dsts, unsigned n_pages,
+                            uint64_t page_len, uint64_t offset, Time ready,
+                            sim::Resource *io_path, bool charge);
+    IoResult preadRunsImpl(int fd, ReadRun *runs, unsigned n, Time ready,
+                           sim::Resource *io_path, bool charge);
+    IoResult pwriteImpl(int fd, const uint8_t *src, uint64_t len,
+                        uint64_t offset, Time ready, sim::Resource *io_path,
+                        bool charge);
+    IoResult pwritevImpl(int fd, const WriteRun *runs, unsigned n,
+                         Time ready, sim::Resource *io_path, bool charge);
+    IoResult fsyncImpl(int fd, Time ready, bool charge);
     void capturePreImage(const std::shared_ptr<Inode> &node, uint64_t offset,
                          uint64_t len);
     void markDurable(uint64_t ino, const IoSpan *spans, unsigned n);

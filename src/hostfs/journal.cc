@@ -200,6 +200,23 @@ WriteJournal::recover(Time ready)
 }
 
 Time
+WriteJournal::checkpoint(Time ready)
+{
+    std::lock_guard<std::mutex> lk(mtx_);
+    // Durability order matters: flush the covered files BEFORE
+    // discarding the records that could re-create their bytes. (The
+    // reverse order would open a window where neither the journal nor
+    // the data file holds the committed bytes durably.)
+    Time t = ready;
+    for (const auto &kv : lastCommit_)
+        t = std::max(t, fs_.fsyncIno(kv.first, t));
+    fs_.ftruncate(jfd_, 0);
+    tail_ = 0;
+    lastCommit_.clear();
+    return t;
+}
+
+Time
 WriteJournal::lastCommitDone(uint64_t ino) const
 {
     std::lock_guard<std::mutex> lk(mtx_);

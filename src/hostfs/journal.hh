@@ -96,6 +96,17 @@ class WriteJournal
      */
     RecoveryStats recover(Time ready);
 
+    /**
+     * Checkpoint on clean shutdown: every committed transaction has
+     * been applied in place, so the journal's history is dead weight —
+     * fsync each file it covers (the commit record was the durability
+     * point; the in-place writes may still sit volatile in the host
+     * page cache), then truncate to empty. The caller (CpuDaemon::
+     * stop) guarantees no committed-but-unapplied txns remain.
+     * @return the virtual time the truncate is durable.
+     */
+    Time checkpoint(Time ready);
+
     /** Commit-durable time of the last committed txn touching @p ino
      *  (0 if none since recovery) — the gmsync barrier's answer. */
     Time lastCommitDone(uint64_t ino) const;

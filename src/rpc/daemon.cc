@@ -28,8 +28,18 @@ CpuDaemon::CpuDaemon(hostfs::HostFs &host_fs,
       journalCommits(stats_.counter("journal_commits")),
       journalCommitBarriers(stats_.counter("journal_commit_barriers")),
       journalTxnsReplayed(stats_.counter("journal_txns_replayed")),
-      journalTornRecords(stats_.counter("journal_torn_records"))
+      journalTornRecords(stats_.counter("journal_torn_records")),
+      journalCheckpoints(stats_.counter("journal_checkpoints"))
 {
+    backend_ = storage::makeStorageBackend(storage::BackendKind::Buffered,
+                                           fs, stats_);
+}
+
+void
+CpuDaemon::setStorageBackend(storage::BackendKind kind)
+{
+    gpufs_assert(!running.load(), "setStorageBackend after start");
+    backend_ = storage::makeStorageBackend(kind, fs, stats_);
 }
 
 namespace {
@@ -82,7 +92,7 @@ CpuDaemon::durableFd(int fd, uint64_t *ino_out)
 
 Status
 CpuDaemon::maybeJournal(int fd, const hostfs::WriteRun *runs, unsigned n,
-                        Time &t, sim::Resource *io)
+                        Time &t, sim::Resource *io, bool *journaled)
 {
     if (!journal_)
         return Status::Ok;
@@ -97,6 +107,9 @@ CpuDaemon::maybeJournal(int fd, const hostfs::WriteRun *runs, unsigned n,
     if (!ok(j.status))
         return j.status;
     journalCommits.inc();
+    journalUnapplied_.fetch_add(1, std::memory_order_relaxed);
+    if (journaled)
+        *journaled = true;
     t = j.done;
     // Crash point "commit durable, in-place write never ran": exactly
     // the window recovery's replay exists for.
@@ -152,6 +165,18 @@ CpuDaemon::stop()
     doorbell.notify_one();
     if (worker.joinable())
         worker.join();
+    // Clean-shutdown checkpoint: every committed txn has been applied
+    // in place, so the journal's history is dead weight — flush the
+    // covered files and truncate it so the next start() skips replay.
+    // Never after a crash (recovery needs the records) and never with
+    // a committed-but-unapplied txn outstanding (truncating it would
+    // lose the bytes replay exists to restore).
+    if (journal_ && !fs.crashed() &&
+        journalUnapplied_.load(std::memory_order_acquire) == 0 &&
+        journal_->tailOffset() > 0) {
+        journal_->checkpoint(0);
+        journalCheckpoints.inc();
+    }
     // Publish each queue's slot-pressure high-water marks into the
     // StatSet so post-run reports see them next to the service counts.
     for (unsigned i = 0; i < ports.size(); ++i) {
@@ -301,8 +326,8 @@ CpuDaemon::handleReadPagesGroup(unsigned port_idx, RpcSlot **group,
     }
     hostfs::IoResult r = retryTransient(
         fs, ioRetries, ioRetryGiveups, [&](Time backoff) {
-            return fs.preadRuns(group[0]->req.hostFd, runs.data(), k,
-                                t0 + backoff, &sim.cpuIo);
+            return backend_->readRuns(group[0]->req.hostFd, runs.data(), k,
+                                      t0 + backoff, dev.id());
         });
     if (!ok(r.status)) {
         // Gathered read refused (stale fd raced a close, or a host
@@ -405,8 +430,10 @@ CpuDaemon::handle(unsigned port_idx, const RpcRequest &req)
         } else {
             hostfs::IoResult r = retryTransient(
                 fs, ioRetries, ioRetryGiveups,
-                [&](Time backoff) { return fs.fsync(req.hostFd,
-                                                    t0 + backoff); });
+                [&](Time backoff) {
+                    return backend_->sync(req.hostFd, t0 + backoff,
+                                          dev.id());
+                });
             resp.status = r.status;
             resp.done = r.done;
         }
@@ -513,7 +540,9 @@ CpuDaemon::chargeH2dDma(gpu::GpuDevice &dev, uint64_t bytes, Time ready)
     auto &sim = dev.simContext();
     const auto &p = sim.params;
     bytesToGpu.inc(bytes);
-    if (bytes == 0 || !p.chargeDma)
+    // Zero-copy backends DMA straight into the frame arena — the read
+    // charge already covered the wire, so no second PCIe hop here.
+    if (bytes == 0 || !p.chargeDma || backend_->directToGpu())
         return ready;
     Time dur = p.dmaSetup + transferTime(bytes, p.pcieBwH2DMBps);
     sim::Resource &channel =
@@ -524,14 +553,13 @@ CpuDaemon::chargeH2dDma(gpu::GpuDevice &dev, uint64_t bytes, Time ready)
 RpcResponse
 CpuDaemon::handleReadPage(gpu::GpuDevice &dev, const RpcRequest &req)
 {
-    auto &sim = dev.simContext();
     RpcResponse resp;
 
     // Host file -> staging: the daemon's pread, serialized on cpuIo.
     hostfs::IoResult r = retryTransient(
         fs, ioRetries, ioRetryGiveups, [&](Time backoff) {
-            return fs.pread(req.hostFd, req.data, req.len, req.offset,
-                            req.issueTime + backoff, &sim.cpuIo);
+            return backend_->read(req.hostFd, req.data, req.len, req.offset,
+                                  req.issueTime + backoff, dev.id());
         });
     hostReadCalls.inc();
     resp.status = r.status;
@@ -543,7 +571,6 @@ CpuDaemon::handleReadPage(gpu::GpuDevice &dev, const RpcRequest &req)
 RpcResponse
 CpuDaemon::handleReadPages(gpu::GpuDevice &dev, const RpcRequest &req)
 {
-    auto &sim = dev.simContext();
     RpcResponse resp;
     if (req.pageCount == 0 || req.pageCount > kMaxBatchPages) {
         resp.status = Status::Inval;
@@ -560,9 +587,9 @@ CpuDaemon::handleReadPages(gpu::GpuDevice &dev, const RpcRequest &req)
         raPagesFetched.inc(req.pageCount);
     hostfs::IoResult r = retryTransient(
         fs, ioRetries, ioRetryGiveups, [&](Time backoff) {
-            return fs.preadPages(req.hostFd, req.batch, req.pageCount,
-                                 req.pageLen, req.offset,
-                                 req.issueTime + backoff, &sim.cpuIo);
+            return backend_->readPages(req.hostFd, req.batch, req.pageCount,
+                                       req.pageLen, req.offset,
+                                       req.issueTime + backoff, dev.id());
         });
     hostReadCalls.inc();
     resp.status = r.status;
@@ -598,7 +625,6 @@ CpuDaemon::chargeP2pDma(gpu::GpuDevice &dev, unsigned src, unsigned dst,
 RpcResponse
 CpuDaemon::handlePeerReadPages(gpu::GpuDevice &dev, const RpcRequest &req)
 {
-    auto &sim = dev.simContext();
     RpcResponse resp;
     if (req.pageCount == 0 || req.pageCount > kMaxBatchPages ||
         req.pageLen == 0) {
@@ -650,9 +676,10 @@ CpuDaemon::handlePeerReadPages(gpu::GpuDevice &dev, const RpcRequest &req)
             ++run;
         hostfs::IoResult r = retryTransient(
             fs, ioRetries, ioRetryGiveups, [&](Time backoff) {
-                return fs.preadPages(req.hostFd, &req.batch[i], run - i,
-                                     plen, req.offset + uint64_t(i) * plen,
-                                     t0 + backoff, &sim.cpuIo);
+                return backend_->readPages(
+                    req.hostFd, &req.batch[i], run - i, plen,
+                    req.offset + uint64_t(i) * plen, t0 + backoff,
+                    dev.id());
             });
         if (!ok(r.status)) {
             resp.status = r.status;
@@ -730,9 +757,10 @@ CpuDaemon::handlePeerWritePages(gpu::GpuDevice &dev, const RpcRequest &req)
     resp.done = t;
     uint64_t new_version = 0;
     if (!runs.empty()) {
+        bool journaled = false;
         Status js = maybeJournal(req.hostFd, runs.data(),
                                  static_cast<unsigned>(runs.size()), t,
-                                 &sim.cpuIo);
+                                 &sim.cpuIo, &journaled);
         if (!ok(js)) {
             resp.status = js;
             resp.done = t;
@@ -740,14 +768,15 @@ CpuDaemon::handlePeerWritePages(gpu::GpuDevice &dev, const RpcRequest &req)
         }
         hostfs::IoResult w = retryTransient(
             fs, ioRetries, ioRetryGiveups, [&](Time backoff) {
-                return fs.pwritev(req.hostFd, runs.data(),
-                                  static_cast<unsigned>(runs.size()),
-                                  t + backoff, &sim.cpuIo);
+                return backend_->writev(req.hostFd, runs.data(),
+                                        static_cast<unsigned>(runs.size()),
+                                        t + backoff, dev.id());
             });
         if (!ok(w.status)) {
             resp.status = w.status;
             return resp;
         }
+        journalApplied(journaled);
         resp.bytes = w.bytes;
         resp.version = w.version;
         resp.done = w.done;
@@ -803,7 +832,7 @@ CpuDaemon::chargeD2hDma(gpu::GpuDevice &dev, uint64_t bytes, Time ready)
 {
     auto &sim = dev.simContext();
     const auto &p = sim.params;
-    if (bytes == 0 || !p.chargeDma)
+    if (bytes == 0 || !p.chargeDma || backend_->directToGpu())
         return ready;
     Time dur = p.dmaSetup + transferTime(bytes, p.pcieBwD2HMBps);
     sim::Resource &channel =
@@ -857,9 +886,10 @@ CpuDaemon::handleWriteBack(gpu::GpuDevice &dev, const RpcRequest &req)
         std::vector<hostfs::WriteRun> runs;
         appendZeroDiffRuns(runs, req.offset, req.data, req.len);
         if (!runs.empty()) {
+            bool journaled = false;
             Status js = maybeJournal(req.hostFd, runs.data(),
                                      static_cast<unsigned>(runs.size()), t,
-                                     &sim.cpuIo);
+                                     &sim.cpuIo, &journaled);
             if (!ok(js)) {
                 resp.status = js;
                 resp.done = t;
@@ -867,22 +897,26 @@ CpuDaemon::handleWriteBack(gpu::GpuDevice &dev, const RpcRequest &req)
             }
             hostfs::IoResult w = retryTransient(
                 fs, ioRetries, ioRetryGiveups, [&](Time backoff) {
-                    return fs.pwritev(req.hostFd, runs.data(),
-                                      static_cast<unsigned>(runs.size()),
-                                      t + backoff, &sim.cpuIo);
+                    return backend_->writev(
+                        req.hostFd, runs.data(),
+                        static_cast<unsigned>(runs.size()), t + backoff,
+                        dev.id());
                 });
             if (!ok(w.status)) {
                 resp.status = w.status;
                 resp.done = t;
                 return resp;
             }
+            journalApplied(journaled);
             written = w.bytes;
             version = w.version;
             t = w.done;
         }
     } else {
         hostfs::WriteRun run{req.offset, req.len, req.data};
-        Status js = maybeJournal(req.hostFd, &run, 1, t, &sim.cpuIo);
+        bool journaled = false;
+        Status js = maybeJournal(req.hostFd, &run, 1, t, &sim.cpuIo,
+                                 &journaled);
         if (!ok(js)) {
             resp.status = js;
             resp.done = t;
@@ -890,14 +924,15 @@ CpuDaemon::handleWriteBack(gpu::GpuDevice &dev, const RpcRequest &req)
         }
         hostfs::IoResult w = retryTransient(
             fs, ioRetries, ioRetryGiveups, [&](Time backoff) {
-                return fs.pwrite(req.hostFd, req.data, req.len, req.offset,
-                                 t + backoff, &sim.cpuIo);
+                return backend_->write(req.hostFd, req.data, req.len,
+                                       req.offset, t + backoff, dev.id());
             });
         if (!ok(w.status)) {
             resp.status = w.status;
             resp.done = w.done;
             return resp;
         }
+        journalApplied(journaled);
         written = w.bytes;
         version = w.version;
         t = w.done;
@@ -951,9 +986,10 @@ CpuDaemon::handleWritePages(gpu::GpuDevice &dev, const RpcRequest &req)
     resp.status = Status::Ok;
     resp.done = t;
     if (!runs.empty()) {
+        bool journaled = false;
         Status js = maybeJournal(req.hostFd, runs.data(),
                                  static_cast<unsigned>(runs.size()), t,
-                                 &sim.cpuIo);
+                                 &sim.cpuIo, &journaled);
         if (!ok(js)) {
             resp.status = js;
             resp.done = t;
@@ -961,14 +997,15 @@ CpuDaemon::handleWritePages(gpu::GpuDevice &dev, const RpcRequest &req)
         }
         hostfs::IoResult w = retryTransient(
             fs, ioRetries, ioRetryGiveups, [&](Time backoff) {
-                return fs.pwritev(req.hostFd, runs.data(),
-                                  static_cast<unsigned>(runs.size()),
-                                  t + backoff, &sim.cpuIo);
+                return backend_->writev(req.hostFd, runs.data(),
+                                        static_cast<unsigned>(runs.size()),
+                                        t + backoff, dev.id());
             });
         if (!ok(w.status)) {
             resp.status = w.status;
             return resp;
         }
+        journalApplied(journaled);
         resp.bytes = w.bytes;
         resp.version = w.version;
         resp.done = w.done;

@@ -27,6 +27,7 @@
 #include "hostfs/journal.hh"
 #include "rpc/peer.hh"
 #include "rpc/queue.hh"
+#include "storage/backend.hh"
 
 namespace gpufs {
 namespace rpc {
@@ -68,6 +69,16 @@ class CpuDaemon
 
     /** The journal, or nullptr when journaling is off (tests). */
     hostfs::WriteJournal *journal() { return journal_.get(); }
+
+    /**
+     * Select the storage backend every miss read and write-back routes
+     * through (GpuFsParams::storageBackend; Buffered when never
+     * called). Must be called before start().
+     */
+    void setStorageBackend(storage::BackendKind kind);
+
+    /** The active storage backend (never null). */
+    storage::StorageBackend &storageBackend() { return *backend_; }
 
     /**
      * Install (or clear, with nullptr) the peer-cache view of GPU
@@ -141,9 +152,22 @@ class CpuDaemon
     Counter &journalCommitBarriers;
     Counter &journalTxnsReplayed;
     Counter &journalTornRecords;
+    /** Clean-shutdown journal truncations (stop() with every committed
+     *  txn applied in place). */
+    Counter &journalCheckpoints;
 
     /** Write-ahead journal (null unless enableJournal() was called). */
     std::unique_ptr<hostfs::WriteJournal> journal_;
+
+    /** Committed-but-not-yet-applied journal txns: incremented at
+     *  commit, decremented when the in-place write lands. stop() only
+     *  checkpoints at zero — a pending txn is exactly what recovery's
+     *  replay exists for, and truncating it would lose the bytes. */
+    std::atomic<uint64_t> journalUnapplied_{0};
+
+    /** Storage backend the read/write-back handlers route through
+     *  (BufferedBackend until setStorageBackend, never null). */
+    std::unique_ptr<storage::StorageBackend> backend_;
 
     void loop();
     RpcResponse handle(unsigned port_idx, const RpcRequest &req);
@@ -217,7 +241,16 @@ class CpuDaemon
      * before the caller's in-place write. No-op (Ok) otherwise.
      */
     Status maybeJournal(int fd, const hostfs::WriteRun *runs, unsigned n,
-                        Time &t, sim::Resource *io);
+                        Time &t, sim::Resource *io,
+                        bool *journaled = nullptr);
+
+    /** The in-place write a committed txn was covering has landed. */
+    void
+    journalApplied(bool journaled)
+    {
+        if (journaled)
+            journalUnapplied_.fetch_sub(1, std::memory_order_relaxed);
+    }
 };
 
 } // namespace rpc

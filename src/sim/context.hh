@@ -70,21 +70,72 @@ class SimContext
         return *slot;
     }
 
+    /**
+     * The GPUDirect storage-DMA engine of GPU @p gpu (one per device,
+     * like the PCIe links): storage reads stream through it straight
+     * into the frame arena, so different GPUs' zero-copy fetches
+     * overlap. Created lazily — buffered-backend runs pay nothing.
+     */
+    Resource &
+    storageDma(unsigned gpu)
+    {
+        std::lock_guard<std::mutex> lock(p2pMtx_);
+        auto &slot = storageDma_[gpu];
+        if (!slot) {
+            slot = std::make_unique<Resource>(
+                "storage_dma_" + std::to_string(gpu));
+        }
+        return *slot;
+    }
+
+    /** The NVMe-oF fabric link (remote flash tier): every command's
+     *  data/ack bytes serialize here. */
+    Resource nvmfLink{"nvmf_link"};
+
+    /** The remote all-flash array's media timeline. */
+    Resource remoteFlash{"remote_flash"};
+
+    /**
+     * NVMe-oF submission-queue slots: at most params.nvmfQueueDepth
+     * commands outstanding on the fabric. Lazily sized on first use so
+     * benchmarks can set the depth after construction.
+     */
+    MultiResource &
+    nvmfSlots()
+    {
+        std::lock_guard<std::mutex> lock(p2pMtx_);
+        if (!nvmfSlots_) {
+            nvmfSlots_ = std::make_unique<MultiResource>(
+                "nvmf_slots", params.nvmfQueueDepth ? params.nvmfQueueDepth
+                                                    : 1);
+        }
+        return *nvmfSlots_;
+    }
+
     /** Clear all reservations (between benchmark phases). */
     void
     reset()
     {
         cpuIo.reset();
         disk.reset();
+        nvmfLink.reset();
+        remoteFlash.reset();
         std::lock_guard<std::mutex> lock(p2pMtx_);
         for (auto &kv : p2p_)
             kv.second->reset();
+        for (auto &kv : storageDma_)
+            kv.second->reset();
+        if (nvmfSlots_)
+            nvmfSlots_->reset();
     }
 
   private:
     /** Lazily-created per-ordered-pair P2P channels (guarded). */
     mutable std::mutex p2pMtx_;
     std::map<uint64_t, std::unique_ptr<Resource>> p2p_;
+    /** Lazily-created per-GPU storage-DMA engines (same guard). */
+    std::map<unsigned, std::unique_ptr<Resource>> storageDma_;
+    std::unique_ptr<MultiResource> nvmfSlots_;
 };
 
 } // namespace sim

@@ -75,6 +75,42 @@ struct HwParams {
     /** Per-request disk access latency (seek+rotate amortized). */
     Time diskAccessLat = 100 * kMicrosecond;
 
+    // ---- O_DIRECT storage path (storage::DirectBackend) ----
+    /** Sector alignment O_DIRECT imposes: transfers round both ends of
+     *  an extent out to this boundary, so small unaligned reads move
+     *  more bytes than requested (the cost the host page cache's
+     *  read-modify-write normally hides). */
+    uint64_t directAlignBytes = 4 * KiB;
+    /** Device bandwidth seen by O_DIRECT reads/writes. Defaults match
+     *  the buffered path's spindle (same WDC disk, no cache in front),
+     *  so backend crossovers isolate the *path*, not the device. */
+    double directReadMBps = 132.0;
+    double directWriteMBps = 110.0;
+    /** Per-request device access latency on the direct path. */
+    Time directAccessLat = 100 * kMicrosecond;
+
+    // ---- GPUDirect-style storage DMA (storage::GdsBackend) ----
+    /** Setup cost of one storage->GPU DMA (driver ioctl + doorbell). */
+    Time gdsDmaSetup = 10 * kMicrosecond;
+    /** Storage-DMA engine bandwidth into GPU memory (one PCIe hop;
+     *  the device read streams through it, no host bounce buffer). */
+    double gdsDmaBwMBps = 5731.0;
+
+    // ---- NVMe-oF remote flash tier (storage::RemoteFlashBackend) ----
+    /** Network round-trip time initiator <-> target. */
+    Time nvmfRtt = 30 * kMicrosecond;
+    /** Fabric link bandwidth (~25 GbE effective). */
+    double nvmfLinkMBps = 2900.0;
+    /** Submission-queue depth: commands outstanding on the fabric at
+     *  once; excess commands wait for a free slot. */
+    unsigned nvmfQueueDepth = 32;
+    /** Remote all-flash array: per-command access latency + media
+     *  bandwidth (GNStor-style disaggregated tier — much faster media
+     *  than the local spindle, but every byte pays the fabric). */
+    Time remoteFlashAccessLat = 90 * kMicrosecond;
+    double remoteFlashReadMBps = 2200.0;
+    double remoteFlashWriteMBps = 1400.0;
+
     /**
      * Memory-pressure penalty on disk reads: pinned (unevictable)
      * memory forces the OS into direct reclaim on every page brought

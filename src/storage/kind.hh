@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Storage-backend selector (kept dependency-free so GpuFsParams can
+ * carry it without dragging the hostfs/sim headers into every GPU-side
+ * translation unit).
+ */
+
+#ifndef GPUFS_STORAGE_KIND_HH
+#define GPUFS_STORAGE_KIND_HH
+
+#include <cstdint>
+
+namespace gpufs {
+namespace storage {
+
+/**
+ * How the daemon's miss/write-back path reaches storage.
+ *
+ *  - Buffered:    host pread/pwrite through the OS page cache, then a
+ *                 bounce-buffer DMA — the paper's only shape, and the
+ *                 byte-identical default.
+ *  - Direct:      O_DIRECT — skips the host page cache, pays sector
+ *                 alignment and true device latency/bandwidth on every
+ *                 access; the honest baseline once working sets exceed
+ *                 host RAM.
+ *  - Gds:         GPUDirect-style zero-copy — storage DMAs straight
+ *                 into the frame arena on a per-GPU DMA engine; no
+ *                 host bounce, no separate H2D hop.
+ *  - RemoteFlash: NVMe-oF remote all-flash tier — every command pays
+ *                 fabric RTT + link bandwidth under a bounded queue
+ *                 depth, but the media is flash, not the local spindle.
+ */
+enum class BackendKind : uint8_t {
+    Buffered,
+    Direct,
+    Gds,
+    RemoteFlash,
+};
+
+/** Stable lowercase name ("buffered", "direct", "gds", "remote"). */
+const char *backendName(BackendKind kind);
+
+/** Parse a backendName() string (also accepts "remoteflash").
+ *  @return false when @p s names no backend. */
+bool parseBackendKind(const char *s, BackendKind *out);
+
+} // namespace storage
+} // namespace gpufs
+
+#endif // GPUFS_STORAGE_KIND_HH

@@ -249,6 +249,12 @@ TEST_F(RecoveryTest, TornJournalTailIsDiscardedOnReplay)
                   .status);
     sys->hostFs().close(jfd);
 
+    // The daemon "died" mid-append: mark the host crashed so stop()
+    // behaves like a dead daemon (no clean-shutdown checkpoint — that
+    // would truncate the very records recovery must chew through).
+    sys->sim().faults.armCrash(sim::CrashPoint::MidJournalAppend);
+    sys->sim().faults.hitCrashPoint(sim::CrashPoint::MidJournalAppend);
+
     sys->restartDaemon();
 
     // The committed txn replayed; the torn tail was discarded (the
@@ -366,6 +372,91 @@ TEST_F(RecoveryTest, InjectedShortWriteIsRetriedToCompletion)
     EXPECT_GE(daemonStat("io_retries"), 1u);
     sys->sim().faults.reset();
     expectHostPages("/s", 0, kPages, 0x77, "after short-write retry");
+    sys->fs().gclose(ctx, fd);
+}
+
+// ---------------------------------------------------------------------
+// Journal replay is backend-independent (the journal appends through
+// the buffered host path; the in-place write rode DirectBackend)
+// ---------------------------------------------------------------------
+
+TEST_F(RecoveryTest, JournalReplayProtectsDirectBackendWritebacks)
+{
+    GpuFsParams p = baseParams(true);
+    p.storageBackend = storage::BackendKind::Direct;
+    sys = std::make_unique<GpufsSystem>(1, p);
+    auto ctx = test::makeBlock(sys->device(0));
+    int fd = sys->fs().gopen(ctx, "/dur", G_RDWR | G_CREAT | G_GDURABLE);
+    ASSERT_GE(fd, 0);
+
+    writePhase(ctx, fd, 0, 0xA5);
+    ASSERT_EQ(Status::Ok, sys->fs().gmsync(ctx, fd));
+
+    // Crash in the window the journal exists for: commit durable, the
+    // O_DIRECT in-place write never ran.
+    sys->sim().faults.armCrash(sim::CrashPoint::AfterJournalCommit);
+    writePhase(ctx, fd, kPages, 0x5C);
+    (void)sys->fs().gfsync(ctx, fd);
+    ASSERT_TRUE(sys->sim().faults.crashed()) << "crash never fired";
+
+    sys->restartDaemon();
+    EXPECT_GE(daemonStat("journal_txns_replayed"), 1u);
+
+    // Acknowledged bytes survive; the interrupted update is atomic.
+    expectHostPages("/dur", 0, kPages, 0xA5, "U1 after direct recovery");
+    hostfs::FileInfo info;
+    ASSERT_EQ(Status::Ok, sys->hostFs().stat("/dur", &info));
+    if (info.size > uint64_t(kPages) * kPage) {
+        ASSERT_EQ(uint64_t(2 * kPages) * kPage, info.size);
+        expectHostPages("/dur", kPages, kPages, 0x5C,
+                        "U2 all-new after direct recovery");
+    }
+
+    // The recovered Direct-backend system still takes durable writes.
+    writePhase(ctx, fd, kPages, 0x5C);
+    EXPECT_EQ(Status::Ok, sys->fs().gmsync(ctx, fd));
+    expectHostPages("/dur", kPages, kPages, 0x5C, "post-recovery");
+    sys->fs().gclose(ctx, fd);
+}
+
+// ---------------------------------------------------------------------
+// Clean shutdown checkpoints the journal (stop with nothing pending)
+// ---------------------------------------------------------------------
+
+TEST_F(RecoveryTest, CleanStopCheckpointsJournalAndRestartSkipsReplay)
+{
+    sys = std::make_unique<GpufsSystem>(1, baseParams(true));
+    auto ctx = test::makeBlock(sys->device(0));
+    int fd = sys->fs().gopen(ctx, "/dur", G_RDWR | G_CREAT | G_GDURABLE);
+    ASSERT_GE(fd, 0);
+    writePhase(ctx, fd, 0, 0xA5);
+    ASSERT_EQ(Status::Ok, sys->fs().gmsync(ctx, fd));
+
+    hostfs::WriteJournal *j = sys->daemon().journal();
+    ASSERT_NE(nullptr, j);
+    ASSERT_GT(j->tailOffset(), 0u);
+    ASSERT_EQ(0u, daemonStat("journal_checkpoints"));
+
+    // Clean stop: every committed txn was applied in place, so stop()
+    // truncates the journal after flushing the files it covered.
+    sys->daemon().stop();
+    EXPECT_EQ(1u, daemonStat("journal_checkpoints"));
+    EXPECT_EQ(0u, j->tailOffset());
+    hostfs::FileInfo jinfo;
+    ASSERT_EQ(Status::Ok,
+              sys->hostFs().stat(hostfs::WriteJournal::kPath, &jinfo));
+    EXPECT_EQ(0u, jinfo.size);
+    expectHostPages("/dur", 0, kPages, 0xA5, "after checkpoint");
+
+    // The next start finds an empty journal: no replay work at all.
+    sys->restartDaemon();
+    EXPECT_EQ(0u, daemonStat("journal_txns_replayed"));
+    EXPECT_EQ(0u, daemonStat("journal_torn_records"));
+
+    // And the restarted daemon keeps journaling as before.
+    writePhase(ctx, fd, kPages, 0x5C);
+    EXPECT_EQ(Status::Ok, sys->fs().gmsync(ctx, fd));
+    expectHostPages("/dur", kPages, kPages, 0x5C, "post-checkpoint write");
     sys->fs().gclose(ctx, fd);
 }
 
