@@ -55,6 +55,10 @@ runSeqScan(storage::BackendKind kind, uint64_t file_bytes,
     p.readAheadPages = ra_pages;
     p.readAheadPolicy = core::ReadAheadPolicy::Static;
     p.storageBackend = kind;
+    // Tier explicitly OFF: the identity gate freezes the backend layer
+    // against the pre-refactor span, so the victim cache (a separate
+    // tier with its own ablation below) must not be in the picture.
+    p.victimCachePages = 0;
     core::GpufsSystem sys(1, p);
     bench::addZerosFile(sys.hostFs(), kPath, file_bytes);
     if (warm_host)
@@ -127,6 +131,59 @@ runRandomCold(storage::BackendKind kind, uint64_t file_bytes,
     RunResult r;
     r.elapsed = ks.elapsed();
     r.bytes = bytes.load();
+    r.storageReads = sys.daemon().stats().counter("storage_reads").get();
+    r.storageReadBytes =
+        sys.daemon().stats().counter("storage_read_bytes").get();
+    return r;
+}
+
+/** Skewed reuse under a small arena: blocks rescan a hot region ~4x
+ *  the frame arena, so rounds beyond the first re-miss everything the
+ *  previous round evicted. With @p victim_pages > 0 those evictions
+ *  demote into the host-RAM victim tier and the re-miss becomes one
+ *  H2D DMA regardless of backend — the composition the tier matrix
+ *  below reports per backend. */
+RunResult
+runReuse(storage::BackendKind kind, uint64_t hot_bytes,
+         uint64_t page_size, uint64_t victim_pages, unsigned blocks,
+         unsigned rounds)
+{
+    core::GpuFsParams p;
+    p.pageSize = page_size;
+    p.cacheBytes = std::max<uint64_t>(hot_bytes / 4, 4 * page_size);
+    p.readAheadPages = 0;
+    p.readAheadPolicy = core::ReadAheadPolicy::Static;
+    p.storageBackend = kind;
+    p.victimCachePages = victim_pages;
+    core::GpufsSystem sys(1, p);
+    bench::addZerosFile(sys.hostFs(), kPath, hot_bytes);
+    // Host cache cold: a buffered re-miss pays the device too, so the
+    // matrix compares each backend's raw re-miss cost against one H2D.
+
+    const uint64_t span = (hot_bytes + blocks - 1) / blocks
+        / page_size * page_size;
+    gpu::KernelStats ks = gpu::launch(
+        sys.device(0), blocks, 512, [&](gpu::BlockCtx &ctx) {
+            core::GpuFs &fs = sys.fs();
+            int fd = fs.gopen(ctx, kPath, core::G_RDONLY);
+            gpufs_assert(fd >= 0, "gopen failed");
+            uint64_t base = ctx.blockId() * span;
+            uint64_t end = std::min(hot_bytes, base + span);
+            for (unsigned round = 0; round < rounds; ++round) {
+                for (uint64_t off = base; off < end;) {
+                    uint64_t mapped = 0;
+                    void *ptr = fs.gmmap(ctx, fd, off, end - off,
+                                         &mapped);
+                    gpufs_assert(ptr && mapped > 0, "gmmap failed");
+                    fs.gmunmap(ctx, ptr);
+                    off += mapped;
+                }
+            }
+            fs.gclose(ctx, fd);
+        });
+    RunResult r;
+    r.elapsed = ks.elapsed();
+    r.bytes = hot_bytes * rounds;
     r.storageReads = sys.daemon().stats().counter("storage_reads").get();
     r.storageReadBytes =
         sys.daemon().stats().counter("storage_read_bytes").get();
@@ -278,6 +335,36 @@ main(int argc, char **argv)
         printHeader();
         for (auto kind : kKinds)
             printRow(kind, runSharedScan(kind, file, 64 * KiB, 16));
+    }
+
+    // ---- Victim-tier matrix: re-miss cost per backend, tier on/off --
+    {
+        const uint64_t page = 64 * KiB;
+        const uint64_t hot = std::max<uint64_t>(
+            uint64_t(32 * MiB * opt.scale) / page * page, 16 * page);
+        const unsigned blocks = 8, rounds = 3;
+        const uint64_t tier_pages = 2 * (hot / page);
+        bench::printTitle(
+            "\nVictim-tier matrix: skewed reuse (" +
+                std::to_string(hot / MiB) + " MB hot / quarter-size "
+                "arena, cold host), tier off vs on",
+            "a victim hit is one H2D from pinned host RAM on EVERY "
+            "backend — including gds, whose direct-to-GPU DMA shortcut "
+            "must not apply to bytes that live in host memory");
+        std::printf("%-10s %14s %14s %9s %14s\n", "backend",
+                    "off_elapsed_ms", "on_elapsed_ms", "speedup",
+                    "on_storage_rds");
+        for (auto kind : kKinds) {
+            RunResult off = runReuse(kind, hot, page, 0, blocks, rounds);
+            RunResult on = runReuse(kind, hot, page, tier_pages, blocks,
+                                    rounds);
+            std::printf("%-10s %14.3f %14.3f %8.2fx %14llu\n",
+                        storage::backendName(kind), toMillis(off.elapsed),
+                        toMillis(on.elapsed),
+                        on.elapsed ? double(off.elapsed) / on.elapsed
+                                   : 0.0,
+                        static_cast<unsigned long long>(on.storageReads));
+        }
     }
 
     // ---- Remote tier: RTT crossover sweep ----

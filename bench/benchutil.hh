@@ -148,6 +148,24 @@ inline void
 reportSlotPressure(core::GpufsSystem &sys, const char *label = "")
 {
     reportSlotPressure(snapshotSlotPressure(sys), label);
+    // Victim-tier activity, when the host-RAM tier saw any traffic:
+    // demotions in, hits/misses/stale at the daemon's probe points,
+    // capacity evictions out.
+    auto snap = sys.daemon().stats().snapshot();
+    uint64_t ins = snap["vc_inserts"], hits = snap["vc_hits"];
+    uint64_t miss = snap["vc_misses"], stale = snap["vc_version_stale"];
+    if (ins + hits + miss + stale > 0) {
+        uint64_t probes = hits + miss + stale;
+        std::printf("#  %svictim tier: %llu demoted in, %llu/%llu probe "
+                    "hits (%.1f%%), %llu stale, %llu evicted\n",
+                    label, static_cast<unsigned long long>(ins),
+                    static_cast<unsigned long long>(hits),
+                    static_cast<unsigned long long>(probes),
+                    probes ? 100.0 * double(hits) / double(probes) : 0.0,
+                    static_cast<unsigned long long>(stale),
+                    static_cast<unsigned long long>(
+                        snap["vc_evictions"]));
+    }
 }
 
 /** Install a cheap file whose content is all zeros (timing-only data:

@@ -6,6 +6,8 @@
 
 #include "base/logging.hh"
 #include "base/rng.hh"
+#include "gpufs/victim.hh"
+#include "sim/context.hh"
 
 namespace gpufs {
 namespace core {
@@ -126,6 +128,71 @@ class GlobalLruPolicy : public EvictionPolicy
 };
 
 /**
+ * Ablation: 2Q-style scan resistance. Same whole-arena snapshot shape
+ * as GlobalLruPolicy (the variable-work cost is the point of the
+ * ablation), but frames pinned at most once since they were claimed
+ * (probationary — a scan touches each page exactly once) are evicted
+ * before frames pinned again (protected — proven reuse), each set in
+ * access-stamp order. Under a victim tier this is the interesting
+ * contender: it demotes scan pollution first, keeping the reused set
+ * in GPU memory.
+ */
+class TwoQPolicy : public EvictionPolicy
+{
+  public:
+    const char *name() const override { return "two_q"; }
+
+    unsigned
+    reclaim(const std::vector<CacheFile *> &files, FrameArena &arena,
+            unsigned want, const EvictFn &evict) override
+    {
+        std::unordered_map<uint64_t, CacheFile *> by_uid;
+        for (CacheFile *f : files) {
+            if (f->cache)
+                by_uid.emplace(f->cache->uid(), f);
+        }
+        struct Candidate {
+            uint64_t stamp;
+            uint32_t pins;
+            uint32_t frame;
+            CacheFile *file;
+        };
+        std::vector<Candidate> order;
+        for (uint32_t fr = 0; fr < arena.numFrames(); ++fr) {
+            PFrame &pf = arena.frame(fr);
+            uint64_t uid = pf.fileUid.load(std::memory_order_acquire);
+            if (uid == 0)
+                continue;
+            auto *p = static_cast<FPage *>(
+                pf.owner.load(std::memory_order_acquire));
+            if (!p || p->refs.load(std::memory_order_relaxed) != 0)
+                continue;
+            auto it = by_uid.find(uid);
+            if (it == by_uid.end())
+                continue;
+            order.push_back(
+                {pf.lastAccess.load(std::memory_order_relaxed),
+                 pf.pinCount.load(std::memory_order_relaxed), fr,
+                 it->second});
+        }
+        std::sort(order.begin(), order.end(),
+                  [](const Candidate &a, const Candidate &b) {
+                      bool ap = a.pins <= 1, bp = b.pins <= 1;
+                      if (ap != bp)
+                          return ap;     // probationary first
+                      return a.stamp < b.stamp;
+                  });
+        unsigned freed = 0;
+        for (const Candidate &c : order) {
+            if (freed >= want)
+                break;
+            freed += evict(*c.file, true, 1, c.frame);
+        }
+        return freed;
+    }
+};
+
+/**
  * Ablation: uniform-random victim files, FIFO within the file. A
  * deterministic sweep backstop guarantees exhaustion still frees
  * frames (and writes dirty pages home) when the dice keep missing.
@@ -172,6 +239,8 @@ makeEvictionPolicy(EvictionPolicyKind kind)
         return std::make_unique<PaperTieredPolicy>();
       case EvictionPolicyKind::GlobalLru:
         return std::make_unique<GlobalLruPolicy>();
+      case EvictionPolicyKind::TwoQ:
+        return std::make_unique<TwoQPolicy>();
       case EvictionPolicyKind::Random:
         return std::make_unique<RandomPolicy>();
     }
@@ -221,6 +290,21 @@ BufferCache::BufferCache(gpu::GpuDevice &device, rpc::RpcQueue &rpc_queue,
       cacheCounters_(cacheCounters(stat_set))
 {
     dev.allocDeviceMem(params_.cacheBytes);
+    // GPUDirect registration constraint: storage DMAs land in BAR
+    // windows mapped at gdsAlignBytes granularity, so a frame whose
+    // byte offset in the raw data array misses that boundary cannot be
+    // a direct-DMA target. Counted once at construction — the arena
+    // geometry is fixed — and asserted zero for the default shapes
+    // (pageSize is a multiple of the alignment).
+    const uint64_t align = dev.simContext().params.gdsAlignBytes;
+    uint64_t unaligned = 0;
+    if (align > 0) {
+        for (uint32_t i = 0; i < arena_.numFrames(); ++i) {
+            if ((uint64_t(i) * params_.pageSize) % align != 0)
+                ++unaligned;
+        }
+    }
+    stat_set.counter("gds_unaligned_frames").set(unaligned);
 }
 
 BufferCache::~BufferCache()
@@ -808,55 +892,119 @@ BufferCache::submitFlush(gpu::BlockCtx &ctx, CacheFile &f,
     // copies page by page — they stay on the synchronous path.
     if (diffMergeActive(f))
         return 0;
-    // Sharded files stay on the synchronous drain too: the wait-time
-    // flushDirty partitions each taken batch by page owner so
-    // non-owner extents ride PeerWritePages (owner mirror + host
-    // write-through) — a split-phase take here would strip them of
-    // that routing.
-    if (shardedFile(f))
-        return 0;
     const uint64_t page_size = params_.pageSize;
+    const bool sharded = shardedFile(f);
     unsigned nb = 0;
     uint64_t budget = f.cache->dirtyCount();
-    while (nb < max_batches && budget > 0) {
-        PendingFlush &pf = out[nb];
-        pf.n = f.cache->takeDirtyBatch(
-            first_page, last_page, pf.ext,
+    bool stop = false;
+    while (!stop && nb < max_batches && budget > 0) {
+        DirtyExtent take[rpc::kMaxBatchPages];
+        unsigned n = f.cache->takeDirtyBatch(
+            first_page, last_page, take,
             static_cast<unsigned>(
                 std::min<uint64_t>(budget, rpc::kMaxBatchPages)));
-        if (pf.n == 0)
+        if (n == 0)
             break;
-        budget -= std::min<uint64_t>(budget, pf.n);
-        pf.zeroDiff = f.wronce;
-        rpc::RpcRequest req;
-        req.op = rpc::RpcOp::WritePages;
-        req.hostFd = f.hostFd;
-        req.diffAgainstZeros = pf.zeroDiff;
-        req.gpuId = dev.id();
-        req.issueTime = ctx.now();
-        req.pageCount = pf.n;
-        uint64_t total = 0;
-        for (unsigned i = 0; i < pf.n; ++i) {
-            req.batch[i] = arena_.data(pf.ext[i].frame) + pf.ext[i].lo;
-            req.batchOff[i] =
-                pf.ext[i].pageIdx * page_size + pf.ext[i].lo;
-            req.batchLen[i] = pf.ext[i].hi - pf.ext[i].lo;
-            total += req.batchLen[i];
+        budget -= std::min<uint64_t>(budget, n);
+
+        // Partition the take by page owner, exactly like the wait-time
+        // writeBatchSharded: self-owned extents ride one WritePages,
+        // each peer owner's one PeerWritePages (private files are one
+        // self partition). One output slot per partition.
+        unsigned owner_of[rpc::kMaxBatchPages];
+        unsigned partitions = 0;
+        for (unsigned i = 0; i < n; ++i) {
+            owner_of[i] = sharded ? pageOwner(f, take[i].pageIdx)
+                                  : dev.id();
+            bool seen = false;
+            for (unsigned j = 0; j < i; ++j)
+                seen = seen || owner_of[j] == owner_of[i];
+            partitions += seen ? 0 : 1;
         }
-        req.len = total;
-        // The in-flight mark spans submission→wait: the take above
-        // made these pages read clean, and fd release must not slip
-        // in before the RPC lands. Submission must not block on a
-        // full queue (the submitter may hold uncollected slots) —
-        // restore the extents and leave them to the wait-time drain.
-        f.wbInFlight.fetch_add(1);
-        pf.rpcSlot = queue.trySubmit(req);
-        if (!pf.rpcSlot) {
-            f.cache->finishDirtyBatch(pf.ext, pf.n, /*restore=*/true);
-            f.wbInFlight.fetch_sub(1);
+        if (nb + partitions > max_batches) {
+            // Not enough output slots for every partition of this
+            // take: restore it whole — a partial submit would need
+            // wait-time code to know which partitions went out.
+            f.cache->finishDirtyBatch(take, n, /*restore=*/true);
             break;
         }
-        ++nb;
+        // Peer mirrors gate on the pre-flush version; publish of the
+        // post-write version is safe only when the whole take is one
+        // partition (see writeBatchSharded).
+        const uint64_t base_version =
+            f.version.load(std::memory_order_relaxed);
+        const bool publish = partitions == 1;
+
+        bool used[rpc::kMaxBatchPages] = {};
+        for (unsigned i = 0; i < n; ++i) {
+            if (used[i])
+                continue;
+            const unsigned owner = owner_of[i];
+            PendingFlush &pf = out[nb];
+            pf.n = 0;
+            for (unsigned j = i; j < n; ++j) {
+                if (!used[j] && owner_of[j] == owner) {
+                    pf.ext[pf.n++] = take[j];
+                    used[j] = true;
+                }
+            }
+            pf.zeroDiff = f.wronce;
+            pf.peer = owner != dev.id();
+            pf.peerGpu = owner;
+            rpc::RpcRequest req;
+            req.hostFd = f.hostFd;
+            req.diffAgainstZeros = pf.zeroDiff;
+            req.gpuId = dev.id();
+            req.issueTime = ctx.now();
+            req.pageCount = pf.n;
+            if (pf.peer) {
+                req.op = rpc::RpcOp::PeerWritePages;
+                req.peerGpu = owner;
+                req.ino = f.ino;
+                req.version = base_version;
+                req.peerPublish = publish;
+                req.pageLen = page_size;
+            } else {
+                req.op = rpc::RpcOp::WritePages;
+            }
+            uint64_t total = 0;
+            for (unsigned k = 0; k < pf.n; ++k) {
+                req.batch[k] =
+                    arena_.data(pf.ext[k].frame) + pf.ext[k].lo;
+                req.batchOff[k] =
+                    pf.ext[k].pageIdx * page_size + pf.ext[k].lo;
+                req.batchLen[k] = pf.ext[k].hi - pf.ext[k].lo;
+                total += req.batchLen[k];
+            }
+            req.len = total;
+            // The in-flight mark spans submission→wait: the take above
+            // made these pages read clean, and fd release must not
+            // slip in before the RPC lands. Submission must not block
+            // on a full queue (the submitter may hold uncollected
+            // slots) — restore the extents and leave them to the
+            // wait-time drain.
+            f.wbInFlight.fetch_add(1);
+            pf.rpcSlot = queue.trySubmit(req);
+            if (!pf.rpcSlot) {
+                f.cache->finishDirtyBatch(pf.ext, pf.n,
+                                          /*restore=*/true);
+                f.wbInFlight.fetch_sub(1);
+                // Restore the take's remaining partitions too — they
+                // were taken but will never be submitted.
+                DirtyExtent rest[rpc::kMaxBatchPages];
+                unsigned nr = 0;
+                for (unsigned j = 0; j < n; ++j) {
+                    if (!used[j])
+                        rest[nr++] = take[j];
+                }
+                if (nr > 0)
+                    f.cache->finishDirtyBatch(rest, nr,
+                                              /*restore=*/true);
+                stop = true;
+                break;
+            }
+            ++nb;
+        }
     }
     return nb;
 }
@@ -869,8 +1017,14 @@ BufferCache::completeFlush(CacheFile &f, PendingFlush &pf,
         return Status::Ok;
     rpc::RpcResponse resp = queue.collect(*pf.rpcSlot);
     pf.rpcSlot = nullptr;
-    cntBatchWriteRpcs.inc();
-    cntBatchWritePages.inc(pf.n);
+    if (pf.peer) {
+        cntPeerWriteRpcs.inc();
+        if (ok(resp.status))
+            cntPeerExtentsMirrored.inc(resp.peerPages);
+    } else {
+        cntBatchWriteRpcs.inc();
+        cntBatchWritePages.inc(pf.n);
+    }
     if (done_out)
         *done_out = std::max(*done_out, resp.done);
     // Restore failed extents BEFORE dropping the in-flight mark so the
@@ -923,20 +1077,64 @@ BufferCache::reclaimFrames(gpu::BlockCtx &ctx, unsigned want)
 
     auto evict = [&](CacheFile &f, bool allow_dirty, unsigned n,
                      uint32_t frame_hint) -> unsigned {
+        // The demote hook below must not stage bytes the host never
+        // got: tryEvictPage runs the write-back (if any) first, and
+        // this flag carries its outcome across the two callbacks.
+        bool last_wb_failed = false;
         auto wb = [&](uint64_t idx, uint8_t *data, uint32_t lo,
                       uint32_t hi) {
-            if (f.hostFd < 0)
+            if (f.hostFd < 0) {
+                last_wb_failed = true;
                 return;     // NOSYNC temp whose fd is gone: discard
+            }
             Status st;
             Time done = writebackExtent(f, idx, data, lo, hi, ctx.now(),
                                         &st);
             ctx.waitUntil(done);
-            if (!ok(st))
+            if (!ok(st)) {
+                last_wb_failed = true;
                 gpufs_warn("eviction write-back failed: %s",
                            statusName(st));
+            }
+        };
+        // Demotion: instead of dropping an evicted frame's bytes,
+        // stage them in the host-RAM victim tier so a re-miss costs
+        // one H2D DMA instead of a storage round-trip. Runs under the
+        // fpage lock (bytes stable), after any dirty write-back — a
+        // dirty page demotes its POST-write content tagged with the
+        // post-write version writebackExtent stored. Files whose GPU
+        // copy legitimately diverges from the host (NOSYNC temps,
+        // zero-pristine wronce, diff-merge) never demote: the daemon
+        // would serve their bytes as host content. The D2H rides the
+        // dedicated host-staging timeline fire-and-forget; the
+        // evicting block's clock does not advance (pay-as-you-go only
+        // for work the block needs).
+        auto demote = [&](uint64_t idx, const uint8_t *data,
+                          uint32_t valid) {
+            bool failed = last_wb_failed;
+            last_wb_failed = false;
+            if (!victim_ || failed || valid == 0)
+                return;
+            if (f.noSync || f.wronce || diffMergeActive(f) || f.ino == 0)
+                return;
+            auto &sim = dev.simContext();
+            const auto &hp = sim.params;
+            Time ready = ctx.now();
+            if (hp.chargeDma) {
+                ready = sim.hostStage(dev.id())
+                            .reserve(ctx.now(),
+                                     hp.dmaSetup +
+                                         transferTime(valid,
+                                                      hp.pcieBwD2HMBps))
+                            .end;
+            }
+            victim_->insert(f.ino, idx,
+                            f.version.load(std::memory_order_relaxed),
+                            data, valid, ready);
         };
         if (frame_hint != kNoFrame)
-            return f.cache->evictFrame(frame_hint, allow_dirty, wb);
+            return f.cache->evictFrame(frame_hint, allow_dirty, wb,
+                                       demote);
         if (allow_dirty && params_.batchWriteback && f.hostFd >= 0 &&
             !f.noSync && f.cache->dirtyCount() != 0) {
             // Dirty eviction routes through the batched path: push
@@ -954,7 +1152,7 @@ BufferCache::reclaimFrames(gpu::BlockCtx &ctx, unsigned want)
                 gpufs_warn("eviction batch write-back failed: %s",
                            statusName(st));
         }
-        return f.cache->reclaim(n, allow_dirty, wb);
+        return f.cache->reclaim(n, allow_dirty, wb, demote);
     };
 
     unsigned freed = policy_->reclaim(attached_, arena_, want, evict);
@@ -1061,6 +1259,8 @@ BufferCache::pinPage(gpu::BlockCtx &ctx, CacheFile &f, uint64_t page_idx,
     if (c.tryPinReady(*p, page_idx, &frame)) {
         cntCacheHits.inc();
         cntLockfree.inc();
+        arena_.frame(frame).pinCount.fetch_add(
+            1, std::memory_order_relaxed);
         promoteIfSpeculative(arena_, cacheCounters_, f, frame);
         ctx.charge(dev.simContext().params.cacheHitOverhead);
         ctx.waitUntil(arena_.frame(frame).readyTime.load(
@@ -1119,6 +1319,7 @@ BufferCache::pinPage(gpu::BlockCtx &ctx, CacheFile &f, uint64_t page_idx,
             return st;
         cntLocked.inc();    // slow path held the fpage lock
         PFrame &pf = arena_.frame(frame);
+        pf.pinCount.fetch_add(1, std::memory_order_relaxed);
         if (did_init) {
             cntCacheMisses.inc();
             ctx.charge(dev.simContext().params.pageMapOverhead);

@@ -48,6 +48,8 @@
 namespace gpufs {
 namespace core {
 
+class VictimCache;
+
 /**
  * Per-file state the cache layer operates on. The API layer embeds one
  * in every file-table entry and keeps the bookkeeping fields current;
@@ -239,6 +241,12 @@ struct PendingFlush {
     rpc::RpcSlot *rpcSlot = nullptr;
     unsigned n = 0;                          ///< extents taken
     bool zeroDiff = false;
+    /** Sharded multi-GPU: this batch went out as PeerWritePages toward
+     *  @p peerGpu (counter attribution at collection). Split-phase
+     *  flushes of sharded files partition each take by page owner into
+     *  one PendingFlush per owner, mirroring writeBatchSharded. */
+    bool peer = false;
+    unsigned peerGpu = 0;
     DirtyExtent ext[rpc::kMaxBatchPages];
 };
 
@@ -400,8 +408,13 @@ class BufferCache
      * their WritePages RPCs without waiting. Only on the batched,
      * non-diff-merge path (callers fall back to a synchronous
      * flushDirty at wait time otherwise — completeFlush + a residual
-     * flushDirty is always correct). Each pending batch elevates
-     * f.wbInFlight until its completeFlush. @return batches submitted.
+     * flushDirty is always correct). Sharded files partition each take
+     * by page owner — self-owned extents ride WritePages, each peer
+     * owner's one PeerWritePages — consuming one output slot per
+     * partition, so the async rounds drain through the same
+     * owner-partitioned routing as the wait-time flushDirty. Each
+     * pending batch elevates f.wbInFlight until its completeFlush.
+     * @return batches submitted.
      */
     unsigned submitFlush(gpu::BlockCtx &ctx, CacheFile &f,
                          uint64_t first_page, uint64_t last_page,
@@ -441,6 +454,17 @@ class BufferCache
      */
     void setShardMap(const ShardMap *map) { shards_ = map; }
     const ShardMap *shardMap() const { return shards_; }
+
+    /**
+     * Install the machine-wide host-RAM victim tier (GpufsSystem
+     * wiring; null = demotion off, the default). After this, eviction
+     * of clean pages — and of dirty pages once their write-back has
+     * landed — copies the frame's bytes into the tier (one D2H charge
+     * on SimContext::hostStage) instead of just dropping them; the
+     * daemon probes the same tier before the storage backend.
+     */
+    void setVictimCache(VictimCache *v) { victim_ = v; }
+    VictimCache *victimCache() const { return victim_; }
 
     /** True when @p f's pages carry diff-and-merge semantics: they
      *  must snapshot a pristine copy under the fetching pin, which
@@ -551,6 +575,8 @@ class BufferCache
     std::unique_ptr<EvictionPolicy> policy_;
     /** Machine-wide page -> owner-GPU map; null = private caching. */
     const ShardMap *shards_ = nullptr;
+    /** Machine-wide host-RAM victim tier; null = demotion off. */
+    VictimCache *victim_ = nullptr;
 
     /** Guards the attached set and serializes reclamation passes; also
      *  excludes FileCache creation/destruction against a concurrent

@@ -49,6 +49,7 @@ FrameArena::free(uint32_t f)
     pf.validBytes.store(0, std::memory_order_relaxed);
     pf.clearDirty();
     pf.owner.store(nullptr, std::memory_order_relaxed);
+    pf.pinCount.store(0, std::memory_order_relaxed);
     // A recycled frame must not carry the previous owner's DMA stamp:
     // init paths that skip the fetch (whole-page overwrite) rely on
     // readyTime being 0 so no block stalls on a dead transfer.

@@ -61,6 +61,11 @@ struct PFrame {
     }
     /** Virtual timestamp of the last pin (LRU-ablation policy input). */
     std::atomic<uint64_t> lastAccess{0};
+    /** Application pins since the frame was claimed (2Q-ablation
+     *  policy input: 1 = probationary, >1 = protected). Bumped by
+     *  BufferCache::pinPage only — peer-copy and prefetch-step-over
+     *  pins are not application reuse. */
+    std::atomic<uint32_t> pinCount{0};
     /** Virtual time at which the page content became available (DMA
      *  completion). Pinners of a page fetched asynchronously (read-
      *  ahead) wait until this time before using the data. */

@@ -29,6 +29,13 @@ enum class EvictionPolicyKind : uint8_t {
     PaperTiered,
     GlobalLru,
     Random,
+    /** 2Q-style: frames pinned once (probationary — a scan touches a
+     *  page exactly once) are evicted before frames pinned repeatedly
+     *  (protected), each set in global LRU order. Same full-scan work
+     *  shape as GlobalLru; the ablation case for scan pollution under
+     *  a victim tier, where protecting the reused set decides which
+     *  pages re-miss cheaply. */
+    TwoQ,
 };
 
 /**
@@ -205,6 +212,19 @@ struct GpuFsParams {
      * monopolize the request-table slots or the RPC queue.
      */
     unsigned maxInflightIo = 64;
+
+    /**
+     * Host-RAM victim cache (second tier, off at 0): pinned host
+     * memory, in pages of `pageSize`, that the machine's GpufsSystem
+     * sizes and every GPU's arena demotes evicted pages into (one D2H
+     * copy on the per-GPU host-staging timeline, off the critical
+     * path). The daemon probes the tier before the storage backend on
+     * every miss read, version-gated against the host file version, so
+     * a re-miss of a demoted page costs one H2D DMA instead of a
+     * storage read. Counters: vc_inserts / vc_hits / vc_misses /
+     * vc_version_stale / vc_evictions in the daemon StatSet.
+     */
+    uint64_t victimCachePages = 0;
 };
 
 } // namespace core

@@ -277,16 +277,27 @@ class FileCache
     /** Roll a failed batch back to Empty, freeing the frames. */
     void abortInitBatch(const BatchSlot *slots, unsigned n);
 
+    /** No-demotion default for reclaim/evictFrame callers without a
+     *  victim tier: evicted bytes just die with the frame. */
+    static void
+    noDemote(uint64_t, const uint8_t *, uint32_t)
+    {
+    }
+
     /**
      * Reclaim up to @p want unpinned Ready pages, FIFO order (oldest
      * leaf nodes first). Dirty pages are skipped unless @p allow_dirty,
      * in which case @p writeback is invoked (under the fpage lock) with
      * (page_idx, data, dirty_lo, dirty_hi) before the frame is freed.
-     * @return pages actually freed.
+     * @p demote is invoked (still under the fpage lock, after any
+     * writeback, before the frame is recycled) with (page_idx, data,
+     * valid_bytes) — the victim-tier demotion hook; the default drops
+     * the bytes. @return pages actually freed.
      */
-    template <typename WbFn>
+    template <typename WbFn, typename DemoteFn>
     unsigned
-    reclaim(unsigned want, bool allow_dirty, WbFn &&writeback)
+    reclaim(unsigned want, bool allow_dirty, WbFn &&writeback,
+            DemoteFn &&demote)
     {
         unsigned freed = 0;
         for (RadixNode *n = fifoTail.load(std::memory_order_acquire);
@@ -294,21 +305,30 @@ class FileCache
              n = n->fifoPrev.load(std::memory_order_acquire)) {
             for (unsigned i = 0; i < kRadixFanout && freed < want; ++i) {
                 freed += tryEvictPage(n->pages[i], n->baseIdx + i,
-                                      allow_dirty, writeback);
+                                      allow_dirty, writeback, demote);
             }
         }
         return freed;
+    }
+
+    template <typename WbFn>
+    unsigned
+    reclaim(unsigned want, bool allow_dirty, WbFn &&writeback)
+    {
+        return reclaim(want, allow_dirty, writeback, noDemote);
     }
 
     /**
      * Try to evict the page currently backed by @p frame_idx (global-
      * LRU policy: the caller snapshotted evictable frames in access
      * order). Identity is verified — a frame recycled since the
-     * snapshot is left alone. @return 1 if the frame was freed.
+     * snapshot is left alone. @p demote as in reclaim. @return 1 if
+     * the frame was freed.
      */
-    template <typename WbFn>
+    template <typename WbFn, typename DemoteFn>
     unsigned
-    evictFrame(uint32_t frame_idx, bool allow_dirty, WbFn &&writeback)
+    evictFrame(uint32_t frame_idx, bool allow_dirty, WbFn &&writeback,
+               DemoteFn &&demote)
     {
         PFrame &pf = arena.frame(frame_idx);
         if (pf.fileUid.load(std::memory_order_acquire) != uid_)
@@ -323,7 +343,14 @@ class FileCache
         // tree, so pageIdx cannot be stale once identity holds;
         // tryEvictPage re-verifies state/refs under the fpage lock.
         return tryEvictPage(*p, pf.pageIdx.load(std::memory_order_relaxed),
-                            allow_dirty, writeback);
+                            allow_dirty, writeback, demote);
+    }
+
+    template <typename WbFn>
+    unsigned
+    evictFrame(uint32_t frame_idx, bool allow_dirty, WbFn &&writeback)
+    {
+        return evictFrame(frame_idx, allow_dirty, writeback, noDemote);
     }
 
     /**
@@ -502,10 +529,10 @@ class FileCache
     RadixNode *newNode(uint32_t level, uint64_t base);
     void pushFifo(RadixNode *leaf);
 
-    template <typename WbFn>
+    template <typename WbFn, typename DemoteFn>
     unsigned
     tryEvictPage(FPage &p, uint64_t page_idx, bool allow_dirty,
-                 WbFn &&writeback)
+                 WbFn &&writeback, DemoteFn &&demote)
     {
         if (p.state.load(std::memory_order_acquire) != kPageReady ||
             p.refs.load(std::memory_order_relaxed) != 0) {
@@ -543,6 +570,12 @@ class FileCache
             kNoFrame, std::memory_order_acq_rel);
         if (pristine != kNoFrame)
             arena.free(pristine);
+        // Demotion hook: the frame's bytes are about to be recycled —
+        // the fpage lock (still held) keeps them stable for the copy.
+        // Runs after any dirty writeback, so a victim tier only ever
+        // stages bytes the host has (or will never need back dirty).
+        demote(page_idx, arena.data(f),
+               pf.validBytes.load(std::memory_order_relaxed));
         retireSpeculative(pf, page_idx);
         p.frame.store(kNoFrame, std::memory_order_relaxed);
         arena.free(f);

@@ -26,6 +26,7 @@
 #include "gpu/device.hh"
 #include "gpufs/gpufs.hh"
 #include "gpufs/shard.hh"
+#include "gpufs/victim.hh"
 #include "hostfs/hostfs.hh"
 #include "rpc/daemon.hh"
 
@@ -55,11 +56,22 @@ class GpufsSystem
         if (fs_params.journalWriteback)
             daemon_.enableJournal();
         daemon_.setStorageBackend(fs_params.storageBackend);
+        // Host-RAM victim tier (one per machine, all GPUs demote into
+        // it and the daemon probes it). Wired before start(): the
+        // daemon forbids installation while running.
+        if (fs_params.victimCachePages > 0) {
+            victim_ = std::make_unique<VictimCache>(
+                fs_params.victimCachePages, fs_params.pageSize,
+                daemon_.stats());
+            daemon_.setVictimCache(victim_.get());
+        }
         daemon_.start();
         for (unsigned i = 0; i < num_gpus; ++i) {
             gpufs_.push_back(std::make_unique<GpuFs>(*devices_[i],
                                                      *queues_[i],
                                                      fs_params));
+            if (victim_)
+                gpufs_.back()->bufferCache().setVictimCache(victim_.get());
         }
         // Sharded multi-GPU topology: every GpuFs consults the shared
         // shard map on a miss, and the daemon reaches each GPU's cache
@@ -97,6 +109,8 @@ class GpufsSystem
     consistency::WrapFs &wrapFs() { return wrapFs_; }
     consistency::ConsistencyMgr &consistencyMgr() { return consistency_; }
     rpc::CpuDaemon &daemon() { return daemon_; }
+    /** The host-RAM victim tier, or null when victimCachePages == 0. */
+    VictimCache *victimCache() { return victim_.get(); }
 
     unsigned numGpus() const { return static_cast<unsigned>(devices_.size()); }
     gpu::GpuDevice &device(unsigned i) { return *devices_.at(i); }
@@ -201,6 +215,10 @@ class GpufsSystem
     consistency::ConsistencyMgr consistency_;
     consistency::WrapFs wrapFs_;
     rpc::CpuDaemon daemon_;
+    /** Host-RAM victim tier; null when off. Declared after daemon_ so
+     *  it outlives nothing that probes it: the dtor body stops the
+     *  daemon thread before members destruct. */
+    std::unique_ptr<VictimCache> victim_;
     /** Machine-wide page -> owner-GPU map (sharded multi-GPU cache). */
     ShardMap shardMap_;
     std::vector<std::unique_ptr<gpu::GpuDevice>> devices_;

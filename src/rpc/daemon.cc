@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "base/logging.hh"
+#include "gpufs/victim.hh"
 
 namespace gpufs {
 namespace rpc {
@@ -40,6 +41,13 @@ CpuDaemon::setStorageBackend(storage::BackendKind kind)
 {
     gpufs_assert(!running.load(), "setStorageBackend after start");
     backend_ = storage::makeStorageBackend(kind, fs, stats_);
+}
+
+void
+CpuDaemon::setVictimCache(core::VictimCache *v)
+{
+    gpufs_assert(!running.load(), "setVictimCache after start");
+    victim_ = v;
 }
 
 namespace {
@@ -275,8 +283,14 @@ CpuDaemon::serviceSweep(unsigned port_idx, RpcSlot **batch, unsigned n)
         RpcSlot *group[kQueueSlots];
         unsigned k = 0;
         const RpcRequest &req = batch[s]->req;
+        // Requests the victim tier fully covers stay OUT of the
+        // gathered storage read: served individually they skip the
+        // host read entirely (one H2D from host RAM), which is the
+        // whole point of the tier. victimCoversReq is a count-free
+        // peek, so members that do ride a group keep exact hit/miss
+        // accounting.
         if (req.op == RpcOp::ReadPages && req.pageCount > 0 &&
-            req.pageCount <= kMaxBatchPages) {
+            req.pageCount <= kMaxBatchPages && !victimCoversReq(req)) {
             group[k++] = batch[s];
             for (unsigned t = s + 1; t < n; ++t) {
                 if (taken[t])
@@ -284,7 +298,8 @@ CpuDaemon::serviceSweep(unsigned port_idx, RpcSlot **batch, unsigned n)
                 const RpcRequest &r2 = batch[t]->req;
                 if (r2.op == RpcOp::ReadPages &&
                     r2.hostFd == req.hostFd &&
-                    r2.pageCount > 0 && r2.pageCount <= kMaxBatchPages) {
+                    r2.pageCount > 0 && r2.pageCount <= kMaxBatchPages &&
+                    !victimCoversReq(r2)) {
                     group[k++] = batch[t];
                     taken[t] = true;
                 }
@@ -453,8 +468,11 @@ CpuDaemon::handle(unsigned port_idx, const RpcRequest &req)
       }
       case RpcOp::Unlink: {
         hostfs::FileInfo info;
-        if (ok(fs.stat(req.path, &info)))
+        if (ok(fs.stat(req.path, &info))) {
             consistency.dropFile(info.ino);
+            if (victim_)
+                victim_->dropFile(info.ino);
+        }
         resp.status = fs.unlink(req.path);
         resp.done = t0;
         break;
@@ -550,10 +568,82 @@ CpuDaemon::chargeH2dDma(gpu::GpuDevice &dev, uint64_t bytes, Time ready)
     return channel.reserve(ready, dur).end;
 }
 
+Time
+CpuDaemon::chargeVictimH2d(gpu::GpuDevice &dev, uint64_t bytes, Time ready)
+{
+    // Victim-tier hit: host RAM -> GPU. No directToGpu() shortcut —
+    // gds DMAs STORAGE reads straight to the device, but these bytes
+    // sit in the pinned host pool and cross PCIe with any backend.
+    auto &sim = dev.simContext();
+    const auto &p = sim.params;
+    bytesToGpu.inc(bytes);
+    if (bytes == 0 || !p.chargeDma)
+        return ready;
+    Time dur = p.dmaSetup + transferTime(bytes, p.pcieBwH2DMBps);
+    sim::Resource &channel =
+        p.serializeDmaWithIo ? sim.cpuIo : dev.pcieH2D();
+    return channel.reserve(ready, dur).end;
+}
+
+bool
+CpuDaemon::victimCoversReq(const RpcRequest &req)
+{
+    if (!victim_ || req.pageLen == 0 || req.pageCount == 0 ||
+        req.offset % req.pageLen != 0) {
+        return false;
+    }
+    hostfs::FileInfo info;
+    if (!ok(fs.fstat(req.hostFd, &info)))
+        return false;
+    uint64_t expect[kMaxBatchPages];
+    for (unsigned i = 0; i < req.pageCount; ++i) {
+        uint64_t off = req.offset + uint64_t(i) * req.pageLen;
+        expect[i] = off < info.size
+            ? std::min<uint64_t>(req.pageLen, info.size - off) : 0;
+    }
+    return victim_->coversRun(info.ino, req.offset / req.pageLen,
+                              req.pageCount, info.version, expect);
+}
+
+void
+CpuDaemon::victimInvalidate(int host_fd, const hostfs::WriteRun *runs,
+                            unsigned n)
+{
+    if (!victim_ || n == 0)
+        return;
+    hostfs::FileInfo info;
+    if (!ok(fs.fstat(host_fd, &info)))
+        return;
+    for (unsigned i = 0; i < n; ++i)
+        victim_->invalidateRange(info.ino, runs[i].offset, runs[i].len);
+}
+
 RpcResponse
 CpuDaemon::handleReadPage(gpu::GpuDevice &dev, const RpcRequest &req)
 {
     RpcResponse resp;
+
+    // Victim-tier probe before the storage backend: a demotion-staged
+    // page at the host's current version is served from host RAM with
+    // one H2D DMA — no host read call at all. Probing only aligned
+    // whole-page reads inside the file keeps the gate simple; anything
+    // else takes the normal path.
+    if (victim_ && req.len > 0 && req.offset % req.len == 0) {
+        hostfs::FileInfo info;
+        if (ok(fs.fstat(req.hostFd, &info)) && req.offset < info.size) {
+            uint64_t expect =
+                std::min<uint64_t>(req.len, info.size - req.offset);
+            Time vready = req.issueTime;
+            if (victim_->probe(info.ino, req.offset / req.len,
+                               info.version, req.data, expect,
+                               &vready)) {
+                resp.status = Status::Ok;
+                resp.bytes = expect;
+                resp.done = chargeVictimH2d(dev, expect, vready);
+                return resp;
+            }
+        }
+    }
 
     // Host file -> staging: the daemon's pread, serialized on cpuIo.
     hostfs::IoResult r = retryTransient(
@@ -576,6 +666,78 @@ CpuDaemon::handleReadPages(gpu::GpuDevice &dev, const RpcRequest &req)
         resp.status = Status::Inval;
         resp.done = req.issueTime;
         return resp;
+    }
+
+    // Victim-tier probe: serve whatever pages the tier holds at the
+    // host's current version from host RAM, and read only the
+    // remaining contiguous miss-runs from storage. Zero hits falls
+    // through to the legacy single-vectored-read path unchanged.
+    if (victim_ && req.pageLen > 0 && req.offset % req.pageLen == 0) {
+        hostfs::FileInfo info;
+        if (ok(fs.fstat(req.hostFd, &info))) {
+            const uint64_t plen = req.pageLen;
+            const uint64_t first = req.offset / plen;
+            bool hit[kMaxBatchPages] = {};
+            uint64_t expect[kMaxBatchPages];
+            uint64_t hit_bytes = 0;
+            Time vready = req.issueTime;
+            unsigned hits = 0;
+            for (unsigned i = 0; i < req.pageCount; ++i) {
+                uint64_t off = req.offset + uint64_t(i) * plen;
+                expect[i] = off < info.size
+                    ? std::min<uint64_t>(plen, info.size - off) : 0;
+                if (expect[i] == 0)
+                    continue;
+                if (victim_->probe(info.ino, first + i, info.version,
+                                   req.batch[i], expect[i], &vready)) {
+                    hit[i] = true;
+                    hit_bytes += expect[i];
+                    ++hits;
+                }
+            }
+            if (hits > 0) {
+                if (req.speculative)
+                    raPagesFetched.inc(req.pageCount);
+                Time done = req.issueTime;
+                uint64_t total = hit_bytes;
+                unsigned i = 0;
+                while (i < req.pageCount) {
+                    if (hit[i] || expect[i] == 0) {
+                        ++i;
+                        continue;
+                    }
+                    unsigned run = i;
+                    while (run < req.pageCount && !hit[run] &&
+                           expect[run] != 0) {
+                        ++run;
+                    }
+                    hostfs::IoResult r = retryTransient(
+                        fs, ioRetries, ioRetryGiveups,
+                        [&](Time backoff) {
+                            return backend_->readPages(
+                                req.hostFd, &req.batch[i], run - i, plen,
+                                req.offset + uint64_t(i) * plen,
+                                req.issueTime + backoff, dev.id());
+                        });
+                    hostReadCalls.inc();
+                    if (!ok(r.status)) {
+                        resp.status = r.status;
+                        resp.done = done;
+                        return resp;
+                    }
+                    total += r.bytes;
+                    done = std::max(done,
+                                    chargeH2dDma(dev, r.bytes, r.done));
+                    i = run;
+                }
+                done = std::max(done,
+                                chargeVictimH2d(dev, hit_bytes, vready));
+                resp.status = Status::Ok;
+                resp.bytes = total;
+                resp.done = done;
+                return resp;
+            }
+        }
     }
 
     // Host file -> staging: ONE vectored pread for the whole extent,
@@ -660,6 +822,33 @@ CpuDaemon::handlePeerReadPages(gpu::GpuDevice &dev, const RpcRequest &req)
         }
     }
 
+    // Victim-tier pass: pages the owner declined may still sit staged
+    // in host RAM from an earlier demotion — serve those with one H2D
+    // charge instead of joining the storage fallback below. Gated on
+    // the host's CURRENT version like every probe.
+    uint64_t vc_bytes = 0;
+    Time vc_ready = t0;
+    if (victim_ && req.offset % plen == 0) {
+        hostfs::FileInfo vinfo;
+        if (ok(fs.fstat(req.hostFd, &vinfo))) {
+            for (unsigned j = 0; j < req.pageCount; ++j) {
+                if (served[j])
+                    continue;
+                uint64_t off = req.offset + uint64_t(j) * plen;
+                if (off >= vinfo.size)
+                    continue;
+                uint64_t expect =
+                    std::min<uint64_t>(plen, vinfo.size - off);
+                if (victim_->probe(vinfo.ino, off / plen, vinfo.version,
+                                   req.batch[j], expect, &vc_ready)) {
+                    served[j] = true;
+                    valid[j] = static_cast<uint32_t>(expect);
+                    vc_bytes += expect;
+                }
+            }
+        }
+    }
+
     // Second pass: host fallback for the runs the owner could not
     // serve — each contiguous run is one vectored pread on the
     // daemon's serialized I/O path, exactly the ReadPages charge.
@@ -702,6 +891,8 @@ CpuDaemon::handlePeerReadPages(gpu::GpuDevice &dev, const RpcRequest &req)
     Time done = t0;
     if (host_bytes > 0)
         done = std::max(done, chargeH2dDma(dev, host_bytes, host_done));
+    if (vc_bytes > 0)
+        done = std::max(done, chargeVictimH2d(dev, vc_bytes, vc_ready));
     if (p2p_bytes > 0) {
         done = std::max(done, chargeP2pDma(dev, req.peerGpu, req.gpuId,
                                            p2p_bytes, p2p_ready));
@@ -777,6 +968,8 @@ CpuDaemon::handlePeerWritePages(gpu::GpuDevice &dev, const RpcRequest &req)
             return resp;
         }
         journalApplied(journaled);
+        victimInvalidate(req.hostFd, runs.data(),
+                         static_cast<unsigned>(runs.size()));
         resp.bytes = w.bytes;
         resp.version = w.version;
         resp.done = w.done;
@@ -908,6 +1101,8 @@ CpuDaemon::handleWriteBack(gpu::GpuDevice &dev, const RpcRequest &req)
                 return resp;
             }
             journalApplied(journaled);
+            victimInvalidate(req.hostFd, runs.data(),
+                             static_cast<unsigned>(runs.size()));
             written = w.bytes;
             version = w.version;
             t = w.done;
@@ -933,6 +1128,7 @@ CpuDaemon::handleWriteBack(gpu::GpuDevice &dev, const RpcRequest &req)
             return resp;
         }
         journalApplied(journaled);
+        victimInvalidate(req.hostFd, &run, 1);
         written = w.bytes;
         version = w.version;
         t = w.done;
@@ -1006,6 +1202,8 @@ CpuDaemon::handleWritePages(gpu::GpuDevice &dev, const RpcRequest &req)
             return resp;
         }
         journalApplied(journaled);
+        victimInvalidate(req.hostFd, runs.data(),
+                         static_cast<unsigned>(runs.size()));
         resp.bytes = w.bytes;
         resp.version = w.version;
         resp.done = w.done;

@@ -30,6 +30,9 @@
 #include "storage/backend.hh"
 
 namespace gpufs {
+namespace core {
+class VictimCache;
+}
 namespace rpc {
 
 class CpuDaemon
@@ -79,6 +82,21 @@ class CpuDaemon
 
     /** The active storage backend (never null). */
     storage::StorageBackend &storageBackend() { return *backend_; }
+
+    /**
+     * Install (or clear, with nullptr) the machine-wide host-RAM
+     * victim tier. Must be called before start(). Miss reads
+     * (ReadPage, ReadPages, the aggregation sweep, the peer-read host
+     * fallback) then probe the tier before the storage backend, gated
+     * on the host's CURRENT file version from fstat — write-through
+     * mirrors and journal replay bump the version, so stale bytes are
+     * dropped, never served. A victim hit is a plain H2D DMA charge
+     * even under a direct-to-GPU backend: the bytes sit in host RAM,
+     * not on the device.
+     */
+    void setVictimCache(core::VictimCache *v);
+
+    core::VictimCache *victimCache() { return victim_; }
 
     /**
      * Install (or clear, with nullptr) the peer-cache view of GPU
@@ -169,6 +187,9 @@ class CpuDaemon
      *  (BufferedBackend until setStorageBackend, never null). */
     std::unique_ptr<storage::StorageBackend> backend_;
 
+    /** Host-RAM victim tier (null = off); owned by GpufsSystem. */
+    core::VictimCache *victim_ = nullptr;
+
     void loop();
     RpcResponse handle(unsigned port_idx, const RpcRequest &req);
 
@@ -195,6 +216,24 @@ class CpuDaemon
      *  bytes. Shared by the single-page and batched read paths so the
      *  two charge identically. */
     Time chargeH2dDma(gpu::GpuDevice &dev, uint64_t bytes, Time ready);
+
+    /** Charge the H2D DMA of a victim-tier hit. Unlike chargeH2dDma
+     *  this never takes the direct-to-GPU shortcut: a gds backend DMAs
+     *  storage reads straight to the device, but victim bytes live in
+     *  host RAM and must cross PCIe regardless of backend. */
+    Time chargeVictimH2d(gpu::GpuDevice &dev, uint64_t bytes, Time ready);
+
+    /** True when the victim tier would serve EVERY page of @p req (a
+     *  ReadPages request) at the host's current version — such
+     *  requests are excluded from sweep aggregation and served
+     *  individually so they skip the gathered storage read. */
+    bool victimCoversReq(const RpcRequest &req);
+
+    /** Write-path hygiene: drop victim entries the runs overwrite (the
+     *  version gate is the correctness backstop; this frees the slots
+     *  early). */
+    void victimInvalidate(int host_fd, const hostfs::WriteRun *runs,
+                          unsigned n);
 
     RpcResponse handleOpen(gpu::GpuDevice &dev, const RpcRequest &req);
     RpcResponse handleClose(gpu::GpuDevice &dev, const RpcRequest &req);

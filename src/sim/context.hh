@@ -88,6 +88,25 @@ class SimContext
         return *slot;
     }
 
+    /**
+     * The host-staging DMA channel of GPU @p gpu (victim-cache tier):
+     * demotions of evicted frames into pinned host memory reserve
+     * their D2H copy here, off the GPU's main PCIe links, so staging
+     * traffic never delays demand fetches or write-backs. Created
+     * lazily — systems without a victim tier pay nothing.
+     */
+    Resource &
+    hostStage(unsigned gpu)
+    {
+        std::lock_guard<std::mutex> lock(p2pMtx_);
+        auto &slot = hostStage_[gpu];
+        if (!slot) {
+            slot = std::make_unique<Resource>(
+                "host_stage_" + std::to_string(gpu));
+        }
+        return *slot;
+    }
+
     /** The NVMe-oF fabric link (remote flash tier): every command's
      *  data/ack bytes serialize here. */
     Resource nvmfLink{"nvmf_link"};
@@ -125,6 +144,8 @@ class SimContext
             kv.second->reset();
         for (auto &kv : storageDma_)
             kv.second->reset();
+        for (auto &kv : hostStage_)
+            kv.second->reset();
         if (nvmfSlots_)
             nvmfSlots_->reset();
     }
@@ -135,6 +156,8 @@ class SimContext
     std::map<uint64_t, std::unique_ptr<Resource>> p2p_;
     /** Lazily-created per-GPU storage-DMA engines (same guard). */
     std::map<unsigned, std::unique_ptr<Resource>> storageDma_;
+    /** Lazily-created per-GPU host-staging DMA channels (same guard). */
+    std::map<unsigned, std::unique_ptr<Resource>> hostStage_;
     std::unique_ptr<MultiResource> nvmfSlots_;
 };
 

@@ -95,6 +95,11 @@ struct HwParams {
     /** Storage-DMA engine bandwidth into GPU memory (one PCIe hop;
      *  the device read streams through it, no host bounce buffer). */
     double gdsDmaBwMBps = 5731.0;
+    /** GPUDirect registration constraint: storage DMAs target BAR
+     *  windows mapped at this granularity, so every frame's byte
+     *  offset in the raw data array must sit on this boundary.
+     *  BufferCache counts violations in `gds_unaligned_frames`. */
+    uint64_t gdsAlignBytes = 4 * KiB;
 
     // ---- NVMe-oF remote flash tier (storage::RemoteFlashBackend) ----
     /** Network round-trip time initiator <-> target. */
