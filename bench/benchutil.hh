@@ -148,6 +148,39 @@ inline void
 reportSlotPressure(core::GpufsSystem &sys, const char *label = "")
 {
     reportSlotPressure(snapshotSlotPressure(sys), label);
+    // Serving tier: when more than one tenant issued RPCs, print one
+    // row per active tenant — RPCs served by the daemon, resident
+    // frames per GPU (quota ledger), and victim-tier pages.
+    {
+        auto snap = sys.daemon().stats().snapshot();
+        unsigned active = 0;
+        for (unsigned t = 0; t < core::kMaxTenants; ++t) {
+            if (snap["tenant" + std::to_string(t) + "_rpcs"] > 0)
+                ++active;
+        }
+        if (active > 1) {
+            for (unsigned t = 0; t < core::kMaxTenants; ++t) {
+                uint64_t rpcs =
+                    snap["tenant" + std::to_string(t) + "_rpcs"];
+                if (rpcs == 0)
+                    continue;
+                std::printf("#  %stenant%u: %llu rpcs, frames", label, t,
+                            static_cast<unsigned long long>(rpcs));
+                for (unsigned g = 0; g < sys.numGpus(); ++g) {
+                    std::printf(" gpu%u=%u", g,
+                                sys.fs(g).bufferCache().arena()
+                                    .tenantPages(core::TenantId(t)));
+                }
+                if (sys.victimCache()) {
+                    std::printf(", victim %llu pages",
+                                static_cast<unsigned long long>(
+                                    sys.victimCache()->tenantPages(
+                                        core::TenantId(t))));
+                }
+                std::printf("\n");
+            }
+        }
+    }
     // Victim-tier activity, when the host-RAM tier saw any traffic:
     // demotions in, hits/misses/stale at the daemon's probe points,
     // capacity evictions out.

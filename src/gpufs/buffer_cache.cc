@@ -290,6 +290,11 @@ BufferCache::BufferCache(gpu::GpuDevice &device, rpc::RpcQueue &rpc_queue,
       cacheCounters_(cacheCounters(stat_set))
 {
     dev.allocDeviceMem(params_.cacheBytes);
+    // Serving tier: arm the per-tenant frame quotas before any fault
+    // can allocate (configuration-time write, see setTenantQuota).
+    for (unsigned t = 0; t < kMaxTenants; ++t)
+        arena_.setTenantQuota(static_cast<TenantId>(t),
+                              params_.tenantFrameQuota[t]);
     // GPUDirect registration constraint: storage DMAs land in BAR
     // windows mapped at gdsAlignBytes granularity, so a frame whose
     // byte offset in the raw data array misses that boundary cannot be
@@ -341,6 +346,9 @@ BufferCache::setupFile(CacheFile &f)
     // Eviction-side prefetch feedback (noteWasted) reaches the file's
     // tracker through the cache; wired before any page can publish.
     f.cache->setTracker(&f.ra);
+    // Serving tier: frame claims made through this cache bill the
+    // opener's tenant (quota checked in FrameArena::allocFor).
+    f.cache->setTenantTag(&f.tenant);
 }
 
 int
@@ -417,7 +425,10 @@ BufferCache::fetchPage(gpu::BlockCtx &ctx, CacheFile &f, uint64_t page_idx,
     req.len = page_size;
     req.gpuId = dev.id();
     req.issueTime = ctx.now();
+    req.tenant = f.tenant.load(std::memory_order_relaxed);
     unsigned owner = pageOwner(f, page_idx);
+    if (shardedFile(f))
+        shards_->recordHeat(req.tenant, f.ino, page_idx, dev.id(), 1);
     if (owner != dev.id()) {
         // Non-owner miss: route the demand fetch to the owner GPU's
         // cache (PeerReadPages, pageCount=1); the daemon falls back to
@@ -526,6 +537,7 @@ BufferCache::writebackExtent(CacheFile &f, uint64_t page_idx,
                     req.data = pristine_base + i;   // stable snapshot
                     req.gpuId = dev.id();
                     req.issueTime = t;
+                    req.tenant = f.tenant.load(std::memory_order_relaxed);
                     rpc::RpcResponse r = queue.call(req);
                     cntWriteRpcs.inc();
                     if (!ok(r.status)) {
@@ -557,6 +569,7 @@ BufferCache::writebackExtent(CacheFile &f, uint64_t page_idx,
     req.diffAgainstZeros = f.wronce;
     req.gpuId = dev.id();
     req.issueTime = issue;
+    req.tenant = f.tenant.load(std::memory_order_relaxed);
     rpc::RpcResponse resp = queue.call(req);
     cntWriteRpcs.inc();
     if (st)
@@ -586,6 +599,7 @@ BufferCache::writeExtentsRpc(CacheFile &f, const WriteExtent *ext,
     req.diffAgainstZeros = zero_diff;
     req.gpuId = dev.id();
     req.issueTime = issue;
+    req.tenant = f.tenant.load(std::memory_order_relaxed);
     req.pageCount = n;
     uint64_t total = 0;
     for (unsigned i = 0; i < n; ++i) {
@@ -633,6 +647,7 @@ BufferCache::peerWriteExtentsRpc(CacheFile &f, unsigned owner_gpu,
     req.pageLen = params_.pageSize;
     req.gpuId = dev.id();
     req.issueTime = issue;
+    req.tenant = f.tenant.load(std::memory_order_relaxed);
     req.pageCount = n;
     uint64_t total = 0;
     for (unsigned i = 0; i < n; ++i) {
@@ -956,6 +971,7 @@ BufferCache::submitFlush(gpu::BlockCtx &ctx, CacheFile &f,
             req.diffAgainstZeros = pf.zeroDiff;
             req.gpuId = dev.id();
             req.issueTime = ctx.now();
+            req.tenant = f.tenant.load(std::memory_order_relaxed);
             req.pageCount = pf.n;
             if (pf.peer) {
                 req.op = rpc::RpcOp::PeerWritePages;
@@ -1069,7 +1085,7 @@ BufferCache::syncFrame(gpu::BlockCtx &ctx, CacheFile &f, uint32_t frame)
 }
 
 unsigned
-BufferCache::reclaimFrames(gpu::BlockCtx &ctx, unsigned want)
+BufferCache::reclaimFrames(gpu::BlockCtx &ctx, unsigned want, uint8_t tenant)
 {
     // Paging runs on the calling block's thread — "pay-as-you-go"
     // (§3.4): no daemon threadblock exists to do it asynchronously.
@@ -1128,9 +1144,17 @@ BufferCache::reclaimFrames(gpu::BlockCtx &ctx, unsigned want)
                                                       hp.pcieBwD2HMBps))
                             .end;
             }
+            // Victim occupancy is charged to the tenant stamped on the
+            // FRAME (the one whose fault claimed it), not the evictor:
+            // eviction must not let tenant A launder its footprint into
+            // tenant B's victim quota.
+            uint32_t fr = arena_.frameOf(data);
+            uint8_t owner_tenant = fr != kNoFrame
+                ? arena_.frame(fr).tenant.load(std::memory_order_relaxed)
+                : 0;
             victim_->insert(f.ino, idx,
                             f.version.load(std::memory_order_relaxed),
-                            data, valid, ready);
+                            data, valid, ready, owner_tenant);
         };
         if (frame_hint != kNoFrame)
             return f.cache->evictFrame(frame_hint, allow_dirty, wb,
@@ -1155,7 +1179,23 @@ BufferCache::reclaimFrames(gpu::BlockCtx &ctx, unsigned want)
         return f.cache->reclaim(n, allow_dirty, wb, demote);
     };
 
-    unsigned freed = policy_->reclaim(attached_, arena_, want, evict);
+    unsigned freed;
+    if (tenant != kAnyTenant && arena_.tenantAtQuota(tenant)) {
+        // The faulting tenant is at its frame quota: the arena may
+        // still hold free frames (other tenants' headroom), so a
+        // whole-cache reclaim would evict someone else's working set
+        // to make room this tenant is not entitled to. Run the policy
+        // over only this tenant's files — eviction within quota.
+        std::vector<CacheFile *> own;
+        own.reserve(attached_.size());
+        for (CacheFile *f : attached_) {
+            if (f->tenant.load(std::memory_order_relaxed) == tenant)
+                own.push_back(f);
+        }
+        freed = policy_->reclaim(own, arena_, want, evict);
+    } else {
+        freed = policy_->reclaim(attached_, arena_, want, evict);
+    }
 
     // Closed files whose last dirty page just went home can release
     // their host fd (and with it the host-side write claim).
@@ -1184,6 +1224,7 @@ BufferCache::maybeReleaseClosedFdLocked(gpu::BlockCtx &ctx, CacheFile &f)
         req.hostFd = f.hostFd;
         req.gpuId = dev.id();
         req.issueTime = ctx.now();
+        req.tenant = f.tenant.load(std::memory_order_relaxed);
         rpc::RpcResponse resp = queue.call(req);
         ctx.waitUntil(resp.done);
         f.hostFd = -1;
@@ -1300,7 +1341,8 @@ BufferCache::pinPage(gpu::BlockCtx &ctx, CacheFile &f, uint64_t page_idx,
                     // reclaim must not run while the fpage lock is
                     // held, so exhaustion rolls back to the NoSpace
                     // retry path below.
-                    uint32_t pr = arena_.alloc();
+                    uint32_t pr = arena_.allocFor(
+                        f.tenant.load(std::memory_order_relaxed));
                     if (pr == kNoFrame)
                         return Status::NoSpace;
                     std::memcpy(arena_.data(pr), data, params_.pageSize);
@@ -1310,7 +1352,9 @@ BufferCache::pinPage(gpu::BlockCtx &ctx, CacheFile &f, uint64_t page_idx,
                 return fst;
             });
         if (st == Status::NoSpace) {
-            unsigned freed = reclaimFrames(ctx, params_.reclaimBatch);
+            unsigned freed = reclaimFrames(
+                ctx, params_.reclaimBatch,
+                f.tenant.load(std::memory_order_relaxed));
             if (freed == 0)
                 return Status::NoSpace;
             continue;
@@ -1350,7 +1394,11 @@ BufferCache::submitClaimedFetch(gpu::BlockCtx &ctx, CacheFile &f,
     req.offset = pf.startIdx * page_size;
     req.gpuId = dev.id();
     req.issueTime = ctx.now();
+    req.tenant = f.tenant.load(std::memory_order_relaxed);
     req.speculative = pf.spec;
+    if (shardedFile(f))
+        shards_->recordHeat(req.tenant, f.ino, pf.startIdx, dev.id(),
+                            pf.n);
     // Shard-group clipping upstream guarantees one owner per batch, so
     // the whole run routes to that owner (or to the host when self).
     unsigned owner = pageOwner(f, pf.startIdx);
@@ -1758,6 +1806,22 @@ BufferCache::peerMirrorResident(CacheFile &f, uint64_t page_idx,
     std::memcpy(arena_.data(frame) + in_page, src, len);
     c.unpin(*p);
     return true;
+}
+
+bool
+BufferCache::peerAdoptResident(CacheFile &f, uint64_t page_idx,
+                               const uint8_t *src, uint32_t valid,
+                               Time ready, uint8_t tenant)
+{
+    if (!f.cache || valid == 0 || valid > params_.pageSize)
+        return false;
+    // Adoption must never eat the frames synchronous pins (and
+    // split-phase claims) depend on: free headroom only, same reserve
+    // rule as the prefetch paths. The quota gate for @p tenant lives
+    // in FrameArena::allocFor, reached through tryAdoptPage.
+    if (arena_.freeCount() <= claimReserve())
+        return false;
+    return f.cache->tryAdoptPage(page_idx, src, valid, ready, tenant);
 }
 
 void

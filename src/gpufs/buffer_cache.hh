@@ -109,6 +109,14 @@ struct CacheFile {
      *  fsync never dedups away the barrier (gmsync contract). */
     std::atomic<bool> durable{false};
 
+    /** Tenant currently holding the file open (from the gopen flag
+     *  word; 0 until a tenant-tagged open). New frame claims are
+     *  charged to it, RPCs carry it for DRR scheduling, and demotions
+     *  charge the FRAME's stamped tenant — the one who faulted the
+     *  page — not necessarily this word (a reopen under a different
+     *  tenant re-points only future faults). */
+    std::atomic<uint8_t> tenant{0};
+
     /** Parked (closed-table) entry: first eviction tier when clean. */
     std::atomic<bool> closed{false};
     /** Stamp of the close that parked this entry (oldest goes first). */
@@ -430,12 +438,19 @@ class BufferCache
 
     // ---- paging ----
 
+    /** "No tenant" sentinel for reclaimFrames: global reclaim. */
+    static constexpr uint8_t kAnyTenant = 0xFF;
+
     /**
      * Free at least @p want frames by running the eviction policy over
-     * the attached files. Runs on the calling block's thread. @return
-     * frames freed.
+     * the attached files. Runs on the calling block's thread. When
+     * @p tenant names a tenant sitting at its frame quota, the policy
+     * runs over only that tenant's files — eviction WITHIN the quota,
+     * so a capped tenant's fault pressure never displaces other
+     * tenants' resident pages. @return frames freed.
      */
-    unsigned reclaimFrames(gpu::BlockCtx &ctx, unsigned want);
+    unsigned reclaimFrames(gpu::BlockCtx &ctx, unsigned want,
+                           uint8_t tenant = kAnyTenant);
 
     /** Release a closed file's host fd (and with it the host-side
      *  consistency claim) once its cache holds no dirty data. */
@@ -516,6 +531,19 @@ class BufferCache
     bool peerMirrorResident(CacheFile &f, uint64_t page_idx,
                             uint32_t in_page, const uint8_t *src,
                             uint32_t len);
+
+    /**
+     * Daemon-side owner warming: adopt the bytes a PeerReadPages host
+     * fallback just read for a page THIS GPU owns, so the next peer
+     * miss on it forwards from these frames instead of re-paying the
+     * storage round trip. Declines rather than perturb anything: no
+     * reclaim is run (free frames above the claim reserve only), the
+     * page must be Empty and uncontended, and @p tenant — the faulting
+     * requester's tenant — must be under its frame quota here too.
+     */
+    bool peerAdoptResident(CacheFile &f, uint64_t page_idx,
+                           const uint8_t *src, uint32_t valid,
+                           Time ready, uint8_t tenant);
 
     // ---- read-ahead policy ----
 

@@ -58,7 +58,30 @@ enum GOpenFlags : uint32_t {
      *  merely the host page cache — holds the data. Per-file, after
      *  the cuda-durable-allocator design. */
     G_GDURABLE = 0x40000,
+    /** Tenant id field (serving tier): bits [20, 22) carry the opener's
+     *  TenantId, composed with g_tenant_flags(). The bits never reach
+     *  the host open (hostOpenFlags copies named bits only); they ride
+     *  the entry's flag word into CacheFile::tenant, where frame and
+     *  victim quotas and the daemon's DRR scheduler read them. */
+    G_TENANT_SHIFT = 20,
+    G_TENANT_MASK = 0x3 << G_TENANT_SHIFT,
 };
+
+/** Compose the flag bits carrying @p tenant (OR into gopen flags). */
+constexpr uint32_t
+g_tenant_flags(TenantId tenant)
+{
+    return (static_cast<uint32_t>(tenant) << G_TENANT_SHIFT) &
+        G_TENANT_MASK;
+}
+
+/** Extract the TenantId a gopen flag word carries. */
+constexpr TenantId
+g_tenant_of(uint32_t flags)
+{
+    return static_cast<TenantId>((flags & G_TENANT_MASK) >>
+                                 G_TENANT_SHIFT);
+}
 
 /** Result of gfstat. */
 struct GStat {
@@ -96,6 +119,7 @@ struct OpenFile {
     bool gwronce() const { return flags & G_GWRONCE; }
     bool nosync() const { return flags & G_NOSYNC; }
     bool gdurable() const { return flags & G_GDURABLE; }
+    TenantId tenant() const { return g_tenant_of(flags); }
 
     /** True when the background flusher should drain this entry: a
      *  live cache holding dirty pages whose contents are host-synced
@@ -115,6 +139,7 @@ struct OpenFile {
         cf.wronce = gwronce();
         cf.noSync = nosync();
         cf.durable.store(gdurable(), std::memory_order_relaxed);
+        cf.tenant.store(tenant(), std::memory_order_relaxed);
     }
 
     /** Return the entry to the Free state (cache already destroyed and

@@ -25,14 +25,30 @@ FrameArena::FrameArena(uint64_t cache_bytes, uint64_t page_size)
 }
 
 uint32_t
-FrameArena::alloc()
+FrameArena::allocFor(TenantId tenant)
 {
-    std::lock_guard<std::mutex> lock(freeMtx);
-    if (freeList.empty())
+    TenantId t = tenant % kMaxTenants;
+    if (tenantAtQuota(t))
         return kNoFrame;
-    uint32_t f = freeList.back();
-    freeList.pop_back();
+    uint32_t f;
+    {
+        std::lock_guard<std::mutex> lock(freeMtx);
+        if (freeList.empty())
+            return kNoFrame;
+        f = freeList.back();
+        freeList.pop_back();
+    }
+    frames[f].tenant.store(t, std::memory_order_relaxed);
+    tenantUsed_[t].fetch_add(1, std::memory_order_relaxed);
     return f;
+}
+
+void
+FrameArena::setTenantQuota(TenantId tenant, uint32_t quota_frames)
+{
+    // Configuration-time only (BufferCache construction): allocFor
+    // reads the quota word unsynchronized on the fault path.
+    tenantQuota_[tenant % kMaxTenants] = quota_frames;
 }
 
 void
@@ -45,6 +61,9 @@ FrameArena::free(uint32_t f)
                  "frame freed while still holding a pristine copy");
     gpufs_assert(!pf.speculative.load(std::memory_order_relaxed),
                  "frame freed with its speculative tag unaccounted");
+    TenantId t = pf.tenant.load(std::memory_order_relaxed) % kMaxTenants;
+    tenantUsed_[t].fetch_sub(1, std::memory_order_relaxed);
+    pf.tenant.store(0, std::memory_order_relaxed);
     pf.fileUid.store(0, std::memory_order_release);
     pf.validBytes.store(0, std::memory_order_relaxed);
     pf.clearDirty();

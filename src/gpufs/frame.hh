@@ -24,6 +24,7 @@
 
 #include "base/stats.hh"
 #include "base/units.hh"
+#include "gpufs/params.hh"
 
 namespace gpufs {
 namespace core {
@@ -83,6 +84,11 @@ struct PFrame {
      *  the never-pinned frame (-> ra_wasted). Set under the fpage lock
      *  at publish so a racing pinner always sees it. */
     std::atomic<bool> speculative{false};
+    /** Tenant whose fault claimed this frame (quota accounting: the
+     *  arena charges allocFor's tenant here and credits it back at
+     *  free, so eviction refunds exactly the tenant who faulted the
+     *  page). 0 — the default tenant — for every single-tenant path. */
+    std::atomic<uint8_t> tenant{0};
     /** Stream slot (ReadAheadStreams index) the publishing read-ahead
      *  batch resolved, or ReadAheadStreams::kNoStream — routes the
      *  frame's promotion/waste feedback back to the stream that
@@ -150,10 +156,38 @@ class FrameArena
     FrameArena &operator=(const FrameArena &) = delete;
 
     /** @return a free frame index, or kNoFrame if exhausted. */
-    uint32_t alloc();
+    uint32_t alloc() { return allocFor(0); }
+
+    /**
+     * Tenant-charged allocation: like alloc(), but fails with kNoFrame
+     * when @p tenant sits at its frame quota even if free frames
+     * remain — the caller's NoSpace path then reclaims within the
+     * tenant's own resident set. The granted frame is stamped with the
+     * tenant and counted against it until free().
+     */
+    uint32_t allocFor(TenantId tenant);
 
     /** Return a frame to the free list, clearing its identity. */
     void free(uint32_t frame);
+
+    /** Frame quota of @p tenant (0 = unlimited, the default). */
+    void setTenantQuota(TenantId tenant, uint32_t frames);
+
+    /** Frames currently charged to @p tenant. */
+    uint32_t
+    tenantPages(TenantId tenant) const
+    {
+        return tenantUsed_[tenant % kMaxTenants].load(
+            std::memory_order_relaxed);
+    }
+
+    /** True when @p tenant has a quota and sits at (or above) it. */
+    bool
+    tenantAtQuota(TenantId tenant) const
+    {
+        uint32_t q = tenantQuota_[tenant % kMaxTenants];
+        return q != 0 && tenantPages(tenant) >= q;
+    }
 
     uint8_t *data(uint32_t frame)
     {
@@ -180,6 +214,11 @@ class FrameArena
     mutable std::mutex freeMtx;
     std::vector<uint32_t> freeList;
     std::atomic<uint64_t> tick{0};
+
+    /** Per-tenant frame accounting (quota checked at allocFor, charge
+     *  refunded at free via the frame's tenant stamp). */
+    std::atomic<uint32_t> tenantUsed_[kMaxTenants] = {};
+    uint32_t tenantQuota_[kMaxTenants] = {};
 };
 
 } // namespace core

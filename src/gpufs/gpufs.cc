@@ -198,6 +198,9 @@ GpuFs::gopen(gpu::BlockCtx &ctx, const std::string &path, uint32_t flags)
     req.mergeableWriter = (flags & G_GWRONCE) ||
         (params_.enableDiffMerge && req.wantsWrite);
     req.nosync = flags & G_NOSYNC;
+    // Serving tier: the tenant rides the RPC (per-tenant accounting)
+    // and, via syncCacheFlags below, every later I/O of this entry.
+    req.tenant = g_tenant_of(flags);
     rpc::RpcResponse resp = rpcCall(ctx, req);
     if (!ok(resp.status))
         return -static_cast<int>(resp.status);
@@ -1263,6 +1266,25 @@ GpuFs::peerMirrorExtent(uint64_t ino, uint64_t page_idx, uint64_t version,
     if (e->cf.version.load(std::memory_order_acquire) != version)
         return false;
     return bc_.peerMirrorResident(e->cf, page_idx, in_page, src, len);
+}
+
+bool
+GpuFs::peerAdoptPage(uint64_t ino, uint64_t page_idx, uint64_t version,
+                     const uint8_t *data, uint32_t valid, Time ready,
+                     uint8_t tenant)
+{
+    std::unique_lock<std::mutex> lock(tableMtx, std::try_to_lock);
+    if (!lock.owns_lock())
+        return false;
+    OpenFile *e = table_.findAnyByIno(ino);
+    if (!e)
+        return false;
+    // Same version gate as the serve path: adopt only bytes this cache
+    // would have been allowed to serve.
+    if (e->cf.version.load(std::memory_order_acquire) != version)
+        return false;
+    return bc_.peerAdoptResident(e->cf, page_idx, data, valid, ready,
+                                 tenant);
 }
 
 void

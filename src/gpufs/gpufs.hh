@@ -200,6 +200,9 @@ class GpuFs : public rpc::PeerPageSource
                           const uint8_t *src, uint32_t len) override;
     void peerPublishVersion(uint64_t ino, uint64_t old_version,
                             uint64_t new_version) override;
+    bool peerAdoptPage(uint64_t ino, uint64_t page_idx, uint64_t version,
+                       const uint8_t *data, uint32_t valid, Time ready,
+                       uint8_t tenant) override;
 
     // ---- API (Table 1) ----
 

@@ -15,6 +15,16 @@ namespace gpufs {
 namespace core {
 
 /**
+ * Serving-tier tenants. A TenantId rides the gopen flag word (see
+ * GOpenFlags) into the CacheFile, is stamped into every frame the
+ * tenant faults, and travels in each RPC so the daemon can schedule
+ * slots fairly. Tenant 0 is the default — single-tenant workloads
+ * never see any of the machinery.
+ */
+using TenantId = uint8_t;
+constexpr unsigned kMaxTenants = 4;
+
+/**
  * Frame-reclamation policies (BufferCache::EvictionPolicy variants).
  *
  * PaperTiered is §4.2's constant-work order: closed clean files first
@@ -225,6 +235,29 @@ struct GpuFsParams {
      * vc_version_stale / vc_evictions in the daemon StatSet.
      */
     uint64_t victimCachePages = 0;
+
+    /**
+     * Multi-tenant serving tier (all zero = off, every path identical
+     * to the single-tenant behavior). Quotas are enforced at claim /
+     * demote time: a tenant at its frame quota evicts within its own
+     * resident set (or gets NoSpace) instead of trampling other
+     * tenants, and a tenant over its victim-tier quota displaces its
+     * own demoted pages first. 0 = unlimited for that tenant.
+     */
+    uint32_t tenantFrameQuota[kMaxTenants] = {0, 0, 0, 0};
+
+    /** Victim-tier quota per tenant, in pages (0 = unlimited). */
+    uint64_t tenantVictimQuota[kMaxTenants] = {0, 0, 0, 0};
+
+    /**
+     * Weighted deficit-round-robin slot scheduling in the daemon's
+     * service sweep (all zero = issue-time FIFO, the seed behavior).
+     * A sweep holding requests of more than one tenant is served in
+     * DRR order — batch requests cost their page count — so a scan
+     * tenant's 16-page batches cannot starve a point-lookup tenant's
+     * single-page reads queued in the same sweep.
+     */
+    unsigned tenantWeight[kMaxTenants] = {0, 0, 0, 0};
 };
 
 } // namespace core

@@ -1,5 +1,7 @@
 #include "gpufs/radix.hh"
 
+#include <cstring>
+
 #include "base/logging.hh"
 
 namespace gpufs {
@@ -185,7 +187,7 @@ FileCache::beginInitBatch(uint64_t start_idx, unsigned max_n,
             p->lock.unlock();
             break;
         }
-        uint32_t f = arena.alloc();
+        uint32_t f = arena.allocFor(tenantOf());
         if (f == kNoFrame) {
             p->lock.unlock();
             break;
@@ -237,6 +239,38 @@ FileCache::abortInitBatch(const BatchSlot *slots, unsigned n)
         arena.free(slots[i].frame);
         slots[i].page->lock.unlock();
     }
+}
+
+bool
+FileCache::tryAdoptPage(uint64_t page_idx, const uint8_t *src,
+                        uint32_t valid, Time ready, uint8_t tenant)
+{
+    if (page_idx > maxPageIndex() || valid == 0)
+        return false;
+    FPage *p = getPage(page_idx);
+    if (!p->lock.tryLock())
+        return false;
+    if (p->state.load(std::memory_order_acquire) != kPageEmpty) {
+        p->lock.unlock();
+        return false;
+    }
+    uint32_t f = arena.allocFor(tenant);
+    if (f == kNoFrame) {
+        p->lock.unlock();
+        return false;
+    }
+    PFrame &pf = arena.frame(f);
+    pf.fileUid.store(uid_, std::memory_order_relaxed);
+    pf.pageIdx.store(page_idx, std::memory_order_relaxed);
+    pf.owner.store(p, std::memory_order_relaxed);
+    pf.lastAccess.store(arena.nextTick(), std::memory_order_relaxed);
+    std::memcpy(arena.data(f), src, valid);
+    pf.validBytes.store(valid, std::memory_order_relaxed);
+    pf.readyTime.store(ready, std::memory_order_release);
+    p->frame.store(f, std::memory_order_release);
+    p->state.store(kPageReady, std::memory_order_release);
+    p->lock.unlock();
+    return true;
 }
 
 unsigned

@@ -149,6 +149,21 @@ class FileCache
      *  the StatSet counters. */
     void setTracker(ReadAheadStreams *t) { tracker_ = t; }
 
+    /** Wire the owning CacheFile's tenant word so every frame this
+     *  cache claims is charged to the tenant currently holding the
+     *  file open (reopen under a different tenant re-points the charge
+     *  for NEW faults; resident frames keep their original stamp).
+     *  Null (standalone tests) charges the default tenant. */
+    void setTenantTag(const std::atomic<uint8_t> *t) { tenantTag_ = t; }
+
+    /** Tenant new frame claims are charged to. */
+    uint8_t
+    tenantOf() const
+    {
+        return tenantTag_ ? tenantTag_->load(std::memory_order_relaxed)
+                          : 0;
+    }
+
     /** Largest page index addressable by the fixed-height tree. */
     static constexpr uint64_t
     maxPageIndex()
@@ -205,7 +220,7 @@ class FileCache
         }
         // Holding the lock, state can only be Empty here: Init/Evicting
         // are only set by the lock holder.
-        uint32_t f = arena.alloc();
+        uint32_t f = arena.allocFor(tenantOf());
         if (f == kNoFrame) {
             p.lock.unlock();
             return Status::NoSpace;
@@ -276,6 +291,21 @@ class FileCache
 
     /** Roll a failed batch back to Empty, freeing the frames. */
     void abortInitBatch(const BatchSlot *slots, unsigned n);
+
+    /**
+     * Owner-warming adoption (daemon-thread context, sharded cache):
+     * install @p src's bytes as this cache's Ready copy of
+     * @p page_idx. Never blocks — the fpage is try-locked only and the
+     * attempt is abandoned on contention, on a non-Empty page, or when
+     * the arena declines the claim (exhausted, or @p tenant at quota);
+     * the radix path is created if absent (node creation takes only
+     * short internal allocation locks no RPC ever spans). The page
+     * publishes Ready and UNPINNED with @p ready as its DMA-completion
+     * stamp, exactly like a read-ahead publish without the speculative
+     * tag. @return true iff adopted.
+     */
+    bool tryAdoptPage(uint64_t page_idx, const uint8_t *src,
+                      uint32_t valid, Time ready, uint8_t tenant);
 
     /** No-demotion default for reclaim/evictFrame callers without a
      *  victim tier: evicted bytes just die with the frame. */
@@ -502,6 +532,8 @@ class FileCache
     const uint64_t uid_;
     /** Owning CacheFile's read-ahead stream table (may be null). */
     ReadAheadStreams *tracker_ = nullptr;
+    /** Owning CacheFile's tenant word (may be null: default tenant). */
+    const std::atomic<uint8_t> *tenantTag_ = nullptr;
 
     RadixNode root;
     std::mutex allocMtx;

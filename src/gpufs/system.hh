@@ -63,8 +63,22 @@ class GpufsSystem
             victim_ = std::make_unique<VictimCache>(
                 fs_params.victimCachePages, fs_params.pageSize,
                 daemon_.stats());
+            for (unsigned t = 0; t < kMaxTenants; ++t) {
+                if (fs_params.tenantVictimQuota[t] != 0) {
+                    victim_->setTenantQuota(
+                        static_cast<TenantId>(t),
+                        fs_params.tenantVictimQuota[t]);
+                }
+            }
             daemon_.setVictimCache(victim_.get());
         }
+        // Serving tier: any nonzero weight switches the daemon's sweep
+        // to weighted DRR emission (all-zero keeps issue-time FIFO).
+        bool weighted = false;
+        for (unsigned t = 0; t < kMaxTenants; ++t)
+            weighted = weighted || fs_params.tenantWeight[t] != 0;
+        if (weighted)
+            daemon_.setTenantWeights(fs_params.tenantWeight, kMaxTenants);
         daemon_.start();
         for (unsigned i = 0; i < num_gpus; ++i) {
             gpufs_.push_back(std::make_unique<GpuFs>(*devices_[i],
@@ -117,6 +131,18 @@ class GpufsSystem
     GpuFs &fs(unsigned i = 0) { return *gpufs_.at(i); }
     rpc::RpcQueue &rpcQueue(unsigned i = 0) { return *queues_.at(i); }
     const ShardMap &shardMap() const { return shardMap_; }
+
+    /**
+     * Serving tier: migrate every page group whose accumulated read
+     * heat reaches @p min_heat toward its heaviest reader (heat-based
+     * shard rebalancing; see ShardMap::rebalance). Call from quiesced
+     * control code between workload phases. @return groups migrated.
+     */
+    unsigned
+    rebalanceShards(uint32_t min_heat = 64)
+    {
+        return shardMap_.rebalance(min_heat);
+    }
 
     /** True while the async write-back flusher thread is running. */
     bool flusherRunning() const { return flusher_.joinable(); }

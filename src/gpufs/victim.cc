@@ -27,21 +27,53 @@ VictimCache::VictimCache(uint64_t capacity_pages, uint64_t page_size,
 void
 VictimCache::eraseLocked(std::unordered_map<uint64_t, Entry>::iterator it)
 {
+    tenantUsed_[it->second.tenant % kMaxTenants] -= 1;
     freeSlots_.push_back(it->second.slot);
     lru_.erase(it->second.lruPos);
     map_.erase(it);
 }
 
 void
+VictimCache::setTenantQuota(TenantId tenant, uint64_t quota_pages)
+{
+    std::lock_guard<std::mutex> lock(mtx_);
+    tenantQuota_[tenant % kMaxTenants] = quota_pages;
+}
+
+uint64_t
+VictimCache::tenantPages(TenantId tenant) const
+{
+    std::lock_guard<std::mutex> lock(mtx_);
+    return tenantUsed_[tenant % kMaxTenants];
+}
+
+void
 VictimCache::insert(uint64_t ino, uint64_t page_idx, uint64_t version,
-                    const uint8_t *data, uint32_t valid, Time ready)
+                    const uint8_t *data, uint32_t valid, Time ready,
+                    uint8_t tenant)
 {
     if (valid == 0 || valid > pageSize_)
         return;
+    const uint8_t t = tenant % kMaxTenants;
     const uint64_t key = keyOf(ino, page_idx);
     std::lock_guard<std::mutex> lock(mtx_);
     auto it = map_.find(key);
     if (it == map_.end()) {
+        const uint64_t quota = tenantQuota_[t];
+        if (quota != 0 && tenantUsed_[t] >= quota) {
+            // The demoting tenant is at its victim quota: recycle its
+            // OWN least-recent entry — displacing another tenant's
+            // pages would let a scan tenant flush the whole tier.
+            for (auto lit = lru_.rbegin(); lit != lru_.rend(); ++lit) {
+                auto own = map_.find(*lit);
+                gpufs_assert(own != map_.end(), "LRU key without entry");
+                if (own->second.tenant == t) {
+                    eraseLocked(own);
+                    cntEvictions_.inc();
+                    break;
+                }
+            }
+        }
         if (freeSlots_.empty()) {
             // Capacity: demote the tier's own LRU tail to nothing.
             auto victim = map_.find(lru_.back());
@@ -52,10 +84,15 @@ VictimCache::insert(uint64_t ino, uint64_t page_idx, uint64_t version,
         uint32_t slot = freeSlots_.back();
         freeSlots_.pop_back();
         lru_.push_front(key);
-        it = map_.emplace(key, Entry{version, slot, valid, ready,
+        it = map_.emplace(key, Entry{version, slot, valid, ready, t,
                                      lru_.begin()}).first;
+        tenantUsed_[t] += 1;
     } else {
-        // Re-demotion: newer bytes replace the resident copy.
+        // Re-demotion: newer bytes replace the resident copy (and the
+        // occupancy charge moves to the demoting frame's tenant).
+        tenantUsed_[it->second.tenant % kMaxTenants] -= 1;
+        tenantUsed_[t] += 1;
+        it->second.tenant = t;
         it->second.version = version;
         it->second.valid = valid;
         it->second.ready = ready;

@@ -32,6 +32,7 @@
 
 #include "base/stats.hh"
 #include "base/units.hh"
+#include "gpufs/params.hh"
 
 namespace gpufs {
 namespace core {
@@ -57,10 +58,22 @@ class VictimCache
      *             probe-time gate against the host's current version.
      * @p ready    virtual time the staging D2H completes; probes serve
      *             no earlier (the page is not in host RAM before it).
+     * @p tenant   the tenant stamped on the demoted frame; victim
+     *             occupancy bills it, and at its quota the insert
+     *             recycles that tenant's own LRU entry rather than the
+     *             global tail (no cross-tenant displacement).
      * Re-demotion of a resident key overwrites in place.
      */
     void insert(uint64_t ino, uint64_t page_idx, uint64_t version,
-                const uint8_t *data, uint32_t valid, Time ready);
+                const uint8_t *data, uint32_t valid, Time ready,
+                uint8_t tenant = 0);
+
+    /** Cap @p tenant's victim occupancy at @p quota_pages (0 =
+     *  unlimited). Configuration-time only (GpufsSystem wiring). */
+    void setTenantQuota(TenantId tenant, uint64_t quota_pages);
+
+    /** Pages currently held for @p tenant (serving-tier reports). */
+    uint64_t tenantPages(TenantId tenant) const;
 
     /**
      * Probe for a page on the miss path. Hits (version tag ==
@@ -98,6 +111,7 @@ class VictimCache
         uint32_t slot;
         uint32_t valid;
         Time ready;
+        uint8_t tenant;
         std::list<uint64_t>::iterator lruPos;
     };
 
@@ -123,6 +137,9 @@ class VictimCache
     std::vector<uint32_t> freeSlots_;
     /** The pinned host staging pool itself. */
     std::vector<uint8_t> pool_;
+    /** Serving tier: per-tenant occupancy and caps (mtx_ held). */
+    uint64_t tenantUsed_[kMaxTenants] = {};
+    uint64_t tenantQuota_[kMaxTenants] = {};
 
     Counter &cntInserts_;
     Counter &cntHits_;

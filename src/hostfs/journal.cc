@@ -54,6 +54,19 @@ IoResult
 WriteJournal::logWrite(uint64_t ino, const WriteRun *runs, unsigned n,
                        Time ready, sim::Resource *io_path)
 {
+    IoResult a = append(ino, runs, n, ready, io_path);
+    if (!ok(a.status))
+        return a;
+    IoResult s = groupSync(a.done);
+    if (!ok(s.status))
+        return {s.status, 0, s.done};
+    return {Status::Ok, a.bytes, s.done};
+}
+
+IoResult
+WriteJournal::append(uint64_t ino, const WriteRun *runs, unsigned n,
+                     Time ready, sim::Resource *io_path)
+{
     std::lock_guard<std::mutex> lk(mtx_);
     const uint64_t txn = nextTxn_;
 
@@ -98,15 +111,37 @@ WriteJournal::logWrite(uint64_t ino, const WriteRun *runs, unsigned n,
     if (!ok(wc.status))
         return {wc.status, 0, wc.done};
 
-    IoResult s = fs_.fsync(jfd_, wc.done);
-    if (!ok(s.status))
-        return {s.status, 0, s.done};
-
     tail_ += buf.size() + sizeof c;
     nextTxn_ = txn + 1;
-    Time &last = lastCommit_[ino];
-    last = std::max(last, s.done);
-    return {Status::Ok, payload_total, s.done};
+    Time &p = pendingCommit_[ino];
+    p = std::max(p, wc.done);
+    pendingReady_ = std::max(pendingReady_, wc.done);
+    return {Status::Ok, payload_total, wc.done};
+}
+
+IoResult
+WriteJournal::groupSync(Time ready)
+{
+    std::lock_guard<std::mutex> lk(mtx_);
+    if (pendingCommit_.empty())
+        return {Status::Ok, 0, ready};
+    IoResult s = fs_.fsync(jfd_, std::max(ready, pendingReady_));
+    if (!ok(s.status))
+        return {s.status, 0, s.done};
+    for (const auto &kv : pendingCommit_) {
+        Time &last = lastCommit_[kv.first];
+        last = std::max(last, s.done);
+    }
+    pendingCommit_.clear();
+    pendingReady_ = 0;
+    return {Status::Ok, 0, s.done};
+}
+
+bool
+WriteJournal::syncPending() const
+{
+    std::lock_guard<std::mutex> lk(mtx_);
+    return !pendingCommit_.empty();
 }
 
 RecoveryStats
@@ -120,6 +155,8 @@ WriteJournal::recover(Time ready)
     if (!ok(fs_.fstat(jfd_, &fi)) || fi.size == 0) {
         tail_ = 0;
         lastCommit_.clear();
+        pendingCommit_.clear();
+        pendingReady_ = 0;
         return st;
     }
     std::vector<uint8_t> img(fi.size);
@@ -196,6 +233,8 @@ WriteJournal::recover(Time ready)
     tail_ = 0;
     nextTxn_ = max_txn + 1;
     lastCommit_.clear();
+    pendingCommit_.clear();
+    pendingReady_ = 0;
     return st;
 }
 
@@ -210,9 +249,16 @@ WriteJournal::checkpoint(Time ready)
     Time t = ready;
     for (const auto &kv : lastCommit_)
         t = std::max(t, fs_.fsyncIno(kv.first, t));
+    // Unsynced appends (a crash raced the sweep's groupSync) get the
+    // same treatment: their bytes are applied in place, so flush the
+    // file and let the records die with the truncate.
+    for (const auto &kv : pendingCommit_)
+        t = std::max(t, fs_.fsyncIno(kv.first, t));
     fs_.ftruncate(jfd_, 0);
     tail_ = 0;
     lastCommit_.clear();
+    pendingCommit_.clear();
+    pendingReady_ = 0;
     return t;
 }
 

@@ -83,10 +83,36 @@ class WriteJournal
      * Append one transaction (extent records for @p runs + commit),
      * fsync the journal, and return with .done = the commit-durable
      * time. On error or an injected crash nothing is committed and
-     * the caller must fail its write-back.
+     * the caller must fail its write-back. Composition of append() +
+     * groupSync() — the per-txn-fsync path kept for callers outside
+     * the daemon's sweep loop.
      */
     IoResult logWrite(uint64_t ino, const WriteRun *runs, unsigned n,
                       Time ready, sim::Resource *io_path);
+
+    /**
+     * Group commit, step 1: append one transaction's extent + commit
+     * records (pwrites only — NO journal fsync). Returns .bytes = the
+     * payload total and .done = the commit-record write's completion.
+     * The records are on media (the crash model persists pwrites
+     * unless a crash point tears them explicitly), but the txn has no
+     * commit-DURABLE time until the next groupSync() — lastCommitDone
+     * does not see it before then.
+     */
+    IoResult append(uint64_t ino, const WriteRun *runs, unsigned n,
+                    Time ready, sim::Resource *io_path);
+
+    /**
+     * Group commit, step 2: ONE journal fsync covering every append()
+     * since the last sync; each covered ino's lastCommitDone advances
+     * to the fsync's completion time. No-op ({Ok, 0, ready}) when
+     * nothing is pending. The daemon calls this once per service
+     * sweep, so N same-sweep write-backs share one barrier.
+     */
+    IoResult groupSync(Time ready);
+
+    /** True when append()ed txns await their groupSync(). */
+    bool syncPending() const;
 
     /**
      * Replay committed-but-possibly-unapplied transactions in commit
@@ -124,6 +150,10 @@ class WriteJournal
     uint64_t tail_ = 0;
     uint64_t nextTxn_ = 1;
     std::unordered_map<uint64_t, Time> lastCommit_;
+    /** Appends awaiting their group fsync: per-ino commit-record write
+     *  completion, and the max across them (the fsync's ready time). */
+    std::unordered_map<uint64_t, Time> pendingCommit_;
+    Time pendingReady_ = 0;
 };
 
 } // namespace hostfs

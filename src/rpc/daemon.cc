@@ -1,7 +1,9 @@
 #include "rpc/daemon.hh"
 
 #include <algorithm>
+#include <chrono>
 #include <cstring>
+#include <string>
 
 #include "base/logging.hh"
 #include "gpufs/victim.hh"
@@ -30,10 +32,35 @@ CpuDaemon::CpuDaemon(hostfs::HostFs &host_fs,
       journalCommitBarriers(stats_.counter("journal_commit_barriers")),
       journalTxnsReplayed(stats_.counter("journal_txns_replayed")),
       journalTornRecords(stats_.counter("journal_torn_records")),
-      journalCheckpoints(stats_.counter("journal_checkpoints"))
+      journalCheckpoints(stats_.counter("journal_checkpoints")),
+      journalGroupSyncs(stats_.counter("journal_group_syncs")),
+      peerPagesAdopted(stats_.counter("peer_pages_adopted"))
 {
+    for (unsigned t = 0; t < core::kMaxTenants; ++t) {
+        tenantRpcs[t] =
+            &stats_.counter("tenant" + std::to_string(t) + "_rpcs");
+    }
     backend_ = storage::makeStorageBackend(storage::BackendKind::Buffered,
                                            fs, stats_);
+}
+
+void
+CpuDaemon::setTenantWeights(const unsigned *weights, unsigned n)
+{
+    gpufs_assert(!running.load(), "setTenantWeights after start");
+    drr_ = false;
+    for (unsigned t = 0; t < core::kMaxTenants; ++t) {
+        tenantWeight_[t] = t < n ? weights[t] : 0;
+        if (tenantWeight_[t] != 0)
+            drr_ = true;
+    }
+}
+
+void
+CpuDaemon::setSweepLinger(Time deadline)
+{
+    gpufs_assert(!running.load(), "setSweepLinger after start");
+    linger_ = deadline;
 }
 
 void
@@ -60,6 +87,12 @@ namespace {
 constexpr unsigned kMaxIoRetries = 3;
 constexpr Time kIoRetryBackoff = 20000;  // 20us, doubling per attempt
 
+/** Aggregation linger's wall-clock safety bound: ~200ms of 50us naps
+ *  waiting for a census-visible straggler to publish. Generous — a
+ *  mid-fill block publishes in microseconds — but finite, so a block
+ *  that claimed a slot and stalled can never wedge parked requests. */
+constexpr unsigned kLingerMaxSpins = 4000;
+
 template <typename Fn>
 hostfs::IoResult
 retryTransient(hostfs::HostFs &fs, Counter &retries, Counter &giveups,
@@ -75,6 +108,10 @@ retryTransient(hostfs::HostFs &fs, Counter &retries, Counter &giveups,
         giveups.inc();
     return r;
 }
+
+// Defined below, next to the write-back handlers that share it.
+void appendZeroDiffRuns(std::vector<hostfs::WriteRun> &runs, uint64_t off,
+                        const uint8_t *data, uint64_t len);
 
 } // namespace
 
@@ -107,23 +144,153 @@ CpuDaemon::maybeJournal(int fd, const hostfs::WriteRun *runs, unsigned n,
     uint64_t ino = 0;
     if (!durableFd(fd, &ino))
         return Status::Ok;
+    if (slotPrejournaled_) {
+        // Group commit fast path: the sweep preflight already appended
+        // this txn and made it durable with the sweep's ONE groupSync,
+        // so the WAL rule (commit durable before the in-place write)
+        // holds without a per-RPC fsync here.
+        slotPrejournaled_ = false;
+        journalCommits.inc();
+        journalUnapplied_.fetch_add(1, std::memory_order_relaxed);
+        if (journaled)
+            *journaled = true;
+        t = std::max(t, slotPrejournalTime_);
+        // Crash point "commit durable, in-place write never ran":
+        // exactly the window recovery's replay exists for.
+        if (fs.maybeCrash(sim::CrashPoint::AfterJournalCommit))
+            return Status::IoError;
+        return Status::Ok;
+    }
+    // Fallback (preflight append failed or was skipped): per-RPC
+    // append + fsync. The sync cannot be deferred to the sweep's end —
+    // a crash reverts un-fsynced journal records, so an in-place write
+    // issued before the sync would be unrecoverable if torn.
     const Time base = t;
     hostfs::IoResult j = retryTransient(
         fs, ioRetries, ioRetryGiveups, [&](Time backoff) {
-            return journal_->logWrite(ino, runs, n, base + backoff, io);
+            return journal_->append(ino, runs, n, base + backoff, io);
         });
     if (!ok(j.status))
         return j.status;
+    hostfs::IoResult s = retryTransient(
+        fs, ioRetries, ioRetryGiveups,
+        [&](Time backoff) { return journal_->groupSync(j.done + backoff); });
+    if (!ok(s.status))
+        return s.status;
+    journalGroupSyncs.inc();
     journalCommits.inc();
     journalUnapplied_.fetch_add(1, std::memory_order_relaxed);
     if (journaled)
         *journaled = true;
-    t = j.done;
+    t = s.done;
     // Crash point "commit durable, in-place write never ran": exactly
     // the window recovery's replay exists for.
     if (fs.maybeCrash(sim::CrashPoint::AfterJournalCommit))
         return Status::IoError;
     return Status::Ok;
+}
+
+Status
+CpuDaemon::flushJournalSync()
+{
+    // Never after a crash: the appended records then belong to
+    // recovery's replay, and fsyncing a dead store is not transient.
+    if (!journal_ || !journal_->syncPending() || fs.crashed())
+        return Status::Ok;
+    hostfs::IoResult s = retryTransient(
+        fs, ioRetries, ioRetryGiveups,
+        [&](Time backoff) { return journal_->groupSync(backoff); });
+    if (!ok(s.status))
+        return s.status;
+    journalGroupSyncs.inc();
+    return Status::Ok;
+}
+
+void
+CpuDaemon::prejournalSweep(unsigned port_idx, RpcSlot **all,
+                           unsigned total)
+{
+    if (!journal_ || fs.crashed())
+        return;
+    auto &sim = ports[port_idx]->dev->simContext();
+    bool appended = false;
+    for (unsigned s = 0; s < total; ++s) {
+        const RpcRequest &req = all[s]->req;
+        // Reconstruct exactly the runs the handler will journal (same
+        // validation guards, same zero-diff split) — the staging bytes
+        // are already host-visible when the slot is claimed; only the
+        // D2H DMA's virtual-time charge happens later in the handler.
+        std::vector<hostfs::WriteRun> runs;
+        switch (req.op) {
+        case RpcOp::WritePages:
+            if (req.pageCount == 0 || req.pageCount > kMaxBatchPages)
+                continue;
+            for (unsigned i = 0; i < req.pageCount; ++i) {
+                if (req.batchLen[i] == 0)
+                    continue;
+                if (req.diffAgainstZeros) {
+                    appendZeroDiffRuns(runs, req.batchOff[i],
+                                       req.batch[i], req.batchLen[i]);
+                } else {
+                    runs.push_back({req.batchOff[i], req.batchLen[i],
+                                    req.batch[i]});
+                }
+            }
+            break;
+        case RpcOp::PeerWritePages:
+            if (req.pageCount == 0 || req.pageCount > kMaxBatchPages ||
+                req.pageLen == 0)
+                continue;
+            for (unsigned i = 0; i < req.pageCount; ++i) {
+                if (req.batchLen[i] == 0)
+                    continue;
+                runs.push_back({req.batchOff[i], req.batchLen[i],
+                                req.batch[i]});
+            }
+            break;
+        case RpcOp::WriteBack:
+            if (req.diffAgainstZeros)
+                appendZeroDiffRuns(runs, req.offset, req.data, req.len);
+            else if (req.len > 0)
+                runs.push_back({req.offset, req.len, req.data});
+            break;
+        default:
+            continue;
+        }
+        uint64_t ino = 0;
+        if (runs.empty() || !durableFd(req.hostFd, &ino))
+            continue;
+        hostfs::IoResult j = retryTransient(
+            fs, ioRetries, ioRetryGiveups, [&](Time backoff) {
+                return journal_->append(ino, runs.data(),
+                                        static_cast<unsigned>(runs.size()),
+                                        req.issueTime + backoff,
+                                        &sim.cpuIo);
+            });
+        if (!ok(j.status))
+            continue; // handler's maybeJournal falls back per-RPC
+        prejournalDone_[all[s]] = j.done;
+        appended = true;
+    }
+    if (!appended)
+        return;
+    hostfs::IoResult gs = retryTransient(
+        fs, ioRetries, ioRetryGiveups,
+        [&](Time backoff) { return journal_->groupSync(backoff); });
+    if (!ok(gs.status) || fs.crashed()) {
+        // The group fsync failed (or a crash fired mid-preflight): the
+        // appends are NOT durable, so the handlers must not treat them
+        // as committed — drop the records and let maybeJournal's
+        // per-RPC fallback re-establish the WAL ordering (or surface
+        // the error).
+        prejournalDone_.clear();
+        return;
+    }
+    journalGroupSyncs.inc();
+    // Propagate the sync-durable time into every preflighted slot so
+    // resp.done never claims completion before its commit was durable.
+    for (auto &e : prejournalDone_)
+        e.second = std::max(e.second, gs.done);
 }
 
 CpuDaemon::~CpuDaemon()
@@ -241,6 +408,30 @@ CpuDaemon::loop()
                 serviceSweep(i, batch, n);
                 any = true;
             }
+            // Aggregation linger: a sweep parked an under-filled
+            // ReadPages group because the occupancy census showed more
+            // of the burst still arriving. Hold here while that
+            // evidence persists (bounded spin — a block mid-fill
+            // publishes in microseconds), merge the stragglers when
+            // they land, and flush the parked slots solo once the
+            // census empties or the bound expires.
+            unsigned spins = 0;
+            while (!ports[i]->parked.empty()) {
+                any = true;
+                if ((n = ports[i]->queue->pollAll(batch, kQueueSlots))
+                    > 0) {
+                    serviceSweep(i, batch, n);
+                    continue;
+                }
+                if (ports[i]->queue->occupiedHint() == 0 ||
+                    ++spins > kLingerMaxSpins ||
+                    !running.load(std::memory_order_acquire)) {
+                    serviceSweep(i, nullptr, 0);
+                    break;
+                }
+                std::this_thread::sleep_for(
+                    std::chrono::microseconds(50));
+            }
         }
         if (!any) {
             // Nothing ready: park on the doorbell (simulated poll).
@@ -250,8 +441,13 @@ CpuDaemon::loop()
             seen = doorbell.load(std::memory_order_acquire);
         }
     }
-    // Drain: fail any requests that raced with shutdown so no GPU
-    // block is left waiting forever.
+    // Drain: flush anything still parked (belt and braces — the
+    // linger spin flushes on the running edge), then fail requests
+    // that raced with shutdown so no GPU block waits forever.
+    for (unsigned i = 0; i < ports.size(); ++i) {
+        if (!ports[i]->parked.empty())
+            serviceSweep(i, nullptr, 0);
+    }
     for (auto &port : ports) {
         RpcSlot *slot;
         while ((slot = port->queue->poll()) != nullptr) {
@@ -266,23 +462,45 @@ CpuDaemon::loop()
 void
 CpuDaemon::serviceSweep(unsigned port_idx, RpcSlot **batch, unsigned n)
 {
-    std::sort(batch, batch + n,
+    GpuPort &port = *ports[port_idx];
+    // Merge slots the aggregation linger parked last sweep ahead of
+    // this sweep's claims; a merged slot is never parked twice.
+    RpcSlot *all[2 * kQueueSlots];
+    const bool had_parked = !port.parked.empty();
+    unsigned total = 0;
+    for (RpcSlot *s : port.parked)
+        all[total++] = s;
+    port.parked.clear();
+    for (unsigned i = 0; i < n; ++i)
+        all[total++] = batch[i];
+    if (total == 0)
+        return;
+    std::sort(all, all + total,
               [](const RpcSlot *a, const RpcSlot *b) {
                   return a->req.issueTime < b->req.issueTime;
               });
+    // Serving tier: with weights configured and several tenants in the
+    // sweep, re-emit in weighted deficit-round-robin order so a scan
+    // tenant's deep batches reserve the serialized CPU timeline AFTER
+    // the point tenants' slots instead of ahead of them.
+    drrOrder(port, all, total);
+    // Group commit: append every write-op slot's journal txn and make
+    // them durable with ONE fsync before any handler's in-place write
+    // runs (see prejournalSweep for the WAL ordering argument).
+    prejournalSweep(port_idx, all, total);
     // Cross-block RPC aggregation: the burst a coalesced doorbell
     // delivered as one sweep usually carries many blocks' ReadPages
     // on the SAME file (a shared scan) — gather each same-file set
     // into one host read instead of k. Groups are serviced at their
-    // first member's place in the issue-time order; everything else
+    // first member's place in the emission order; everything else
     // keeps the plain per-slot path.
-    bool taken[kQueueSlots] = {};
-    for (unsigned s = 0; s < n; ++s) {
+    bool taken[2 * kQueueSlots] = {};
+    for (unsigned s = 0; s < total; ++s) {
         if (taken[s])
             continue;
-        RpcSlot *group[kQueueSlots];
+        RpcSlot *group[2 * kQueueSlots];
         unsigned k = 0;
-        const RpcRequest &req = batch[s]->req;
+        const RpcRequest &req = all[s]->req;
         // Requests the victim tier fully covers stay OUT of the
         // gathered storage read: served individually they skip the
         // host read entirely (one H2D from host RAM), which is the
@@ -291,16 +509,16 @@ CpuDaemon::serviceSweep(unsigned port_idx, RpcSlot **batch, unsigned n)
         // accounting.
         if (req.op == RpcOp::ReadPages && req.pageCount > 0 &&
             req.pageCount <= kMaxBatchPages && !victimCoversReq(req)) {
-            group[k++] = batch[s];
-            for (unsigned t = s + 1; t < n; ++t) {
+            group[k++] = all[s];
+            for (unsigned t = s + 1; t < total; ++t) {
                 if (taken[t])
                     continue;
-                const RpcRequest &r2 = batch[t]->req;
+                const RpcRequest &r2 = all[t]->req;
                 if (r2.op == RpcOp::ReadPages &&
                     r2.hostFd == req.hostFd &&
                     r2.pageCount > 0 && r2.pageCount <= kMaxBatchPages &&
                     !victimCoversReq(r2)) {
-                    group[k++] = batch[t];
+                    group[k++] = all[t];
                     taken[t] = true;
                 }
             }
@@ -308,11 +526,86 @@ CpuDaemon::serviceSweep(unsigned port_idx, RpcSlot **batch, unsigned n)
         if (k >= 2) {
             handleReadPagesGroup(port_idx, group, k);
             requestsServed.inc(k);
+            for (unsigned m = 0; m < k; ++m) {
+                tenantRpcs[group[m]->req.tenant % core::kMaxTenants]
+                    ->inc();
+            }
+        } else if (k == 1 && linger_ != 0 && !had_parked &&
+                   port.queue->occupiedHint() > 0) {
+            // Under-filled group with the burst visibly still arriving
+            // (slots Filling/Ready in the census): park it for one
+            // extra sweep instead of issuing a lone host read — the
+            // loop's linger spin merges it with the stragglers, or
+            // flushes it solo at the (virtual-deadline-sized) bound.
+            port.parked.push_back(all[s]);
         } else {
+            auto pj = prejournalDone_.find(all[s]);
+            if (pj != prejournalDone_.end()) {
+                slotPrejournaled_ = true;
+                slotPrejournalTime_ = pj->second;
+                prejournalDone_.erase(pj);
+            }
             RpcResponse resp = handle(port_idx, req);
-            RpcQueue::complete(*batch[s], resp);
+            slotPrejournaled_ = false;
+            RpcQueue::complete(*all[s], resp);
             requestsServed.inc();
+            tenantRpcs[req.tenant % core::kMaxTenants]->inc();
         }
+    }
+    // Belt and braces: a per-RPC fallback append syncs inline, so
+    // nothing should be pending here — but never leave a sweep with
+    // un-synced journal records (a later in-place write would outrun
+    // them).
+    flushJournalSync();
+}
+
+void
+CpuDaemon::drrOrder(GpuPort &port, RpcSlot **batch, unsigned n)
+{
+    if (!drr_ || n < 2)
+        return;
+    // Stable partition into per-tenant sublists, so each tenant's own
+    // requests keep their issue-time order.
+    std::vector<RpcSlot *> per[core::kMaxTenants];
+    unsigned present = 0;
+    for (unsigned i = 0; i < n; ++i) {
+        uint8_t t = batch[i]->req.tenant % core::kMaxTenants;
+        if (per[t].empty())
+            ++present;
+        per[t].push_back(batch[i]);
+    }
+    if (present < 2)
+        return;
+    // DRR emission: each round credits every backlogged tenant its
+    // weight and emits requests while the deficit covers their page
+    // cost — a 16-page scan batch needs 16 credits, a point lookup 1,
+    // so light tenants drain ahead of a heavy tenant's backlog in
+    // proportion to weight. Rounds repeat until the sweep drains
+    // (every request IS serviced — DRR shapes order, never drops).
+    unsigned head[core::kMaxTenants] = {};
+    unsigned emitted = 0;
+    while (emitted < n) {
+        for (unsigned t = 0; t < core::kMaxTenants; ++t) {
+            if (head[t] >= per[t].size())
+                continue;
+            port.drrDeficit[t] +=
+                tenantWeight_[t] != 0 ? tenantWeight_[t] : 1;
+            while (head[t] < per[t].size()) {
+                const RpcRequest &r = per[t][head[t]]->req;
+                uint64_t cost = r.pageCount != 0 ? r.pageCount : 1;
+                if (port.drrDeficit[t] < cost)
+                    break;
+                port.drrDeficit[t] -= cost;
+                batch[emitted++] = per[t][head[t]++];
+            }
+        }
+    }
+    // Classic DRR empty-queue rule: a drained tenant banks no credit
+    // (every tenant drains within the sweep, so deficits stay bounded
+    // by one request's cost).
+    for (unsigned t = 0; t < core::kMaxTenants; ++t) {
+        if (!per[t].empty())
+            port.drrDeficit[t] = 0;
     }
 }
 
@@ -437,9 +730,16 @@ CpuDaemon::handle(unsigned port_idx, const RpcRequest &req)
         uint64_t ino = 0;
         if (req.durableBarrier && journal_ && durableFd(req.hostFd, &ino)) {
             // gmsync barrier on a journaled file: the commit record IS
-            // the durability point — every acknowledged write-back
-            // already fsynced the journal, so no data-file fsync.
+            // the durability point — force the sweep's group commit
+            // out first (same-sweep appends must be covered), then
+            // answer from the commit record. No data-file fsync.
             journalCommitBarriers.inc();
+            Status js = flushJournalSync();
+            if (!ok(js)) {
+                resp.status = js;
+                resp.done = t0;
+                break;
+            }
             resp.status = Status::Ok;
             resp.done = std::max(t0, journal_->lastCommitDone(ino));
         } else {
@@ -880,6 +1180,23 @@ CpuDaemon::handlePeerReadPages(gpu::GpuDevice &dev, const RpcRequest &req)
             valid[j] = static_cast<uint32_t>(
                 r.bytes > base ? std::min<uint64_t>(plen, r.bytes - base)
                                : 0);
+        }
+        // Owner warming: the fallback read these bytes BECAUSE the
+        // owner was cold — adopt them into the owner's cache in the
+        // same RPC (best effort: try-locks, free frames above the
+        // claim reserve, the faulting tenant under its quota), so a
+        // repeat miss on the page forwards peer-to-peer instead of
+        // paying the storage round trip again.
+        if (src) {
+            for (unsigned j = i; j < run; ++j) {
+                if (valid[j] == 0)
+                    continue;
+                if (src->peerAdoptPage(req.ino, req.offset / plen + j,
+                                       req.version, req.batch[j],
+                                       valid[j], r.done, req.tenant)) {
+                    peerPagesAdopted.inc();
+                }
+            }
         }
         host_bytes += r.bytes;
         host_done = std::max(host_done, r.done);

@@ -23,6 +23,7 @@
 #include "base/stats.hh"
 #include "consistency/consistency.hh"
 #include "gpu/device.hh"
+#include "gpufs/params.hh"
 #include "hostfs/hostfs.hh"
 #include "hostfs/journal.hh"
 #include "rpc/peer.hh"
@@ -108,6 +109,30 @@ class CpuDaemon
      */
     void setPeerSource(unsigned gpu_id, PeerPageSource *src);
 
+    /**
+     * Serving tier: weighted deficit-round-robin slot scheduling.
+     * @p weights[t] is tenant t's share; any nonzero entry switches a
+     * sweep with more than one tenant present from plain issue-time
+     * order to DRR emission (cost = pages requested), so a scan
+     * tenant's deep batches cannot starve point-lookup tenants —
+     * their slots are serviced (and reserve the serialized cpuIo
+     * timeline) ahead of the scan's backlog in proportion to weight.
+     * Single-tenant sweeps keep the exact issue-time order. Must be
+     * called before start().
+     */
+    void setTenantWeights(const unsigned *weights, unsigned n);
+
+    /**
+     * Serving tier: let an under-filled ReadPages aggregation group
+     * (a lone same-file request in a sweep that the occupancy census
+     * says is part of a still-arriving burst) linger parked for up to
+     * one extra sweep instead of issuing its own host read, bounded by
+     * @p deadline of virtual time (0 = off, the default — exact-count
+     * aggregation tests rely on one-sweep semantics). Must be called
+     * before start().
+     */
+    void setSweepLinger(Time deadline);
+
     StatSet &stats() { return stats_; }
     hostfs::HostFs &hostFs() { return fs; }
     consistency::ConsistencyMgr &consistencyMgr() { return consistency; }
@@ -127,6 +152,15 @@ class CpuDaemon
         /** Latched while the stall rate sits above threshold: warn on
          *  the crossing, not on every report that follows it. */
         bool stallWarned = false;
+        /** Weighted DRR: per-tenant deficit counters. Reset when a
+         *  tenant's backlog drains (classic DRR empty-queue rule), so
+         *  idle tenants never bank unbounded credit. Daemon thread
+         *  only. */
+        uint64_t drrDeficit[core::kMaxTenants] = {};
+        /** Aggregation linger: slots parked (claimed, unserviced) at
+         *  the end of a sweep, merged into the next one. Daemon
+         *  thread only. */
+        std::vector<RpcSlot *> parked;
     };
 
     hostfs::HostFs &fs;
@@ -173,6 +207,17 @@ class CpuDaemon
     /** Clean-shutdown journal truncations (stop() with every committed
      *  txn applied in place). */
     Counter &journalCheckpoints;
+    /** Group commit: journal fsyncs actually issued (one per sweep
+     *  with journaled write-backs), vs journal_commits = txns — the
+     *  gap is the batching win. */
+    Counter &journalGroupSyncs;
+    /** Owner warming: pages a PeerReadPages host fallback adopted into
+     *  the cold owner's cache (satellite of the sharded serving tier:
+     *  the next peer miss on those pages forwards instead of paying
+     *  another storage round trip). */
+    Counter &peerPagesAdopted;
+    /** Per-tenant RPCs serviced (serving-tier fairness reports). */
+    Counter *tenantRpcs[core::kMaxTenants];
 
     /** Write-ahead journal (null unless enableJournal() was called). */
     std::unique_ptr<hostfs::WriteJournal> journal_;
@@ -189,6 +234,12 @@ class CpuDaemon
 
     /** Host-RAM victim tier (null = off); owned by GpufsSystem. */
     core::VictimCache *victim_ = nullptr;
+
+    /** Serving tier: DRR weights (all-zero = scheduling off) and the
+     *  aggregation-linger bound (0 = off). */
+    unsigned tenantWeight_[core::kMaxTenants] = {};
+    bool drr_ = false;
+    Time linger_ = 0;
 
     void loop();
     RpcResponse handle(unsigned port_idx, const RpcRequest &req);
@@ -275,13 +326,58 @@ class CpuDaemon
 
     /**
      * Journal-first ordering for the write-back handlers: when the
-     * journal is on and @p fd is durable, append + commit + fsync the
-     * extent records and advance @p t to the commit-durable time
-     * before the caller's in-place write. No-op (Ok) otherwise.
+     * journal is on and @p fd is durable, ensure the txn's records are
+     * commit-durable and advance @p t to the commit-durable time
+     * before the caller's in-place write. Normally the sweep preflight
+     * (prejournalSweep) already appended and group-synced the txn and
+     * this only consumes the record; otherwise it falls back to a
+     * per-RPC append + fsync. No-op (Ok) when the journal is off or
+     * @p fd is not durable.
      */
     Status maybeJournal(int fd, const hostfs::WriteRun *runs, unsigned n,
                         Time &t, sim::Resource *io,
                         bool *journaled = nullptr);
+
+    /**
+     * Group commit: issue the ONE journal fsync covering every txn
+     * maybeJournal appended since the last sync. Called at the end of
+     * each service sweep, and forced by a durable-fsync barrier before
+     * it reads lastCommitDone (the barrier must cover same-sweep
+     * appends). No-op when nothing is pending or the host crashed
+     * (pending appends then belong to recovery).
+     */
+    Status flushJournalSync();
+
+    /**
+     * Group-commit preflight: before a sweep's handlers run, append
+     * every write-op slot's journal txn (pwrites only), then ONE
+     * groupSync makes them all durable — satisfying the WAL rule (a
+     * crash reverts un-fsynced writes, so the commit record must be
+     * durable before any handler's in-place write) at one fsync per
+     * sweep instead of one per WritePages RPC. Successful appends are
+     * recorded in prejournalDone_; the handler's maybeJournal consumes
+     * the entry and skips its own append. Slots whose preflight append
+     * failed fall back to maybeJournal's per-RPC append+sync.
+     */
+    void prejournalSweep(unsigned port_idx, RpcSlot **all,
+                         unsigned total);
+
+    /** Preflight-appended slots of the current sweep -> commit-durable
+     *  time. Daemon thread only. */
+    std::unordered_map<RpcSlot *, Time> prejournalDone_;
+    /** Set by serviceSweep just before a handler whose slot was
+     *  preflight-journaled; maybeJournal consumes and clears it. */
+    bool slotPrejournaled_ = false;
+    Time slotPrejournalTime_ = 0;
+
+    /**
+     * Weighted DRR emission order for a sweep with >1 tenant present:
+     * reorders @p batch in place — per-tenant sublists stay issue-time
+     * sorted, rounds add weight to each deficit and emit requests
+     * while the deficit covers their page cost. No-op unless weights
+     * were set.
+     */
+    void drrOrder(GpuPort &port, RpcSlot **batch, unsigned n);
 
     /** The in-place write a committed txn was covering has landed. */
     void

@@ -61,6 +61,12 @@ struct RpcRequest {
     RpcOp op = RpcOp::Nop;
     unsigned gpuId = 0;
     Time issueTime = 0;         ///< requester's virtual clock at submit
+    /** Serving tier: tenant the originating gopen carried. The daemon's
+     *  weighted scheduler keys on it, per-tenant served counters charge
+     *  it, and owner-warming adoptions bill the faulting tenant's frame
+     *  quota on the owner GPU. 0 (the default tenant) preserves the
+     *  pre-multi-tenant FIFO behavior end to end. */
+    uint8_t tenant = 0;
 
     char path[kMaxPath] = {};   ///< Open/Unlink/Stat
     uint32_t flags = 0;         ///< Open: host-visible open flags

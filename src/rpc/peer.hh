@@ -76,6 +76,29 @@ class PeerPageSource
      */
     virtual void peerPublishVersion(uint64_t ino, uint64_t old_version,
                                     uint64_t new_version) = 0;
+
+    /**
+     * Owner warming: adopt @p valid bytes of page @p page_idx into
+     * this GPU's cache after a PeerReadPages HOST FALLBACK read them
+     * on the owner's behalf — the owner was cold, and without this the
+     * next peer miss on the page pays the storage round trip again.
+     * Same hard rules as above (try-locks only, version gate against
+     * @p version); additionally best-effort on space: the adoption
+     * must not evict or exceed @p tenant's frame quota, so decline is
+     * common and harmless. @p ready is the fallback read's completion
+     * time, carried so a later serve of the adopted copy cannot begin
+     * before the bytes existed. Default declines (sources without an
+     * adopting cache).
+     */
+    virtual bool
+    peerAdoptPage(uint64_t ino, uint64_t page_idx, uint64_t version,
+                  const uint8_t *data, uint32_t valid, Time ready,
+                  uint8_t tenant)
+    {
+        (void)ino; (void)page_idx; (void)version; (void)data;
+        (void)valid; (void)ready; (void)tenant;
+        return false;
+    }
 };
 
 } // namespace rpc

@@ -460,6 +460,95 @@ TEST_F(RecoveryTest, CleanStopCheckpointsJournalAndRestartSkipsReplay)
     sys->fs().gclose(ctx, fd);
 }
 
+// ---------------------------------------------------------------------
+// Group commit: one journal fsync per sweep, not one per WritePages
+// ---------------------------------------------------------------------
+
+// Four durable WritePages claimed by ONE service sweep share ONE
+// journal fsync (the preflight appends all four txns, then group-syncs
+// before any in-place write — the WAL ordering the crash-point sweep
+// above depends on), and the gmsync barrier count stays below the
+// WritePages count: commits are per-txn, durability points per-sweep.
+TEST(JournalGroupCommit, SweepOfWritePagesSharesOneJournalFsync)
+{
+    sim::SimContext sim;
+    hostfs::HostFs fs{sim};
+    consistency::ConsistencyMgr mgr;
+    gpu::GpuDevice dev{sim, 0};
+    rpc::CpuDaemon daemon{fs, mgr};
+    daemon.enableJournal();
+    rpc::RpcQueue &q = daemon.attachGpu(dev);
+    daemon.start();
+
+    rpc::RpcRequest o;
+    o.op = rpc::RpcOp::Open;
+    std::strncpy(o.path, "/gc", sizeof o.path - 1);
+    o.flags = hostfs::O_RDWR_F | hostfs::O_CREAT_F | hostfs::O_GDURABLE_F;
+    o.wantsWrite = true;
+    rpc::RpcSlot *os = q.trySubmit(o);
+    ASSERT_NE(nullptr, os);
+    rpc::RpcResponse orsp = q.collect(*os);
+    ASSERT_EQ(Status::Ok, orsp.status);
+    const int fd = orsp.hostFd;
+
+    // Park the daemon so all four WritePages land in one sweep.
+    daemon.stop();
+
+    constexpr uint64_t kPg = 16 * KiB;
+    constexpr unsigned kWrites = 4;
+    std::vector<std::vector<uint8_t>> bufs(
+        kWrites, std::vector<uint8_t>(kPg, 0xAB));
+    rpc::RpcSlot *held[kWrites];
+    for (unsigned r = 0; r < kWrites; ++r) {
+        rpc::RpcRequest w;
+        w.op = rpc::RpcOp::WritePages;
+        w.hostFd = fd;
+        w.pageCount = 1;
+        w.pageLen = kPg;
+        w.len = kPg;
+        w.issueTime = 10 * r;
+        w.batch[0] = bufs[r].data();
+        w.batchOff[0] = uint64_t(r) * kPg;
+        w.batchLen[0] = uint32_t(kPg);
+        held[r] = q.trySubmit(w);
+        ASSERT_NE(nullptr, held[r]);
+    }
+    daemon.start();
+    for (unsigned r = 0; r < kWrites; ++r) {
+        rpc::RpcResponse resp = q.collect(*held[r]);
+        ASSERT_EQ(Status::Ok, resp.status) << "write " << r;
+        EXPECT_EQ(kPg, resp.bytes) << "write " << r;
+    }
+
+    // The gmsync durability barrier, answered from the commit record.
+    rpc::RpcRequest fr;
+    fr.op = rpc::RpcOp::Fsync;
+    fr.hostFd = fd;
+    fr.durableBarrier = true;
+    rpc::RpcSlot *fsl = q.trySubmit(fr);
+    ASSERT_NE(nullptr, fsl);
+    ASSERT_EQ(Status::Ok, q.collect(*fsl).status);
+
+    auto stat = [&](const char *n) {
+        return daemon.stats().counter(n).get();
+    };
+    EXPECT_EQ(uint64_t(kWrites), stat("journal_commits"));
+    EXPECT_EQ(1u, stat("journal_group_syncs"));
+    EXPECT_EQ(1u, stat("journal_commit_barriers"));
+    EXPECT_LT(stat("journal_commit_barriers"), uint64_t(kWrites));
+
+    // And the bytes all landed in place.
+    std::vector<uint8_t> page(kPg);
+    for (unsigned r = 0; r < kWrites; ++r) {
+        auto rr = fs.pread(fd, page.data(), kPg, uint64_t(r) * kPg);
+        ASSERT_EQ(Status::Ok, rr.status);
+        for (uint64_t i = 0; i < kPg; ++i)
+            ASSERT_EQ(0xAB, page[i]) << "page " << r << " byte " << i;
+    }
+    daemon.stop();
+    fs.close(fd);
+}
+
 } // namespace
 } // namespace core
 } // namespace gpufs

@@ -414,6 +414,76 @@ TEST(ShardTest, SharedScanShardedBeatsPrivateAt4Gpus)
     EXPECT_LT(shard.span, priv.span);
 }
 
+// The host-fallback path of PeerReadPages warms the owner inside the
+// same RPC: the bytes the daemon read for the requester are adopted
+// into the owner's free frames, so a REPEAT scan finds the owner hot —
+// peer_pages_host_fallback stops growing and the re-misses ride the
+// P2P forward path instead of a second round of host reads.
+TEST(ShardTest, HostFallbackWarmsOwnerSoRepeatScanForwards)
+{
+    // Geometry: the 64-page file exceeds the 56-frame per-GPU cache
+    // (so the requester's second scan genuinely re-misses), while the
+    // owner's hash share fits its free headroom above claimReserve
+    // (so every fallback page can be adopted).
+    constexpr uint64_t kPg = 16 * KiB;
+    constexpr uint64_t kFilePages = 64;
+    auto sys = makeShardSystem(2, ShardPolicy::HashPageGroup, kPg,
+                               56 * kPg);
+    test::addRamp(sys->hostFs(), "/warm", kFilePages * kPg);
+    auto ctx0 = test::makeBlock(sys->device(0));
+    auto ctx1 = test::makeBlock(sys->device(1));
+
+    hostfs::FileInfo info;
+    ASSERT_EQ(Status::Ok, sys->hostFs().stat("/warm", &info));
+    unsigned gpu0_owned = 0;
+    for (uint64_t idx = 0; idx < kFilePages; ++idx)
+        gpu0_owned += sys->shardMap().ownerOf(info.ino, idx) == 0;
+    ASSERT_GT(gpu0_owned, 0u);
+    // Adoption stops at claimReserve: the owner must have headroom for
+    // its whole share or the repeat scan would re-fall-back on the
+    // unadopted tail. Deterministic hash — fails only if the geometry
+    // above is changed.
+    ASSERT_LE(gpu0_owned,
+              56 - sys->fs(0).bufferCache().claimReserve());
+
+    // Owner opens the file (a serving owner holds its shard open) but
+    // reads NOTHING: its frames stay cold until warming fills them.
+    int fd0 = sys->fs(0).gopen(ctx0, "/warm", G_RDONLY);
+    ASSERT_GE(fd0, 0);
+
+    auto daemonStat = [&](const char *n) {
+        return sys->daemon().stats().counter(n).get();
+    };
+
+    // Scan 1: every GPU0-owned page misses on the cold owner and falls
+    // back to the host — and is adopted into GPU0's frames en route.
+    int fd1 = sys->fs(1).gopen(ctx1, "/warm", G_RDONLY);
+    ASSERT_GE(fd1, 0);
+    std::vector<uint8_t> buf(kFilePages * kPg);
+    ASSERT_EQ(int64_t(buf.size()),
+              sys->fs(1).gread(ctx1, fd1, 0, buf.size(), buf.data()));
+    const uint64_t fallback_after_cold =
+        daemonStat("peer_pages_host_fallback");
+    ASSERT_GT(fallback_after_cold, 0u);
+    EXPECT_GE(daemonStat("peer_pages_adopted"), uint64_t(gpu0_owned));
+    const uint64_t forwarded_cold =
+        counterOf(sys->fs(1), "peer_pages_forwarded");
+
+    // Scan 2: the requester re-misses (file > cache), but the owner is
+    // now warm — the fallback counter must NOT grow.
+    ASSERT_EQ(int64_t(buf.size()),
+              sys->fs(1).gread(ctx1, fd1, 0, buf.size(), buf.data()));
+    EXPECT_EQ(fallback_after_cold,
+              daemonStat("peer_pages_host_fallback"));
+    EXPECT_GT(counterOf(sys->fs(1), "peer_pages_forwarded"),
+              forwarded_cold);
+    for (uint64_t i = 0; i < buf.size(); i += 509)
+        ASSERT_EQ(test::rampByte(i), buf[i]) << i;
+
+    sys->fs(1).gclose(ctx1, fd1);
+    sys->fs(0).gclose(ctx0, fd0);
+}
+
 } // namespace
 } // namespace core
 } // namespace gpufs
